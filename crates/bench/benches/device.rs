@@ -1,0 +1,45 @@
+//! Criterion benches for the Xavier device model.
+//!
+//! The latency/energy simulation sits on the hot path of dataset sampling
+//! (10,000 measurements per predictor corpus) and of every figure harness;
+//! these benches keep its cost visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lightnas_hw::Xavier;
+use lightnas_space::{mobilenet_v2, Architecture, SearchSpace};
+
+fn bench_device(c: &mut Criterion) {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let arch = Architecture::random(&space, 1);
+    let mbv2 = mobilenet_v2();
+
+    c.bench_function("true_latency_random_arch", |b| {
+        b.iter(|| black_box(device.true_latency_ms(black_box(&arch), &space)))
+    });
+    c.bench_function("true_energy_mobilenet_v2", |b| {
+        b.iter(|| black_box(device.true_energy_mj(black_box(&mbv2), &space)))
+    });
+    c.bench_function("measure_with_noise", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(device.measure(black_box(&arch), &space, seed))
+        })
+    });
+    c.bench_function("network_cost_counters", |b| {
+        b.iter(|| black_box(black_box(&arch).flops(&space)))
+    });
+    c.bench_function("layer_breakdown", |b| {
+        b.iter(|| black_box(device.layer_breakdown_ms(black_box(&arch), &space)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_device
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the metric predictors (Sec. 3.2).
+//!
+//! The paper claims one predictor inference "takes less than one
+//! millisecond, and thus introduces trivial computation overheads" — these
+//! benches verify that for this implementation, and quantify the cost of
+//! the one-time backward pass (Eq. 12) and of LUT queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lightnas_hw::Xavier;
+use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+use lightnas_space::{Architecture, SearchSpace};
+
+fn bench_predictor(c: &mut Criterion) {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 1200, 0);
+    let (train, _) = data.split(0.9);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 0 },
+    );
+    let lut = LutPredictor::build(&device, &space);
+    let arch = Architecture::random(&space, 7);
+    let encoding = arch.encode();
+
+    c.bench_function("mlp_predict_one", |b| {
+        b.iter(|| black_box(predictor.predict_encoding(black_box(&encoding))))
+    });
+    c.bench_function("mlp_gradient_one", |b| {
+        b.iter(|| black_box(predictor.gradient(black_box(&encoding))))
+    });
+    c.bench_function("lut_predict_one", |b| {
+        b.iter(|| black_box(lut.predict(black_box(&arch))))
+    });
+    c.bench_function("arch_encode", |b| b.iter(|| black_box(black_box(&arch).encode())));
+
+    let small = MetricDataset::sample(&device, &space, Metric::LatencyMs, 256, 3);
+    c.bench_function("mlp_train_epoch_256", |b| {
+        b.iter(|| {
+            let p = MlpPredictor::train(
+                black_box(&small),
+                &TrainConfig { epochs: 1, batch_size: 128, lr: 1e-3, seed: 0 },
+            );
+            black_box(p)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_predictor
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benches for the single-path vs multi-path supernet claim
+//! (paper Sec. 3.3): one forward+backward through the *real* micro
+//! supernet with a single active path versus the full 7-way mixture.
+//!
+//! The wall-clock ratio here is the compute side of the paper's memory
+//! argument; the activation-memory side is quantified by
+//! `lightnas::memory` and printed by the `table1` harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lightnas::micro::MicroSupernet;
+use lightnas_nn::{Bindings, ParamStore};
+use lightnas_space::NUM_OPS;
+use lightnas_tensor::{Graph, Tensor, Var};
+
+fn bench_paths(c: &mut Criterion) {
+    let mut store = ParamStore::new();
+    let net = MicroSupernet::new(&mut store, 3, 8, 0);
+    let x = Tensor::uniform(&[8, 1, 8, 8], -1.0, 1.0, 1);
+    let y: Vec<usize> = (0..8).map(|i| i % 6).collect();
+
+    c.bench_function("supernet_single_path_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let mut bind = Bindings::new();
+            let xv = g.input(x.clone());
+            let logits = net.forward_single(&mut g, &mut bind, &store, xv, &[0, 3, 5]);
+            let loss = g.softmax_cross_entropy(logits, &y);
+            g.backward(loss);
+            black_box(g.len())
+        })
+    });
+
+    c.bench_function("supernet_multi_path_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let mut bind = Bindings::new();
+            let xv = g.input(x.clone());
+            let coeffs: Vec<Var> = (0..3)
+                .map(|_| g.parameter(Tensor::full(&[NUM_OPS], 1.0 / NUM_OPS as f32)))
+                .collect();
+            let logits = net.forward_multi(&mut g, &mut bind, &store, xv, &coeffs);
+            let loss = g.softmax_cross_entropy(logits, &y);
+            g.backward(loss);
+            black_box(g.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation of the learned-multiplier dynamics (Eq. 11): sensitivity of the
+//! one-time-search property to the λ learning rate and the warmup length.
+//!
+//! DESIGN.md calls this out as the reproduction's central design choice:
+//! too small an η_λ and the constraint is still unmet when the schedule
+//! ends; too large and λ oscillates. The paper's 5e-4 sits in the flat
+//! middle of the basin.
+
+use lightnas::{LightNas, SearchConfig};
+use lightnas_bench::{render_table, Harness};
+
+fn main() {
+    let h = Harness::standard();
+    let base = h.search_config();
+    let target = 22.0;
+
+    println!("Ablation A: λ learning rate (target {target} ms)");
+    let mut rows = Vec::new();
+    for &lr in &[5e-5, 2e-4, 5e-4, 2e-3, 1e-2] {
+        let config = SearchConfig { lambda_lr: lr, ..base };
+        let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
+        let outcome = engine.search(target, 17);
+        let measured = h.device.true_latency_ms(&outcome.architecture, &h.space);
+        // λ trajectory roughness: mean absolute epoch-to-epoch change in the
+        // back half of the schedule (oscillation indicator).
+        let records = outcome.trace.records();
+        let tail = &records[records.len() / 2..];
+        let rough: f64 = tail
+            .windows(2)
+            .map(|w| (w[1].lambda - w[0].lambda).abs())
+            .sum::<f64>()
+            / tail.len().max(1) as f64;
+        rows.push(vec![
+            format!("{lr:.0e}"),
+            format!("{measured:.2}"),
+            format!("{:+.3}", outcome.lambda),
+            format!("{rough:.4}"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["eta_lambda", "measured (ms)", "final lambda", "lambda roughness"],
+            &rows
+        )
+    );
+
+    println!("Ablation B: warmup epochs (target {target} ms)");
+    let mut rows = Vec::new();
+    for &warmup in &[0usize, 5, 10, 20, 40] {
+        if warmup >= base.epochs {
+            continue;
+        }
+        let config = SearchConfig { warmup_epochs: warmup, ..base };
+        let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
+        let outcome = engine.search(target, 17);
+        let measured = h.device.true_latency_ms(&outcome.architecture, &h.space);
+        rows.push(vec![
+            format!("{warmup}"),
+            format!("{measured:.2}"),
+            format!("{:.2}", h.oracle.asymptotic_top1(&outcome.architecture)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["warmup epochs", "measured (ms)", "top-1 (%)"], &rows)
+    );
+}

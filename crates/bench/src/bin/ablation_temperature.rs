@@ -1,0 +1,55 @@
+//! Ablation of the Gumbel-Softmax temperature schedule (Sec. 3.3: τ starts
+//! at 5 and "gradually decays to zero").
+//!
+//! A constant high τ keeps sampling near-uniform — α's preferences never
+//! express themselves and the derived network is weaker. A constant low τ
+//! commits too early. The paper's annealed schedule explores first and
+//! exploits later.
+
+use lightnas::{LightNas, SearchConfig};
+use lightnas_bench::{render_table, Harness};
+
+fn main() {
+    let h = Harness::standard();
+    let base = h.search_config();
+    let target = 24.0;
+
+    let schedules: &[(&str, f64, f64)] = &[
+        ("paper (5 -> 0.1)", 5.0, 0.1),
+        ("constant hot (5)", 5.0, 5.0),
+        ("constant mild (1)", 1.0, 1.0),
+        ("constant cold (0.1)", 0.1, 0.1),
+        ("short anneal (2 -> 0.1)", 2.0, 0.1),
+    ];
+
+    let mut rows = Vec::new();
+    for &(name, tau_start, tau_end) in schedules {
+        let config = SearchConfig { tau_start, tau_end, ..base };
+        let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
+        // Average across seeds: temperature effects are noisy by nature.
+        let mut lat = 0.0;
+        let mut acc = 0.0;
+        let seeds = [3u64, 5, 8];
+        for &s in &seeds {
+            let arch = engine.search_architecture(target, s);
+            lat += h.device.true_latency_ms(&arch, &h.space) / seeds.len() as f64;
+            acc += h.oracle.asymptotic_top1(&arch) / seeds.len() as f64;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{lat:.2}"),
+            format!("{acc:.2}"),
+        ]);
+    }
+    println!("Ablation: Gumbel temperature schedule (target {target} ms, 3-seed averages)");
+    println!(
+        "{}",
+        render_table(&["schedule", "measured (ms)", "top-1 (%)"], &rows)
+    );
+    println!(
+        "Note: with the oracle's low-noise marginals every schedule converges — \
+         temperature chiefly matters when the per-step gradient is noisy \
+         (a real weight-sharing supernet); the paper's annealed default is \
+         kept for fidelity and is never worse here."
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 2 — FLOPs vs. measured latency (left) and energy (right) on the
+//! simulated Jetson AGX Xavier.
+//!
+//! The paper's point: the number of FLOPs is an inaccurate proxy —
+//! "architectures with the same latency or energy could greatly differ
+//! regarding the number of FLOPs". This harness samples random
+//! architectures, measures both metrics, prints the scatter and quantifies
+//! the decoupling: the spread of FLOPs within narrow latency/energy bands.
+
+use lightnas_bench::plot::{SeriesStyle, SvgPlot};
+use lightnas_bench::{ascii_chart, correlation, save_figure, Harness};
+use lightnas_space::Architecture;
+
+fn main() {
+    let h = Harness::standard();
+    let n = if h.quick { 600 } else { 3000 };
+    let mut rows = Vec::with_capacity(n);
+    for seed in 0..n as u64 {
+        let arch = Architecture::random(&h.space, seed);
+        let flops = arch.flops(&h.space).mflops();
+        let lat = h.device.measure_latency_ms(&arch, &h.space, seed);
+        let energy = h.device.measure_energy_mj(&arch, &h.space, seed);
+        rows.push((flops, lat, energy));
+    }
+
+    let lat_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.1)).collect();
+    let en_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.2)).collect();
+    println!("{}", ascii_chart("Figure 2 (left): FLOPs (M) vs latency (ms)", &lat_pts, 70, 18));
+    println!("{}", ascii_chart("Figure 2 (right): FLOPs (M) vs energy (mJ)", &en_pts, 70, 18));
+    let mut left = SvgPlot::new("Figure 2 (left): FLOPs vs latency", "FLOPs (M)", "latency (ms)");
+    left.add_series("random architectures", lat_pts.clone(), SeriesStyle::Scatter);
+    save_figure("fig2_latency", &left);
+    let mut right = SvgPlot::new("Figure 2 (right): FLOPs vs energy", "FLOPs (M)", "energy (mJ)");
+    right.add_series("random architectures", en_pts.clone(), SeriesStyle::Scatter);
+    save_figure("fig2_energy", &right);
+
+    let flops: Vec<f64> = rows.iter().map(|r| r.0).collect();
+    let lats: Vec<f64> = rows.iter().map(|r| r.1).collect();
+    let ens: Vec<f64> = rows.iter().map(|r| r.2).collect();
+    println!("Pearson(FLOPs, latency) = {:.3}", correlation(&flops, &lats));
+    println!("Pearson(FLOPs, energy)  = {:.3}", correlation(&flops, &ens));
+
+    // The paper's headline: same latency, very different FLOPs. Report the
+    // FLOPs spread inside a ±0.25 ms band around the median latency.
+    let mut sorted = lats.clone();
+    sorted.sort_by(f64::total_cmp);
+    let med = sorted[sorted.len() / 2];
+    let band: Vec<f64> = rows
+        .iter()
+        .filter(|r| (r.1 - med).abs() < 0.25)
+        .map(|r| r.0)
+        .collect();
+    let (lo, hi) = band
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &f| (lo.min(f), hi.max(f)));
+    println!(
+        "within latency band {:.2}±0.25 ms: {} architectures, FLOPs range {:.0}M .. {:.0}M ({:.0}% spread)",
+        med,
+        band.len(),
+        lo,
+        hi,
+        (hi - lo) / lo * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 3 — the motivational λ sweep with the fixed-λ FBNet engine.
+//!
+//! Left: achieved Xavier latency vs λ. Right: 50-epoch ImageNet top-1 vs λ.
+//! The paper's observations to reproduce: λ controls the trade-off but is
+//! hard to tune — small λ changes swing the latency, large λ collapses the
+//! architecture to SkipConnect, and landing on a *given* latency requires
+//! trial and error (empirically ×10 runs).
+
+use lightnas::sweep::{default_lambda_grid, lambda_sweep, runs_to_hit_target};
+use lightnas_bench::plot::{SeriesStyle, SvgPlot};
+use lightnas_bench::{ascii_chart, render_table, save_figure, Harness};
+
+fn main() {
+    let h = Harness::standard();
+    let grid = default_lambda_grid();
+    let points =
+        lambda_sweep(&h.space, &h.oracle, &h.lut, &h.device, &grid, h.search_config(), 0);
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.4}", p.lambda),
+                format!("{:.2}", p.latency_ms),
+                format!("{:.2}", p.top1_quick),
+                format!("{:.0}%", p.skip_fraction * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["lambda", "latency (ms)", "top-1 @50ep (%)", "skip ops"], &rows)
+    );
+
+    let lat_pts: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.lambda.log10(), p.latency_ms)).collect();
+    let acc_pts: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.lambda.log10(), p.top1_quick)).collect();
+    let mut left = SvgPlot::new("Figure 3 (left): lambda vs latency", "log10(lambda)", "latency (ms)");
+    left.add_series("FBNet fixed-lambda", lat_pts.clone(), SeriesStyle::Line);
+    save_figure("fig3_latency", &left);
+    let mut right = SvgPlot::new("Figure 3 (right): lambda vs top-1 @50ep", "log10(lambda)", "top-1 (%)");
+    right.add_series("FBNet fixed-lambda", acc_pts.clone(), SeriesStyle::Line);
+    save_figure("fig3_accuracy", &right);
+    println!("{}", ascii_chart("Figure 3 (left): log10(lambda) vs latency (ms)", &lat_pts, 60, 14));
+    println!("{}", ascii_chart("Figure 3 (right): log10(lambda) vs top-1 @50ep (%)", &acc_pts, 60, 14));
+
+    // The implicit-cost experiment: how many full search runs does bisection
+    // over λ need to land within 0.5 ms of a 24 ms target?
+    let (runs, final_lat) = runs_to_hit_target(
+        &h.space,
+        &h.oracle,
+        &h.lut,
+        &h.device,
+        24.0,
+        0.5,
+        h.search_config(),
+        15,
+    );
+    println!(
+        "hitting 24 ms within ±0.5 ms by tuning lambda took {runs} search runs (landed at {final_lat:.2} ms)"
+    );
+    println!("LightNAS needs exactly 1 (see fig7).");
+}

@@ -1,0 +1,71 @@
+//! Figure 5 — latency predictor quality: the MLP (left) vs the LUT (right).
+//!
+//! Reproduced claims: the MLP reaches a very low RMSE on held-out
+//! architectures (paper: 0.04 ms); the LUT shows a consistent gap between
+//! predicted and measured latency (paper: ≈ 11.48 ms) and, even after the
+//! gap is corrected, an RMSE an order of magnitude above the MLP's
+//! (paper: 0.41 ms).
+
+use lightnas_bench::plot::{SeriesStyle, SvgPlot};
+use lightnas_bench::{ascii_chart, save_figure, Harness};
+
+fn main() {
+    let h = Harness::standard();
+
+    // MLP scatter on the held-out fold.
+    let preds = h.predictor.predict_all(&h.valid);
+    let mlp_pts: Vec<(f64, f64)> =
+        h.valid.targets().iter().zip(&preds).map(|(&m, &p)| (m, p)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 5 (left): measured (x) vs MLP-predicted (y) latency, ms",
+            &mlp_pts,
+            60,
+            16
+        )
+    );
+    let mlp_rmse = h.predictor.rmse(&h.valid);
+    println!("MLP predictor RMSE: {mlp_rmse:.3} ms   (paper: 0.04 ms)\n");
+    let diag: Vec<(f64, f64)> = {
+        let lo = h.valid.targets().iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = h.valid.targets().iter().copied().fold(0.0f64, f64::max);
+        vec![(lo, lo), (hi, hi)]
+    };
+    let mut left = SvgPlot::new("Figure 5 (left): MLP predictor", "measured (ms)", "predicted (ms)");
+    left.add_series("validation architectures", mlp_pts.clone(), SeriesStyle::Scatter);
+    left.add_series("y = x", diag.clone(), SeriesStyle::Line);
+    save_figure("fig5_mlp", &left);
+
+    // LUT scatter: raw and bias-corrected.
+    let lut_preds = h.lut.predict_all(&h.valid);
+    let lut_pts: Vec<(f64, f64)> =
+        h.valid.targets().iter().zip(&lut_preds).map(|(&m, &p)| (m, p)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 5 (right): measured (x) vs LUT-predicted (y) latency, ms",
+            &lut_pts,
+            60,
+            16
+        )
+    );
+    let mut right = SvgPlot::new("Figure 5 (right): LUT", "measured (ms)", "predicted (ms)");
+    right.add_series("validation architectures", lut_pts.clone(), SeriesStyle::Scatter);
+    {
+        let lo = h.valid.targets().iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = h.valid.targets().iter().copied().fold(0.0f64, f64::max);
+        right.add_series("y = x", vec![(lo, lo), (hi, hi)], SeriesStyle::Line);
+    }
+    save_figure("fig5_lut", &right);
+    let gap = h.lut.mean_gap(&h.valid);
+    let raw_rmse = h.lut.rmse(&h.valid);
+    let corrected = h.lut.bias_corrected(&h.valid);
+    let corrected_rmse = corrected.rmse(&h.valid);
+    println!("LUT consistent gap (measured - predicted): {gap:.2} ms   (paper: ~11.48 ms)");
+    println!("LUT RMSE raw: {raw_rmse:.3} ms; after gap correction: {corrected_rmse:.3} ms   (paper: 0.41 ms)");
+    println!(
+        "MLP is {:.1}x more accurate than the corrected LUT",
+        corrected_rmse / mlp_rmse
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 6 — the searched LightNets under latency constraints 20–30 ms.
+//!
+//! Prints the per-layer operator diagram of each LightNet (the integer is
+//! the stage's base channel count, as in the paper's figure). Reproduced
+//! observations: layer diversity (unlike MobileNetV2's uniform stack) and
+//! deeper/wider networks as the constraint loosens.
+
+use lightnas::LightNas;
+use lightnas_bench::{render_table, Harness};
+
+fn main() {
+    let h = Harness::standard();
+    let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, h.search_config());
+
+    let targets = [20.0, 22.0, 24.0, 26.0, 28.0, 30.0];
+    let mut rows = Vec::new();
+    for &t in &targets {
+        let outcome = engine.search(t, 0xf166);
+        let arch = outcome.architecture;
+        let lat = h.device.true_latency_ms(&arch, &h.space);
+        println!("LightNet-{t:.0}ms (measured {lat:.2} ms):");
+        println!("  {}\n", arch.diagram(&h.space));
+        rows.push(vec![
+            format!("LightNet-{t:.0}ms"),
+            format!("{:.2}", lat),
+            format!("{}", arch.depth()),
+            format!("{}", arch.ops().iter().filter(|o| o.is_skip()).count()),
+            format!(
+                "{}",
+                arch.ops()
+                    .iter()
+                    .filter(|o| o.kernel().map(|k| k.size() == 7).unwrap_or(false))
+                    .count()
+            ),
+            format!(
+                "{}",
+                arch.ops()
+                    .iter()
+                    .filter(|o| o.expansion().map(|e| e.ratio() == 6).unwrap_or(false))
+                    .count()
+            ),
+            format!("{:.0}", arch.flops(&h.space).mflops()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["network", "latency (ms)", "depth", "skips", "K7 ops", "E6 ops", "MAdds (M)"],
+            &rows
+        )
+    );
+    println!("Expected shape: depth and E6/K7 counts grow with the constraint (deeper & wider).");
+}

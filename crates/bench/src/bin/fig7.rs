@@ -1,0 +1,77 @@
+//! Figure 7 — search-process stability: the predicted latency of the
+//! derived architecture converges to the specified constraint.
+//!
+//! Each curve is the epoch-wise average of three independent search runs
+//! (different seeds), exactly as in the paper. Reproduced claim: "LightNAS
+//! always ends up with the architecture that strictly meets the given
+//! latency constraint".
+
+use lightnas::{LightNas, SearchTrace};
+use lightnas_bench::plot::{SeriesStyle, SvgPlot};
+use lightnas_bench::{ascii_chart, render_table, save_figure, Harness};
+
+fn main() {
+    let h = Harness::standard();
+    let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, h.search_config());
+
+    let targets = [20.0, 24.0, 28.0, 30.0];
+    let seeds = [1u64, 2, 3];
+    let mut rows = Vec::new();
+    let mut chart = SvgPlot::new(
+        "Figure 7: predicted latency of the derived architecture",
+        "search epoch",
+        "predicted latency (ms)",
+    );
+    for &t in &targets {
+        let mut traces = Vec::new();
+        let mut final_lats = Vec::new();
+        for &s in &seeds {
+            let outcome = engine.search(t, s);
+            final_lats.push(h.device.true_latency_ms(&outcome.architecture, &h.space));
+            traces.push(outcome.trace);
+        }
+        let avg = SearchTrace::average(&traces);
+        let pts: Vec<(f64, f64)> = avg
+            .records()
+            .iter()
+            .map(|r| (r.epoch as f64, r.argmax_metric))
+            .collect();
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Figure 7: search process, T = {t:.0} ms (avg of 3 runs)"),
+                &pts,
+                70,
+                12
+            )
+        );
+        chart.add_series(&format!("T = {t:.0} ms"), pts.clone(), SeriesStyle::Line);
+        let last = avg.last().expect("non-empty trace");
+        let mean_final = final_lats.iter().sum::<f64>() / final_lats.len() as f64;
+        let spread = final_lats
+            .iter()
+            .map(|l| (l - mean_final).abs())
+            .fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{t:.0}"),
+            format!("{:.2}", last.argmax_metric),
+            format!("{:.2}", mean_final),
+            format!("{:.2}", spread),
+            format!("{:+.3}", last.lambda),
+        ]);
+    }
+    save_figure("fig7", &chart);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "target T (ms)",
+                "predicted at end (ms)",
+                "measured mean (ms)",
+                "run spread (ms)",
+                "final lambda"
+            ],
+            &rows
+        )
+    );
+}

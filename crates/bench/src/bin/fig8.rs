@@ -1,0 +1,61 @@
+//! Figure 8 — generality to energy-critical tasks.
+//!
+//! Left: the same predictor architecture fit on energy measurements
+//! (thermally noisier than latency, as the paper notes). Right: the search
+//! process under a 500 mJ energy constraint — the latency predictor is
+//! simply swapped for the energy predictor, nothing else changes.
+
+use lightnas::LightNas;
+use lightnas_bench::plot::{SeriesStyle, SvgPlot};
+use lightnas_bench::{ascii_chart, save_figure, Harness};
+
+fn main() {
+    let h = Harness::standard();
+
+    // Left: energy predictor scatter.
+    let (energy_predictor, valid) = h.energy_predictor();
+    let preds = energy_predictor.predict_all(&valid);
+    let pts: Vec<(f64, f64)> =
+        valid.targets().iter().zip(&preds).map(|(&m, &p)| (m, p)).collect();
+    println!(
+        "{}",
+        ascii_chart("Figure 8 (left): measured (x) vs predicted (y) energy, mJ", &pts, 60, 16)
+    );
+    let mut left = SvgPlot::new("Figure 8 (left): energy predictor", "measured (mJ)", "predicted (mJ)");
+    left.add_series("validation architectures", pts.clone(), SeriesStyle::Scatter);
+    save_figure("fig8_predictor", &left);
+    println!(
+        "energy predictor RMSE: {:.2} mJ on targets spanning {:.0}..{:.0} mJ\n",
+        energy_predictor.rmse(&valid),
+        valid.targets().iter().copied().fold(f64::INFINITY, f64::min),
+        valid.targets().iter().copied().fold(0.0f64, f64::max),
+    );
+
+    // Right: energy-constrained search at 500 mJ.
+    let engine = LightNas::new(&h.space, &h.oracle, &energy_predictor, h.search_config());
+    let outcome = engine.search(500.0, 8);
+    let trace_pts: Vec<(f64, f64)> = outcome
+        .trace
+        .records()
+        .iter()
+        .map(|r| (r.epoch as f64, r.argmax_metric))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 8 (right): search under the 500 mJ energy constraint",
+            &trace_pts,
+            70,
+            12
+        )
+    );
+    let mut right = SvgPlot::new("Figure 8 (right): 500 mJ search", "search epoch", "predicted energy (mJ)");
+    right.add_series("derived architecture", trace_pts.clone(), SeriesStyle::Line);
+    save_figure("fig8_search", &right);
+    let measured = h.device.true_energy_mj(&outcome.architecture, &h.space);
+    println!(
+        "derived architecture: measured energy {measured:.0} mJ (target 500), latency {:.2} ms, top-1 {:.2}",
+        h.device.true_latency_ms(&outcome.architecture, &h.space),
+        h.oracle.asymptotic_top1(&outcome.architecture)
+    );
+}

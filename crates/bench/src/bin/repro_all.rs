@@ -1,0 +1,70 @@
+//! Convenience driver: regenerates every exhibit in sequence, writing each
+//! binary's output under `results/`. Equivalent to running the individual
+//! `figN` / `tableN` / ablation binaries by hand.
+//!
+//! ```text
+//! cargo run --release -p lightnas-bench --bin repro_all [-- --out results]
+//! ```
+//!
+//! Honors `LIGHTNAS_QUICK=1` like every other harness.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+const EXHIBITS: &[&str] = &[
+    "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "table3",
+    "table4", "ablation_predictor", "ablation_lambda", "ablation_temperature",
+    "ablation_ensemble", "engines", "pareto", "anatomy",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    if let Err(e) = fs::create_dir_all(&out_dir) {
+        eprintln!("error: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+
+    let mut failures = 0;
+    for name in EXHIBITS {
+        let started = Instant::now();
+        eprint!("[repro_all] {name} ... ");
+        let output = Command::new(bin_dir.join(name)).output();
+        match output {
+            Ok(out) if out.status.success() => {
+                let path = out_dir.join(format!("{name}.txt"));
+                if let Err(e) = fs::write(&path, &out.stdout) {
+                    eprintln!("write failed: {e}");
+                    failures += 1;
+                    continue;
+                }
+                eprintln!("ok ({:.1?}) -> {}", started.elapsed(), path.display());
+            }
+            Ok(out) => {
+                eprintln!("FAILED (status {})", out.status);
+                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("FAILED to launch: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        eprintln!("[repro_all] all {} exhibits regenerated.", EXHIBITS.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[repro_all] {failures} exhibit(s) failed.");
+        ExitCode::FAILURE
+    }
+}

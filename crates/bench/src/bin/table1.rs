@@ -1,0 +1,83 @@
+//! Table 1 — comparison with previous state-of-the-art NAS approaches.
+//!
+//! Prints the paper's property matrix (differentiable / latency
+//! optimization / specified latency / proxyless / complexity / cost) and
+//! augments it with this reproduction's measured quantities: supernet
+//! memory per path regime and the achievable batch size within a fixed GPU
+//! budget (the Sec. 3.3 single-path claim), plus the total design cost once
+//! the implicit λ-sweep is included.
+
+use lightnas::cost::{method_profiles, simulated_gpu_hours};
+use lightnas::memory::{max_batch_within, search_memory_gib};
+use lightnas::SearchConfig;
+use lightnas_bench::render_table;
+use lightnas_space::SearchSpace;
+
+fn main() {
+    let space = SearchSpace::standard();
+
+    let check = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = method_profiles()
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                check(m.differentiable),
+                check(m.latency_optimization),
+                check(m.specified_latency),
+                check(m.proxyless),
+                m.complexity.to_string(),
+                format!("{:.0}", m.gpu_hours_per_run),
+                format!("{}", m.runs_to_target),
+                format!("{:.0}", m.total_design_cost()),
+            ]
+        })
+        .collect();
+    println!("Table 1: method comparison (published per-run costs, total includes the implicit sweep)");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "method",
+                "differentiable",
+                "latency opt.",
+                "specified latency",
+                "proxyless",
+                "complexity",
+                "GPU-h/run",
+                "runs to target",
+                "total GPU-h"
+            ],
+            &rows
+        )
+    );
+
+    // Reproduction-side measurements: memory and batch size per path regime.
+    let config = SearchConfig::paper();
+    let mem_rows: Vec<Vec<String>> = [("multi-path (DARTS/FBNet)", 7usize), ("two-path (ProxylessNAS)", 2), ("single-path (LightNAS)", 1)]
+        .iter()
+        .map(|(name, paths)| {
+            vec![
+                name.to_string(),
+                format!("{paths}"),
+                format!("{:.2}", search_memory_gib(&space, *paths, 128)),
+                format!("{}", max_batch_within(&space, *paths, 24.0)),
+                format!("{:.0}", simulated_gpu_hours(&config, *paths)),
+            ]
+        })
+        .collect();
+    println!("Supernet training memory (this reproduction's activation model):");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "regime",
+                "paths",
+                "memory @batch128 (GiB)",
+                "max batch in 24 GiB",
+                "simulated GPU-h/run"
+            ],
+            &mem_rows
+        )
+    );
+}

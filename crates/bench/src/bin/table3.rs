@@ -1,0 +1,57 @@
+//! Table 3 — COCO2017 object detection with SSDLite.
+//!
+//! Every backbone (reference baselines + three searched LightNets) is
+//! dropped into the SSDLite transfer evaluator: AP follows backbone quality,
+//! latency is re-simulated at 320×320 plus the head cost. Expected shape:
+//! LightNet-28ms reaches the best AP while LightNet backbones run faster
+//! end-to-end than the baselines.
+
+use lightnas::LightNas;
+use lightnas_bench::{render_table, Harness};
+use lightnas_eval::SsdLite;
+use lightnas_space::reference_architectures;
+
+fn main() {
+    let h = Harness::standard();
+    let ssd = SsdLite::new(h.device.clone());
+    let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, h.search_config());
+
+    let mut entries: Vec<(String, lightnas_space::Architecture)> = Vec::new();
+    for r in reference_architectures() {
+        if matches!(
+            r.name,
+            "ProxylessNAS-21ms" | "MobileNetV2" | "MnasNet-A1" | "FBNet-C" | "OFA-M"
+        ) {
+            entries.push((r.name.to_string(), r.arch));
+        }
+    }
+    for &t in &[20.0, 24.0, 28.0] {
+        let arch = engine.search_architecture(t, 0x7ab1e3);
+        entries.push((format!("LightNet-{t:.0}ms"), arch));
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(name, arch)| {
+            let r = ssd.evaluate(arch, &h.oracle, 0);
+            vec![
+                name.clone(),
+                format!("{:.1}", r.ap),
+                format!("{:.1}", r.ap50),
+                format!("{:.1}", r.ap75),
+                format!("{:.1}", r.ap_small),
+                format!("{:.1}", r.ap_medium),
+                format!("{:.1}", r.ap_large),
+                format!("{:.1}", r.latency_ms),
+            ]
+        })
+        .collect();
+    println!("Table 3: COCO2017 SSDLite comparison (simulated transfer)");
+    println!(
+        "{}",
+        render_table(
+            &["backbone", "AP", "AP50", "AP75", "APs", "APm", "APl", "latency (ms)"],
+            &rows
+        )
+    );
+}

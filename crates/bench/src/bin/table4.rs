@@ -1,0 +1,44 @@
+//! Table 4 — ablation of the Squeeze-and-Excitation module.
+//!
+//! Applies SE to the last nine layers of each searched LightNet (exactly the
+//! paper's protocol) and reports the accuracy gain against the FLOPs and
+//! latency overhead. Expected shape: +0.4..1 top-1 for a few extra MFLOPs
+//! and ≈ 1..2 ms of latency.
+
+use lightnas::LightNas;
+use lightnas_bench::{render_table, Harness};
+use lightnas_eval::TrainingProtocol;
+
+fn main() {
+    let h = Harness::standard();
+    let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, h.search_config());
+
+    let mut rows = Vec::new();
+    for &t in &[20.0, 22.0, 24.0, 26.0, 28.0, 30.0] {
+        let base = engine.search_architecture(t, 0x7ab1e4);
+        let se = base.with_se_tail(9);
+        let top1_base = h.oracle.top1(&base, TrainingProtocol::full(), 0);
+        let top1_se = h.oracle.top1(&se, TrainingProtocol::full(), 0);
+        let top5_base = h.oracle.top5_from_top1(top1_base);
+        let top5_se = h.oracle.top5_from_top1(top1_se);
+        let flops_base = base.flops(&h.space).mflops();
+        let flops_se = se.flops(&h.space).mflops();
+        let lat_base = h.device.true_latency_ms(&base, &h.space);
+        let lat_se = h.device.true_latency_ms(&se, &h.space);
+        rows.push(vec![
+            format!("LightNet-{t:.0}ms-SE"),
+            format!("{:.1} (+{:.1})", top1_se, top1_se - top1_base),
+            format!("{:.1} (+{:.1})", top5_se, top5_se - top5_base),
+            format!("{:.0} (+{:.0})", flops_se, flops_se - flops_base),
+            format!("{:.1} (+{:.1})", lat_se, lat_se - lat_base),
+        ]);
+    }
+    println!("Table 4: Squeeze-and-Excitation ablation (SE on the last 9 layers)");
+    println!(
+        "{}",
+        render_table(
+            &["architecture", "top-1 (%)", "top-5 (%)", "FLOPs (M)", "latency (ms)"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,274 @@
+//! Search configuration, traces and outcomes shared by all engines.
+
+use lightnas_space::Architecture;
+
+/// Hyper-parameters of a search run (paper Sec. 4.1 defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Supernet training epochs (paper: 90).
+    pub epochs: usize,
+    /// Optimization steps per epoch (paper: ≈ 80 at batch 128 on the
+    /// 100-class proxy set).
+    pub steps_per_epoch: usize,
+    /// Epochs during which only the weights `w` train and `α` is frozen
+    /// (paper: 10).
+    pub warmup_epochs: usize,
+    /// Learning rate of the architecture parameters `α` (Adam, paper: 1e-3).
+    pub alpha_lr: f64,
+    /// Weight decay on `α` (paper: 1e-3).
+    pub alpha_weight_decay: f64,
+    /// Learning rate of the trade-off multiplier λ (paper: 5e-4, fixed).
+    pub lambda_lr: f64,
+    /// Initial Gumbel-Softmax temperature (paper: 5, decayed to ≈ 0).
+    pub tau_start: f64,
+    /// Final temperature floor.
+    pub tau_end: f64,
+}
+
+impl SearchConfig {
+    /// The paper's search settings.
+    pub fn paper() -> Self {
+        Self {
+            epochs: 90,
+            steps_per_epoch: 80,
+            warmup_epochs: 10,
+            alpha_lr: 1e-3,
+            alpha_weight_decay: 1e-3,
+            lambda_lr: 5e-4,
+            tau_start: 5.0,
+            tau_end: 0.1,
+        }
+    }
+
+    /// A shortened schedule for unit tests and quick demos: 8× fewer steps
+    /// than [`paper`](Self::paper), with the α and λ learning rates scaled
+    /// up so the trajectories (and in particular the λ equilibrium) match
+    /// the full schedule's.
+    pub fn fast() -> Self {
+        Self {
+            epochs: 30,
+            steps_per_epoch: 30,
+            warmup_epochs: 3,
+            alpha_lr: 3e-3,
+            lambda_lr: 4e-3,
+            ..Self::paper()
+        }
+    }
+
+    /// Temperature at a given epoch: exponential decay from `tau_start`
+    /// towards `tau_end` over the post-warmup epochs.
+    pub fn tau_at(&self, epoch: usize) -> f64 {
+        let span = self.epochs.max(2) as f64;
+        let rate = (self.tau_end / self.tau_start).powf(1.0 / span);
+        (self.tau_start * rate.powf(epoch as f64)).max(self.tau_end)
+    }
+
+    /// Total optimization steps.
+    pub fn total_steps(&self) -> usize {
+        self.epochs * self.steps_per_epoch
+    }
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One epoch of search telemetry (the Fig. 7 curves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Mean predicted metric of the architectures sampled this epoch.
+    pub sampled_metric: f64,
+    /// Predicted metric of the current `argmax α` architecture.
+    pub argmax_metric: f64,
+    /// The trade-off multiplier λ at epoch end.
+    pub lambda: f64,
+    /// Gumbel temperature used this epoch.
+    pub tau: f64,
+    /// Mean validation loss of the sampled architectures.
+    pub valid_loss: f64,
+}
+
+/// The full per-epoch history of one search run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTrace {
+    records: Vec<EpochRecord>,
+}
+
+impl SearchTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch record.
+    pub fn push(&mut self, record: EpochRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in epoch order.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The last record, if any epoch completed.
+    pub fn last(&self) -> Option<&EpochRecord> {
+        self.records.last()
+    }
+
+    /// Writes the trace as CSV (`epoch,sampled_metric,argmax_metric,lambda,
+    /// tau,valid_loss`) to any writer — a `&mut Vec<u8>`, a file, etc. (a
+    /// `&mut W` works wherever a `W: Write` is expected).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from the writer.
+    pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "epoch,sampled_metric,argmax_metric,lambda,tau,valid_loss")?;
+        for r in &self.records {
+            writeln!(
+                w,
+                "{},{},{},{},{},{}",
+                r.epoch, r.sampled_metric, r.argmax_metric, r.lambda, r.tau, r.valid_loss
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Averages several traces epoch-wise (Fig. 7 averages three runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty or lengths differ.
+    pub fn average(traces: &[SearchTrace]) -> SearchTrace {
+        assert!(!traces.is_empty(), "no traces to average");
+        let n = traces[0].records.len();
+        for t in traces {
+            assert_eq!(t.records.len(), n, "trace lengths differ");
+        }
+        let m = traces.len() as f64;
+        let records = (0..n)
+            .map(|i| {
+                let mut acc = EpochRecord {
+                    epoch: traces[0].records[i].epoch,
+                    sampled_metric: 0.0,
+                    argmax_metric: 0.0,
+                    lambda: 0.0,
+                    tau: traces[0].records[i].tau,
+                    valid_loss: 0.0,
+                };
+                for t in traces {
+                    let r = &t.records[i];
+                    acc.sampled_metric += r.sampled_metric / m;
+                    acc.argmax_metric += r.argmax_metric / m;
+                    acc.lambda += r.lambda / m;
+                    acc.valid_loss += r.valid_loss / m;
+                }
+                acc
+            })
+            .collect();
+        SearchTrace { records }
+    }
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The derived architecture (strongest operator per slot).
+    pub architecture: Architecture,
+    /// Per-epoch telemetry.
+    pub trace: SearchTrace,
+    /// Final value of the learned multiplier λ (0 for engines without one).
+    pub lambda: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_41() {
+        let c = SearchConfig::paper();
+        assert_eq!(c.epochs, 90);
+        assert_eq!(c.warmup_epochs, 10);
+        assert!((c.alpha_lr - 1e-3).abs() < 1e-12);
+        assert!((c.lambda_lr - 5e-4).abs() < 1e-12);
+        assert!((c.tau_start - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_decays_monotonically() {
+        let c = SearchConfig::paper();
+        let mut prev = f64::INFINITY;
+        for e in 0..c.epochs {
+            let t = c.tau_at(e);
+            assert!(t <= prev);
+            assert!(t >= c.tau_end - 1e-12);
+            prev = t;
+        }
+        assert!((c.tau_at(0) - 5.0).abs() < 1e-9);
+        assert!(c.tau_at(c.epochs) < 0.2);
+    }
+
+    #[test]
+    fn trace_average_is_elementwise() {
+        let mk = |v: f64| {
+            let mut t = SearchTrace::new();
+            t.push(EpochRecord {
+                epoch: 0,
+                sampled_metric: v,
+                argmax_metric: v * 2.0,
+                lambda: v / 2.0,
+                tau: 1.0,
+                valid_loss: v + 1.0,
+            });
+            t
+        };
+        let avg = SearchTrace::average(&[mk(1.0), mk(3.0)]);
+        let r = avg.records()[0];
+        assert!((r.sampled_metric - 2.0).abs() < 1e-12);
+        assert!((r.argmax_metric - 4.0).abs() < 1e-12);
+        assert!((r.lambda - 1.0).abs() < 1e-12);
+        assert!((r.valid_loss - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut t = SearchTrace::new();
+        for epoch in 0..3 {
+            t.push(EpochRecord {
+                epoch,
+                sampled_metric: 20.0 + epoch as f64,
+                argmax_metric: 21.0,
+                lambda: 0.1,
+                tau: 1.0,
+                valid_loss: 2.0,
+            });
+        }
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).expect("in-memory write cannot fail");
+        let text = String::from_utf8(buf).expect("ascii csv");
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.starts_with("epoch,"));
+        assert!(text.contains("\n1,21,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn average_rejects_ragged_traces() {
+        let mut a = SearchTrace::new();
+        a.push(EpochRecord {
+            epoch: 0,
+            sampled_metric: 0.0,
+            argmax_metric: 0.0,
+            lambda: 0.0,
+            tau: 1.0,
+            valid_loss: 0.0,
+        });
+        let b = SearchTrace::new();
+        let _ = SearchTrace::average(&[a, b]);
+    }
+}

@@ -1,0 +1,131 @@
+//! The DARTS-style baseline: hardware-agnostic multi-path relaxation
+//! (paper Sec. 2.1, Eq. 1–2).
+//!
+//! DARTS optimizes accuracy only: the supernet output is the softmax-
+//! weighted mixture of all candidate operators and `α` descends the
+//! validation loss. No Gumbel sampling, no latency term — the engine the
+//! paper's Table 1 lists as "Differentiable ✓ / Latency Optimization ✗".
+
+use lightnas_eval::AccuracyOracle;
+use lightnas_space::{Architecture, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS};
+
+use crate::optimizer::AlphaAdam;
+use crate::{ArchParams, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+
+/// Accuracy-only differentiable search over the full softmax mixture.
+#[derive(Debug)]
+pub struct DartsSearch<'a> {
+    space: &'a SearchSpace,
+    oracle: &'a AccuracyOracle,
+    config: SearchConfig,
+}
+
+impl<'a> DartsSearch<'a> {
+    /// Assembles the engine.
+    pub fn new(space: &'a SearchSpace, oracle: &'a AccuracyOracle, config: SearchConfig) -> Self {
+        Self { space, oracle, config }
+    }
+
+    /// The space this engine searches over.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// Runs the (deterministic) search: the mixture gradient needs no
+    /// sampling, so no seed is taken.
+    pub fn search(&self) -> SearchOutcome {
+        let c = &self.config;
+        let mut params = ArchParams::new();
+        let mut adam = AlphaAdam::new(c.alpha_lr, c.alpha_weight_decay);
+        let mut trace = SearchTrace::new();
+        let total_steps = c.total_steps().max(1) as f64;
+        let mut global_step = 0usize;
+
+        for epoch in 0..c.epochs {
+            let mut loss_sum = 0.0;
+            let mut count = 0.0;
+            for _ in 0..c.steps_per_epoch {
+                let progress = global_step as f64 / total_steps;
+                global_step += 1;
+                if epoch < c.warmup_epochs {
+                    continue;
+                }
+                let context = params.strongest();
+                // Mixture loss: L(P) = Σ_l Σ_k P[l][k] · c[l][k]; the
+                // gradient w.r.t. P is the marginal matrix itself, then the
+                // exact softmax Jacobian down to α (no Gumbel, no
+                // straight-through — the original DARTS relaxation).
+                let marginals = self.oracle.loss_marginals(&context, progress);
+                let probs = params.probabilities();
+                let mut grad_alpha = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
+                for l in 0..SEARCHABLE_LAYERS {
+                    let dot: f64 =
+                        (0..NUM_OPS).map(|k| probs[l][k] * marginals[l][k]).sum();
+                    for (k, slot) in grad_alpha[l].iter_mut().enumerate() {
+                        *slot = probs[l][k] * (marginals[l][k] - dot);
+                    }
+                }
+                adam.step(params.alpha_mut(), &grad_alpha);
+                loss_sum += self.oracle.valid_loss(&context, progress);
+                count += 1.0;
+            }
+            let strongest = params.strongest();
+            let q = self.oracle.quality(&strongest);
+            trace.push(EpochRecord {
+                epoch,
+                sampled_metric: q,
+                argmax_metric: q,
+                lambda: 0.0,
+                tau: 1.0,
+                valid_loss: if count > 0.0 {
+                    loss_sum / count
+                } else {
+                    self.oracle.valid_loss(&strongest, 0.0)
+                },
+            });
+        }
+        SearchOutcome { architecture: params.strongest(), trace, lambda: 0.0 }
+    }
+
+    /// Convenience: searches and returns only the architecture.
+    pub fn search_architecture(&self) -> Architecture {
+        self.search().architecture
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn darts_maximizes_accuracy_regardless_of_latency() {
+        let f = fixture();
+        let arch = DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast())
+            .search_architecture();
+        let top1 = f.oracle.asymptotic_top1(&arch);
+        let mbv2 = f.oracle.asymptotic_top1(&lightnas_space::mobilenet_v2());
+        assert!(top1 > mbv2, "DARTS result {top1:.2} should beat MobileNetV2 {mbv2:.2}");
+        // ... and its latency is high: nothing restrains it.
+        let lat = f.device.true_latency_ms(&arch, &f.space);
+        assert!(lat > 24.0, "hardware-agnostic search landed at {lat:.2} ms");
+    }
+
+    #[test]
+    fn darts_is_deterministic() {
+        let f = fixture();
+        let engine = DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast());
+        assert_eq!(engine.search_architecture(), engine.search_architecture());
+    }
+
+    #[test]
+    fn darts_avoids_skip_collapse_with_quality_oracle() {
+        // With an accuracy-only objective and no noise the search should
+        // never prefer skips (they carry zero utility).
+        let f = fixture();
+        let arch = DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast())
+            .search_architecture();
+        let skips = arch.ops().iter().filter(|o| o.is_skip()).count();
+        assert!(skips <= 2, "accuracy-only search chose {skips} skips");
+    }
+}

@@ -1,0 +1,189 @@
+//! Regularized-evolution baseline under a hardware constraint — the search
+//! strategy of the paper's OFA comparison rows (Cai et al., ICLR 2020 use
+//! exactly this: mutation-based evolution filtered by a latency predictor).
+//!
+//! Tournament selection with aging: sample a tournament from the
+//! population, mutate the fittest member, admit the child if its
+//! *predicted* metric fits the budget, retire the oldest member. Fitness is
+//! the oracle's quick-protocol accuracy (a real system would fine-tune the
+//! OFA supernet weights; the oracle stands in, as everywhere else).
+
+use lightnas_eval::{AccuracyOracle, TrainingProtocol};
+use lightnas_predictor::MlpPredictor;
+use lightnas_space::{Architecture, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of the evolutionary engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvolutionConfig {
+    /// Population size (OFA uses 100).
+    pub population: usize,
+    /// Tournament sample size.
+    pub tournament: usize,
+    /// Total child evaluations.
+    pub generations: usize,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        Self { population: 64, tournament: 8, generations: 2000 }
+    }
+}
+
+/// Constraint-aware regularized evolution.
+#[derive(Debug)]
+pub struct EvolutionSearch<'a> {
+    space: &'a SearchSpace,
+    oracle: &'a AccuracyOracle,
+    predictor: &'a MlpPredictor,
+    config: EvolutionConfig,
+}
+
+impl<'a> EvolutionSearch<'a> {
+    /// Assembles the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population or tournament size is zero, or the
+    /// tournament exceeds the population.
+    pub fn new(
+        space: &'a SearchSpace,
+        oracle: &'a AccuracyOracle,
+        predictor: &'a MlpPredictor,
+        config: EvolutionConfig,
+    ) -> Self {
+        assert!(config.population > 0, "population must be non-empty");
+        assert!(
+            (1..=config.population).contains(&config.tournament),
+            "tournament must be within the population"
+        );
+        Self { space, oracle, predictor, config }
+    }
+
+    /// The space this engine searches over.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// Best architecture whose predicted metric is ≤ `budget`, or `None`
+    /// when no feasible individual was ever found.
+    pub fn search(&self, budget: f64, seed: u64) -> Option<Architecture> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xe501_u64);
+        let fitness = |arch: &Architecture| {
+            self.oracle.top1(arch, TrainingProtocol::quick(), seed)
+        };
+
+        // Seed the population with feasible random individuals (rejection
+        // sampling with a patience cap).
+        let mut population: Vec<(Architecture, f64)> = Vec::with_capacity(self.config.population);
+        let mut attempts = 0;
+        while population.len() < self.config.population && attempts < self.config.population * 200
+        {
+            attempts += 1;
+            let candidate = Architecture::random_with(&mut rng);
+            if self.predictor.predict(&candidate) <= budget {
+                let f = fitness(&candidate);
+                population.push((candidate, f));
+            }
+        }
+        if population.is_empty() {
+            return None;
+        }
+
+        let mut best = population
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty")
+            .clone();
+
+        for _ in 0..self.config.generations {
+            // Tournament: fittest of a random sample becomes the parent.
+            let mut parent_idx = rng.random_range(0..population.len());
+            for _ in 1..self.config.tournament {
+                let idx = rng.random_range(0..population.len());
+                if population[idx].1 > population[parent_idx].1 {
+                    parent_idx = idx;
+                }
+            }
+            let child = population[parent_idx].0.mutate(&mut rng);
+            if self.predictor.predict(&child) > budget {
+                continue; // infeasible children are discarded, no aging
+            }
+            let f = fitness(&child);
+            if f > best.1 {
+                best = (child.clone(), f);
+            }
+            // Aging: the oldest individual retires.
+            population.remove(0);
+            population.push((child, f));
+        }
+        Some(best.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    fn small() -> EvolutionConfig {
+        EvolutionConfig { population: 24, tournament: 4, generations: 300 }
+    }
+
+    #[test]
+    fn evolution_respects_the_budget() {
+        let f = fixture();
+        let engine = EvolutionSearch::new(&f.space, &f.oracle, &f.predictor, small());
+        let arch = engine.search(24.0, 1).expect("feasible");
+        let lat = f.device.true_latency_ms(&arch, &f.space);
+        assert!(lat < 25.5, "evolved architecture measures {lat:.2} ms for a 24 ms budget");
+    }
+
+    #[test]
+    fn evolution_beats_random_search_at_equal_evaluations() {
+        let f = fixture();
+        let evals = 300;
+        let evo = EvolutionSearch::new(
+            &f.space,
+            &f.oracle,
+            &f.predictor,
+            EvolutionConfig { population: 24, tournament: 4, generations: evals },
+        )
+        .search(24.0, 3)
+        .expect("feasible");
+        let rand = crate::RandomSearch::new(&f.space, &f.oracle, &f.predictor, evals)
+            .search(24.0, 3)
+            .expect("feasible");
+        assert!(
+            f.oracle.asymptotic_top1(&evo) >= f.oracle.asymptotic_top1(&rand),
+            "evolution should not lose to random search"
+        );
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let f = fixture();
+        let engine = EvolutionSearch::new(&f.space, &f.oracle, &f.predictor, small());
+        assert!(engine.search(1.0, 0).is_none());
+    }
+
+    #[test]
+    fn evolution_is_deterministic_per_seed() {
+        let f = fixture();
+        let engine = EvolutionSearch::new(&f.space, &f.oracle, &f.predictor, small());
+        assert_eq!(engine.search(22.0, 5), engine.search(22.0, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "tournament")]
+    fn oversized_tournament_rejected() {
+        let f = fixture();
+        let _ = EvolutionSearch::new(
+            &f.space,
+            &f.oracle,
+            &f.predictor,
+            EvolutionConfig { population: 4, tournament: 5, generations: 1 },
+        );
+    }
+}

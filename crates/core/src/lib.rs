@@ -1,0 +1,119 @@
+//! **LightNAS** — lightweight hardware-aware differentiable architecture
+//! search (Luo et al., DAC 2022).
+//!
+//! The paper's contribution is a search engine that finds, in a *single*
+//! search run, the most accurate architecture whose latency equals a given
+//! target `T`:
+//!
+//! ```text
+//! minimize  L_valid(w*(α), α) + λ · (LAT(α)/T − 1)          (Eq. 10)
+//!   α
+//! w, α: gradient descent        λ: gradient ASCENT           (Eq. 11)
+//! λ ← λ + η_λ · (LAT(α)/T − 1)
+//! ```
+//!
+//! λ is not a hand-tuned constant (the FBNet/ProxylessNAS approach that
+//! forces an empirically ×10 sweep of search runs) but a multiplier learned
+//! during the search: whenever the sampled architecture is too slow, λ grows
+//! and strengthens the latency penalty; when it is too fast, λ shrinks —
+//! driving `LAT(α) → T`.
+//!
+//! The crate provides:
+//!
+//! * [`ArchParams`] — the architecture parameters `α` with the softmax /
+//!   Gumbel-Softmax / binarization pipeline (Eq. 5–9) and the
+//!   straight-through backward path (Eq. 12).
+//! * [`LightNas`] — the single-path engine with the learned multiplier.
+//! * [`FbnetSearch`] — the fixed-λ multi-path baseline (for Fig. 3's sweep).
+//! * [`ProxylessSearch`] — the two-path sampled baseline (Table 1's O(2²)).
+//! * [`DartsSearch`] — the hardware-agnostic multi-path baseline.
+//! * [`EvolutionSearch`] — constraint-aware regularized evolution (the
+//!   OFA rows' strategy).
+//! * [`RandomSearch`] — constraint-aware random sampling.
+//! * [`memory`] — the supernet memory model behind the paper's
+//!   single-path-vs-multi-path claim (Sec. 3.3, Table 1).
+//! * [`sweep`] — the λ-sweep harness that regenerates Fig. 3.
+//! * [`cost`] — the search-cost model behind Table 1.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lightnas::{LightNas, SearchConfig};
+//! use lightnas_eval::AccuracyOracle;
+//! use lightnas_hw::Xavier;
+//! use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig};
+//! use lightnas_space::SearchSpace;
+//!
+//! let space = SearchSpace::standard();
+//! let device = Xavier::maxn();
+//! let oracle = AccuracyOracle::imagenet();
+//! let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 10_000, 0);
+//! let predictor = MlpPredictor::train(&data.split(0.8).0, &TrainConfig::default());
+//!
+//! let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());
+//! let outcome = engine.search(24.0, 0);
+//! println!("LightNet-24ms: {}", outcome.architecture);
+//! ```
+
+mod config;
+mod darts;
+mod evolution;
+mod fbnet;
+mod lightnas_engine;
+mod optimizer;
+mod proxyless;
+mod random_search;
+mod relax;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared, lazily-built test fixture: training the metric predictor is
+    //! the expensive part of every engine test, so it happens once.
+
+    use std::sync::OnceLock;
+
+    use lightnas_eval::AccuracyOracle;
+    use lightnas_hw::Xavier;
+    use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+    use lightnas_space::SearchSpace;
+
+    pub(crate) struct Fixture {
+        pub space: SearchSpace,
+        pub oracle: AccuracyOracle,
+        pub device: Xavier,
+        pub predictor: MlpPredictor,
+        pub lut: LutPredictor,
+    }
+
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+    pub(crate) fn fixture() -> &'static Fixture {
+        FIXTURE.get_or_init(|| {
+            let space = SearchSpace::standard();
+            let device = Xavier::maxn();
+            let oracle = AccuracyOracle::imagenet();
+            let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 2500, 42);
+            let (train, _) = data.split(0.9);
+            let cfg = TrainConfig { epochs: 60, batch_size: 128, lr: 2e-3, seed: 0 };
+            let predictor = MlpPredictor::train(&train, &cfg);
+            let lut = LutPredictor::build(&device, &space);
+            Fixture { space, oracle, device, predictor, lut }
+        })
+    }
+}
+
+pub mod cost;
+pub mod memory;
+pub mod micro;
+pub mod multi;
+pub mod pareto;
+pub mod sweep;
+
+pub use config::{EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+pub use darts::DartsSearch;
+pub use evolution::{EvolutionConfig, EvolutionSearch};
+pub use fbnet::FbnetSearch;
+pub use lightnas_engine::LightNas;
+pub use proxyless::ProxylessSearch;
+pub use random_search::RandomSearch;
+pub use relax::ArchParams;

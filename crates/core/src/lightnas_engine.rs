@@ -1,0 +1,227 @@
+//! The LightNAS engine: single-path differentiable search with a learned
+//! constraint multiplier (paper Sec. 3.3–3.4).
+
+use lightnas_eval::AccuracyOracle;
+use lightnas_predictor::MlpPredictor;
+use lightnas_space::{Architecture, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::optimizer::AlphaAdam;
+use crate::{ArchParams, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+
+/// The LightNAS search engine.
+///
+/// One engine owns references to the three substrates a search needs:
+///
+/// * the [`SearchSpace`] describing the supernet,
+/// * the [`AccuracyOracle`] standing in for supernet weight training and
+///   the validation-loss gradient (`∂L_valid/∂P̄` of Eq. 12),
+/// * a trained [`MlpPredictor`] for the constrained hardware metric
+///   (`LAT(α)` of Eq. 10 and its gradient `∂LAT/∂P̄`).
+///
+/// Calling [`search`](Self::search) runs the paper's bi-level loop: a
+/// weight-warmup phase, then alternating updates where `α` descends the
+/// combined objective and λ **ascends** the constraint residual
+/// (`λ ← λ + η_λ·(LAT/T − 1)`, Eq. 11) until the derived architecture's
+/// predicted metric settles at the target — "you only search once".
+#[derive(Debug)]
+pub struct LightNas<'a> {
+    space: &'a SearchSpace,
+    oracle: &'a AccuracyOracle,
+    predictor: &'a MlpPredictor,
+    config: SearchConfig,
+}
+
+impl<'a> LightNas<'a> {
+    /// Assembles an engine over the given substrates.
+    pub fn new(
+        space: &'a SearchSpace,
+        oracle: &'a AccuracyOracle,
+        predictor: &'a MlpPredictor,
+        config: SearchConfig,
+    ) -> Self {
+        Self { space, oracle, predictor, config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs one search for a metric target `t` (ms for a latency predictor,
+    /// mJ for an energy predictor) and returns the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    pub fn search(&self, t: f64, seed: u64) -> SearchOutcome {
+        assert!(t > 0.0, "target must be positive, got {t}");
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11c9_7a5b);
+        let mut params = ArchParams::new();
+        let mut adam = AlphaAdam::new(c.alpha_lr, c.alpha_weight_decay);
+        let mut lambda = 0.0f64;
+        let mut trace = SearchTrace::new();
+        let total_steps = c.total_steps().max(1) as f64;
+        let mut global_step = 0usize;
+
+        for epoch in 0..c.epochs {
+            let tau = c.tau_at(epoch);
+            let mut sampled_sum = 0.0;
+            let mut loss_sum = 0.0;
+            let mut count = 0.0;
+            for _ in 0..c.steps_per_epoch {
+                // `w*(α)` training progress stands in for the supernet
+                // weight updates (see DESIGN.md §2).
+                let progress = global_step as f64 / total_steps;
+                global_step += 1;
+                // Warmup: only w trains; α and λ stay frozen (Sec. 4.1).
+                if epoch < c.warmup_epochs {
+                    continue;
+                }
+                // Single-path sample (Eq. 7-9): one architecture active.
+                let (arch, relaxed, probs) = params.sample(tau, &mut rng);
+                // ∂L_valid/∂P̄ — the supernet's validation-loss marginals.
+                let acc_marginals = self.oracle.loss_marginals(&arch, progress);
+                // ∂LAT/∂P̄ — one predictor backward at the sampled path.
+                let metric_grad = self.predictor.gradient(&arch.encode());
+                // LAT(α): the paper encodes α by its argmax (Eq. 4), so the
+                // constraint residual is evaluated on the derived
+                // architecture, not the noisy sample.
+                let metric = self.predictor.predict(&params.strongest());
+                // Combine per Eq. 12: g = ∂L_valid/∂P̄ + (λ/T)·∂LAT/∂P̄.
+                let mut g = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
+                for l in 0..SEARCHABLE_LAYERS {
+                    for k in 0..NUM_OPS {
+                        // Row l+1 of the encoding: row 0 is the fixed block.
+                        let lat_g = metric_grad[(l + 1) * NUM_OPS + k] as f64;
+                        g[l][k] = acc_marginals[l][k] + lambda / t * lat_g;
+                    }
+                }
+                let grad_alpha = params.backward(&g, &relaxed, &probs, tau);
+                adam.step(params.alpha_mut(), &grad_alpha);
+                // λ ascends the constraint residual (Eq. 11). It may go
+                // negative: when LAT < T the penalty becomes a reward for
+                // latency, pushing the architecture up towards T.
+                lambda += c.lambda_lr * (metric / t - 1.0);
+                sampled_sum += self.predictor.predict(&arch);
+                loss_sum += self.oracle.valid_loss(&arch, progress);
+                count += 1.0;
+            }
+            let argmax_metric = self.predictor.predict(&params.strongest());
+            trace.push(EpochRecord {
+                epoch,
+                sampled_metric: if count > 0.0 { sampled_sum / count } else { argmax_metric },
+                argmax_metric,
+                lambda,
+                tau,
+                valid_loss: if count > 0.0 {
+                    loss_sum / count
+                } else {
+                    self.oracle.valid_loss(&params.strongest(), 0.0)
+                },
+            });
+        }
+
+        SearchOutcome { architecture: params.strongest(), trace, lambda }
+    }
+
+    /// The space this engine searches over.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// Convenience: searches and returns only the architecture.
+    pub fn search_architecture(&self, t: f64, seed: u64) -> Architecture {
+        self.search(t, seed).architecture
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn search_converges_to_the_latency_target() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::paper());
+        for &t in &[20.0f64, 24.0, 28.0] {
+            let outcome = engine.search(t, 7);
+            let measured = f.device.true_latency_ms(&outcome.architecture, &f.space);
+            assert!(
+                (measured - t).abs() < 1.5,
+                "target {t} ms: derived architecture measures {measured:.2} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn searched_architecture_beats_mobilenet_v2_at_equal_latency() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::paper());
+        let outcome = engine.search(20.2, 3);
+        let ours = f.oracle.asymptotic_top1(&outcome.architecture);
+        let mbv2 = f.oracle.asymptotic_top1(&lightnas_space::mobilenet_v2());
+        let lat = f.device.true_latency_ms(&outcome.architecture, &f.space);
+        assert!(lat < 22.0, "latency {lat:.2} should respect the constraint");
+        assert!(
+            ours > mbv2 + 1.0,
+            "searched {ours:.2} should clearly beat MobileNetV2 {mbv2:.2}"
+        );
+    }
+
+    #[test]
+    fn lambda_moves_during_search() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::fast());
+        let outcome = engine.search(18.0, 1);
+        assert!(outcome.lambda.abs() > 1e-4, "λ stayed at zero");
+    }
+
+    #[test]
+    fn tighter_targets_give_lighter_architectures() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::paper());
+        let fast_net = engine.search(18.0, 5).architecture;
+        let slow_net = engine.search(28.0, 5).architecture;
+        let lf = f.device.true_latency_ms(&fast_net, &f.space);
+        let ls = f.device.true_latency_ms(&slow_net, &f.space);
+        assert!(lf < ls, "18 ms target gave {lf:.2}, 28 ms target gave {ls:.2}");
+        assert!(
+            f.oracle.asymptotic_top1(&slow_net) > f.oracle.asymptotic_top1(&fast_net),
+            "looser budget should buy accuracy"
+        );
+    }
+
+    #[test]
+    fn trace_has_one_record_per_epoch() {
+        let f = fixture();
+        let config = SearchConfig::fast();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, config);
+        let outcome = engine.search(22.0, 0);
+        assert_eq!(outcome.trace.records().len(), config.epochs);
+        // Tau decays across the trace.
+        let first = outcome.trace.records().first().expect("non-empty");
+        let last = outcome.trace.last().expect("non-empty");
+        assert!(first.tau > last.tau);
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::fast());
+        let a = engine.search(22.0, 9).architecture;
+        let b = engine.search(22.0, 9).architecture;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be positive")]
+    fn non_positive_target_rejected() {
+        let f = fixture();
+        let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, SearchConfig::fast());
+        let _ = engine.search(0.0, 0);
+    }
+}

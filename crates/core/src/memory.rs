@@ -1,0 +1,120 @@
+//! Supernet memory model (paper Sec. 3.3, Table 1).
+//!
+//! Multi-path differentiable NAS must keep the forward activations of every
+//! candidate operator alive for the backward pass; single-path search keeps
+//! exactly one. With GPU memory fixed, the freed activation memory is what
+//! lets LightNAS "use a larger batch size to speed up the search process".
+//! This module quantifies both regimes from the space's activation sizes.
+
+use lightnas_space::{layer_cost, Operator, SearchSpace, NUM_OPS};
+
+/// Bytes of stored activations per training sample when `paths` candidate
+/// operators are active per layer.
+///
+/// Counts each active operator's intermediate activations (which must be
+/// retained for backward). `paths = 1` is the single-path regime,
+/// `paths = 7` the full multi-path mixture.
+///
+/// # Panics
+///
+/// Panics unless `1 <= paths <= 7`.
+pub fn activation_bytes_per_sample(space: &SearchSpace, paths: usize) -> u64 {
+    assert!((1..=NUM_OPS).contains(&paths), "paths must be in 1..=7, got {paths}");
+    let mut total = 0u64;
+    for spec in space.layers() {
+        // The `paths` heaviest candidates dominate worst-case storage; take
+        // the top ones so paths=7 covers the full mixture.
+        let mut per_op: Vec<u64> = Operator::ALL
+            .iter()
+            .map(|&op| {
+                let c = layer_cost(op, spec, false);
+                // Retained for backward: the op's inputs and outputs.
+                4 * (c.act_in + c.act_out)
+            })
+            .collect();
+        per_op.sort_unstable_by(|a, b| b.cmp(a));
+        total += per_op.iter().take(paths).sum::<u64>();
+    }
+    total
+}
+
+/// Total supernet weight bytes: every candidate's parameters exist in the
+/// supernet regardless of the path regime.
+pub fn weight_bytes(space: &SearchSpace) -> u64 {
+    let mut total = 0u64;
+    for spec in space.layers() {
+        for &op in &Operator::ALL {
+            total += 4 * layer_cost(op, spec, false).params;
+        }
+    }
+    total
+}
+
+/// Search-time GPU memory in GiB for a batch size: activations for the
+/// active paths plus the (path-independent) weights and their optimizer
+/// state (SGD momentum: 2× weights).
+pub fn search_memory_gib(space: &SearchSpace, paths: usize, batch: usize) -> f64 {
+    let act = activation_bytes_per_sample(space, paths) * batch as u64;
+    let weights = 3 * weight_bytes(space);
+    (act + weights) as f64 / (1024.0 * 1024.0 * 1024.0)
+}
+
+/// Largest batch size that fits a memory budget under the given path count.
+pub fn max_batch_within(space: &SearchSpace, paths: usize, budget_gib: f64) -> usize {
+    let weights = (3 * weight_bytes(space)) as f64;
+    let per_sample = activation_bytes_per_sample(space, paths) as f64;
+    let room = budget_gib * 1024.0 * 1024.0 * 1024.0 - weights;
+    if room <= 0.0 {
+        return 0;
+    }
+    (room / per_sample) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_uses_a_fraction_of_multi_path_memory() {
+        let space = SearchSpace::standard();
+        let single = activation_bytes_per_sample(&space, 1);
+        let multi = activation_bytes_per_sample(&space, NUM_OPS);
+        // Top-1 of 7 sorted-descending sums: at least 4x saving.
+        assert!(multi > 4 * single, "multi {multi} vs single {single}");
+    }
+
+    #[test]
+    fn memory_grows_monotonically_with_paths() {
+        let space = SearchSpace::standard();
+        let mut prev = 0;
+        for paths in 1..=NUM_OPS {
+            let b = activation_bytes_per_sample(&space, paths);
+            assert!(b > prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn single_path_affords_a_much_larger_batch() {
+        // The Sec. 3.3 claim: constant GPU memory => larger search batch.
+        let space = SearchSpace::standard();
+        let budget = 24.0; // GiB, an RTX 3090
+        let single = max_batch_within(&space, 1, budget);
+        let multi = max_batch_within(&space, NUM_OPS, budget);
+        assert!(single >= 4 * multi.max(1), "single {single} vs multi {multi}");
+        assert!(single >= 128, "paper batch size 128 must fit single-path");
+    }
+
+    #[test]
+    fn search_memory_is_gigabytes_scale() {
+        let space = SearchSpace::standard();
+        let g = search_memory_gib(&space, NUM_OPS, 128);
+        assert!(g > 1.0 && g < 600.0, "multi-path memory {g:.1} GiB implausible");
+    }
+
+    #[test]
+    #[should_panic(expected = "paths must be in")]
+    fn zero_paths_rejected() {
+        let _ = activation_bytes_per_sample(&SearchSpace::standard(), 0);
+    }
+}

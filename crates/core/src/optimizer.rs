@@ -1,0 +1,78 @@
+//! Adam over the `α` matrix (the paper optimizes `α` with Adam, Sec. 4.1).
+
+use lightnas_space::{NUM_OPS, SEARCHABLE_LAYERS};
+
+/// Adam state for the `L×K` architecture-parameter matrix.
+#[derive(Debug, Clone)]
+pub(crate) struct AlphaAdam {
+    lr: f64,
+    weight_decay: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<[f64; NUM_OPS]>,
+    v: Vec<[f64; NUM_OPS]>,
+}
+
+impl AlphaAdam {
+    pub(crate) fn new(lr: f64, weight_decay: f64) -> Self {
+        Self {
+            lr,
+            weight_decay,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+            v: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+        }
+    }
+
+    /// One descent step in place.
+    pub(crate) fn step(&mut self, alpha: &mut [[f64; NUM_OPS]], grad: &[[f64; NUM_OPS]]) {
+        assert_eq!(alpha.len(), grad.len(), "alpha/grad row mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for l in 0..alpha.len() {
+            for k in 0..NUM_OPS {
+                let g = grad[l][k] + self.weight_decay * alpha[l][k];
+                self.m[l][k] = self.beta1 * self.m[l][k] + (1.0 - self.beta1) * g;
+                self.v[l][k] = self.beta2 * self.v[l][k] + (1.0 - self.beta2) * g * g;
+                let m_hat = self.m[l][k] / bc1;
+                let v_hat = self.v[l][k] / bc2;
+                alpha[l][k] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_reduces_a_quadratic() {
+        let mut alpha = vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS];
+        alpha[0][0] = 5.0;
+        let mut opt = AlphaAdam::new(0.05, 0.0);
+        for _ in 0..500 {
+            // grad of 0.5*x^2 is x.
+            let grad: Vec<[f64; NUM_OPS]> = alpha.clone();
+            opt.step(&mut alpha, &grad);
+        }
+        assert!(alpha[0][0].abs() < 0.05, "alpha {}", alpha[0][0]);
+    }
+
+    #[test]
+    fn weight_decay_pulls_towards_zero() {
+        let mut alpha = vec![[1.0; NUM_OPS]; SEARCHABLE_LAYERS];
+        let mut opt = AlphaAdam::new(0.01, 0.5);
+        let zero = vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS];
+        for _ in 0..100 {
+            opt.step(&mut alpha, &zero);
+        }
+        assert!(alpha[3][3] < 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Pareto-front utilities over (cost, score) trade-offs.
+//!
+//! The one-time-search property makes tracing the whole accuracy/latency
+//! frontier cheap: one search per target instead of a λ sweep per target.
+//! [`trace_frontier`] runs that sweep; [`pareto_indices`] is the generic
+//! dominance filter used by it and by the analysis harnesses.
+
+use lightnas_eval::{AccuracyOracle, TrainingProtocol};
+use lightnas_predictor::MlpPredictor;
+use lightnas_space::{Architecture, SearchSpace};
+
+use crate::{LightNas, SearchConfig};
+
+/// Indices of the non-dominated points of a `(cost, score)` set, sorted by
+/// cost. A point dominates another when its cost is no higher **and** its
+/// score is no lower, with at least one strict inequality.
+///
+/// # Example
+///
+/// ```
+/// use lightnas::pareto::pareto_indices;
+///
+/// let pts = [(1.0, 5.0), (2.0, 4.0), (3.0, 6.0)];
+/// // (2.0, 4.0) is dominated by (1.0, 5.0).
+/// assert_eq!(pareto_indices(&pts), vec![0, 2]);
+/// ```
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[b].1.total_cmp(&points[a].1))
+    });
+    let mut front = Vec::new();
+    let mut best_score = f64::NEG_INFINITY;
+    for i in idx {
+        if points[i].1 > best_score {
+            front.push(i);
+            best_score = points[i].1;
+        }
+    }
+    front
+}
+
+/// One point of a traced frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The constraint the search targeted.
+    pub target: f64,
+    /// The derived architecture.
+    pub architecture: Architecture,
+    /// Predicted metric of the derived architecture.
+    pub predicted: f64,
+    /// Oracle top-1 under the full training protocol.
+    pub top1: f64,
+}
+
+/// Runs one LightNAS search per target and returns all points (callers can
+/// reduce them with [`pareto_indices`] over `(predicted, top1)`).
+pub fn trace_frontier(
+    space: &SearchSpace,
+    oracle: &AccuracyOracle,
+    predictor: &MlpPredictor,
+    config: SearchConfig,
+    targets: &[f64],
+    seed: u64,
+) -> Vec<FrontierPoint> {
+    let engine = LightNas::new(space, oracle, predictor, config);
+    targets
+        .iter()
+        .map(|&target| {
+            let architecture = engine.search_architecture(target, seed);
+            FrontierPoint {
+                target,
+                predicted: predictor.predict(&architecture),
+                top1: oracle.top1(&architecture, TrainingProtocol::full(), seed),
+                architecture,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn pareto_keeps_only_non_dominated() {
+        let pts = [
+            (1.0, 1.0),
+            (1.0, 2.0), // dominates the first
+            (2.0, 2.0), // dominated by the second
+            (3.0, 5.0),
+            (4.0, 4.0), // dominated by the fourth
+        ];
+        assert_eq!(pareto_indices(&pts), vec![1, 3]);
+    }
+
+    #[test]
+    fn pareto_of_strictly_improving_chain_keeps_all() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, i as f64)).collect();
+        assert_eq!(pareto_indices(&pts).len(), 5);
+    }
+
+    #[test]
+    fn pareto_of_empty_set_is_empty() {
+        assert!(pareto_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn frontier_is_monotone_in_target() {
+        let f = fixture();
+        let points = trace_frontier(
+            &f.space,
+            &f.oracle,
+            &f.predictor,
+            SearchConfig::fast(),
+            &[19.0, 24.0, 29.0],
+            3,
+        );
+        assert_eq!(points.len(), 3);
+        // Looser budgets never hurt: top-1 is non-decreasing along the
+        // frontier (within run noise).
+        assert!(points[2].top1 + 0.2 >= points[0].top1);
+        // And the whole sweep survives the dominance filter almost intact.
+        let pairs: Vec<(f64, f64)> =
+            points.iter().map(|p| (p.predicted, p.top1)).collect();
+        assert!(pareto_indices(&pairs).len() >= 2);
+    }
+}

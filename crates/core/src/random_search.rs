@@ -1,0 +1,92 @@
+//! Constraint-aware random search — the sanity baseline every NAS paper
+//! implicitly competes with.
+
+use lightnas_eval::{AccuracyOracle, TrainingProtocol};
+use lightnas_predictor::MlpPredictor;
+use lightnas_space::{Architecture, SearchSpace};
+
+/// Random search under a hardware-metric budget.
+///
+/// Samples architectures uniformly, keeps those whose *predicted* metric
+/// respects the budget, quick-evaluates each survivor (50-epoch protocol)
+/// and returns the best. Strictly weaker than the gradient engines but
+/// useful to quantify how much the search itself contributes.
+#[derive(Debug)]
+pub struct RandomSearch<'a> {
+    space: &'a SearchSpace,
+    oracle: &'a AccuracyOracle,
+    predictor: &'a MlpPredictor,
+    samples: usize,
+}
+
+impl<'a> RandomSearch<'a> {
+    /// An engine drawing `samples` candidates per search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(
+        space: &'a SearchSpace,
+        oracle: &'a AccuracyOracle,
+        predictor: &'a MlpPredictor,
+        samples: usize,
+    ) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        Self { space, oracle, predictor, samples }
+    }
+
+    /// Best architecture whose predicted metric is ≤ `budget`.
+    ///
+    /// Returns `None` when no sampled candidate fits the budget.
+    pub fn search(&self, budget: f64, seed: u64) -> Option<Architecture> {
+        let mut best: Option<(f64, Architecture)> = None;
+        for i in 0..self.samples {
+            let arch = Architecture::random(self.space, seed.wrapping_add(i as u64));
+            if self.predictor.predict(&arch) > budget {
+                continue;
+            }
+            let score = self.oracle.top1(&arch, TrainingProtocol::quick(), seed);
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                best = Some((score, arch));
+            }
+        }
+        best.map(|(_, a)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn random_search_respects_the_budget() {
+        let f = fixture();
+        let rs = RandomSearch::new(&f.space, &f.oracle, &f.predictor, 200);
+        let arch = rs.search(22.0, 3).expect("budget is feasible");
+        let lat = f.device.true_latency_ms(&arch, &f.space);
+        assert!(lat < 23.5, "random pick measures {lat:.2} ms for a 22 ms budget");
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let f = fixture();
+        let rs = RandomSearch::new(&f.space, &f.oracle, &f.predictor, 50);
+        assert!(rs.search(1.0, 0).is_none());
+    }
+
+    #[test]
+    fn more_samples_never_hurt() {
+        let f = fixture();
+        let small = RandomSearch::new(&f.space, &f.oracle, &f.predictor, 20)
+            .search(24.0, 5)
+            .expect("feasible");
+        let large = RandomSearch::new(&f.space, &f.oracle, &f.predictor, 400)
+            .search(24.0, 5)
+            .expect("feasible");
+        assert!(
+            f.oracle.asymptotic_top1(&large) >= f.oracle.asymptotic_top1(&small),
+            "larger sample pool found a worse architecture"
+        );
+    }
+}

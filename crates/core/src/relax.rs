@@ -1,0 +1,308 @@
+//! Architecture parameters `α` and the continuous relaxation pipeline
+//! (Eq. 5–9) with its straight-through backward path (Eq. 12).
+
+use lightnas_nn::gumbel;
+use lightnas_space::{Architecture, Operator, NUM_OPS, SEARCHABLE_LAYERS};
+use rand::RngExt;
+
+/// The architecture parameters `α ∈ R^{L×K}` over the searchable slots,
+/// plus the machinery to sample and differentiate through them.
+///
+/// Pipeline per layer `l` (paper Sec. 3.3):
+///
+/// 1. `P_l = softmax(α_l)` — operator probabilities (Eq. 6);
+/// 2. `P̂_l = gumbel_softmax(P_l, τ)` — relaxed sample (Eq. 7);
+/// 3. `P̄_l = onehot(argmax P̂_l)` — binarized single path (Eq. 9).
+///
+/// Backward: `∂P̄/∂P̂ ≈ 1` (straight-through), then the exact softmax
+/// Jacobians of steps 2 and 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchParams {
+    /// `alpha[l][k]`, row per searchable slot.
+    alpha: Vec<[f64; NUM_OPS]>,
+}
+
+impl Default for ArchParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArchParams {
+    /// Uniform initialization (`α = 0`), giving equal operator probability.
+    pub fn new() -> Self {
+        Self { alpha: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS] }
+    }
+
+    /// The raw parameter matrix.
+    pub fn alpha(&self) -> &[[f64; NUM_OPS]] {
+        &self.alpha
+    }
+
+    /// Mutable access for optimizers.
+    pub fn alpha_mut(&mut self) -> &mut [[f64; NUM_OPS]] {
+        &mut self.alpha
+    }
+
+    /// `P_l = softmax(α_l)` for every slot (Eq. 6).
+    pub fn probabilities(&self) -> Vec<[f64; NUM_OPS]> {
+        self.alpha.iter().map(softmax_row).collect()
+    }
+
+    /// The probability that a full architecture is selected (Eq. 5):
+    /// `P(arch) = Π_l P(op_l)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has the wrong layer count.
+    pub fn selection_probability(&self, arch: &Architecture) -> f64 {
+        assert_eq!(arch.ops().len(), SEARCHABLE_LAYERS, "layer count mismatch");
+        self.probabilities()
+            .iter()
+            .zip(arch.ops())
+            .map(|(p, op)| p[op.index()])
+            .product()
+    }
+
+    /// Samples one single-path architecture with the Gumbel-Softmax at
+    /// temperature `tau` and returns `(architecture, P̂ rows, P rows)`.
+    ///
+    /// The relaxed rows `P̂` are needed by the straight-through backward
+    /// pass; the probabilities `P` by the softmax Jacobian.
+    pub fn sample<R: RngExt + ?Sized>(
+        &self,
+        tau: f64,
+        rng: &mut R,
+    ) -> (Architecture, Vec<[f64; NUM_OPS]>, Vec<[f64; NUM_OPS]>) {
+        let probs = self.probabilities();
+        let mut ops = Vec::with_capacity(SEARCHABLE_LAYERS);
+        let mut relaxed = Vec::with_capacity(SEARCHABLE_LAYERS);
+        for p in &probs {
+            // Eq. 7 perturbs the operator distribution P with Gumbel noise.
+            // As in all Gumbel-max implementations the noise is added to the
+            // LOG-probabilities (`ln P = α − lse(α)`), which makes the
+            // sampled argmax marginals exactly P; adding it to raw
+            // probabilities (a literal reading of the equation) would cap
+            // the achievable concentration at e:1 regardless of α.
+            let logits: Vec<f32> = p.iter().map(|&x| (x.max(1e-30)).ln() as f32).collect();
+            let p_hat = gumbel::gumbel_softmax(&logits, tau as f32, rng);
+            let k = gumbel::argmax(&p_hat);
+            ops.push(Operator::from_index(k));
+            let mut row = [0.0; NUM_OPS];
+            for (dst, &src) in row.iter_mut().zip(&p_hat) {
+                *dst = src as f64;
+            }
+            relaxed.push(row);
+        }
+        (Architecture::new(ops), relaxed, probs)
+    }
+
+    /// The deterministic architecture with the strongest operator per slot
+    /// (`argmax α`, the paper's final-architecture derivation).
+    pub fn strongest(&self) -> Architecture {
+        let ops = self
+            .alpha
+            .iter()
+            .map(|row| {
+                let mut best = 0;
+                for (k, &v) in row.iter().enumerate() {
+                    if v > row[best] {
+                        best = k;
+                    }
+                }
+                Operator::from_index(best)
+            })
+            .collect();
+        Architecture::new(ops)
+    }
+
+    /// Backpropagates a per-slot gradient `g = ∂L/∂P̄ (≈ ∂L/∂P̂)` through
+    /// the Gumbel-Softmax and the softmax down to `α` (Eq. 12), returning
+    /// `∂L/∂α`.
+    ///
+    /// `relaxed` and `probs` must come from the same [`sample`](Self::sample)
+    /// call; `tau` is the temperature used there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree.
+    pub fn backward(
+        &self,
+        grad_pbar: &[[f64; NUM_OPS]],
+        relaxed: &[[f64; NUM_OPS]],
+        probs: &[[f64; NUM_OPS]],
+        tau: f64,
+    ) -> Vec<[f64; NUM_OPS]> {
+        assert_eq!(grad_pbar.len(), SEARCHABLE_LAYERS, "gradient rows");
+        assert_eq!(relaxed.len(), SEARCHABLE_LAYERS, "relaxed rows");
+        assert_eq!(probs.len(), SEARCHABLE_LAYERS, "probability rows");
+        let mut out = Vec::with_capacity(SEARCHABLE_LAYERS);
+        for l in 0..SEARCHABLE_LAYERS {
+            // Straight-through: ∂L/∂P̂ ≈ ∂L/∂P̄ = g.
+            // Gumbel-Softmax over ln P: ∂P̂_k/∂(ln P_j) = (δ_kj P̂_k − P̂_k P̂_j)/τ,
+            // then ∂(ln P_j)/∂P_j = 1/P_j.
+            let g_lnp = softmax_jacobian_vjp(&relaxed[l], &grad_pbar[l], 1.0 / tau);
+            let mut g_p = [0.0; NUM_OPS];
+            for j in 0..NUM_OPS {
+                g_p[j] = g_lnp[j] / probs[l][j].max(1e-12);
+            }
+            // Softmax Jacobian: ∂P_k/∂α_j = δ_kj P_k − P_k P_j.
+            out.push(softmax_jacobian_vjp(&probs[l], &g_p, 1.0));
+        }
+        out
+    }
+}
+
+/// Numerically stable softmax of one row.
+fn softmax_row(row: &[f64; NUM_OPS]) -> [f64; NUM_OPS] {
+    let m = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = [0.0; NUM_OPS];
+    let mut z = 0.0;
+    for (o, &x) in out.iter_mut().zip(row) {
+        *o = (x - m).exp();
+        z += *o;
+    }
+    for o in &mut out {
+        *o /= z;
+    }
+    out
+}
+
+/// Vector-Jacobian product of a softmax with output `s` scaled by `scale`:
+/// `(Jᵀ g)_j = scale · s_j (g_j − Σ_k g_k s_k)`.
+fn softmax_jacobian_vjp(s: &[f64; NUM_OPS], g: &[f64; NUM_OPS], scale: f64) -> [f64; NUM_OPS] {
+    let dot: f64 = s.iter().zip(g).map(|(a, b)| a * b).sum();
+    let mut out = [0.0; NUM_OPS];
+    for j in 0..NUM_OPS {
+        out[j] = scale * s[j] * (g[j] - dot);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_init_gives_uniform_probabilities() {
+        let a = ArchParams::new();
+        for row in a.probabilities() {
+            for p in row {
+                assert!((p - 1.0 / NUM_OPS as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn selection_probability_of_uniform_is_k_to_minus_l() {
+        let a = ArchParams::new();
+        let arch = Architecture::homogeneous(Operator::SkipConnect);
+        let expect = (1.0 / NUM_OPS as f64).powi(SEARCHABLE_LAYERS as i32);
+        assert!((a.selection_probability(&arch) - expect).abs() < expect * 1e-6);
+    }
+
+    #[test]
+    fn strongest_tracks_alpha() {
+        let mut a = ArchParams::new();
+        a.alpha_mut()[0][5] = 3.0;
+        a.alpha_mut()[20][6] = 2.0;
+        let arch = a.strongest();
+        assert_eq!(arch.ops()[0].index(), 5);
+        assert_eq!(arch.ops()[20].index(), 6);
+    }
+
+    #[test]
+    fn sample_returns_consistent_triple() {
+        let a = ArchParams::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (arch, relaxed, probs) = a.sample(1.0, &mut rng);
+        assert_eq!(relaxed.len(), SEARCHABLE_LAYERS);
+        assert_eq!(probs.len(), SEARCHABLE_LAYERS);
+        for (l, op) in arch.ops().iter().enumerate() {
+            // The sampled op is the argmax of the relaxed row.
+            let mut best = 0;
+            for k in 0..NUM_OPS {
+                if relaxed[l][k] > relaxed[l][best] {
+                    best = k;
+                }
+            }
+            assert_eq!(op.index(), best, "slot {l}");
+            let sum: f64 = relaxed[l].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_alpha_marginals() {
+        // With a strongly biased α, the favored op dominates samples.
+        let mut a = ArchParams::new();
+        for l in 0..SEARCHABLE_LAYERS {
+            a.alpha_mut()[l][3] = 4.0;
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = 0;
+        let n = 200;
+        for _ in 0..n {
+            let (arch, _, _) = a.sample(1.0, &mut rng);
+            hits += arch.ops().iter().filter(|o| o.index() == 3).count();
+        }
+        let frac = hits as f64 / (n * SEARCHABLE_LAYERS) as f64;
+        assert!(frac > 0.5, "favored op sampled only {frac:.2}");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn backward_matches_finite_difference_through_softmax() {
+        // Check the α-gradient of a linear functional of P (tau-independent
+        // path): L(P) = Σ c·P. The softmax VJP must match finite differences.
+        let mut a = ArchParams::new();
+        a.alpha_mut()[0] = [0.3, -0.2, 0.8, 0.0, 0.1, -0.5, 0.4];
+        let c = [1.0, -2.0, 0.5, 0.0, 3.0, -1.0, 0.25];
+        let probs = a.probabilities();
+        // Analytic: VJP of softmax with g = c.
+        let grad = softmax_jacobian_vjp(&probs[0], &c, 1.0);
+        let eps = 1e-6;
+        for j in 0..NUM_OPS {
+            let mut ap = a.clone();
+            ap.alpha_mut()[0][j] += eps;
+            let mut am = a.clone();
+            am.alpha_mut()[0][j] -= eps;
+            let f = |x: &ArchParams| -> f64 {
+                x.probabilities()[0].iter().zip(&c).map(|(p, cc)| p * cc).sum()
+            };
+            let fd = (f(&ap) - f(&am)) / (2.0 * eps);
+            assert!((fd - grad[j]).abs() < 1e-6, "coord {j}: {fd} vs {}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn backward_produces_zero_mean_rows() {
+        // Softmax Jacobians annihilate constants: each gradient row sums to 0.
+        let a = ArchParams::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, relaxed, probs) = a.sample(0.8, &mut rng);
+        let g = vec![[1.0; NUM_OPS]; SEARCHABLE_LAYERS];
+        let grad = a.backward(&g, &relaxed, &probs, 0.8);
+        for row in grad {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-9, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn lower_tau_amplifies_the_gumbel_gradient() {
+        let a = ArchParams::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, relaxed, probs) = a.sample(1.0, &mut rng);
+        let mut g = vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS];
+        g[0] = [1.0, -1.0, 0.5, 0.0, 0.0, 0.0, -0.5];
+        let hot = a.backward(&g, &relaxed, &probs, 5.0);
+        let cold = a.backward(&g, &relaxed, &probs, 0.5);
+        let norm = |rows: &Vec<[f64; NUM_OPS]>| -> f64 {
+            rows.iter().flat_map(|r| r.iter()).map(|x| x * x).sum::<f64>().sqrt()
+        };
+        assert!(norm(&cold) > norm(&hot), "colder τ should sharpen gradients");
+    }
+}

@@ -1,0 +1,161 @@
+//! The λ-sweep harness behind the paper's motivational Fig. 3.
+//!
+//! Runs the fixed-λ FBNet engine across a λ grid, measures each result on
+//! the device and quick-evaluates its accuracy — demonstrating both that λ
+//! controls the trade-off and that mapping "target latency → λ" requires
+//! trial and error (the ×10 implicit search cost).
+
+use lightnas_eval::{AccuracyOracle, TrainingProtocol};
+use lightnas_hw::Xavier;
+use lightnas_predictor::LutPredictor;
+use lightnas_space::{Architecture, SearchSpace};
+
+use crate::{FbnetSearch, SearchConfig};
+
+/// One λ grid point of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The fixed trade-off coefficient used for this run.
+    pub lambda: f64,
+    /// The searched architecture.
+    pub architecture: Architecture,
+    /// Measured latency on the device, ms.
+    pub latency_ms: f64,
+    /// 50-epoch quick-evaluation top-1 (the protocol of Fig. 3 right).
+    pub top1_quick: f64,
+    /// Fraction of slots that chose `SkipConnect`.
+    pub skip_fraction: f64,
+}
+
+/// Runs one full λ sweep. Each grid point is an independent search run —
+/// exactly the cost the paper's one-time search amortizes away.
+#[allow(clippy::too_many_arguments)]
+pub fn lambda_sweep(
+    space: &SearchSpace,
+    oracle: &AccuracyOracle,
+    lut: &LutPredictor,
+    device: &Xavier,
+    lambdas: &[f64],
+    config: SearchConfig,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    lambdas
+        .iter()
+        .map(|&lambda| {
+            let engine = FbnetSearch::new(space, oracle, lut, lambda, config);
+            let arch = engine.search_architecture(seed);
+            let latency_ms = device.true_latency_ms(&arch, space);
+            let top1_quick = oracle.top1(&arch, TrainingProtocol::quick(), seed);
+            let skips = arch.ops().iter().filter(|o| o.is_skip()).count();
+            let skip_fraction = skips as f64 / arch.ops().len() as f64;
+            SweepPoint { lambda, architecture: arch, latency_ms, top1_quick, skip_fraction }
+        })
+        .collect()
+}
+
+/// The λ grid of the motivational experiment: log-spaced over [1e-4, 1].
+pub fn default_lambda_grid() -> Vec<f64> {
+    vec![0.0001, 0.0003, 0.001, 0.003, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.6, 1.0]
+}
+
+/// How many sweep runs it takes to land within `tolerance_ms` of a target
+/// latency by bisection over λ — the paper's "empirically 10" trial count.
+///
+/// Returns `(runs_used, final_latency)`; gives up after `max_runs`.
+#[allow(clippy::too_many_arguments)]
+pub fn runs_to_hit_target(
+    space: &SearchSpace,
+    oracle: &AccuracyOracle,
+    lut: &LutPredictor,
+    device: &Xavier,
+    target_ms: f64,
+    tolerance_ms: f64,
+    config: SearchConfig,
+    max_runs: usize,
+) -> (usize, f64) {
+    // Bisection on log-λ: higher λ → lower latency.
+    let (mut lo, mut hi) = (1e-5f64, 1.0f64);
+    let mut runs = 0;
+    let mut last = f64::NAN;
+    while runs < max_runs {
+        let lambda = (lo.ln() + (hi / lo).ln() / 2.0).exp();
+        let engine = FbnetSearch::new(space, oracle, lut, lambda, config);
+        let arch = engine.search_architecture(runs as u64);
+        last = device.true_latency_ms(&arch, space);
+        runs += 1;
+        if (last - target_ms).abs() <= tolerance_ms {
+            break;
+        }
+        if last > target_ms {
+            lo = lambda; // too slow: need more penalty
+        } else {
+            hi = lambda;
+        }
+    }
+    (runs, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::fixture;
+
+    #[test]
+    fn sweep_latency_is_roughly_monotone_in_lambda() {
+        let f = fixture();
+        let grid = [0.0005, 0.02, 0.5];
+        let points = lambda_sweep(
+            &f.space,
+            &f.oracle,
+            &f.lut,
+            &f.device,
+            &grid,
+            SearchConfig::fast(),
+            11,
+        );
+        assert_eq!(points.len(), 3);
+        assert!(
+            points[0].latency_ms > points[2].latency_ms,
+            "λ={} gave {:.2} ms, λ={} gave {:.2} ms",
+            points[0].lambda,
+            points[0].latency_ms,
+            points[2].lambda,
+            points[2].latency_ms
+        );
+    }
+
+    #[test]
+    fn large_lambda_raises_skip_fraction() {
+        let f = fixture();
+        let points = lambda_sweep(
+            &f.space,
+            &f.oracle,
+            &f.lut,
+            &f.device,
+            &[0.001, 1.0],
+            SearchConfig::fast(),
+            4,
+        );
+        assert!(points[1].skip_fraction > points[0].skip_fraction);
+        assert!(points[1].skip_fraction > 0.5, "λ=1 should collapse to skips");
+    }
+
+    #[test]
+    fn hitting_a_target_takes_multiple_runs() {
+        let f = fixture();
+        let (runs, lat) = runs_to_hit_target(
+            &f.space,
+            &f.oracle,
+            &f.lut,
+            &f.device,
+            22.0,
+            0.5,
+            SearchConfig::fast(),
+            12,
+        );
+        assert!(runs >= 2, "fixed-λ search should need trial and error, used {runs}");
+        if runs < 12 {
+            assert!((lat - 22.0).abs() <= 0.5);
+        }
+    }
+}

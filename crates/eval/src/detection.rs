@@ -1,0 +1,159 @@
+//! COCO2017 object-detection transfer (paper Table 3).
+//!
+//! The paper drops each backbone into SSDLite and trains from scratch on
+//! COCO2017. The reproduction models the two quantities Table 3 reports:
+//!
+//! * **AP** — backbone classification quality transfers monotonically to
+//!   detection AP (the well-known backbone-transfer correlation); the map
+//!   is calibrated so MobileNetV2 (72.0 top-1) lands at ≈ 20.4 AP and a
+//!   76-point backbone at ≈ 22. Sub-metrics (AP50/AP75/APs/APm/APl) follow
+//!   their empirical ratios to AP.
+//! * **Latency** — detection runs at 320×320 input; the backbone is
+//!   re-simulated at that resolution on the Xavier model and the SSDLite
+//!   head adds a near-constant cost.
+
+use lightnas_hw::Xavier;
+use lightnas_space::{Architecture, SearchSpace, SpaceConfig};
+
+use crate::{AccuracyOracle, TrainingProtocol};
+
+/// COCO metrics of one backbone under SSDLite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionResult {
+    /// COCO AP @ IoU 0.5:0.95.
+    pub ap: f64,
+    /// AP at IoU 0.5.
+    pub ap50: f64,
+    /// AP at IoU 0.75.
+    pub ap75: f64,
+    /// AP on small objects.
+    pub ap_small: f64,
+    /// AP on medium objects.
+    pub ap_medium: f64,
+    /// AP on large objects.
+    pub ap_large: f64,
+    /// End-to-end SSDLite latency on the simulated Xavier, ms.
+    pub latency_ms: f64,
+}
+
+/// The SSDLite transfer evaluator.
+#[derive(Debug, Clone)]
+pub struct SsdLite {
+    device: Xavier,
+    det_space: SearchSpace,
+    /// Fixed cost of the SSDLite head (extra feature maps + box/class
+    /// convolutions), ms.
+    head_ms: f64,
+}
+
+impl SsdLite {
+    /// An evaluator at the standard 320×320 detection input.
+    pub fn new(device: Xavier) -> Self {
+        let det_space =
+            SearchSpace::with_config(SpaceConfig { resolution: 320, width_mult: 1.0 });
+        Self { device, det_space, head_ms: 42.0 }
+    }
+
+    /// The detection-resolution search space (320×320).
+    pub fn detection_space(&self) -> &SearchSpace {
+        &self.det_space
+    }
+
+    /// Evaluates a backbone: COCO AP from its ImageNet quality, latency
+    /// from the 320×320 re-simulation plus the head cost.
+    ///
+    /// `seed` controls the (small) training-run noise.
+    pub fn evaluate(&self, arch: &Architecture, oracle: &AccuracyOracle, seed: u64) -> DetectionResult {
+        let top1 = oracle.top1(arch, TrainingProtocol::full(), seed);
+        // Calibrated linear transfer: 72.0 -> 20.4, slope 0.4 AP per top-1
+        // point, plus a deterministic per-(arch, seed) residual of ±0.15.
+        let jitter = {
+            // Reuse the oracle's run noise as a proxy for COCO run noise.
+            let a = oracle.top1(arch, TrainingProtocol::full(), seed ^ 0xc0c0);
+            (a - oracle.asymptotic_top1(arch)) / oracle.config().run_noise
+        };
+        let ap = (20.4 + 0.4 * (top1 - 72.0) + 0.15 * jitter).max(0.0);
+        let latency_ms = self.device.true_latency_ms(arch, &self.det_space) + self.head_ms;
+        DetectionResult {
+            ap,
+            ap50: ap * 1.68,
+            ap75: ap * 1.005,
+            ap_small: (ap * 0.105).max(0.0),
+            ap_medium: ap * 0.97,
+            ap_large: ap * 1.93,
+            latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightnas_space::mobilenet_v2;
+
+    fn setup() -> (SsdLite, AccuracyOracle) {
+        (SsdLite::new(Xavier::maxn()), AccuracyOracle::imagenet())
+    }
+
+    #[test]
+    fn mobilenet_v2_matches_table3_anchor() {
+        let (ssd, oracle) = setup();
+        let r = ssd.evaluate(&mobilenet_v2(), &oracle, 0);
+        assert!((r.ap - 20.4).abs() < 0.8, "MBV2 AP {:.1} should be ≈ 20.4", r.ap);
+        assert!(
+            (r.latency_ms - 72.6).abs() < 12.0,
+            "MBV2 SSDLite latency {:.1} ms should be ≈ 72.6",
+            r.latency_ms
+        );
+    }
+
+    #[test]
+    fn better_backbones_get_better_ap() {
+        let (ssd, oracle) = setup();
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 1);
+        let b = Architecture::random(&space, 2);
+        let (qa, qb) = (oracle.asymptotic_top1(&a), oracle.asymptotic_top1(&b));
+        let (ra, rb) = (ssd.evaluate(&a, &oracle, 0), ssd.evaluate(&b, &oracle, 0));
+        if (qa - qb).abs() > 0.5 {
+            assert_eq!(qa > qb, ra.ap > rb.ap, "AP must follow backbone quality");
+        }
+    }
+
+    #[test]
+    fn sub_metrics_have_the_coco_shape() {
+        let (ssd, oracle) = setup();
+        let r = ssd.evaluate(&mobilenet_v2(), &oracle, 0);
+        assert!(r.ap50 > r.ap && r.ap50 < 2.0 * r.ap);
+        assert!((r.ap75 - r.ap).abs() < 1.0);
+        assert!(r.ap_small < r.ap_medium && r.ap_medium < r.ap_large);
+    }
+
+    #[test]
+    fn detection_latency_exceeds_classification_latency() {
+        let (ssd, oracle) = setup();
+        let space = SearchSpace::standard();
+        let m = mobilenet_v2();
+        let cls = Xavier::maxn().true_latency_ms(&m, &space);
+        let det = ssd.evaluate(&m, &oracle, 0).latency_ms;
+        assert!(det > 2.0 * cls, "SSDLite {det:.1} ms vs classification {cls:.1} ms");
+    }
+
+    #[test]
+    fn faster_backbones_make_faster_detectors() {
+        let (ssd, oracle) = setup();
+        let device = Xavier::maxn();
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 10);
+        let b = Architecture::random(&space, 11);
+        let (la, lb) =
+            (device.true_latency_ms(&a, &space), device.true_latency_ms(&b, &space));
+        let (da, db) = (
+            ssd.evaluate(&a, &oracle, 0).latency_ms,
+            ssd.evaluate(&b, &oracle, 0).latency_ms,
+        );
+        if (la - lb).abs() > 1.0 {
+            assert_eq!(la > lb, da > db, "detection latency must follow backbone latency");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Training protocols: how many epochs a network is trained before its
+//! accuracy is read out.
+//!
+//! The paper uses two protocols: a 50-epoch "quick evaluation" for the λ
+//! sweep (Fig. 3) and the scaling comparison (Fig. 9), and the full
+//! 360-epoch schedule with warmup for Table 2. The oracle models the gap
+//! between them with a saturating epoch curve: training for `e` epochs
+//! leaves a deficit `15.6 · exp(−e / 62.7)` top-1 points below the
+//! fully-converged figure (≈ 7 points at 50 epochs, ≈ 0.05 at 360).
+
+/// An evaluation training schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrainingProtocol {
+    epochs: usize,
+}
+
+impl TrainingProtocol {
+    /// A schedule of `epochs` epochs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` is zero.
+    pub fn new(epochs: usize) -> Self {
+        assert!(epochs > 0, "training needs at least one epoch");
+        Self { epochs }
+    }
+
+    /// The paper's 50-epoch quick-evaluation protocol (Fig. 3, Fig. 9).
+    pub fn quick() -> Self {
+        Self::new(50)
+    }
+
+    /// The paper's full 360-epoch evaluation protocol (Table 2).
+    pub fn full() -> Self {
+        Self::new(360)
+    }
+
+    /// Scheduled epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Top-1 points still missing relative to full convergence.
+    pub fn accuracy_deficit(&self) -> f64 {
+        15.6 * (-(self.epochs as f64) / 62.7).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_protocol_leaves_several_points() {
+        let d = TrainingProtocol::quick().accuracy_deficit();
+        assert!(d > 5.0 && d < 9.0, "50-epoch deficit {d:.2}");
+    }
+
+    #[test]
+    fn full_protocol_is_converged() {
+        assert!(TrainingProtocol::full().accuracy_deficit() < 0.1);
+    }
+
+    #[test]
+    fn deficit_is_monotone_in_epochs() {
+        let mut prev = f64::INFINITY;
+        for e in [1, 10, 50, 90, 180, 360] {
+            let d = TrainingProtocol::new(e).accuracy_deficit();
+            assert!(d < prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one epoch")]
+    fn zero_epochs_rejected() {
+        let _ = TrainingProtocol::new(0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Calibration anchors of the accuracy oracle and the detection transfer.
+
+use lightnas_eval::{AccuracyOracle, SsdLite, TrainingProtocol};
+use lightnas_hw::Xavier;
+use lightnas_space::{
+    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator,
+    SearchSpace,
+};
+
+#[test]
+fn anchor_mobilenet_v2_top1_is_72() {
+    let oracle = AccuracyOracle::imagenet();
+    let t = oracle.top1(&mobilenet_v2(), TrainingProtocol::full(), 0);
+    assert!((t - 72.0).abs() < 1.5, "MobileNetV2 top-1 {t:.2} drifted from 72.0");
+}
+
+#[test]
+fn anchor_pareto_ceiling_matches_table2() {
+    // The best reachable networks (≈ 30 ms) land in the 76-77 band Table 2
+    // reports for its heaviest rows.
+    let oracle = AccuracyOracle::imagenet();
+    let heavy = Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K7,
+        expansion: Expansion::E6,
+    });
+    let t = oracle.top1(&heavy, TrainingProtocol::full(), 0);
+    assert!((75.8..77.2).contains(&t), "heavy-network top-1 {t:.2} outside the Table 2 band");
+}
+
+#[test]
+fn anchor_quick_protocol_drop_matches_figure3() {
+    // Fig. 3's 50-epoch accuracies sit ≈ 6-8 points below the full numbers.
+    let oracle = AccuracyOracle::imagenet();
+    let m = mobilenet_v2();
+    let quick = oracle.top1(&m, TrainingProtocol::quick(), 0);
+    let full = oracle.top1(&m, TrainingProtocol::full(), 0);
+    let drop = full - quick;
+    assert!((5.0..9.0).contains(&drop), "50-epoch drop {drop:.2} outside Fig. 3's band");
+}
+
+#[test]
+fn reference_accuracy_ordering_is_broadly_preserved() {
+    // The oracle cannot reproduce published per-model accuracies (they came
+    // from real training runs), but a weak consistency must hold: among the
+    // no-† baselines, the correlation between published top-1 and oracle
+    // top-1 is positive.
+    let oracle = AccuracyOracle::imagenet();
+    let rows: Vec<(f64, f64)> = reference_architectures()
+        .into_iter()
+        .filter(|r| !r.extra_techniques)
+        .map(|r| (r.paper_top1, oracle.top1(&r.arch, TrainingProtocol::full(), 0)))
+        .collect();
+    let n = rows.len() as f64;
+    let mx = rows.iter().map(|r| r.0).sum::<f64>() / n;
+    let my = rows.iter().map(|r| r.1).sum::<f64>() / n;
+    let cov: f64 = rows.iter().map(|r| (r.0 - mx) * (r.1 - my)).sum();
+    assert!(cov > 0.0, "published vs simulated accuracies anti-correlated");
+}
+
+#[test]
+fn detection_anchor_mobilenet_v2() {
+    let oracle = AccuracyOracle::imagenet();
+    let ssd = SsdLite::new(Xavier::maxn());
+    let r = ssd.evaluate(&mobilenet_v2(), &oracle, 0);
+    // Table 3: MobileNetV2 = 20.4 AP / 72.6 ms.
+    assert!((r.ap - 20.4).abs() < 1.0, "MBV2 AP {:.1}", r.ap);
+    assert!((r.latency_ms - 72.6).abs() < 15.0, "MBV2 det latency {:.1}", r.latency_ms);
+}
+
+#[test]
+fn detection_ap_band_matches_table3() {
+    // All Table 3 backbones sit in 20-22 AP; our simulated counterparts
+    // must stay in a comparable band.
+    let oracle = AccuracyOracle::imagenet();
+    let ssd = SsdLite::new(Xavier::maxn());
+    for r in reference_architectures() {
+        if matches!(r.name, "MobileNetV2" | "FBNet-C" | "MnasNet-A1" | "OFA-M") {
+            let d = ssd.evaluate(&r.arch, &oracle, 0);
+            assert!(
+                (19.0..23.5).contains(&d.ap),
+                "{} AP {:.1} outside the Table 3 band",
+                r.name,
+                d.ap
+            );
+        }
+    }
+}
+
+#[test]
+fn se_deltas_match_table4_bands() {
+    // Table 4: +0.4 .. +0.9 top-1 and +0.9 .. +2.1 ms for the 9-layer tail.
+    let oracle = AccuracyOracle::imagenet();
+    let device = Xavier::maxn();
+    let space = SearchSpace::standard();
+    for seed in [1u64, 2, 3] {
+        let base = Architecture::random(&space, seed);
+        let se = base.with_se_tail(9);
+        let d_acc = oracle.asymptotic_top1(&se) - oracle.asymptotic_top1(&base);
+        let d_lat = device.true_latency_ms(&se, &space) - device.true_latency_ms(&base, &space);
+        assert!((0.1..1.5).contains(&d_acc), "seed {seed}: SE top-1 delta {d_acc:.2}");
+        assert!((0.3..3.5).contains(&d_lat), "seed {seed}: SE latency delta {d_lat:.2}");
+    }
+}
+
+#[test]
+fn width_scaling_anchor_matches_published_mobilenet_numbers() {
+    // Published MobileNetV2 scaling: x1.0 -> 72.0, x0.75 -> ~69.8 top-1;
+    // 192 px -> ~70.7. The scaled_top1 model is calibrated on those.
+    use lightnas_space::SpaceConfig;
+    let oracle = AccuracyOracle::imagenet();
+    let m = mobilenet_v2();
+    let full = TrainingProtocol::full();
+    let base = oracle.scaled_top1(&m, SpaceConfig::default(), full, 0);
+    let w075 = oracle.scaled_top1(
+        &m,
+        SpaceConfig { resolution: 224, width_mult: 0.75 },
+        full,
+        0,
+    );
+    let r192 = oracle.scaled_top1(
+        &m,
+        SpaceConfig { resolution: 192, width_mult: 1.0 },
+        full,
+        0,
+    );
+    assert!((base - w075 - 2.2).abs() < 0.5, "width drop {:.2} vs published 2.2", base - w075);
+    assert!((base - r192 - 1.3).abs() < 0.4, "resolution drop {:.2} vs published 1.3", base - r192);
+}
+
+#[test]
+fn scaling_shifts_compose_additively() {
+    use lightnas_space::SpaceConfig;
+    let oracle = AccuracyOracle::imagenet();
+    let m = mobilenet_v2();
+    let full = TrainingProtocol::full();
+    let base = oracle.scaled_top1(&m, SpaceConfig::default(), full, 0);
+    let w = oracle.scaled_top1(&m, SpaceConfig { resolution: 224, width_mult: 0.9 }, full, 0);
+    let r = oracle.scaled_top1(&m, SpaceConfig { resolution: 208, width_mult: 1.0 }, full, 0);
+    let both =
+        oracle.scaled_top1(&m, SpaceConfig { resolution: 208, width_mult: 0.9 }, full, 0);
+    let predicted = base + (w - base) + (r - base);
+    assert!((both - predicted).abs() < 1e-9, "log-shifts must compose additively");
+}

@@ -1,0 +1,546 @@
+//! The Xavier device model: roofline latency, energy and noisy measurement.
+
+use lightnas_space::{Architecture, Operator, SearchSpace};
+
+use crate::kernels::{kernels_for_layer, KernelDesc, KernelKind};
+use crate::noise::GaussianNoise;
+
+/// Calibration constants of the simulated Jetson AGX Xavier (MAXN).
+///
+/// The defaults ([`XavierConfig::maxn`]) are tuned so MobileNetV2 at batch 8
+/// lands near its published 20.2 ms and the operator space spans the Table 2
+/// latency range. All fields are public so ablations can probe the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XavierConfig {
+    /// Inference batch size (the paper measures with batch 8).
+    pub batch: usize,
+    /// Peak tera-multiply-adds per second the GPU can retire.
+    pub peak_tmadds: f64,
+    /// DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Achievable fraction of peak bandwidth.
+    pub bandwidth_efficiency: f64,
+    /// Fixed cost per kernel launch, in ms.
+    pub kernel_launch_ms: f64,
+    /// Network-level runtime overhead per inference (framework, pipeline
+    /// setup, host-device sync) — the component a per-op LUT cannot see.
+    pub runtime_overhead_ms: f64,
+    /// L2 cache size; a kernel whose producer's output fits gets an input
+    /// traffic discount (cross-layer effect a LUT cannot express).
+    pub l2_cache_bytes: u64,
+    /// Fraction of input traffic saved on an L2 hit.
+    pub cache_reuse_discount: f64,
+    /// Pipeline-transition stall: extra ms per kernel boundary proportional
+    /// to |ln(bytes_cur / bytes_prev)| (occupancy ramp between kernels of
+    /// mismatched working-set size). Cross-layer by construction, so a
+    /// per-op LUT cannot express it.
+    pub transition_stall_ms: f64,
+    /// Std-dev of latency measurement noise, ms.
+    pub noise_std_ms: f64,
+    /// Board power when compute-bound, W.
+    pub compute_power_w: f64,
+    /// Board power when memory-bound, W.
+    pub memory_power_w: f64,
+    /// Static/idle power, W.
+    pub static_power_w: f64,
+    /// Relative std-dev of energy measurement noise (thermal effects —
+    /// the paper notes energy readings are noisier than latency).
+    pub energy_noise_frac: f64,
+}
+
+impl XavierConfig {
+    /// The calibrated MAXN configuration used throughout the reproduction.
+    pub fn maxn() -> Self {
+        Self {
+            batch: 8,
+            peak_tmadds: 2.0,
+            mem_bandwidth_gbs: 137.0,
+            bandwidth_efficiency: 0.82,
+            kernel_launch_ms: 0.012,
+            runtime_overhead_ms: 7.7,
+            l2_cache_bytes: 4 * 1024 * 1024,
+            cache_reuse_discount: 0.4,
+            transition_stall_ms: 0.06,
+            noise_std_ms: 0.03,
+            compute_power_w: 26.0,
+            memory_power_w: 14.0,
+            static_power_w: 9.0,
+            energy_noise_frac: 0.02,
+        }
+    }
+
+    /// A weaker, Jetson-Nano-class profile: a quarter of the Xavier's
+    /// compute, a fifth of its bandwidth, a lighter power envelope.
+    ///
+    /// Used by cross-device experiments: the paper's method is
+    /// hardware-agnostic as long as a predictor is trained per device, and
+    /// this profile provides the second device to demonstrate that.
+    pub fn nano_class() -> Self {
+        Self {
+            peak_tmadds: 0.5,
+            mem_bandwidth_gbs: 25.6,
+            kernel_launch_ms: 0.020,
+            runtime_overhead_ms: 9.5,
+            compute_power_w: 8.0,
+            memory_power_w: 5.0,
+            static_power_w: 2.5,
+            ..Self::maxn()
+        }
+    }
+}
+
+impl Default for XavierConfig {
+    fn default() -> Self {
+        Self::maxn()
+    }
+}
+
+/// One noisy measurement as returned by the device harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Measured latency, ms.
+    pub latency_ms: f64,
+    /// Measured energy, mJ.
+    pub energy_mj: f64,
+}
+
+/// The simulated device.
+///
+/// See the [crate-level documentation](crate) for the modelling rationale.
+#[derive(Debug, Clone)]
+pub struct Xavier {
+    config: XavierConfig,
+}
+
+/// Achievable fraction of peak compute per kernel kind.
+fn compute_efficiency(kind: KernelKind) -> f64 {
+    match kind {
+        KernelKind::Dense => 0.50,
+        KernelKind::Pointwise => 0.35,
+        KernelKind::Depthwise => 0.05,
+        KernelKind::Pool => 0.20,
+        KernelKind::Fc => 0.25,
+        KernelKind::Se => 0.20,
+    }
+}
+
+impl Xavier {
+    /// A device with the given calibration.
+    pub fn new(config: XavierConfig) -> Self {
+        Self { config }
+    }
+
+    /// The calibrated MAXN device (paper setting).
+    pub fn maxn() -> Self {
+        Self::new(XavierConfig::maxn())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &XavierConfig {
+        &self.config
+    }
+
+    /// Time of one kernel in ms: roofline max of compute and memory, plus
+    /// the launch overhead. `warm_in_bytes` is how much of its input is
+    /// served from L2 thanks to the previous kernel.
+    fn kernel_ms(&self, k: &KernelDesc, warm_in_bytes: u64) -> f64 {
+        let c = &self.config;
+        let compute_ms = k.batched_madds(c.batch) as f64
+            / (c.peak_tmadds * 1e12 * compute_efficiency(k.kind))
+            * 1e3;
+        let bytes = k.bytes(c.batch);
+        let saved = (warm_in_bytes as f64 * c.cache_reuse_discount).min(bytes as f64 * 0.5);
+        let mem_ms =
+            (bytes as f64 - saved) / (c.mem_bandwidth_gbs * 1e9 * c.bandwidth_efficiency) * 1e3;
+        compute_ms.max(mem_ms) + c.kernel_launch_ms
+    }
+
+    /// Stall between two consecutive kernels with working sets `prev` and
+    /// `cur` bytes (0 when either side is absent).
+    fn stall_ms(&self, prev_bytes: u64, cur_bytes: u64) -> f64 {
+        if prev_bytes == 0 || cur_bytes == 0 || prev_bytes == u64::MAX {
+            return 0.0;
+        }
+        let ratio = cur_bytes as f64 / prev_bytes as f64;
+        self.config.transition_stall_ms * ratio.ln().abs()
+    }
+
+    /// Is this kernel compute-bound (used by the power model)?
+    fn is_compute_bound(&self, k: &KernelDesc) -> bool {
+        let c = &self.config;
+        let compute_ms = k.batched_madds(c.batch) as f64
+            / (c.peak_tmadds * 1e12 * compute_efficiency(k.kind))
+            * 1e3;
+        let mem_ms =
+            k.bytes(c.batch) as f64 / (c.mem_bandwidth_gbs * 1e9 * c.bandwidth_efficiency) * 1e3;
+        compute_ms >= mem_ms
+    }
+
+    /// Kernels of the fixed stem / first bottleneck / head.
+    fn fixed_kernels(&self, space: &SearchSpace) -> Vec<KernelDesc> {
+        let res = space.config().resolution as u64;
+        let h = space.stem_resolution() as u64;
+        let stem_out = space.stem_out() as u64;
+        let fixed_out = space.fixed_out() as u64;
+        let head_in = space.layers().last().expect("layers").cout as u64;
+        let head_out = space.head_out() as u64;
+        let hf = space.final_resolution() as u64;
+        let classes = space.classes() as u64;
+        vec![
+            KernelDesc {
+                kind: KernelKind::Dense,
+                madds: h * h * 3 * stem_out * 9,
+                act_elems: res * res * 3 + h * h * stem_out,
+                weight_elems: 3 * stem_out * 9,
+            },
+            KernelDesc {
+                kind: KernelKind::Depthwise,
+                madds: h * h * stem_out * 9,
+                act_elems: 2 * h * h * stem_out,
+                weight_elems: stem_out * 9,
+            },
+            KernelDesc {
+                kind: KernelKind::Pointwise,
+                madds: h * h * stem_out * fixed_out,
+                act_elems: h * h * (stem_out + fixed_out),
+                weight_elems: stem_out * fixed_out,
+            },
+            KernelDesc {
+                kind: KernelKind::Pointwise,
+                madds: hf * hf * head_in * head_out,
+                act_elems: hf * hf * (head_in + head_out),
+                weight_elems: head_in * head_out,
+            },
+            KernelDesc {
+                kind: KernelKind::Pool,
+                madds: hf * hf * head_out,
+                act_elems: hf * hf * head_out + head_out,
+                weight_elems: 0,
+            },
+            KernelDesc {
+                kind: KernelKind::Fc,
+                madds: head_out * classes,
+                act_elems: head_out + classes,
+                weight_elems: head_out * classes,
+            },
+        ]
+    }
+
+    /// The full kernel stream of an architecture, in execution order.
+    fn kernel_stream(&self, arch: &Architecture, space: &SearchSpace) -> Vec<KernelDesc> {
+        let fixed = self.fixed_kernels(space);
+        let n = arch.ops().len();
+        // Stem + fixed block first, head (last three fixed kernels) last.
+        let mut stream: Vec<KernelDesc> = fixed[..3].to_vec();
+        for (i, (&op, spec)) in arch.ops().iter().zip(space.layers()).enumerate() {
+            let with_se = i + arch.se_tail() >= n;
+            stream.extend(kernels_for_layer(op, spec, with_se));
+        }
+        stream.extend_from_slice(&fixed[3..]);
+        stream
+    }
+
+    /// Deterministic ("true") end-to-end latency of one batched inference.
+    pub fn true_latency_ms(&self, arch: &Architecture, space: &SearchSpace) -> f64 {
+        let stream = self.kernel_stream(arch, space);
+        let mut total = self.config.runtime_overhead_ms;
+        let mut prev_out: u64 = u64::MAX; // first kernel reads cold input
+        for k in &stream {
+            let warm = if prev_out <= self.config.l2_cache_bytes { prev_out } else { 0 };
+            total += self.kernel_ms(k, warm) + self.stall_ms(prev_out, k.bytes(self.config.batch));
+            prev_out = k.out_bytes(self.config.batch);
+        }
+        total
+    }
+
+    /// Deterministic energy of one batched inference, in mJ.
+    pub fn true_energy_mj(&self, arch: &Architecture, space: &SearchSpace) -> f64 {
+        let stream = self.kernel_stream(arch, space);
+        let c = &self.config;
+        let mut dynamic = 0.0;
+        let mut prev_out: u64 = u64::MAX;
+        for k in &stream {
+            let warm = if prev_out <= c.l2_cache_bytes { prev_out } else { 0 };
+            let t = self.kernel_ms(k, warm);
+            let p = if self.is_compute_bound(k) { c.compute_power_w } else { c.memory_power_w };
+            dynamic += p * t; // W * ms = mJ
+            dynamic += c.memory_power_w * self.stall_ms(prev_out, k.bytes(c.batch));
+            prev_out = k.out_bytes(c.batch);
+        }
+        dynamic + c.static_power_w * self.true_latency_ms(arch, space)
+    }
+
+    /// One noisy latency measurement (what an on-device timing run returns).
+    pub fn measure_latency_ms(&self, arch: &Architecture, space: &SearchSpace, seed: u64) -> f64 {
+        let mut noise = GaussianNoise::new(seed ^ 0x1a7e_0c11);
+        (self.true_latency_ms(arch, space) + noise.sample(0.0, self.config.noise_std_ms)).max(0.0)
+    }
+
+    /// One noisy energy measurement; thermal noise is multiplicative.
+    pub fn measure_energy_mj(&self, arch: &Architecture, space: &SearchSpace, seed: u64) -> f64 {
+        let mut noise = GaussianNoise::new(seed ^ 0xe4e2_97fd);
+        let e = self.true_energy_mj(arch, space);
+        (e * (1.0 + noise.sample(0.0, self.config.energy_noise_frac))).max(0.0)
+    }
+
+    /// Latency and energy from one simulated profiling run.
+    pub fn measure(&self, arch: &Architecture, space: &SearchSpace, seed: u64) -> Measurement {
+        Measurement {
+            latency_ms: self.measure_latency_ms(arch, space, seed),
+            energy_mj: self.measure_energy_mj(arch, space, seed),
+        }
+    }
+
+    /// Peak inference memory in MiB: the resident weights plus the largest
+    /// simultaneous input+output activation working set across the kernel
+    /// stream, at the configured batch size.
+    ///
+    /// This is the third hardware metric the predictor generalizes to
+    /// (after latency and energy): on-device deployments are often bounded
+    /// by memory rather than time.
+    pub fn peak_memory_mib(&self, arch: &Architecture, space: &SearchSpace) -> f64 {
+        let stream = self.kernel_stream(arch, space);
+        let weights: u64 = stream.iter().map(|k| 4 * k.weight_elems).sum();
+        let peak_act = stream
+            .iter()
+            .map(|k| k.bytes(self.config.batch) - 4 * k.weight_elems)
+            .max()
+            .unwrap_or(0);
+        (weights + peak_act) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// One noisy peak-memory measurement (allocator jitter is small and
+    /// additive).
+    pub fn measure_peak_memory_mib(
+        &self,
+        arch: &Architecture,
+        space: &SearchSpace,
+        seed: u64,
+    ) -> f64 {
+        let mut noise = GaussianNoise::new(seed ^ 0x3e3_0f11);
+        (self.peak_memory_mib(arch, space) + noise.sample(0.0, 0.05)).max(0.0)
+    }
+
+    /// Latency of operator `op` at slot `layer` measured **in isolation**,
+    /// the way a look-up table is built (op benchmarked alone in a loop:
+    /// cold caches, no network overhead, launch cost amortized into the
+    /// kernel time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of range.
+    pub fn isolated_op_latency_ms(
+        &self,
+        layer: usize,
+        op: Operator,
+        space: &SearchSpace,
+    ) -> f64 {
+        let spec = &space.layers()[layer];
+        kernels_for_layer(op, spec, false)
+            .iter()
+            .map(|k| self.kernel_ms(k, 0))
+            .sum()
+    }
+
+    /// Isolated latency of the fixed stem + head (for LUT construction).
+    pub fn isolated_fixed_latency_ms(&self, space: &SearchSpace) -> f64 {
+        self.fixed_kernels(space).iter().map(|k| self.kernel_ms(k, 0)).sum()
+    }
+
+    /// Per-searchable-layer in-network latency contribution (diagnostics).
+    pub fn layer_breakdown_ms(&self, arch: &Architecture, space: &SearchSpace) -> Vec<f64> {
+        let n = arch.ops().len();
+        let mut out = Vec::with_capacity(n);
+        // Track cache state through the real stream for fidelity.
+        let fixed = self.fixed_kernels(space);
+        let mut prev_out = u64::MAX;
+        for k in &fixed[..3] {
+            prev_out = k.out_bytes(self.config.batch);
+        }
+        for (i, (&op, spec)) in arch.ops().iter().zip(space.layers()).enumerate() {
+            let with_se = i + arch.se_tail() >= n;
+            let mut layer_ms = 0.0;
+            for k in kernels_for_layer(op, spec, with_se) {
+                let warm = if prev_out <= self.config.l2_cache_bytes { prev_out } else { 0 };
+                layer_ms += self.kernel_ms(&k, warm)
+                    + self.stall_ms(prev_out, k.bytes(self.config.batch));
+                prev_out = k.out_bytes(self.config.batch);
+            }
+            out.push(layer_ms);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightnas_space::{mobilenet_v2, Expansion, Kernel};
+
+    fn setup() -> (Xavier, SearchSpace) {
+        (Xavier::maxn(), SearchSpace::standard())
+    }
+
+    #[test]
+    fn mobilenet_v2_latency_is_near_paper_value() {
+        let (dev, space) = setup();
+        let ms = dev.true_latency_ms(&mobilenet_v2(), &space);
+        assert!(
+            (ms - 20.2).abs() < 2.5,
+            "MobileNetV2 simulated latency {ms:.2} ms should be near 20.2 ms"
+        );
+    }
+
+    #[test]
+    fn space_spans_the_table2_range() {
+        let (dev, space) = setup();
+        let all_skip = Architecture::homogeneous(Operator::SkipConnect);
+        let heaviest = Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E6,
+        });
+        let lo = dev.true_latency_ms(&all_skip, &space);
+        let hi = dev.true_latency_ms(&heaviest, &space);
+        assert!(lo < 16.0, "all-skip {lo:.2} ms should be fast");
+        assert!(hi > 28.0, "all-K7E6 {hi:.2} ms should be slow");
+        assert!(hi < 80.0, "all-K7E6 {hi:.2} ms unreasonably slow");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_operator_size() {
+        let (dev, space) = setup();
+        let lat = |k, e| {
+            dev.true_latency_ms(
+                &Architecture::homogeneous(Operator::MbConv { kernel: k, expansion: e }),
+                &space,
+            )
+        };
+        assert!(lat(Kernel::K3, Expansion::E3) < lat(Kernel::K3, Expansion::E6));
+        assert!(lat(Kernel::K3, Expansion::E6) < lat(Kernel::K7, Expansion::E6));
+        assert!(lat(Kernel::K3, Expansion::E3) < lat(Kernel::K7, Expansion::E3));
+    }
+
+    #[test]
+    fn flops_do_not_determine_latency() {
+        // The Fig. 2 property: find two architectures whose FLOPs ordering
+        // disagrees with their latency ordering.
+        let (dev, space) = setup();
+        let archs: Vec<Architecture> =
+            (0..200).map(|s| Architecture::random(&space, s)).collect();
+        let mut found = false;
+        'outer: for a in &archs {
+            for b in &archs {
+                let fa = a.flops(&space).total_flops();
+                let fb = b.flops(&space).total_flops();
+                let la = dev.true_latency_ms(a, &space);
+                let lb = dev.true_latency_ms(b, &space);
+                if fa > fb && la < lb - 0.2 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "latency should not be a function of FLOPs alone");
+    }
+
+    #[test]
+    fn measurement_noise_is_small_and_seeded() {
+        let (dev, space) = setup();
+        let m = mobilenet_v2();
+        let a = dev.measure_latency_ms(&m, &space, 1);
+        let b = dev.measure_latency_ms(&m, &space, 1);
+        let c = dev.measure_latency_ms(&m, &space, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let truth = dev.true_latency_ms(&m, &space);
+        assert!((a - truth).abs() < 0.2);
+    }
+
+    #[test]
+    fn lut_sum_underestimates_network_latency_by_the_overhead() {
+        // The Fig. 5 (right) mechanism: isolated per-op sum + fixed parts
+        // misses the runtime overhead.
+        let (dev, space) = setup();
+        let m = mobilenet_v2();
+        let lut_sum: f64 = m
+            .ops()
+            .iter()
+            .enumerate()
+            .map(|(i, &op)| dev.isolated_op_latency_ms(i, op, &space))
+            .sum::<f64>()
+            + dev.isolated_fixed_latency_ms(&space);
+        let truth = dev.true_latency_ms(&m, &space);
+        let gap = truth - lut_sum;
+        // The gap is the runtime overhead plus the transition stalls the
+        // isolated measurements also miss.
+        assert!(
+            gap > dev.config().runtime_overhead_ms && gap < 14.0,
+            "gap {gap:.2} ms should exceed the {:.2} ms runtime overhead",
+            dev.config().runtime_overhead_ms
+        );
+    }
+
+    #[test]
+    fn energy_grows_with_latency_across_space() {
+        let (dev, space) = setup();
+        let light = Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E3,
+        });
+        let heavy = Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E6,
+        });
+        assert!(dev.true_energy_mj(&heavy, &space) > dev.true_energy_mj(&light, &space));
+    }
+
+    #[test]
+    fn energy_is_in_the_figure8_range() {
+        // The Fig. 8 experiment uses a 500 mJ constraint; mid-range
+        // architectures should straddle it.
+        let (dev, space) = setup();
+        let energies: Vec<f64> = (0..50)
+            .map(|s| dev.true_energy_mj(&Architecture::random(&space, s), &space))
+            .collect();
+        let min = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = energies.iter().copied().fold(0.0, f64::max);
+        assert!(min < 500.0, "min energy {min:.0} mJ");
+        assert!(max > 500.0, "max energy {max:.0} mJ");
+    }
+
+    #[test]
+    fn se_increases_latency_modestly() {
+        // Table 4: SE costs ≈ +1..2 ms at these scales.
+        let (dev, space) = setup();
+        let base = mobilenet_v2();
+        let with_se = base.with_se_tail(9);
+        let d = dev.true_latency_ms(&with_se, &space) - dev.true_latency_ms(&base, &space);
+        assert!(d > 0.2 && d < 4.0, "SE delta {d:.2} ms out of range");
+    }
+
+    #[test]
+    fn layer_breakdown_sums_to_network_minus_fixed_parts() {
+        let (dev, space) = setup();
+        let arch = Architecture::random(&space, 11);
+        let breakdown: f64 = dev.layer_breakdown_ms(&arch, &space).iter().sum();
+        let total = dev.true_latency_ms(&arch, &space);
+        // total = overhead + fixed kernels + searchable layers; breakdown is
+        // the searchable part only.
+        assert!(breakdown < total);
+        assert!(breakdown > 0.0);
+    }
+
+    #[test]
+    fn batch_size_scales_latency_sublinearly() {
+        let space = SearchSpace::standard();
+        let mut cfg1 = XavierConfig::maxn();
+        cfg1.batch = 1;
+        let dev1 = Xavier::new(cfg1);
+        let dev8 = Xavier::maxn();
+        let m = mobilenet_v2();
+        let l1 = dev1.true_latency_ms(&m, &space);
+        let l8 = dev8.true_latency_ms(&m, &space);
+        assert!(l8 > l1, "batch 8 must be slower in absolute terms");
+        assert!(l8 < 8.0 * l1, "batching must amortize overheads");
+    }
+}

@@ -1,0 +1,209 @@
+//! Decomposition of operators into device kernels.
+//!
+//! The roofline model works at kernel granularity: an `MBConv K5 E6` slot
+//! launches an expansion GEMM, a depthwise convolution and a projection
+//! GEMM (plus two small kernels when Squeeze-and-Excitation is attached).
+//! Each kernel carries its multiply-add count and DRAM traffic so the
+//! device model can score it as compute- or memory-bound.
+
+use lightnas_space::{LayerSpec, Operator};
+
+/// The execution character of a kernel, which selects its compute
+/// efficiency and power draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense convolution (stem).
+    Dense,
+    /// 1×1 pointwise convolution (GEMM-like, compute-bound).
+    Pointwise,
+    /// Depthwise convolution (memory-bound on GPUs).
+    Depthwise,
+    /// Pooling / skip-on-reduction (pure memory).
+    Pool,
+    /// Fully-connected classifier.
+    Fc,
+    /// Squeeze-and-Excitation gating (two tiny GEMMs + a broadcast).
+    Se,
+}
+
+/// One device kernel: its work and its single-inference memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelDesc {
+    /// Execution character.
+    pub kind: KernelKind,
+    /// Multiply-add operations for ONE inference (before batch scaling).
+    pub madds: u64,
+    /// Activation elements read + written for one inference.
+    pub act_elems: u64,
+    /// Weight elements read (not scaled by batch).
+    pub weight_elems: u64,
+}
+
+impl KernelDesc {
+    /// DRAM bytes moved at the given batch size (f32 activations, weights
+    /// read once per launch).
+    pub fn bytes(&self, batch: usize) -> u64 {
+        4 * (self.act_elems * batch as u64 + self.weight_elems)
+    }
+
+    /// Multiply-adds at the given batch size.
+    pub fn batched_madds(&self, batch: usize) -> u64 {
+        self.madds * batch as u64
+    }
+
+    /// Output activation bytes at the given batch (for cache-reuse checks).
+    ///
+    /// Approximated as half the activation traffic (in ≈ out for the kernels
+    /// in this space).
+    pub fn out_bytes(&self, batch: usize) -> u64 {
+        2 * self.act_elems * batch as u64
+    }
+}
+
+/// Kernels launched by operator `op` in slot `spec`.
+///
+/// An identity `SkipConnect` launches nothing; on a reduction layer it
+/// launches one pooling kernel. `with_se` appends the SE pair after the
+/// depthwise stage.
+pub fn kernels_for_layer(op: Operator, spec: &LayerSpec, with_se: bool) -> Vec<KernelDesc> {
+    let hin = spec.hin as u64;
+    let hout = spec.hout() as u64;
+    let (cin, cout) = (spec.cin as u64, spec.cout as u64);
+    match op {
+        Operator::SkipConnect => {
+            if spec.skip_is_identity() {
+                Vec::new()
+            } else {
+                vec![KernelDesc {
+                    kind: KernelKind::Pool,
+                    madds: hout * hout * cin,
+                    act_elems: hin * hin * cin + hout * hout * cout,
+                    weight_elems: 0,
+                }]
+            }
+        }
+        Operator::MbConv { kernel, expansion } => {
+            let k = kernel.size() as u64;
+            let e = expansion.ratio() as u64;
+            let mid = cin * e;
+            let mut kernels = vec![
+                KernelDesc {
+                    kind: KernelKind::Pointwise,
+                    madds: hin * hin * cin * mid,
+                    act_elems: hin * hin * (cin + mid),
+                    weight_elems: cin * mid,
+                },
+                KernelDesc {
+                    kind: KernelKind::Depthwise,
+                    madds: hout * hout * mid * k * k,
+                    act_elems: hin * hin * mid + hout * hout * mid,
+                    weight_elems: mid * k * k,
+                },
+            ];
+            if with_se {
+                let hidden = (mid / 4).max(1);
+                kernels.push(KernelDesc {
+                    kind: KernelKind::Se,
+                    madds: 2 * mid * hidden + hout * hout * mid,
+                    act_elems: 2 * hout * hout * mid,
+                    weight_elems: 2 * mid * hidden,
+                });
+            }
+            kernels.push(KernelDesc {
+                kind: KernelKind::Pointwise,
+                madds: hout * hout * mid * cout,
+                act_elems: hout * hout * (mid + cout),
+                weight_elems: mid * cout,
+            });
+            kernels
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightnas_space::{Expansion, Kernel, SearchSpace};
+
+    fn space() -> SearchSpace {
+        SearchSpace::standard()
+    }
+
+    #[test]
+    fn identity_skip_launches_nothing() {
+        let s = space();
+        let spec = &s.layers()[1];
+        assert!(kernels_for_layer(Operator::SkipConnect, spec, false).is_empty());
+    }
+
+    #[test]
+    fn reduction_skip_launches_one_pool() {
+        let s = space();
+        let spec = &s.layers()[0];
+        let ks = kernels_for_layer(Operator::SkipConnect, spec, false);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].kind, KernelKind::Pool);
+        assert_eq!(ks[0].weight_elems, 0);
+    }
+
+    #[test]
+    fn mbconv_launches_three_kernels() {
+        let s = space();
+        let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 };
+        let ks = kernels_for_layer(op, &s.layers()[4], false);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[0].kind, KernelKind::Pointwise);
+        assert_eq!(ks[1].kind, KernelKind::Depthwise);
+        assert_eq!(ks[2].kind, KernelKind::Pointwise);
+    }
+
+    #[test]
+    fn se_adds_a_fourth_kernel() {
+        let s = space();
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 };
+        let ks = kernels_for_layer(op, &s.layers()[20], true);
+        assert_eq!(ks.len(), 4);
+        assert_eq!(ks[2].kind, KernelKind::Se);
+    }
+
+    #[test]
+    fn depthwise_madds_scale_with_kernel_squared() {
+        let s = space();
+        let spec = &s.layers()[8];
+        let dw = |k| {
+            kernels_for_layer(
+                Operator::MbConv { kernel: k, expansion: Expansion::E3 },
+                spec,
+                false,
+            )[1]
+            .madds
+        };
+        let (k3, k7) = (dw(Kernel::K3), dw(Kernel::K7));
+        assert_eq!(k7 / k3, 49 / 9);
+    }
+
+    #[test]
+    fn bytes_scale_with_batch_for_activations_only() {
+        let s = space();
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let k = kernels_for_layer(op, &s.layers()[4], false)[0];
+        let b1 = k.bytes(1);
+        let b8 = k.bytes(8);
+        // Weights are not rescaled, so b8 < 8 * b1.
+        assert!(b8 > 4 * b1 && b8 < 8 * b1);
+    }
+
+    #[test]
+    fn kernel_totals_match_space_cost_counter() {
+        // The kernel decomposition and the analytic counter must agree on
+        // total multiply-adds for MBConv slots.
+        let s = space();
+        for (i, spec) in s.layers().iter().enumerate() {
+            let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E3 };
+            let from_kernels: u64 =
+                kernels_for_layer(op, spec, false).iter().map(|k| k.madds).sum();
+            let from_cost = lightnas_space::layer_cost(op, spec, false).flops;
+            assert_eq!(from_kernels, from_cost, "layer {i} disagreement");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Seeded Gaussian measurement noise.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A deterministic Gaussian noise source (Box–Muller over a seeded stream).
+///
+/// # Example
+///
+/// ```
+/// use lightnas_hw::GaussianNoise;
+///
+/// let mut n = GaussianNoise::new(42);
+/// let x = n.sample(0.0, 1.0);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug)]
+pub struct GaussianNoise {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl GaussianNoise {
+    /// Creates a noise source from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+    }
+
+    /// Draws one `N(mean, std²)` sample.
+    pub fn sample(&mut self, mean: f64, std: f64) -> f64 {
+        let z = match self.spare.take() {
+            Some(z) => z,
+            None => {
+                let u1: f64 = self.rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = self.rng.random_range(0.0..1.0);
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = 2.0 * std::f64::consts::PI * u2;
+                self.spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let mut n = GaussianNoise::new(7);
+        let xs: Vec<f64> = (0..100_000).map(|_| n.sample(3.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.01);
+        assert!((var.sqrt() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = GaussianNoise::new(1);
+        let mut b = GaussianNoise::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.sample(0.0, 1.0), b.sample(0.0, 1.0));
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Calibration anchors of the simulated Jetson AGX Xavier.
+//!
+//! These tests pin the device model to the published operating points the
+//! reproduction is calibrated against. If a model change moves an anchor,
+//! the corresponding figure/table harness will drift too — fail fast here.
+
+use lightnas_hw::Xavier;
+use lightnas_space::{
+    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator,
+    SearchSpace,
+};
+
+fn setup() -> (Xavier, SearchSpace) {
+    (Xavier::maxn(), SearchSpace::standard())
+}
+
+#[test]
+fn anchor_mobilenet_v2_is_20_2_ms() {
+    let (dev, space) = setup();
+    let ms = dev.true_latency_ms(&mobilenet_v2(), &space);
+    assert!((ms - 20.2).abs() < 0.8, "MobileNetV2 {ms:.2} ms drifted from the 20.2 ms anchor");
+}
+
+#[test]
+fn anchor_space_range_covers_table2() {
+    // Table 2 spans 20.0 .. 37.2 ms; the space must reach past both ends.
+    let (dev, space) = setup();
+    let lightest = Architecture::homogeneous(Operator::SkipConnect);
+    let heaviest = Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K7,
+        expansion: Expansion::E6,
+    });
+    assert!(dev.true_latency_ms(&lightest, &space) < 18.0);
+    assert!(dev.true_latency_ms(&heaviest, &space) > 29.0);
+    // EfficientNet-B0-like (heaviest + full SE) approaches the 37 ms row.
+    let effnet = heaviest.with_se_tail(21);
+    let ms = dev.true_latency_ms(&effnet, &space);
+    assert!(ms > 31.0, "SE-heavy extreme {ms:.1} ms should push beyond 31 ms");
+}
+
+#[test]
+fn anchor_reference_latency_ordering_is_sane() {
+    // The simulator will not reproduce the paper's absolute per-model
+    // numbers, but gross orderings must hold: OFA-L > OFA-S, FBNet-C >
+    // FBNet-A, EfficientNet-B0 slowest among the † rows.
+    let (dev, space) = setup();
+    let lat = |name: &str| {
+        let r = reference_architectures()
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("known baseline");
+        dev.true_latency_ms(&r.arch, &space)
+    };
+    assert!(lat("OFA-L") > lat("OFA-S"));
+    assert!(lat("FBNet-C") > lat("FBNet-A"));
+    assert!(lat("EfficientNet-B0") > lat("MobileNetV3"));
+    assert!(lat("EfficientNet-B0") > lat("MnasNet-A1"));
+}
+
+#[test]
+fn anchor_energy_range_brackets_500mj() {
+    let (dev, space) = setup();
+    let energies: Vec<f64> = (0..100)
+        .map(|s| dev.true_energy_mj(&Architecture::random(&space, s), &space))
+        .collect();
+    let below = energies.iter().filter(|&&e| e < 500.0).count();
+    let above = energies.iter().filter(|&&e| e > 500.0).count();
+    assert!(below > 5 && above > 5, "500 mJ not inside the bulk ({below} below / {above} above)");
+}
+
+#[test]
+fn measurement_noise_matches_the_declared_sigma() {
+    let (dev, space) = setup();
+    let m = mobilenet_v2();
+    let truth = dev.true_latency_ms(&m, &space);
+    let n = 500;
+    let errs: Vec<f64> =
+        (0..n).map(|s| dev.measure_latency_ms(&m, &space, s) - truth).collect();
+    let mean = errs.iter().sum::<f64>() / n as f64;
+    let std = (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64).sqrt();
+    let declared = dev.config().noise_std_ms;
+    assert!(mean.abs() < declared / 2.0, "noise is biased: {mean:.4}");
+    assert!((std - declared).abs() < declared * 0.25, "noise std {std:.4} vs declared {declared}");
+}
+
+#[test]
+fn energy_noise_is_relative_not_absolute() {
+    // Thermal noise scales with the measured value (paper: energy readings
+    // are noisier); heavier networks must show larger absolute spread.
+    let (dev, space) = setup();
+    let light = Architecture::homogeneous(Operator::SkipConnect);
+    let heavy = Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K7,
+        expansion: Expansion::E6,
+    });
+    let spread = |arch: &Architecture| {
+        let vals: Vec<f64> =
+            (0..200).map(|s| dev.measure_energy_mj(arch, &space, s)).collect();
+        let m = vals.iter().sum::<f64>() / vals.len() as f64;
+        (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
+    };
+    assert!(spread(&heavy) > 2.0 * spread(&light));
+}
+
+#[test]
+fn batch_one_inference_is_several_times_faster() {
+    let (_, space) = setup();
+    let mut cfg = lightnas_hw::XavierConfig::maxn();
+    cfg.batch = 1;
+    let dev1 = Xavier::new(cfg);
+    let dev8 = Xavier::maxn();
+    let m = mobilenet_v2();
+    let ratio = dev8.true_latency_ms(&m, &space) / dev1.true_latency_ms(&m, &space);
+    assert!(ratio > 1.2 && ratio < 8.0, "batch-8/batch-1 ratio {ratio:.2} implausible");
+}
+
+#[test]
+fn nano_class_profile_is_uniformly_slower() {
+    let space = SearchSpace::standard();
+    let xavier = Xavier::maxn();
+    let nano = Xavier::new(lightnas_hw::XavierConfig::nano_class());
+    for seed in 0..20 {
+        let arch = Architecture::random(&space, seed);
+        let fast = xavier.true_latency_ms(&arch, &space);
+        let slow = nano.true_latency_ms(&arch, &space);
+        assert!(slow > 1.5 * fast, "nano {slow:.1} ms vs xavier {fast:.1} ms (seed {seed})");
+    }
+}
+
+#[test]
+fn device_profiles_rank_architectures_differently() {
+    // Cross-device transfer is imperfect: the compute/bandwidth balance
+    // differs, so some architecture pairs swap order between devices —
+    // the reason the paper trains one predictor per target platform.
+    let space = SearchSpace::standard();
+    let xavier = Xavier::maxn();
+    let nano = Xavier::new(lightnas_hw::XavierConfig::nano_class());
+    let archs: Vec<Architecture> = (0..80).map(|s| Architecture::random(&space, s)).collect();
+    let mut swaps = 0;
+    for (i, a) in archs.iter().enumerate() {
+        for b in archs.iter().skip(i + 1) {
+            let (xa, xb) = (xavier.true_latency_ms(a, &space), xavier.true_latency_ms(b, &space));
+            let (na, nb) = (nano.true_latency_ms(a, &space), nano.true_latency_ms(b, &space));
+            if (xa - xb).abs() > 0.1 && (na - nb).abs() > 0.1 && ((xa > xb) != (na > nb)) {
+                swaps += 1;
+            }
+        }
+    }
+    assert!(swaps > 0, "device profiles should disagree on some orderings");
+}
+
+#[test]
+fn peak_memory_tracks_operator_size() {
+    let (dev, space) = setup();
+    let light = Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K3,
+        expansion: Expansion::E3,
+    });
+    let heavy = Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K3,
+        expansion: Expansion::E6,
+    });
+    let (ml, mh) = (dev.peak_memory_mib(&light, &space), dev.peak_memory_mib(&heavy, &space));
+    assert!(mh > ml, "expansion 6 should need more memory than 3 ({mh:.1} vs {ml:.1} MiB)");
+    assert!(ml > 5.0 && mh < 400.0, "peak memory out of plausible range: {ml:.1}..{mh:.1}");
+}
+
+#[test]
+fn peak_memory_measurement_noise_is_small() {
+    let (dev, space) = setup();
+    let m = mobilenet_v2();
+    let truth = dev.peak_memory_mib(&m, &space);
+    for seed in 0..20 {
+        let v = dev.measure_peak_memory_mib(&m, &space, seed);
+        assert!((v - truth).abs() < 0.3, "seed {seed}: {v:.2} vs {truth:.2}");
+    }
+}

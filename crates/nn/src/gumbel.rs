@@ -1,0 +1,185 @@
+//! Gumbel(0, 1) sampling and the Gumbel-Softmax reparameterization (Eq. 7).
+//!
+//! The paper relaxes the discrete per-layer operator choice with
+//!
+//! ```text
+//! P̂ₖ = exp[(Pₖ + Gₖ)/τ] / Σ_k' exp[(P_k' + G_k')/τ],   Gₖ ~ Gumbel(0, 1)
+//! ```
+//!
+//! and then binarizes `P̂` to a one-hot `P̄` (Eq. 9) so only a single path is
+//! active. As τ → 0 the relaxation becomes unbiased (`lim P̂ = P`).
+
+use rand::RngExt;
+
+/// Draws one Gumbel(0, 1) sample: `-ln(-ln(u))`, `u ~ U(0, 1)`.
+pub fn gumbel_sample<R: RngExt + ?Sized>(rng: &mut R) -> f32 {
+    // Clamp away from 0/1 to keep the double log finite.
+    let u: f32 = rng.random::<f32>().clamp(1e-10, 1.0 - 1e-7);
+    -(-u.ln()).ln()
+}
+
+/// Draws `n` i.i.d. Gumbel(0, 1) samples.
+pub fn gumbel_vector<R: RngExt + ?Sized>(n: usize, rng: &mut R) -> Vec<f32> {
+    (0..n).map(|_| gumbel_sample(rng)).collect()
+}
+
+/// Numerically stable softmax of `logits / tau`.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or `tau <= 0`.
+pub fn softmax_with_temperature(logits: &[f32], tau: f32) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    assert!(tau > 0.0, "temperature must be positive, got {tau}");
+    let m = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| ((x - m) / tau).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+/// Plain softmax (`tau = 1`).
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    softmax_with_temperature(logits, 1.0)
+}
+
+/// The Gumbel-Softmax relaxation `P̂` of Eq. 7: softmax of
+/// `(logits + G) / tau` with fresh Gumbel noise.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or `tau <= 0`.
+pub fn gumbel_softmax<R: RngExt + ?Sized>(logits: &[f32], tau: f32, rng: &mut R) -> Vec<f32> {
+    assert!(!logits.is_empty(), "gumbel_softmax of empty slice");
+    let noisy: Vec<f32> = logits.iter().map(|&l| l + gumbel_sample(rng)).collect();
+    softmax_with_temperature(&noisy, tau)
+}
+
+/// Index of the largest probability (first on ties) — the binarization
+/// `P̄ = onehot(argmax P̂)` of Eq. 9.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn argmax(probs: &[f32]) -> usize {
+    assert!(!probs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &p) in probs.iter().enumerate() {
+        if p > probs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One-hot vector with a 1 at `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= len`.
+pub fn one_hot(index: usize, len: usize) -> Vec<f32> {
+    assert!(index < len, "one_hot index {index} out of range {len}");
+    let mut v = vec![0.0; len];
+    v[index] = 1.0;
+    v
+}
+
+/// Samples a category from the Gumbel-Softmax at temperature `tau` and
+/// returns `(index, relaxed probabilities)`.
+///
+/// The index is exactly `argmax` of the returned relaxation, so callers get
+/// both the discrete single-path choice and the probabilities the
+/// straight-through gradient flows through.
+pub fn sample_category<R: RngExt + ?Sized>(
+    logits: &[f32],
+    tau: f32,
+    rng: &mut R,
+) -> (usize, Vec<f32>) {
+    let probs = gumbel_softmax(logits, tau, rng);
+    (argmax(&probs), probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gumbel_mean_is_euler_mascheroni() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 =
+            (0..n).map(|_| gumbel_sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 0.5772).abs() < 0.01, "gumbel mean {mean}");
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn low_temperature_sharpens() {
+        let logits = [1.0, 2.0, 0.5];
+        let hot = softmax_with_temperature(&logits, 5.0);
+        let cold = softmax_with_temperature(&logits, 0.1);
+        assert!(cold[1] > hot[1]);
+        assert!(cold[1] > 0.99);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gumbel_softmax_marginals_match_softmax() {
+        // P(argmax of gumbel-softmax = k) equals softmax(logits)[k] exactly
+        // (the Gumbel-max trick), independent of tau.
+        let logits = [0.0, 1.0, 0.5];
+        let expect = softmax(&logits);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let (idx, _) = sample_category(&logits, 0.7, &mut rng);
+            counts[idx] += 1;
+        }
+        for k in 0..3 {
+            let freq = counts[k] as f32 / n as f32;
+            assert!(
+                (freq - expect[k]).abs() < 0.01,
+                "marginal {k}: {freq} vs {}",
+                expect[k]
+            );
+        }
+    }
+
+    #[test]
+    fn sample_category_index_matches_argmax() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let (idx, probs) = sample_category(&[0.3, -0.2, 0.9, 0.0], 1.0, &mut rng);
+            assert_eq!(idx, argmax(&probs));
+        }
+    }
+
+    #[test]
+    fn one_hot_roundtrip() {
+        let v = one_hot(2, 5);
+        assert_eq!(argmax(&v), 2);
+        assert_eq!(v.iter().sum::<f32>(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_rejected() {
+        let _ = softmax_with_temperature(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Neural-network building blocks on top of [`lightnas_tensor`].
+//!
+//! This crate supplies everything the LightNAS reproduction trains with real
+//! gradients:
+//!
+//! * [`ParamStore`] / [`Bindings`] — parameter storage decoupled from the
+//!   define-by-run autograd tape, so a training loop can rebuild the graph
+//!   every step while optimizer state persists.
+//! * [`layers`] — `Linear`, `Conv2d`, `DwConv2d`, `ChannelAffine`, `MbConv`
+//!   (the MobileNetV2 inverted-residual block of the paper's search space,
+//!   Fig. 4) and a Squeeze-and-Excitation module (Table 4 ablation).
+//! * [`optim`] — SGD with momentum and Adam, matching the paper's settings
+//!   (Sec. 4.1: SGD for supernet weights `w`, Adam for architecture
+//!   parameters `α`).
+//! * [`schedule`] — cosine learning-rate decay with linear warmup and the
+//!   Gumbel-Softmax temperature decay (τ: 5 → 0, Sec. 3.3).
+//! * [`gumbel`] — Gumbel(0, 1) sampling and the Gumbel-Softmax
+//!   reparameterization (Eq. 7).
+//! * [`data`] — a deterministic synthetic image-classification dataset used
+//!   as the small-scale stand-in for the paper's 100-class ImageNet proxy
+//!   task (see DESIGN.md §2 for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use lightnas_nn::{layers::Linear, Bindings, ParamStore};
+//! use lightnas_tensor::{Graph, Tensor};
+//!
+//! let mut store = ParamStore::new();
+//! let lin = Linear::new(&mut store, "fc", 4, 2, true, 0);
+//! let mut g = Graph::new();
+//! let mut b = Bindings::new();
+//! let x = g.input(Tensor::ones(&[3, 4]));
+//! let y = lin.forward(&mut g, &mut b, &store, x);
+//! assert_eq!(g.value(y).shape().dims(), &[3, 2]);
+//! ```
+
+mod params;
+
+pub mod data;
+pub mod gumbel;
+pub mod layers;
+pub mod optim;
+pub mod schedule;
+
+pub use params::{Bindings, ParamId, ParamStore};

@@ -1,0 +1,167 @@
+//! Learning-rate and temperature schedules.
+//!
+//! The paper uses (Sec. 4.1):
+//! * cosine annealing to zero for the supernet weight learning rate, with a
+//!   linear warmup for full-scale evaluation training;
+//! * a Gumbel-Softmax temperature τ initialized at 5 and decayed towards
+//!   zero over the search (Sec. 3.3).
+
+/// Cosine annealing from `base_lr` to zero over `total_steps`, with an
+/// optional linear warmup from `warmup_start` over the first `warmup_steps`.
+///
+/// # Example
+///
+/// ```
+/// use lightnas_nn::schedule::CosineSchedule;
+///
+/// let s = CosineSchedule::new(0.5, 100).with_warmup(0.1, 5);
+/// assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+/// assert!(s.lr_at(5) > s.lr_at(99));
+/// assert!(s.lr_at(100) < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineSchedule {
+    base_lr: f32,
+    total_steps: usize,
+    warmup_start: f32,
+    warmup_steps: usize,
+}
+
+impl CosineSchedule {
+    /// Cosine decay from `base_lr` to zero over `total_steps` (no warmup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_steps` is zero.
+    pub fn new(base_lr: f32, total_steps: usize) -> Self {
+        assert!(total_steps > 0, "schedule needs at least one step");
+        Self { base_lr, total_steps, warmup_start: base_lr, warmup_steps: 0 }
+    }
+
+    /// Adds a linear warmup from `start` to `base_lr` over `steps` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps >= total_steps`.
+    pub fn with_warmup(mut self, start: f32, steps: usize) -> Self {
+        assert!(steps < self.total_steps, "warmup longer than schedule");
+        self.warmup_start = start;
+        self.warmup_steps = steps;
+        self
+    }
+
+    /// Peak learning rate.
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+
+    /// Schedule length in steps.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Learning rate at `step` (clamped to zero past the end).
+    pub fn lr_at(&self, step: usize) -> f32 {
+        if step >= self.total_steps {
+            return 0.0;
+        }
+        if step < self.warmup_steps {
+            let f = step as f32 / self.warmup_steps as f32;
+            return self.warmup_start + (self.base_lr - self.warmup_start) * f;
+        }
+        let progress =
+            (step - self.warmup_steps) as f32 / (self.total_steps - self.warmup_steps) as f32;
+        0.5 * self.base_lr * (1.0 + (std::f32::consts::PI * progress).cos())
+    }
+}
+
+/// Gumbel-Softmax temperature decay: τ(e) = τ₀ · r^e, floored at `tau_min`.
+///
+/// The paper initializes τ = 5 and "gradually decays \[it\] to zero"
+/// (Sec. 3.3); an exponential decay to a small floor is the standard
+/// realization (the floor keeps Eq. 7 numerically stable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureSchedule {
+    tau0: f32,
+    rate: f32,
+    tau_min: f32,
+}
+
+impl TemperatureSchedule {
+    /// Creates the schedule; `rate` is the per-epoch multiplicative decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < rate <= 1` and `tau0 > 0` and `tau_min > 0`.
+    pub fn new(tau0: f32, rate: f32, tau_min: f32) -> Self {
+        assert!(tau0 > 0.0, "tau0 must be positive");
+        assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
+        assert!(tau_min > 0.0, "tau_min must be positive");
+        Self { tau0, rate, tau_min }
+    }
+
+    /// The paper's default: τ₀ = 5 decayed so that τ ≈ 0.1 after 80 epochs.
+    pub fn paper_default(search_epochs: usize) -> Self {
+        // Solve tau0 * r^epochs = 0.1.
+        let rate = (0.1f32 / 5.0).powf(1.0 / search_epochs.max(1) as f32);
+        Self::new(5.0, rate, 0.05)
+    }
+
+    /// Temperature at `epoch`.
+    pub fn tau_at(&self, epoch: usize) -> f32 {
+        (self.tau0 * self.rate.powi(epoch as i32)).max(self.tau_min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_starts_at_base_and_ends_at_zero() {
+        let s = CosineSchedule::new(0.1, 90);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!(s.lr_at(90) == 0.0);
+        assert!(s.lr_at(89) < 0.001);
+    }
+
+    #[test]
+    fn cosine_is_monotone_after_warmup() {
+        let s = CosineSchedule::new(0.5, 50).with_warmup(0.1, 5);
+        let mut prev = s.lr_at(5);
+        for step in 6..50 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7, "not monotone at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = CosineSchedule::new(0.5, 100).with_warmup(0.1, 4);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(2) - 0.3).abs() < 1e-6);
+        assert!((s.lr_at(4) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_decays_from_five() {
+        let t = TemperatureSchedule::paper_default(80);
+        assert!((t.tau_at(0) - 5.0).abs() < 1e-6);
+        assert!(t.tau_at(80) <= 0.11);
+        assert!(t.tau_at(40) < 5.0);
+        assert!(t.tau_at(40) > t.tau_at(80));
+    }
+
+    #[test]
+    fn temperature_respects_floor() {
+        let t = TemperatureSchedule::new(5.0, 0.5, 0.2);
+        assert!((t.tau_at(1000) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup longer")]
+    fn warmup_cannot_exceed_total() {
+        let _ = CosineSchedule::new(0.1, 10).with_warmup(0.0, 10);
+    }
+}

@@ -1,0 +1,209 @@
+//! Deep-ensemble metric prediction with uncertainty.
+//!
+//! The paper's single MLP gives a point estimate. Deployments that make a
+//! hard go/no-go decision on a predicted metric usually want an error bar;
+//! the standard recipe is a small deep ensemble — several predictors
+//! trained from different initializations/shuffles — whose spread estimates
+//! the epistemic uncertainty. [`EnsemblePredictor`] provides that while
+//! remaining a drop-in for every place a point predictor is used (same
+//! `predict` / `gradient` / `rmse` surface).
+
+use lightnas_space::Architecture;
+
+use crate::{MetricDataset, MlpPredictor, TrainConfig};
+
+/// An ensemble of independently trained [`MlpPredictor`]s.
+#[derive(Debug)]
+pub struct EnsemblePredictor {
+    members: Vec<MlpPredictor>,
+}
+
+impl EnsemblePredictor {
+    /// Trains `members` predictors on `train`, varying only the seed (which
+    /// controls both initialization and mini-batch shuffling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is zero or `train` is empty.
+    pub fn train(train: &MetricDataset, config: &TrainConfig, members: usize) -> Self {
+        assert!(members > 0, "ensemble needs at least one member");
+        let members = (0..members)
+            .map(|i| {
+                let cfg = TrainConfig { seed: config.seed ^ (0x5eed_0000 + i as u64), ..*config };
+                MlpPredictor::train(train, &cfg)
+            })
+            .collect();
+        Self { members }
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the ensemble has no members (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Mean prediction across members.
+    pub fn predict(&self, arch: &Architecture) -> f64 {
+        self.predict_encoding(&arch.encode())
+    }
+
+    /// Mean prediction for a flattened encoding.
+    pub fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        self.members.iter().map(|m| m.predict_encoding(encoding)).sum::<f64>()
+            / self.members.len() as f64
+    }
+
+    /// Mean prediction and its epistemic standard deviation.
+    pub fn predict_with_uncertainty(&self, arch: &Architecture) -> (f64, f64) {
+        let encoding = arch.encode();
+        let preds: Vec<f64> =
+            self.members.iter().map(|m| m.predict_encoding(&encoding)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
+            / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Mean input gradient across members (`∂metric/∂ᾱ`, Eq. 12).
+    pub fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        let mut acc = self.members[0].gradient(encoding);
+        for m in &self.members[1..] {
+            for (a, g) in acc.iter_mut().zip(m.gradient(encoding)) {
+                *a += g;
+            }
+        }
+        let n = self.members.len() as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    /// Ensemble RMSE over a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn rmse(&self, data: &MetricDataset) -> f64 {
+        assert!(!data.is_empty(), "rmse over empty dataset");
+        let se: f64 = data
+            .encodings()
+            .iter()
+            .zip(data.targets())
+            .map(|(enc, &y)| {
+                let e = self.predict_encoding(enc) - y;
+                e * e
+            })
+            .sum();
+        (se / data.len() as f64).sqrt()
+    }
+
+    /// The individual members (e.g. for per-member diagnostics).
+    pub fn members(&self) -> &[MlpPredictor] {
+        &self.members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metric;
+    use lightnas_hw::Xavier;
+    use lightnas_space::{Architecture, SearchSpace};
+    use std::sync::OnceLock;
+
+    struct Fix {
+        ensemble: EnsemblePredictor,
+        single: MlpPredictor,
+        valid: MetricDataset,
+        space: SearchSpace,
+    }
+
+    fn fix() -> &'static Fix {
+        static FIX: OnceLock<Fix> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let space = SearchSpace::standard();
+            let device = Xavier::maxn();
+            let data =
+                MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 1200, 5);
+            let (train, valid) = data.split(0.8);
+            let cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 0 };
+            Fix {
+                ensemble: EnsemblePredictor::train(&train, &cfg, 4),
+                single: MlpPredictor::train(&train, &cfg),
+                valid,
+                space,
+            }
+        })
+    }
+
+    #[test]
+    fn ensemble_is_at_least_as_accurate_as_one_member() {
+        let f = fix();
+        assert!(
+            f.ensemble.rmse(&f.valid) <= f.single.rmse(&f.valid) * 1.05,
+            "averaging should not hurt: {:.4} vs {:.4}",
+            f.ensemble.rmse(&f.valid),
+            f.single.rmse(&f.valid)
+        );
+    }
+
+    #[test]
+    fn uncertainty_is_finite_nonzero_and_consistent_with_members() {
+        let f = fix();
+        let mut any_positive = false;
+        for seed in 0..10 {
+            let arch = Architecture::random(&f.space, seed);
+            let (mean, sigma) = f.ensemble.predict_with_uncertainty(&arch);
+            assert!(mean.is_finite() && sigma.is_finite());
+            assert!(sigma >= 0.0);
+            // The mean ± a few sigmas must bracket every member's estimate.
+            let enc = arch.encode();
+            for m in f.ensemble.members() {
+                let p = m.predict_encoding(&enc);
+                assert!(
+                    (p - mean).abs() <= 3.0 * sigma.max(1e-9) + 1e-6,
+                    "member {p:.3} outside mean {mean:.3} ± 3σ ({sigma:.4})"
+                );
+            }
+            if sigma > 1e-4 {
+                any_positive = true;
+            }
+        }
+        assert!(any_positive, "independently trained members never disagree — suspicious");
+    }
+
+    #[test]
+    fn gradient_matches_member_average() {
+        let f = fix();
+        let enc = Architecture::random(&f.space, 9).encode();
+        let g = f.ensemble.gradient(&enc);
+        let manual: Vec<f32> = {
+            let mut acc = vec![0.0f32; enc.len()];
+            for m in f.ensemble.members() {
+                for (a, v) in acc.iter_mut().zip(m.gradient(&enc)) {
+                    *a += v;
+                }
+            }
+            acc.into_iter().map(|v| v / f.ensemble.len() as f32).collect()
+        };
+        for (a, b) in g.iter().zip(&manual) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_rejected() {
+        let f = fix();
+        let _ = EnsemblePredictor::train(
+            &f.valid,
+            &TrainConfig { epochs: 1, batch_size: 32, lr: 1e-3, seed: 0 },
+            0,
+        );
+    }
+}

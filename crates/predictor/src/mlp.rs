@@ -1,0 +1,241 @@
+//! The MLP metric predictor (three FC layers: 128, 64, 1 — paper Sec. 3.2).
+
+use lightnas_nn::layers::Mlp;
+use lightnas_nn::optim::Adam;
+use lightnas_nn::{Bindings, ParamStore};
+use lightnas_space::{Architecture, NUM_OPS, TOTAL_LAYERS};
+use lightnas_tensor::{Graph, Tensor};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::MetricDataset;
+
+/// Input width of the predictor: the flattened `ᾱ` encoding.
+pub const INPUT_WIDTH: usize = TOTAL_LAYERS * NUM_OPS;
+
+/// Training hyper-parameters of the predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Passes over the training fold.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Initialization / shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 120, batch_size: 256, lr: 1e-3, seed: 0 }
+    }
+}
+
+/// The trained MLP predictor.
+///
+/// Targets are standardized internally (zero mean, unit variance over the
+/// training fold); predictions are returned in the original unit. The
+/// trained network is frozen: prediction and input-gradient queries do not
+/// mutate it.
+#[derive(Debug)]
+pub struct MlpPredictor {
+    store: ParamStore,
+    mlp: Mlp,
+    mean: f64,
+    std: f64,
+}
+
+impl MlpPredictor {
+    /// Fits the 128/64/1 MLP on `train` with Adam (the paper's protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn train(train: &MetricDataset, config: &TrainConfig) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "predictor", &[INPUT_WIDTH, 128, 64, 1], config.seed);
+        let mean = train.target_mean();
+        let std = train.target_std().max(1e-6);
+        let n = train.len();
+        let mut opt = Adam::new(config.lr, 1e-5);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..config.epochs {
+            // Fisher-Yates shuffle per epoch.
+            for i in (1..n).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            for chunk in order.chunks(config.batch_size) {
+                let b = chunk.len();
+                let mut x = Vec::with_capacity(b * INPUT_WIDTH);
+                let mut y = Vec::with_capacity(b);
+                for &i in chunk {
+                    x.extend_from_slice(&train.encodings()[i]);
+                    y.push(((train.targets()[i] - mean) / std) as f32);
+                }
+                let mut g = Graph::new();
+                let mut bind = Bindings::new();
+                let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
+                let pred = mlp.forward(&mut g, &mut bind, &store, xv);
+                let loss = g.mse_loss(pred, Tensor::from_vec(y, &[b, 1]));
+                g.backward(loss);
+                opt.step(&mut store, &g, &bind);
+            }
+        }
+        Self { store, mlp, mean, std }
+    }
+
+    /// Predicts the metric for a flattened encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding.len() != 154`.
+    pub fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        assert_eq!(encoding.len(), INPUT_WIDTH, "encoding must have {INPUT_WIDTH} values");
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let x = g.input(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
+        let out = self.mlp.forward(&mut g, &mut bind, &self.store, x);
+        g.value(out).as_slice()[0] as f64 * self.std + self.mean
+    }
+
+    /// Predicts the metric for an architecture.
+    pub fn predict(&self, arch: &Architecture) -> f64 {
+        self.predict_encoding(&arch.encode())
+    }
+
+    /// Gradient of the prediction w.r.t. the encoding — the `∂LAT/∂ᾱ` term
+    /// of Eq. 12, obtained "through a one-time backward propagation".
+    ///
+    /// Returned in the metric's original unit per unit encoding change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoding.len() != 154`.
+    pub fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        assert_eq!(encoding.len(), INPUT_WIDTH, "encoding must have {INPUT_WIDTH} values");
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        // The input is registered as a parameter so backward reaches it.
+        let x = g.parameter(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
+        let out = self.mlp.forward(&mut g, &mut bind, &self.store, x);
+        let scalar = g.sum(out);
+        g.backward(scalar);
+        g.grad(x).as_slice().iter().map(|&v| v * self.std as f32).collect()
+    }
+
+    /// Root-mean-square error over a dataset, in the metric's unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn rmse(&self, data: &MetricDataset) -> f64 {
+        assert!(!data.is_empty(), "rmse over empty dataset");
+        let mut se = 0.0;
+        for (enc, &y) in data.encodings().iter().zip(data.targets()) {
+            let p = self.predict_encoding(enc);
+            se += (p - y) * (p - y);
+        }
+        (se / data.len() as f64).sqrt()
+    }
+
+    /// Predictions for every row of a dataset (for scatter plots, Fig. 5).
+    pub fn predict_all(&self, data: &MetricDataset) -> Vec<f64> {
+        data.encodings().iter().map(|e| self.predict_encoding(e)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metric;
+    use lightnas_hw::Xavier;
+    use lightnas_space::SearchSpace;
+
+    fn train_small() -> (MlpPredictor, MetricDataset, MetricDataset) {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 1200, 1);
+        let (train, valid) = data.split(0.8);
+        let config = TrainConfig { epochs: 40, batch_size: 128, lr: 2e-3, seed: 0 };
+        (MlpPredictor::train(&train, &config), train, valid)
+    }
+
+    #[test]
+    fn predictor_beats_the_mean_baseline_by_a_wide_margin() {
+        let (p, _, valid) = train_small();
+        let rmse = p.rmse(&valid);
+        let baseline = valid.target_std();
+        assert!(
+            rmse < baseline / 4.0,
+            "predictor RMSE {rmse:.3} ms should be ≪ mean-baseline {baseline:.3} ms"
+        );
+    }
+
+    #[test]
+    fn predictions_track_targets_in_rank() {
+        let (p, _, valid) = train_small();
+        // Spearman-ish check: correlation of prediction and target > 0.9.
+        let preds = p.predict_all(&valid);
+        let ys = valid.targets();
+        let n = preds.len() as f64;
+        let (mp, my) = (
+            preds.iter().sum::<f64>() / n,
+            ys.iter().sum::<f64>() / n,
+        );
+        let cov: f64 =
+            preds.iter().zip(ys).map(|(a, b)| (a - mp) * (b - my)).sum::<f64>() / n;
+        let sp = (preds.iter().map(|a| (a - mp) * (a - mp)).sum::<f64>() / n).sqrt();
+        let sy = (ys.iter().map(|b| (b - my) * (b - my)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sp * sy);
+        assert!(corr > 0.9, "correlation {corr:.3} too weak");
+    }
+
+    #[test]
+    fn gradient_has_input_shape_and_is_nonzero() {
+        let (p, _, _) = train_small();
+        let space = SearchSpace::standard();
+        let arch = Architecture::random(&space, 5);
+        let grad = p.gradient(&arch.encode());
+        assert_eq!(grad.len(), INPUT_WIDTH);
+        assert!(grad.iter().any(|&g| g.abs() > 1e-6), "gradient is all zero");
+    }
+
+    #[test]
+    fn gradient_points_towards_heavier_operators() {
+        // Flipping a slot from Skip to MBConv-K7E6 must increase predicted
+        // latency; the input gradient should reflect that direction on
+        // average across slots.
+        let (p, _, _) = train_small();
+        let space = SearchSpace::standard();
+        let arch = Architecture::random(&space, 9);
+        let grad = p.gradient(&arch.encode());
+        let mut heavy_minus_skip = 0.0f32;
+        for l in 1..TOTAL_LAYERS {
+            // index 5 = K7E6, index 6 = Skip in the canonical order.
+            heavy_minus_skip += grad[l * NUM_OPS + 5] - grad[l * NUM_OPS + 6];
+        }
+        assert!(
+            heavy_minus_skip > 0.0,
+            "K7E6 direction should raise latency vs Skip (sum {heavy_minus_skip})"
+        );
+    }
+
+    #[test]
+    fn predict_matches_predict_encoding() {
+        let (p, _, _) = train_small();
+        let space = SearchSpace::standard();
+        let arch = Architecture::random(&space, 3);
+        assert_eq!(p.predict(&arch), p.predict_encoding(&arch.encode()));
+    }
+
+    #[test]
+    #[should_panic(expected = "154")]
+    fn wrong_input_width_rejected() {
+        let (p, _, _) = train_small();
+        let _ = p.predict_encoding(&[0.0; 10]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Concrete architectures and their sparse one-hot encoding (Eq. 4).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{
+    network_cost, NetworkCost, Operator, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS, TOTAL_LAYERS,
+};
+
+/// One stand-alone architecture `arch = {op_l}` from the space `A`.
+///
+/// Stores the operator of every *searchable* slot (21 of them) plus the
+/// Squeeze-and-Excitation tail length used by the Table 4 ablation (0 for
+/// plain LightNets; the paper applies SE "to the last nine layers").
+///
+/// # Example
+///
+/// ```
+/// use lightnas_space::{Architecture, Operator, SearchSpace};
+///
+/// let space = SearchSpace::standard();
+/// let arch = Architecture::random(&space, 7);
+/// assert!(arch.flops(&space).total_flops() > 0);
+/// assert_eq!(arch.encode().len(), 22 * 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Architecture {
+    ops: Vec<Operator>,
+    se_tail: usize,
+}
+
+impl Architecture {
+    /// Builds an architecture from the 21 searchable operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops.len() != SEARCHABLE_LAYERS`.
+    pub fn new(ops: Vec<Operator>) -> Self {
+        assert_eq!(
+            ops.len(),
+            SEARCHABLE_LAYERS,
+            "architecture needs {SEARCHABLE_LAYERS} operators, got {}",
+            ops.len()
+        );
+        Self { ops, se_tail: 0 }
+    }
+
+    /// An architecture using `op` in every slot.
+    pub fn homogeneous(op: Operator) -> Self {
+        Self::new(vec![op; SEARCHABLE_LAYERS])
+    }
+
+    /// Uniformly random architecture (each slot i.i.d. over the 7 candidates).
+    pub fn random(_space: &SearchSpace, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self::random_with(&mut rng)
+    }
+
+    /// Uniformly random architecture drawn from an existing RNG stream.
+    pub fn random_with<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        let ops = (0..SEARCHABLE_LAYERS)
+            .map(|_| Operator::from_index(rng.random_range(0..NUM_OPS)))
+            .collect();
+        Self { ops, se_tail: 0 }
+    }
+
+    /// The searchable operators in network order.
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// Returns a copy with SE applied to the last `n` searchable layers
+    /// (Table 4 uses `n = 9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > SEARCHABLE_LAYERS`.
+    pub fn with_se_tail(&self, n: usize) -> Self {
+        assert!(n <= SEARCHABLE_LAYERS, "SE tail {n} exceeds layer count");
+        Self { ops: self.ops.clone(), se_tail: n }
+    }
+
+    /// Number of trailing layers carrying an SE module.
+    pub fn se_tail(&self) -> usize {
+        self.se_tail
+    }
+
+    /// Number of non-skip layers (the network's effective depth).
+    pub fn depth(&self) -> usize {
+        self.ops.iter().filter(|o| !o.is_skip()).count()
+    }
+
+    /// The architecture encoding `ᾱ ∈ {0,1}^{L×K}` of Eq. 4, flattened
+    /// row-major to `L·K = 154` values.
+    ///
+    /// Row 0 is the fixed first bottleneck, encoded as index 0 by convention;
+    /// rows 1..22 are the searchable slots.
+    pub fn encode(&self) -> Vec<f32> {
+        let mut enc = vec![0.0f32; TOTAL_LAYERS * NUM_OPS];
+        enc[0] = 1.0; // fixed block row
+        for (l, op) in self.ops.iter().enumerate() {
+            enc[(l + 1) * NUM_OPS + op.index()] = 1.0;
+        }
+        enc
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc` is not a valid `154`-long one-hot-per-row encoding.
+    pub fn decode(enc: &[f32]) -> Self {
+        assert_eq!(enc.len(), TOTAL_LAYERS * NUM_OPS, "encoding must have {} values", TOTAL_LAYERS * NUM_OPS);
+        let mut ops = Vec::with_capacity(SEARCHABLE_LAYERS);
+        for l in 1..TOTAL_LAYERS {
+            let row = &enc[l * NUM_OPS..(l + 1) * NUM_OPS];
+            let ones: Vec<usize> =
+                row.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(i, _)| i).collect();
+            assert_eq!(ones.len(), 1, "row {l} is not one-hot");
+            ops.push(Operator::from_index(ones[0]));
+        }
+        Self { ops, se_tail: 0 }
+    }
+
+    /// Full analytic cost under `space`.
+    pub fn flops(&self, space: &SearchSpace) -> NetworkCost {
+        network_cost(space, &self.ops, self.se_tail)
+    }
+
+    /// Hamming distance to another architecture: the number of slots whose
+    /// operators differ. Used by search-stability analyses (how similar are
+    /// the networks different seeds derive?).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer counts differ (cannot happen for values built
+    /// through this type's constructors).
+    pub fn hamming(&self, other: &Architecture) -> usize {
+        assert_eq!(self.ops.len(), other.ops.len(), "layer count mismatch");
+        self.ops.iter().zip(&other.ops).filter(|(a, b)| a != b).count()
+    }
+
+    /// Mutates one uniformly chosen slot to a new random operator.
+    ///
+    /// Used by local-search baselines and property tests.
+    pub fn mutate<R: RngExt + ?Sized>(&self, rng: &mut R) -> Self {
+        let mut ops = self.ops.clone();
+        let slot = rng.random_range(0..ops.len());
+        loop {
+            let candidate = Operator::from_index(rng.random_range(0..NUM_OPS));
+            if candidate != ops[slot] {
+                ops[slot] = candidate;
+                break;
+            }
+        }
+        Self { ops, se_tail: self.se_tail }
+    }
+
+    /// A one-line diagram of the architecture, e.g.
+    /// `K3E6 K5E3 Skip … | SE tail: 9` (used by the Fig. 6 harness).
+    pub fn diagram(&self, space: &SearchSpace) -> String {
+        let mut out = String::new();
+        let mut last_stage = usize::MAX;
+        for (op, spec) in self.ops.iter().zip(space.layers()) {
+            if spec.stage != last_stage {
+                if last_stage != usize::MAX {
+                    out.push_str("| ");
+                }
+                last_stage = spec.stage;
+            }
+            out.push_str(&format!("{}({}) ", op.label(), spec.base_channels));
+        }
+        if self.se_tail > 0 {
+            out.push_str(&format!("| SE tail: {}", self.se_tail));
+        }
+        out.trim_end().to_string()
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let labels: Vec<String> = self.ops.iter().map(|o| o.label()).collect();
+        write!(f, "{}", labels.join("-"))
+    }
+}
+
+/// Error returned when parsing an architecture string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArchitectureError {
+    /// One of the labels did not parse.
+    Operator(crate::operator::ParseOperatorError),
+    /// The string held the wrong number of labels.
+    LayerCount(usize),
+}
+
+impl fmt::Display for ParseArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArchitectureError::Operator(e) => e.fmt(f),
+            ParseArchitectureError::LayerCount(n) => {
+                write!(f, "expected {SEARCHABLE_LAYERS} operator labels, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseArchitectureError {}
+
+impl std::str::FromStr for Architecture {
+    type Err = ParseArchitectureError;
+
+    /// Parses the `-`-joined label form produced by [`fmt::Display`]
+    /// (whitespace also accepted as a separator):
+    /// `K3E6-K5E3-Skip-...` with exactly 21 labels.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let labels: Vec<&str> = s
+            .split(|c: char| c == '-' || c.is_whitespace())
+            .filter(|t| !t.is_empty())
+            .collect();
+        if labels.len() != SEARCHABLE_LAYERS {
+            return Err(ParseArchitectureError::LayerCount(labels.len()));
+        }
+        let ops = labels
+            .into_iter()
+            .map(str::parse)
+            .collect::<Result<Vec<Operator>, _>>()
+            .map_err(ParseArchitectureError::Operator)?;
+        Ok(Architecture::new(ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Expansion, Kernel};
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let space = SearchSpace::standard();
+        for seed in 0..20 {
+            let a = Architecture::random(&space, seed);
+            assert_eq!(Architecture::decode(&a.encode()), a);
+        }
+    }
+
+    #[test]
+    fn encoding_has_l_ones() {
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 3);
+        let ones = a.encode().iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(ones, TOTAL_LAYERS, "ᾱ must contain exactly L ones (paper Sec. 3.2)");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let space = SearchSpace::standard();
+        assert_eq!(Architecture::random(&space, 9), Architecture::random(&space, 9));
+        assert_ne!(Architecture::random(&space, 9), Architecture::random(&space, 10));
+    }
+
+    #[test]
+    fn depth_counts_non_skip() {
+        let all_skip = Architecture::homogeneous(Operator::SkipConnect);
+        assert_eq!(all_skip.depth(), 0);
+        let all_conv = Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E3,
+        });
+        assert_eq!(all_conv.depth(), SEARCHABLE_LAYERS);
+    }
+
+    #[test]
+    fn mutate_changes_exactly_one_slot() {
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = a.mutate(&mut rng);
+        let diffs = a.ops().iter().zip(b.ops()).filter(|(x, y)| x != y).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn se_tail_round_trip() {
+        let a = Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K5,
+            expansion: Expansion::E6,
+        });
+        let b = a.with_se_tail(9);
+        assert_eq!(b.se_tail(), 9);
+        assert_eq!(b.ops(), a.ops());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds layer count")]
+    fn oversized_se_tail_rejected() {
+        let a = Architecture::homogeneous(Operator::SkipConnect);
+        let _ = a.with_se_tail(SEARCHABLE_LAYERS + 1);
+    }
+
+    #[test]
+    fn diagram_mentions_every_stage_channel() {
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 5);
+        let d = a.diagram(&space);
+        for ch in [24, 32, 64, 112, 184, 352] {
+            assert!(d.contains(&format!("({ch})")), "diagram missing stage {ch}: {d}");
+        }
+    }
+
+    #[test]
+    fn random_uses_all_operators_eventually() {
+        let space = SearchSpace::standard();
+        let mut seen = [false; NUM_OPS];
+        for seed in 0..50 {
+            for op in Architecture::random(&space, seed).ops() {
+                seen[op.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[cfg(test)]
+mod parse_tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_round_trip() {
+        let space = SearchSpace::standard();
+        for seed in 0..10 {
+            let a = Architecture::random(&space, seed);
+            let parsed: Architecture = a.to_string().parse().expect("round trip");
+            assert_eq!(parsed, a);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_case() {
+        let text = "k3e6 K5E3 skip K7E6 k3e3 K3E6 K5E6 skip K3E6 K5E3 K7E3 \
+                    K3E6 K5E6 K7E6 K3E3 K5E3 K7E6 K3E6 K5E6 K7E6 Skip";
+        let a: Architecture = text.parse().expect("parses");
+        assert_eq!(a.ops().len(), SEARCHABLE_LAYERS);
+        assert!(a.ops()[2].is_skip());
+    }
+
+    #[test]
+    fn parse_rejects_wrong_length() {
+        let err = "K3E6-K5E3".parse::<Architecture>().unwrap_err();
+        assert!(matches!(err, ParseArchitectureError::LayerCount(2)));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_label() {
+        let text = vec!["K9E9"; SEARCHABLE_LAYERS].join("-");
+        assert!(text.parse::<Architecture>().is_err());
+    }
+}
+
+#[cfg(test)]
+mod hamming_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hamming_is_zero_on_self_and_symmetric() {
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 1);
+        let b = Architecture::random(&space, 2);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(a.hamming(&b), b.hamming(&a));
+    }
+
+    #[test]
+    fn hamming_counts_mutations() {
+        let space = SearchSpace::standard();
+        let a = Architecture::random(&space, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = a.mutate(&mut rng);
+        assert_eq!(a.hamming(&b), 1);
+        let c = b.mutate(&mut rng);
+        assert!(a.hamming(&c) <= 2);
+    }
+
+    #[test]
+    fn hamming_maximum_is_layer_count() {
+        let skip = Architecture::homogeneous(Operator::SkipConnect);
+        let conv = Architecture::homogeneous(Operator::from_index(0));
+        assert_eq!(skip.hamming(&conv), SEARCHABLE_LAYERS);
+    }
+}

@@ -1,0 +1,252 @@
+//! Macro-architecture of the supernet: stem, stages, head (Fig. 4).
+//!
+//! The stage plan follows the FBNet/ProxylessNAS convention the paper adopts
+//! (Sec. 3.1 "we closely follow the layer-wise architecture space design"):
+//! a 3×3 stride-2 stem to 32 channels, one fixed expansion-1 bottleneck to
+//! 16 channels, six stages of searchable slots, and a 1×1 → pool → FC head.
+
+/// Global knobs of the space: input resolution and width multiplier.
+///
+/// Width scaling rounds channel counts to multiples of 8, the MobileNetV2
+/// convention, so scaled models stay hardware-friendly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpaceConfig {
+    /// Input image side (the paper's mobile setting uses 224).
+    pub resolution: usize,
+    /// Multiplier applied to every channel count (1.0 = paper space).
+    pub width_mult: f32,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        Self { resolution: 224, width_mult: 1.0 }
+    }
+}
+
+impl SpaceConfig {
+    /// Applies the width multiplier to a base channel count, rounding to a
+    /// multiple of 8 (minimum 8).
+    pub fn scale_channels(&self, base: usize) -> usize {
+        let scaled = (base as f32 * self.width_mult).round() as usize;
+        ((scaled + 4) / 8 * 8).max(8)
+    }
+}
+
+/// Shape context of one searchable operator slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Input channels.
+    pub cin: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Stride of this slot's depthwise stage.
+    pub stride: usize,
+    /// Input spatial side length.
+    pub hin: usize,
+    /// Stage index (0-based) this slot belongs to, for display grouping.
+    pub stage: usize,
+    /// Base (unscaled) output channel count, shown in Fig. 6 diagrams.
+    pub base_channels: usize,
+}
+
+impl LayerSpec {
+    /// Output spatial side length.
+    pub fn hout(&self) -> usize {
+        self.hin.div_ceil(self.stride)
+    }
+
+    /// `true` when `SkipConnect` here is a pure identity.
+    pub fn skip_is_identity(&self) -> bool {
+        self.stride == 1 && self.cin == self.cout
+    }
+}
+
+/// `(base_out_channels, num_layers, first_stride)` per searchable stage.
+const STAGES: [(usize, usize, usize); 6] =
+    [(24, 4, 2), (32, 4, 2), (64, 4, 2), (112, 4, 1), (184, 4, 2), (352, 1, 1)];
+
+/// Base channel counts of the fixed parts.
+const STEM_CHANNELS: usize = 32;
+const FIXED_BLOCK_CHANNELS: usize = 16;
+const HEAD_CHANNELS: usize = 1504;
+
+/// The instantiated macro-architecture: per-slot [`LayerSpec`]s plus the
+/// fixed stem/head dimensions.
+///
+/// # Example
+///
+/// ```
+/// use lightnas_space::SearchSpace;
+///
+/// let space = SearchSpace::standard();
+/// assert_eq!(space.layers().len(), lightnas_space::SEARCHABLE_LAYERS);
+/// assert_eq!(space.layers()[0].stride, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchSpace {
+    config: SpaceConfig,
+    layers: Vec<LayerSpec>,
+    stem_out: usize,
+    fixed_out: usize,
+    head_out: usize,
+    classes: usize,
+}
+
+impl SearchSpace {
+    /// The paper's space: 224 × 224 input, width 1.0, 1000 classes.
+    pub fn standard() -> Self {
+        Self::with_config(SpaceConfig::default())
+    }
+
+    /// Builds the space under a scaled configuration (Fig. 9 baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is too small to survive the five stride-2
+    /// reductions (minimum 32).
+    pub fn with_config(config: SpaceConfig) -> Self {
+        assert!(config.resolution >= 32, "resolution {} too small", config.resolution);
+        let stem_out = config.scale_channels(STEM_CHANNELS);
+        let fixed_out = config.scale_channels(FIXED_BLOCK_CHANNELS);
+        // Stem is stride 2; the fixed bottleneck is stride 1.
+        let mut h = config.resolution.div_ceil(2);
+        let mut cin = fixed_out;
+        let mut layers = Vec::new();
+        for (stage, &(base_cout, count, first_stride)) in STAGES.iter().enumerate() {
+            let cout = config.scale_channels(base_cout);
+            for i in 0..count {
+                let stride = if i == 0 { first_stride } else { 1 };
+                layers.push(LayerSpec {
+                    cin,
+                    cout,
+                    stride,
+                    hin: h,
+                    stage,
+                    base_channels: base_cout,
+                });
+                h = h.div_ceil(stride);
+                cin = cout;
+            }
+        }
+        Self {
+            config,
+            layers,
+            stem_out,
+            fixed_out,
+            head_out: config.scale_channels(HEAD_CHANNELS),
+            classes: 1000,
+        }
+    }
+
+    /// The configuration this space was built with.
+    pub fn config(&self) -> SpaceConfig {
+        self.config
+    }
+
+    /// Shape context of every searchable slot, in network order.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Stem output channels (input to the fixed bottleneck).
+    pub fn stem_out(&self) -> usize {
+        self.stem_out
+    }
+
+    /// Fixed-bottleneck output channels (input to the first searchable slot).
+    pub fn fixed_out(&self) -> usize {
+        self.fixed_out
+    }
+
+    /// Head feature width before the classifier.
+    pub fn head_out(&self) -> usize {
+        self.head_out
+    }
+
+    /// Number of classes of the target task.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Spatial side after the stem (input to the fixed bottleneck).
+    pub fn stem_resolution(&self) -> usize {
+        self.config.resolution.div_ceil(2)
+    }
+
+    /// Spatial side at the network's final feature map.
+    pub fn final_resolution(&self) -> usize {
+        self.layers.last().expect("space has layers").hout()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEARCHABLE_LAYERS;
+
+    #[test]
+    fn standard_space_has_21_searchable_layers() {
+        let s = SearchSpace::standard();
+        assert_eq!(s.layers().len(), SEARCHABLE_LAYERS);
+    }
+
+    #[test]
+    fn resolutions_follow_the_stride_plan() {
+        let s = SearchSpace::standard();
+        // 224 -> stem 112 -> 56 -> 28 -> 14 -> 14 -> 7 -> 7.
+        assert_eq!(s.stem_resolution(), 112);
+        assert_eq!(s.layers()[0].hin, 112);
+        assert_eq!(s.layers()[4].hin, 56);
+        assert_eq!(s.layers()[8].hin, 28);
+        assert_eq!(s.layers()[12].hin, 14);
+        assert_eq!(s.layers()[16].hin, 14);
+        assert_eq!(s.layers()[20].hin, 7);
+        assert_eq!(s.final_resolution(), 7);
+    }
+
+    #[test]
+    fn channels_are_contiguous() {
+        let s = SearchSpace::standard();
+        let mut cin = s.fixed_out();
+        for l in s.layers() {
+            assert_eq!(l.cin, cin, "channel chain broken");
+            cin = l.cout;
+        }
+    }
+
+    #[test]
+    fn skip_identity_only_on_non_reduction_layers() {
+        let s = SearchSpace::standard();
+        for (i, l) in s.layers().iter().enumerate() {
+            let expect = l.stride == 1 && l.cin == l.cout;
+            assert_eq!(l.skip_is_identity(), expect, "layer {i}");
+        }
+        // First layer of each stage is a reduction (channel change).
+        assert!(!s.layers()[0].skip_is_identity());
+        assert!(s.layers()[1].skip_is_identity());
+    }
+
+    #[test]
+    fn width_scaling_rounds_to_multiples_of_eight() {
+        let cfg = SpaceConfig { resolution: 224, width_mult: 0.75 };
+        let s = SearchSpace::with_config(cfg);
+        for l in s.layers() {
+            assert_eq!(l.cout % 8, 0, "channels {} not multiple of 8", l.cout);
+        }
+        assert_eq!(cfg.scale_channels(24), 16); // 18 -> round to 16
+        assert_eq!(cfg.scale_channels(32), 24);
+    }
+
+    #[test]
+    fn smaller_resolution_shrinks_feature_maps() {
+        let s160 = SearchSpace::with_config(SpaceConfig { resolution: 160, width_mult: 1.0 });
+        assert_eq!(s160.stem_resolution(), 80);
+        assert_eq!(s160.final_resolution(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_resolution_rejected() {
+        let _ = SearchSpace::with_config(SpaceConfig { resolution: 16, width_mult: 1.0 });
+    }
+}

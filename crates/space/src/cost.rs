@@ -1,0 +1,324 @@
+//! Analytic cost counters: multiply-adds, parameters and activation traffic.
+//!
+//! These counters serve three purposes: the FLOPs axis of Fig. 2, the FLOPs
+//! column of Table 4, and the per-kernel workload description the Jetson
+//! simulator (`lightnas-hw`) turns into latency and energy.
+
+use crate::{LayerSpec, Operator, SearchSpace};
+
+/// Cost breakdown of a single operator slot.
+///
+/// `flops` counts multiply-adds (the paper's "multi-add operations");
+/// activation/weight sizes are in elements (×4 for bytes at f32).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerCost {
+    /// Multiply-add operations.
+    pub flops: u64,
+    /// Trainable parameters.
+    pub params: u64,
+    /// Input activation elements read.
+    pub act_in: u64,
+    /// Output activation elements written.
+    pub act_out: u64,
+    /// Number of device kernels launched for this slot.
+    pub kernels: u32,
+}
+
+impl std::ops::Add for LayerCost {
+    type Output = LayerCost;
+
+    /// Elementwise sum of two costs.
+    fn add(self, other: LayerCost) -> LayerCost {
+        LayerCost {
+            flops: self.flops + other.flops,
+            params: self.params + other.params,
+            act_in: self.act_in + other.act_in,
+            act_out: self.act_out + other.act_out,
+            kernels: self.kernels + other.kernels,
+        }
+    }
+}
+
+/// Whole-network cost: fixed parts plus every slot.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetworkCost {
+    /// Per-searchable-slot costs, in network order.
+    pub per_layer: Vec<LayerCost>,
+    /// Stem + fixed bottleneck + head cost.
+    pub fixed: LayerCost,
+}
+
+impl NetworkCost {
+    /// Total multiply-adds.
+    pub fn total_flops(&self) -> u64 {
+        self.fixed.flops + self.per_layer.iter().map(|c| c.flops).sum::<u64>()
+    }
+
+    /// Total parameters.
+    pub fn total_params(&self) -> u64 {
+        self.fixed.params + self.per_layer.iter().map(|c| c.params).sum::<u64>()
+    }
+
+    /// Total kernels launched per inference.
+    pub fn total_kernels(&self) -> u32 {
+        self.fixed.kernels + self.per_layer.iter().map(|c| c.kernels).sum::<u32>()
+    }
+
+    /// Total multiply-adds in millions (the unit of Table 4).
+    pub fn mflops(&self) -> f64 {
+        self.total_flops() as f64 / 1e6
+    }
+}
+
+/// Cost of `op` placed in slot `spec`, optionally with a Squeeze-and-
+/// Excitation module after its depthwise stage.
+pub fn layer_cost(op: Operator, spec: &LayerSpec, with_se: bool) -> LayerCost {
+    let hin = spec.hin as u64;
+    let hout = spec.hout() as u64;
+    let (cin, cout) = (spec.cin as u64, spec.cout as u64);
+    match op {
+        Operator::SkipConnect => {
+            if spec.skip_is_identity() {
+                // Pure identity: no compute, no traffic beyond aliasing.
+                LayerCost { flops: 0, params: 0, act_in: 0, act_out: 0, kernels: 0 }
+            } else {
+                // Stride-matched average pool + zero channel pad: one cheap
+                // memory-bound kernel.
+                LayerCost {
+                    flops: hout * hout * cin, // pooling adds
+                    params: 0,
+                    act_in: hin * hin * cin,
+                    act_out: hout * hout * cout,
+                    kernels: 1,
+                }
+            }
+        }
+        Operator::MbConv { kernel, expansion } => {
+            let k = kernel.size() as u64;
+            let e = expansion.ratio() as u64;
+            let mid = cin * e;
+            // 1x1 expansion at full input resolution.
+            let expand = LayerCost {
+                flops: hin * hin * cin * mid,
+                params: cin * mid + 2 * mid, // conv + channel affine
+                act_in: hin * hin * cin,
+                act_out: hin * hin * mid,
+                kernels: 1,
+            };
+            // k x k depthwise at the slot's stride.
+            let dw = LayerCost {
+                flops: hout * hout * mid * k * k,
+                params: mid * k * k + 2 * mid,
+                act_in: hin * hin * mid,
+                act_out: hout * hout * mid,
+                kernels: 1,
+            };
+            // Optional SE after the depthwise stage (reduction 4).
+            let se = if with_se {
+                let hidden = (mid / 4).max(1);
+                LayerCost {
+                    flops: mid * hidden * 2 + hout * hout * mid,
+                    params: 2 * mid * hidden + mid + hidden,
+                    act_in: hout * hout * mid,
+                    act_out: hout * hout * mid,
+                    kernels: 2,
+                }
+            } else {
+                LayerCost::default()
+            };
+            // 1x1 projection.
+            let project = LayerCost {
+                flops: hout * hout * mid * cout,
+                params: mid * cout + 2 * cout,
+                act_in: hout * hout * mid,
+                act_out: hout * hout * cout,
+                kernels: 1,
+            };
+            expand + dw + se + project
+        }
+    }
+}
+
+/// Cost of the fixed parts every architecture shares: the 3×3 stride-2 stem,
+/// the expansion-1 first bottleneck and the 1×1 + pool + FC head.
+pub fn fixed_cost(space: &SearchSpace) -> LayerCost {
+    let res = space.config().resolution as u64;
+    let h_stem = space.stem_resolution() as u64;
+    let stem_out = space.stem_out() as u64;
+    let fixed_out = space.fixed_out() as u64;
+    let head_in = space.layers().last().expect("layers").cout as u64;
+    let head_out = space.head_out() as u64;
+    let h_final = space.final_resolution() as u64;
+    let classes = space.classes() as u64;
+
+    let stem = LayerCost {
+        flops: h_stem * h_stem * 3 * stem_out * 9,
+        params: 3 * stem_out * 9 + 2 * stem_out,
+        act_in: res * res * 3,
+        act_out: h_stem * h_stem * stem_out,
+        kernels: 1,
+    };
+    // Fixed bottleneck: expansion 1 => depthwise 3x3 + 1x1 project.
+    let fixed_block = LayerCost {
+        flops: h_stem * h_stem * stem_out * 9 + h_stem * h_stem * stem_out * fixed_out,
+        params: stem_out * 9 + stem_out * fixed_out + 2 * (stem_out + fixed_out),
+        act_in: h_stem * h_stem * stem_out,
+        act_out: h_stem * h_stem * fixed_out,
+        kernels: 2,
+    };
+    let head = LayerCost {
+        flops: h_final * h_final * head_in * head_out + head_out * classes,
+        params: head_in * head_out + head_out * classes + classes,
+        act_in: h_final * h_final * head_in,
+        act_out: classes,
+        kernels: 3, // 1x1 conv, pool, fc
+    };
+    stem + fixed_block + head
+}
+
+/// Full cost of an operator assignment over the space.
+///
+/// # Panics
+///
+/// Panics if `ops.len()` differs from the number of searchable slots.
+pub fn network_cost(space: &SearchSpace, ops: &[Operator], se_tail: usize) -> NetworkCost {
+    assert_eq!(
+        ops.len(),
+        space.layers().len(),
+        "operator count {} does not match space ({} slots)",
+        ops.len(),
+        space.layers().len()
+    );
+    let n = ops.len();
+    let per_layer = ops
+        .iter()
+        .zip(space.layers())
+        .enumerate()
+        .map(|(i, (&op, spec))| layer_cost(op, spec, i + se_tail >= n))
+        .collect();
+    NetworkCost { per_layer, fixed: fixed_cost(space) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Expansion, Kernel, SEARCHABLE_LAYERS};
+
+    fn all_op(op: Operator) -> Vec<Operator> {
+        vec![op; SEARCHABLE_LAYERS]
+    }
+
+    #[test]
+    fn mobilenet_like_flops_are_in_the_expected_range() {
+        // All-K3E6 (≈ MobileNetV2) should land in the standard mobile range
+        // of roughly 300-600M multiply-adds at 224x224.
+        let space = SearchSpace::standard();
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let cost = network_cost(&space, &all_op(op), 0);
+        let m = cost.mflops();
+        assert!(m > 250.0 && m < 650.0, "unexpected MAdds: {m}M");
+    }
+
+    #[test]
+    fn bigger_kernels_cost_more() {
+        let space = SearchSpace::standard();
+        let k3 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let k7 = Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 };
+        let c3 = network_cost(&space, &all_op(k3), 0).total_flops();
+        let c7 = network_cost(&space, &all_op(k7), 0).total_flops();
+        assert!(c7 > c3);
+    }
+
+    #[test]
+    fn bigger_expansion_costs_more() {
+        let space = SearchSpace::standard();
+        let e3 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 };
+        let e6 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        assert!(
+            network_cost(&space, &all_op(e6), 0).total_flops()
+                > network_cost(&space, &all_op(e3), 0).total_flops()
+        );
+    }
+
+    #[test]
+    fn identity_skip_is_free() {
+        let space = SearchSpace::standard();
+        // Layer 1 (second of stage 0) is non-reduction.
+        let spec = &space.layers()[1];
+        assert!(spec.skip_is_identity());
+        let c = layer_cost(Operator::SkipConnect, spec, false);
+        assert_eq!(c.flops, 0);
+        assert_eq!(c.params, 0);
+        assert_eq!(c.kernels, 0);
+    }
+
+    #[test]
+    fn reduction_skip_is_cheap_but_not_free() {
+        let space = SearchSpace::standard();
+        let spec = &space.layers()[0]; // stride-2, channel-changing
+        assert!(!spec.skip_is_identity());
+        let skip = layer_cost(Operator::SkipConnect, spec, false);
+        let conv = layer_cost(
+            Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 },
+            spec,
+            false,
+        );
+        assert!(skip.flops > 0);
+        assert!(skip.flops < conv.flops / 100, "skip should be ≪ any MBConv");
+    }
+
+    #[test]
+    fn se_adds_modest_flops_and_params() {
+        let space = SearchSpace::standard();
+        let spec = &space.layers()[20];
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let plain = layer_cost(op, spec, false);
+        let with_se = layer_cost(op, spec, true);
+        assert!(with_se.flops > plain.flops);
+        assert!(with_se.params > plain.params);
+        // SE overhead is small relative to the block (Table 4: +2..4M on ~400M).
+        assert!((with_se.flops - plain.flops) < plain.flops / 5);
+    }
+
+    #[test]
+    fn se_tail_applies_to_last_layers_only() {
+        let space = SearchSpace::standard();
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let plain = network_cost(&space, &all_op(op), 0);
+        let se9 = network_cost(&space, &all_op(op), 9);
+        for i in 0..SEARCHABLE_LAYERS {
+            if i < SEARCHABLE_LAYERS - 9 {
+                assert_eq!(plain.per_layer[i], se9.per_layer[i], "layer {i} should be unchanged");
+            } else {
+                assert!(se9.per_layer[i].flops > plain.per_layer[i].flops, "layer {i} should gain SE");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_cost_is_shared_by_all_architectures() {
+        let space = SearchSpace::standard();
+        let a = network_cost(&space, &all_op(Operator::SkipConnect), 0);
+        let b = network_cost(
+            &space,
+            &all_op(Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 }),
+            0,
+        );
+        assert_eq!(a.fixed, b.fixed);
+        assert!(a.fixed.flops > 0);
+    }
+
+    #[test]
+    fn lower_resolution_reduces_flops_quadratically() {
+        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let full = SearchSpace::standard();
+        let half = SearchSpace::with_config(crate::SpaceConfig {
+            resolution: 112,
+            width_mult: 1.0,
+        });
+        let f_full = network_cost(&full, &all_op(op), 0).total_flops() as f64;
+        let f_half = network_cost(&half, &all_op(op), 0).total_flops() as f64;
+        let ratio = f_full / f_half;
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio} not ≈ 4");
+    }
+}

@@ -1,0 +1,219 @@
+//! The per-layer operator candidates `O = {o_k}` (paper Sec. 3.1).
+
+use std::fmt;
+
+use crate::NUM_OPS;
+
+/// Depthwise kernel size of an MBConv block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Kernel {
+    /// 3 × 3.
+    K3,
+    /// 5 × 5.
+    K5,
+    /// 7 × 7.
+    K7,
+}
+
+impl Kernel {
+    /// Kernel side length.
+    pub fn size(self) -> usize {
+        match self {
+            Kernel::K3 => 3,
+            Kernel::K5 => 5,
+            Kernel::K7 => 7,
+        }
+    }
+}
+
+/// Expansion ratio of an MBConv block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expansion {
+    /// ×3.
+    E3,
+    /// ×6.
+    E6,
+}
+
+impl Expansion {
+    /// The numeric ratio.
+    pub fn ratio(self) -> usize {
+        match self {
+            Expansion::E3 => 3,
+            Expansion::E6 => 6,
+        }
+    }
+}
+
+/// One candidate operator for a searchable layer slot.
+///
+/// The operator space follows the paper exactly: six MBConv variants
+/// (kernel ∈ {3, 5, 7} × expansion ∈ {3, 6}) plus the computation-free
+/// `SkipConnect`, so `K = 7` (Sec. 3.1).
+///
+/// On layers that change resolution or channel count, `SkipConnect` is
+/// realized as stride-matched average pooling with zero channel padding —
+/// parameter-free and computationally negligible — so that all seven
+/// candidates stay legal in every slot and `|A| = 7²¹` holds as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operator {
+    /// MobileNetV2 inverted residual block with the given kernel/expansion.
+    MbConv {
+        /// Depthwise kernel size.
+        kernel: Kernel,
+        /// Channel expansion ratio.
+        expansion: Expansion,
+    },
+    /// Identity (or stride-matched pooling on reduction layers).
+    SkipConnect,
+}
+
+impl Operator {
+    /// All `K = 7` candidates in canonical index order.
+    ///
+    /// The order is the one used by the `ᾱ` encoding (Eq. 4) and the
+    /// architecture parameters `α`: MBConv (3,3), (3,6), (5,3), (5,6),
+    /// (7,3), (7,6), then SkipConnect.
+    pub const ALL: [Operator; NUM_OPS] = [
+        Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 },
+        Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 },
+        Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E3 },
+        Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 },
+        Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E3 },
+        Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 },
+        Operator::SkipConnect,
+    ];
+
+    /// The canonical index of this operator in [`Operator::ALL`].
+    pub fn index(self) -> usize {
+        Operator::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("operator is one of the canonical seven")
+    }
+
+    /// The operator at canonical index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 7`.
+    pub fn from_index(idx: usize) -> Self {
+        Operator::ALL[idx]
+    }
+
+    /// `true` for `SkipConnect`.
+    pub fn is_skip(self) -> bool {
+        matches!(self, Operator::SkipConnect)
+    }
+
+    /// Depthwise kernel size, or `None` for skip.
+    pub fn kernel(self) -> Option<Kernel> {
+        match self {
+            Operator::MbConv { kernel, .. } => Some(kernel),
+            Operator::SkipConnect => None,
+        }
+    }
+
+    /// Expansion ratio, or `None` for skip.
+    pub fn expansion(self) -> Option<Expansion> {
+        match self {
+            Operator::MbConv { expansion, .. } => Some(expansion),
+            Operator::SkipConnect => None,
+        }
+    }
+
+    /// Short display label, e.g. `K3E6` or `Skip` (used by Fig. 6 diagrams).
+    pub fn label(self) -> String {
+        match self {
+            Operator::MbConv { kernel, expansion } => {
+                format!("K{}E{}", kernel.size(), expansion.ratio())
+            }
+            Operator::SkipConnect => "Skip".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Error returned when parsing an operator label fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOperatorError {
+    input: String,
+}
+
+impl fmt::Display for ParseOperatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown operator {:?} (expected K{{3,5,7}}E{{3,6}} or Skip)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseOperatorError {}
+
+impl std::str::FromStr for Operator {
+    type Err = ParseOperatorError;
+
+    /// Parses the labels produced by [`Operator::label`], case-insensitively:
+    /// `K3E6`, `k5e3`, `Skip`, `skip`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        if lower == "skip" {
+            return Ok(Operator::SkipConnect);
+        }
+        for &op in &Operator::ALL {
+            if op.label().to_ascii_lowercase() == lower {
+                return Ok(op);
+            }
+        }
+        Err(ParseOperatorError { input: s.to_string() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for (i, &op) in Operator::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+            assert_eq!(Operator::from_index(i), op);
+        }
+    }
+
+    #[test]
+    fn there_are_seven_ops() {
+        assert_eq!(Operator::ALL.len(), 7);
+        assert_eq!(Operator::ALL.iter().filter(|o| o.is_skip()).count(), 1);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = Operator::ALL.iter().map(|o| o.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn kernel_and_expansion_accessors() {
+        let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 };
+        assert_eq!(op.kernel().map(Kernel::size), Some(5));
+        assert_eq!(op.expansion().map(Expansion::ratio), Some(6));
+        assert_eq!(Operator::SkipConnect.kernel(), None);
+        assert_eq!(Operator::SkipConnect.expansion(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_index_rejects_out_of_range() {
+        let _ = Operator::from_index(7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Model-scaling baselines (Fig. 9).
+//!
+//! The paper compares LightNets against the classical alternative for
+//! hitting a latency target: scaling MobileNetV2's width or input resolution
+//! (Tan et al., MnasNet). This module provides the MobileNetV2 base
+//! architecture in our operator space and the scaled-variant grid.
+
+use crate::{Architecture, Expansion, Kernel, Operator, SpaceConfig};
+
+/// MobileNetV2 expressed in the search space: every searchable slot is
+/// `MBConv K3 E6` (the paper's observation that MobileNetV2 "simply stacks
+/// the same operator across all network layers", Sec. 4.2).
+pub fn mobilenet_v2() -> Architecture {
+    Architecture::homogeneous(Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 })
+}
+
+/// Which axis a scaled variant changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingAxis {
+    /// Channel width multiplier.
+    Width,
+    /// Input resolution.
+    Resolution,
+}
+
+/// One point on the MobileNetV2 scaling curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaledVariant {
+    /// Human-readable label, e.g. `MBV2 x1.3` or `MBV2 @192`.
+    pub label: String,
+    /// Which axis was scaled.
+    pub axis: ScalingAxis,
+    /// The space configuration realizing the variant.
+    pub config: SpaceConfig,
+}
+
+/// The scaling grid used by the Fig. 9 comparison: width multipliers at
+/// 224 × 224 plus resolution scaling at width 1.0.
+///
+/// The grid spans the same latency range as the LightNet constraints
+/// (≈ 14–40 ms on the simulated Xavier).
+pub fn scaled_variants() -> Vec<ScaledVariant> {
+    let mut out = Vec::new();
+    for &w in &[0.75f32, 0.9, 1.0, 1.15, 1.3, 1.4] {
+        out.push(ScaledVariant {
+            label: format!("MBV2 x{w:.2}"),
+            axis: ScalingAxis::Width,
+            config: SpaceConfig { resolution: 224, width_mult: w },
+        });
+    }
+    for &r in &[160usize, 176, 192, 208] {
+        out.push(ScaledVariant {
+            label: format!("MBV2 @{r}"),
+            axis: ScalingAxis::Resolution,
+            config: SpaceConfig { resolution: r, width_mult: 1.0 },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SearchSpace;
+
+    #[test]
+    fn mobilenet_v2_is_homogeneous_k3e6() {
+        let m = mobilenet_v2();
+        for op in m.ops() {
+            assert_eq!(op.label(), "K3E6");
+        }
+    }
+
+    #[test]
+    fn grid_covers_both_axes() {
+        let grid = scaled_variants();
+        assert!(grid.iter().any(|v| v.axis == ScalingAxis::Width));
+        assert!(grid.iter().any(|v| v.axis == ScalingAxis::Resolution));
+        assert!(grid.len() >= 8);
+    }
+
+    #[test]
+    fn width_scaling_changes_flops_monotonically() {
+        let m = mobilenet_v2();
+        let mut widths: Vec<(f32, u64)> = scaled_variants()
+            .into_iter()
+            .filter(|v| v.axis == ScalingAxis::Width)
+            .map(|v| {
+                let space = SearchSpace::with_config(v.config);
+                (v.config.width_mult, m.flops(&space).total_flops())
+            })
+            .collect();
+        widths.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in widths.windows(2) {
+            assert!(pair[1].1 > pair[0].1, "FLOPs not monotone in width");
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<String> = scaled_variants().into_iter().map(|v| v.label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), scaled_variants().len());
+    }
+}

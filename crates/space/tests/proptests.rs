@@ -1,0 +1,103 @@
+//! Property-based invariants of the search-space description.
+
+use proptest::prelude::*;
+
+use lightnas_space::{
+    layer_cost, mobilenet_v2, network_cost, Architecture, Operator, SearchSpace, SpaceConfig,
+    NUM_OPS, SEARCHABLE_LAYERS,
+};
+
+fn arb_ops() -> impl Strategy<Value = Vec<Operator>> {
+    proptest::collection::vec(0..NUM_OPS, SEARCHABLE_LAYERS)
+        .prop_map(|v| v.into_iter().map(Operator::from_index).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cost_is_additive_over_layers(ops in arb_ops()) {
+        let space = SearchSpace::standard();
+        let cost = network_cost(&space, &ops, 0);
+        let sum: u64 = ops
+            .iter()
+            .zip(space.layers())
+            .map(|(&op, spec)| layer_cost(op, spec, false).flops)
+            .sum();
+        prop_assert_eq!(cost.total_flops(), sum + cost.fixed.flops);
+    }
+
+    #[test]
+    fn params_fit_in_the_mobile_regime(ops in arb_ops()) {
+        let space = SearchSpace::standard();
+        let params = network_cost(&space, &ops, 0).total_params();
+        // All candidates stay within 2M .. 20M parameters — the regime the
+        // paper's mobile setting implies.
+        prop_assert!(params > 2_000_000, "params {} too small", params);
+        prop_assert!(params < 20_000_000, "params {} too large", params);
+    }
+
+    #[test]
+    fn flops_under_the_600m_mobile_budget(ops in arb_ops()) {
+        // The paper: "the number of multi-add operations is strictly under
+        // 600M during the runtime inference" — the whole space complies.
+        let space = SearchSpace::standard();
+        let m = network_cost(&space, &ops, 0).mflops();
+        prop_assert!(m < 600.0, "{}M multi-adds exceeds the mobile budget", m);
+    }
+
+    #[test]
+    fn encode_rows_are_one_hot(ops in arb_ops()) {
+        let arch = Architecture::new(ops);
+        let enc = arch.encode();
+        for l in 0..22 {
+            let row = &enc[l * NUM_OPS..(l + 1) * NUM_OPS];
+            let ones = row.iter().filter(|&&v| v == 1.0).count();
+            let zeros = row.iter().filter(|&&v| v == 0.0).count();
+            prop_assert_eq!(ones, 1, "row {} not one-hot", l);
+            prop_assert_eq!(zeros, NUM_OPS - 1);
+        }
+    }
+
+    #[test]
+    fn mutate_preserves_length_and_changes_one(ops in arb_ops(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let arch = Architecture::new(ops);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mutated = arch.mutate(&mut rng);
+        prop_assert_eq!(mutated.ops().len(), arch.ops().len());
+        let diffs = arch.ops().iter().zip(mutated.ops()).filter(|(a, b)| a != b).count();
+        prop_assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn width_multiplier_scales_channels_monotonically(w in 0.5f32..2.0) {
+        let cfg = SpaceConfig { resolution: 224, width_mult: w };
+        let base = SpaceConfig::default();
+        for ch in [16usize, 24, 32, 64, 112, 184, 352] {
+            let scaled = cfg.scale_channels(ch);
+            prop_assert_eq!(scaled % 8, 0);
+            if w >= 1.0 {
+                prop_assert!(scaled >= base.scale_channels(ch) * 7 / 8);
+            }
+        }
+    }
+
+    #[test]
+    fn resolutions_never_collapse(res in 32usize..512) {
+        let space = SearchSpace::with_config(SpaceConfig { resolution: res, width_mult: 1.0 });
+        prop_assert!(space.final_resolution() >= 1);
+        for l in space.layers() {
+            prop_assert!(l.hin >= 1);
+        }
+    }
+}
+
+#[test]
+fn mobilenet_v2_flops_anchor() {
+    // The canonical MobileNetV2 sits near 300-460M multi-adds depending on
+    // the head; ours must stay inside that envelope.
+    let space = SearchSpace::standard();
+    let m = mobilenet_v2().flops(&space).mflops();
+    assert!((250.0..550.0).contains(&m), "MobileNetV2 MAdds {m}M out of envelope");
+}

@@ -1,0 +1,836 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! The [`Graph`] is a define-by-run tape: every operation appends a node
+//! holding its inputs, its computed value and enough auxiliary data for the
+//! backward pass. [`Graph::backward`] seeds the scalar loss with gradient 1
+//! and walks the tape in reverse, accumulating gradients into every node that
+//! (transitively) depends on a [`Graph::parameter`].
+//!
+//! Training loops rebuild the graph each step and keep the canonical
+//! parameter values outside the graph (see `lightnas-nn`): after `backward`
+//! the trainer reads [`Graph::grad`] for each parameter [`Var`] and applies
+//! its optimizer update to the external store.
+
+// Index-based loops over channel/spatial blocks mirror the math and keep
+// offset arithmetic visible; iterator-chain rewrites obscure it.
+#![allow(clippy::needless_range_loop)]
+
+use crate::im2col::{conv2d_backward_fast, conv2d_forward_fast};
+use crate::tensor::{dwconv2d_backward, dwconv2d_forward, Conv2dSpec};
+use crate::Tensor;
+
+/// Handle to a node in a [`Graph`].
+///
+/// A `Var` is only meaningful for the graph that created it; using it with
+/// another graph yields unspecified values or panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// The node's position in its graph's tape (useful for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    /// Leaf without gradient (data, labels, frozen constants).
+    Input,
+    /// Leaf with gradient (trainable weight).
+    Parameter,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    AddScalar(Var),
+    Matmul(Var, Var),
+    Relu(Var),
+    Relu6(Var),
+    Sigmoid(Var),
+    /// `[m, n] + [n]` broadcast bias.
+    AddRowBias(Var, Var),
+    /// `[n, c, h, w] + [c]` broadcast bias.
+    AddChannelBias(Var, Var),
+    /// `[n, c, h, w] * [n, c]` per-sample channel gate (Squeeze-and-Excitation).
+    MulChannelGate(Var, Var),
+    Conv2d { x: Var, w: Var, spec: Conv2dSpec },
+    DwConv2d { x: Var, w: Var, spec: Conv2dSpec },
+    /// `[n, c, h, w] -> [n, c]` spatial mean.
+    GlobalAvgPool(Var),
+    Reshape(Var),
+    Sum(Var),
+    Mean(Var),
+    /// Weighted sum of same-shaped tensors by a coefficient vector `[k]`.
+    Mix { coeffs: Var, inputs: Vec<Var> },
+    /// Mean softmax cross-entropy over a batch; `probs` caches softmax(logits).
+    SoftmaxCrossEntropy { logits: Var, targets: Vec<usize>, probs: Tensor },
+    /// Mean squared error against a constant target.
+    MseLoss { pred: Var, target: Tensor },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    requires_grad: bool,
+}
+
+/// A reverse-mode autodiff tape.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
+        self.nodes.push(Node { op, value, requires_grad });
+        self.grads.push(None);
+        Var(self.nodes.len() - 1)
+    }
+
+    fn rg(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Registers a non-trainable leaf (input data, labels, constants).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(Op::Input, value, false)
+    }
+
+    /// Registers a trainable leaf whose gradient is computed by [`backward`].
+    ///
+    /// [`backward`]: Graph::backward
+    pub fn parameter(&mut self, value: Tensor) -> Var {
+        self.push(Op::Parameter, value, true)
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`backward`] loss w.r.t. `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backward` has not been run or `v` received no gradient
+    /// (e.g. it does not require one).
+    ///
+    /// [`backward`]: Graph::backward
+    pub fn grad(&self, v: Var) -> &Tensor {
+        self.grads[v.0]
+            .as_ref()
+            .unwrap_or_else(|| panic!("no gradient for node {} (run backward first?)", v.0))
+    }
+
+    /// The gradient of `v`, or `None` if it received none.
+    pub fn grad_opt(&self, v: Var) -> Option<&Tensor> {
+        self.grads[v.0].as_ref()
+    }
+
+    /// Elementwise sum. Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Add(a, b), value, rg)
+    }
+
+    /// Elementwise difference. Panics on shape mismatch.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Sub(a, b), value, rg)
+    }
+
+    /// Elementwise product. Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Mul(a, b), value, rg)
+    }
+
+    /// Multiplies every element by the constant `s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        let rg = self.rg(a);
+        self.push(Op::Scale(a, s), value, rg)
+    }
+
+    /// Adds the constant `s` to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|x| x + s);
+        let rg = self.rg(a);
+        self.push(Op::AddScalar(a), value, rg)
+    }
+
+    /// Matrix product of rank-2 tensors. Panics on shape mismatch.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::Matmul(a, b), value, rg)
+    }
+
+    /// Rectified linear unit `max(x, 0)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.max(0.0));
+        let rg = self.rg(a);
+        self.push(Op::Relu(a), value, rg)
+    }
+
+    /// `min(max(x, 0), 6)` — the activation used by MobileNetV2.
+    pub fn relu6(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| x.clamp(0.0, 6.0));
+        let rg = self.rg(a);
+        self.push(Op::Relu6(a), value, rg)
+    }
+
+    /// Logistic sigmoid, used by the Squeeze-and-Excitation gate.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let rg = self.rg(a);
+        self.push(Op::Sigmoid(a), value, rg)
+    }
+
+    /// Adds bias `b` of shape `[n]` to every row of `a` of shape `[m, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes are not `[m, n]` and `[n]`.
+    pub fn add_row_bias(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape().rank(), 2, "add_row_bias lhs must be rank-2, got {}", av.shape());
+        assert_eq!(bv.shape().rank(), 1, "add_row_bias bias must be rank-1, got {}", bv.shape());
+        let (m, n) = (av.shape().dim(0), av.shape().dim(1));
+        assert_eq!(n, bv.shape().dim(0), "bias size mismatch: {} vs {}", av.shape(), bv.shape());
+        let mut out = av.clone();
+        {
+            let o = out.as_mut_slice();
+            let bs = bv.as_slice();
+            for i in 0..m {
+                for j in 0..n {
+                    o[i * n + j] += bs[j];
+                }
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::AddRowBias(a, b), out, rg)
+    }
+
+    /// Adds bias `b` of shape `[c]` to every spatial position of `a` of shape
+    /// `[n, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or channel mismatch.
+    pub fn add_channel_bias(&mut self, a: Var, b: Var) -> Var {
+        let (av, bv) = (self.value(a), self.value(b));
+        assert_eq!(av.shape().rank(), 4, "add_channel_bias lhs must be rank-4, got {}", av.shape());
+        let c = av.shape().dim(1);
+        assert_eq!(bv.shape().dims(), [c], "channel bias must be [{c}], got {}", bv.shape());
+        let hw = av.shape().dim(2) * av.shape().dim(3);
+        let n = av.shape().dim(0);
+        let mut out = av.clone();
+        {
+            let o = out.as_mut_slice();
+            let bs = bv.as_slice();
+            for b_i in 0..n {
+                for ch in 0..c {
+                    let base = (b_i * c + ch) * hw;
+                    for k in 0..hw {
+                        o[base + k] += bs[ch];
+                    }
+                }
+            }
+        }
+        let rg = self.rg(a) || self.rg(b);
+        self.push(Op::AddChannelBias(a, b), out, rg)
+    }
+
+    /// Multiplies `a` of shape `[n, c, h, w]` by a per-sample channel gate of
+    /// shape `[n, c]` (the Squeeze-and-Excitation recalibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or dimension mismatch.
+    pub fn mul_channel_gate(&mut self, a: Var, gate: Var) -> Var {
+        let (av, gv) = (self.value(a), self.value(gate));
+        assert_eq!(av.shape().rank(), 4, "mul_channel_gate lhs must be rank-4, got {}", av.shape());
+        assert_eq!(gv.shape().rank(), 2, "gate must be rank-2, got {}", gv.shape());
+        let (n, c) = (av.shape().dim(0), av.shape().dim(1));
+        assert_eq!(gv.shape().dims(), [n, c], "gate must be [{n}, {c}], got {}", gv.shape());
+        let hw = av.shape().dim(2) * av.shape().dim(3);
+        let mut out = av.clone();
+        {
+            let o = out.as_mut_slice();
+            let gs = gv.as_slice();
+            for b_i in 0..n {
+                for ch in 0..c {
+                    let g = gs[b_i * c + ch];
+                    let base = (b_i * c + ch) * hw;
+                    for k in 0..hw {
+                        o[base + k] *= g;
+                    }
+                }
+            }
+        }
+        let rg = self.rg(a) || self.rg(gate);
+        self.push(Op::MulChannelGate(a, gate), out, rg)
+    }
+
+    /// Full 2-D convolution (see [`crate::conv2d_forward`] for shape
+    /// conventions); computed through the im2col fast path.
+    pub fn conv2d(&mut self, x: Var, w: Var, spec: Conv2dSpec) -> Var {
+        let value = conv2d_forward_fast(self.value(x), self.value(w), spec);
+        let rg = self.rg(x) || self.rg(w);
+        self.push(Op::Conv2d { x, w, spec }, value, rg)
+    }
+
+    /// Depthwise 2-D convolution (see [`dwconv2d_forward`]).
+    pub fn dwconv2d(&mut self, x: Var, w: Var, spec: Conv2dSpec) -> Var {
+        let value = dwconv2d_forward(self.value(x), self.value(w), spec);
+        let rg = self.rg(x) || self.rg(w);
+        self.push(Op::DwConv2d { x, w, spec }, value, rg)
+    }
+
+    /// Spatial mean over `h, w`: `[n, c, h, w] -> [n, c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not rank-4.
+    pub fn global_avg_pool(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.shape().rank(), 4, "global_avg_pool input must be rank-4, got {}", av.shape());
+        let (n, c, h, w) = (
+            av.shape().dim(0),
+            av.shape().dim(1),
+            av.shape().dim(2),
+            av.shape().dim(3),
+        );
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        {
+            let o = out.as_mut_slice();
+            let x = av.as_slice();
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * h * w;
+                    let s: f32 = x[base..base + h * w].iter().sum();
+                    o[b * c + ch] = s / hw;
+                }
+            }
+        }
+        let rg = self.rg(a);
+        self.push(Op::GlobalAvgPool(a), out, rg)
+    }
+
+    /// Reinterprets `a` with a new shape of equal element count.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let value = self.value(a).reshape(shape);
+        let rg = self.rg(a);
+        self.push(Op::Reshape(a), value, rg)
+    }
+
+    /// Sum of all elements (scalar output).
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).sum());
+        let rg = self.rg(a);
+        self.push(Op::Sum(a), value, rg)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Tensor::scalar(self.value(a).mean());
+        let rg = self.rg(a);
+        self.push(Op::Mean(a), value, rg)
+    }
+
+    /// Weighted sum `Σ_k coeffs[k] · inputs[k]` of same-shaped tensors.
+    ///
+    /// This is the multi-path mixing primitive of DARTS/FBNet-style supernets
+    /// (Eq. 1 of the paper): the gradient flows both into every candidate
+    /// branch and into the architecture coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is not rank-1 of length `inputs.len()`, if `inputs`
+    /// is empty, or if the input shapes differ.
+    pub fn mix(&mut self, coeffs: Var, inputs: &[Var]) -> Var {
+        assert!(!inputs.is_empty(), "mix requires at least one input");
+        let cv = self.value(coeffs);
+        assert_eq!(
+            cv.shape().dims(),
+            [inputs.len()],
+            "coeffs must be [{}], got {}",
+            inputs.len(),
+            cv.shape()
+        );
+        let shape = self.value(inputs[0]).shape().clone();
+        let mut out = Tensor::zeros(shape.dims());
+        for (k, &v) in inputs.iter().enumerate() {
+            let xv = self.value(v);
+            assert_eq!(xv.shape(), &shape, "mix input {k} shape mismatch");
+            let c = self.value(coeffs).as_slice()[k];
+            out.add_scaled_assign(xv, c);
+        }
+        let rg = self.rg(coeffs) || inputs.iter().any(|&v| self.rg(v));
+        self.push(Op::Mix { coeffs, inputs: inputs.to_vec() }, out, rg)
+    }
+
+    /// Mean softmax cross-entropy of `logits` (`[batch, classes]`) against
+    /// integer `targets`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not rank-2, `targets.len()` differs from the
+    /// batch size, or any target is out of range.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape().rank(), 2, "logits must be rank-2, got {}", lv.shape());
+        let (n, classes) = (lv.shape().dim(0), lv.shape().dim(1));
+        assert_eq!(targets.len(), n, "targets length {} != batch {}", targets.len(), n);
+        let mut probs = Tensor::zeros(&[n, classes]);
+        let mut loss = 0.0f64;
+        {
+            let x = lv.as_slice();
+            let p = probs.as_mut_slice();
+            for i in 0..n {
+                let t = targets[i];
+                assert!(t < classes, "target {t} out of range for {classes} classes");
+                let row = &x[i * classes..(i + 1) * classes];
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut z = 0.0f32;
+                for (j, &v) in row.iter().enumerate() {
+                    let e = (v - m).exp();
+                    p[i * classes + j] = e;
+                    z += e;
+                }
+                for j in 0..classes {
+                    p[i * classes + j] /= z;
+                }
+                loss += -(p[i * classes + t].max(1e-12) as f64).ln();
+            }
+        }
+        let value = Tensor::scalar((loss / n as f64) as f32);
+        let rg = self.rg(logits);
+        self.push(Op::SoftmaxCrossEntropy { logits, targets: targets.to_vec(), probs }, value, rg)
+    }
+
+    /// Mean squared error between `pred` and a constant `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mse_loss(&mut self, pred: Var, target: Tensor) -> Var {
+        let pv = self.value(pred);
+        assert_eq!(pv.shape(), target.shape(), "mse shape mismatch: {} vs {}", pv.shape(), target.shape());
+        let diff = pv.sub(&target);
+        let value = Tensor::scalar(diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32);
+        let rg = self.rg(pred);
+        self.push(Op::MseLoss { pred, target }, value, rg)
+    }
+
+    /// Runs reverse-mode differentiation from the scalar `loss`.
+    ///
+    /// Gradients of earlier `backward` calls on the same graph are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar (single-element) node.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.len(),
+            1,
+            "backward target must be scalar, got {}",
+            self.nodes[loss.0].value.shape()
+        );
+        for g in &mut self.grads {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.shape().dims(), 1.0));
+        for i in (0..self.nodes.len()).rev() {
+            if self.grads[i].is_none() || !self.nodes[i].requires_grad {
+                continue;
+            }
+            let g = self.grads[i].clone().expect("checked above");
+            self.propagate(i, &g);
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, delta: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.grads[v.0] {
+            Some(g) => g.add_scaled_assign(&delta, 1.0),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Tensor) {
+        // `Op` is only borrowed immutably here; accumulation happens after the
+        // local gradient tensors are materialized.
+        enum Delta {
+            None,
+            One(Var, Tensor),
+            Two(Var, Tensor, Var, Tensor),
+            Many(Vec<(Var, Tensor)>),
+        }
+        let delta = match &self.nodes[i].op {
+            Op::Input | Op::Parameter => Delta::None,
+            Op::Add(a, b) => Delta::Two(*a, g.clone(), *b, g.clone()),
+            Op::Sub(a, b) => Delta::Two(*a, g.clone(), *b, g.scale(-1.0)),
+            Op::Mul(a, b) => {
+                let ga = g.mul(self.value(*b));
+                let gb = g.mul(self.value(*a));
+                Delta::Two(*a, ga, *b, gb)
+            }
+            Op::Scale(a, s) => Delta::One(*a, g.scale(*s)),
+            Op::AddScalar(a) => Delta::One(*a, g.clone()),
+            Op::Matmul(a, b) => {
+                let ga = g.matmul(&self.value(*b).transpose());
+                let gb = self.value(*a).transpose().matmul(g);
+                Delta::Two(*a, ga, *b, gb)
+            }
+            Op::Relu(a) => {
+                let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                Delta::One(*a, g.mul(&mask))
+            }
+            Op::Relu6(a) => {
+                let mask = self.value(*a).map(|x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 });
+                Delta::One(*a, g.mul(&mask))
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.nodes[i].value;
+                let dy = y.map(|s| s * (1.0 - s));
+                Delta::One(*a, g.mul(&dy))
+            }
+            Op::AddRowBias(a, b) => {
+                let (m, n) = (g.shape().dim(0), g.shape().dim(1));
+                let mut gb = Tensor::zeros(&[n]);
+                {
+                    let gs = g.as_slice();
+                    let o = gb.as_mut_slice();
+                    for r in 0..m {
+                        for c in 0..n {
+                            o[c] += gs[r * n + c];
+                        }
+                    }
+                }
+                Delta::Two(*a, g.clone(), *b, gb)
+            }
+            Op::AddChannelBias(a, b) => {
+                let (n, c, h, w) =
+                    (g.shape().dim(0), g.shape().dim(1), g.shape().dim(2), g.shape().dim(3));
+                let mut gb = Tensor::zeros(&[c]);
+                {
+                    let gs = g.as_slice();
+                    let o = gb.as_mut_slice();
+                    for bi in 0..n {
+                        for ch in 0..c {
+                            let base = (bi * c + ch) * h * w;
+                            o[ch] += gs[base..base + h * w].iter().sum::<f32>();
+                        }
+                    }
+                }
+                Delta::Two(*a, g.clone(), *b, gb)
+            }
+            Op::MulChannelGate(a, gate) => {
+                let av = self.value(*a);
+                let gv = self.value(*gate);
+                let (n, c, h, w) =
+                    (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2), av.shape().dim(3));
+                let hw = h * w;
+                let mut ga = Tensor::zeros(av.shape().dims());
+                let mut ggate = Tensor::zeros(&[n, c]);
+                {
+                    let gs = g.as_slice();
+                    let xs = av.as_slice();
+                    let gates = gv.as_slice();
+                    let gad = ga.as_mut_slice();
+                    let ggd = ggate.as_mut_slice();
+                    for bi in 0..n {
+                        for ch in 0..c {
+                            let gk = gates[bi * c + ch];
+                            let base = (bi * c + ch) * hw;
+                            let mut acc = 0.0f32;
+                            for k in 0..hw {
+                                gad[base + k] = gs[base + k] * gk;
+                                acc += gs[base + k] * xs[base + k];
+                            }
+                            ggd[bi * c + ch] = acc;
+                        }
+                    }
+                }
+                Delta::Two(*a, ga, *gate, ggate)
+            }
+            Op::Conv2d { x, w, spec } => {
+                let (gx, gw) = conv2d_backward_fast(self.value(*x), self.value(*w), *spec, g);
+                Delta::Two(*x, gx, *w, gw)
+            }
+            Op::DwConv2d { x, w, spec } => {
+                let (gx, gw) = dwconv2d_backward(self.value(*x), self.value(*w), *spec, g);
+                Delta::Two(*x, gx, *w, gw)
+            }
+            Op::GlobalAvgPool(a) => {
+                let av = self.value(*a);
+                let (n, c, h, w) =
+                    (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2), av.shape().dim(3));
+                let hw = (h * w) as f32;
+                let mut ga = Tensor::zeros(av.shape().dims());
+                {
+                    let gs = g.as_slice();
+                    let o = ga.as_mut_slice();
+                    for bi in 0..n {
+                        for ch in 0..c {
+                            let v = gs[bi * c + ch] / hw;
+                            let base = (bi * c + ch) * h * w;
+                            for k in 0..(h * w) {
+                                o[base + k] = v;
+                            }
+                        }
+                    }
+                }
+                Delta::One(*a, ga)
+            }
+            Op::Reshape(a) => {
+                let orig = self.value(*a).shape().clone();
+                Delta::One(*a, g.reshape(orig.dims()))
+            }
+            Op::Sum(a) => {
+                let shape = self.value(*a).shape().clone();
+                Delta::One(*a, Tensor::full(shape.dims(), g.item()))
+            }
+            Op::Mean(a) => {
+                let shape = self.value(*a).shape().clone();
+                let n = shape.len() as f32;
+                Delta::One(*a, Tensor::full(shape.dims(), g.item() / n))
+            }
+            Op::Mix { coeffs, inputs } => {
+                let gscalar = g;
+                let cv = self.value(*coeffs).clone();
+                let mut out = Vec::with_capacity(inputs.len() + 1);
+                let mut gc = Tensor::zeros(&[inputs.len()]);
+                for (k, &v) in inputs.iter().enumerate() {
+                    let xv = self.value(v);
+                    let dot: f32 =
+                        gscalar.as_slice().iter().zip(xv.as_slice()).map(|(a, b)| a * b).sum();
+                    gc.as_mut_slice()[k] = dot;
+                    out.push((v, gscalar.scale(cv.as_slice()[k])));
+                }
+                out.push((*coeffs, gc));
+                Delta::Many(out)
+            }
+            Op::SoftmaxCrossEntropy { logits, targets, probs } => {
+                let (n, classes) = (probs.shape().dim(0), probs.shape().dim(1));
+                let mut gl = probs.clone();
+                {
+                    let o = gl.as_mut_slice();
+                    for (i, &t) in targets.iter().enumerate() {
+                        o[i * classes + t] -= 1.0;
+                    }
+                }
+                let gl = gl.scale(g.item() / n as f32);
+                Delta::One(*logits, gl)
+            }
+            Op::MseLoss { pred, target } => {
+                let pv = self.value(*pred);
+                let n = pv.len() as f32;
+                let gp = pv.sub(target).scale(2.0 * g.item() / n);
+                Delta::One(*pred, gp)
+            }
+        };
+        match delta {
+            Delta::None => {}
+            Delta::One(a, ga) => self.accumulate(a, ga),
+            Delta::Two(a, ga, b, gb) => {
+                self.accumulate(a, ga);
+                self.accumulate(b, gb);
+            }
+            Delta::Many(items) => {
+                for (v, gv) in items {
+                    self.accumulate(v, gv);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_through_add_and_scale() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = g.parameter(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let y = g.add(a, b);
+        let z = g.scale(y, 3.0);
+        let loss = g.sum(z);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[3.0, 3.0]);
+        assert_eq!(g.grad(b).as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_through_mul_uses_other_operand() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![2.0, 5.0], &[2]));
+        let b = g.parameter(Tensor::from_vec(vec![7.0, -1.0], &[2]));
+        let y = g.mul(a, b);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[7.0, -1.0]);
+        assert_eq!(g.grad(b).as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn matmul_gradients_have_right_shapes() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::uniform(&[3, 4], -1.0, 1.0, 1));
+        let b = g.parameter(Tensor::uniform(&[4, 2], -1.0, 1.0, 2));
+        let y = g.matmul(a, b);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).shape().dims(), &[3, 4]);
+        assert_eq!(g.grad(b).shape().dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn inputs_receive_no_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        let w = g.parameter(Tensor::ones(&[2]));
+        let y = g.mul(x, w);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert!(g.grad_opt(x).is_none());
+        assert!(g.grad_opt(w).is_some());
+    }
+
+    #[test]
+    fn relu_masks_negative_gradient() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+        let y = g.relu(a);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn relu6_masks_above_six() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![-1.0, 3.0, 8.0], &[3]));
+        let y = g.relu6(a);
+        assert_eq!(g.value(y).as_slice(), &[0.0, 3.0, 6.0]);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let mut g = Graph::new();
+        let logits = g.parameter(Tensor::from_vec(vec![0.0, 0.0], &[1, 2]));
+        let loss = g.softmax_cross_entropy(logits, &[1]);
+        // Uniform softmax: p = [0.5, 0.5]; grad = (p - onehot)/1.
+        assert!((g.value(loss).item() - (2.0f32).ln()).abs() < 1e-6);
+        g.backward(loss);
+        let gl = g.grad(logits);
+        assert!((gl.as_slice()[0] - 0.5).abs() < 1e-6);
+        assert!((gl.as_slice()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let mut g = Graph::new();
+        let p = g.parameter(Tensor::from_vec(vec![1.0, 3.0], &[2]));
+        let loss = g.mse_loss(p, Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        assert!((g.value(loss).item() - 5.0).abs() < 1e-6);
+        g.backward(loss);
+        assert_eq!(g.grad(p).as_slice(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn mix_routes_gradients_to_coeffs_and_branches() {
+        let mut g = Graph::new();
+        let c = g.parameter(Tensor::from_vec(vec![0.25, 0.75], &[2]));
+        let x0 = g.parameter(Tensor::from_vec(vec![1.0, 1.0], &[2]));
+        let x1 = g.parameter(Tensor::from_vec(vec![2.0, 0.0], &[2]));
+        let y = g.mix(c, &[x0, x1]);
+        assert_eq!(g.value(y).as_slice(), &[0.25 + 1.5, 0.25]);
+        let loss = g.sum(y);
+        g.backward(loss);
+        // d loss / d c_k = sum(x_k); d loss / d x_k = c_k.
+        assert_eq!(g.grad(c).as_slice(), &[2.0, 2.0]);
+        assert_eq!(g.grad(x0).as_slice(), &[0.25, 0.25]);
+        assert_eq!(g.grad(x1).as_slice(), &[0.75, 0.75]);
+    }
+
+    #[test]
+    fn gradient_accumulates_over_shared_subexpressions() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![3.0], &[1]));
+        let y = g.add(a, a); // y = 2a
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn second_backward_resets_gradients() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::from_vec(vec![1.0], &[1]));
+        let y = g.scale(a, 5.0);
+        let loss = g.sum(y);
+        g.backward(loss);
+        g.backward(loss);
+        assert_eq!(g.grad(a).as_slice(), &[5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let a = g.parameter(Tensor::ones(&[2]));
+        g.backward(a);
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_is_uniform() {
+        let mut g = Graph::new();
+        let x = g.parameter(Tensor::uniform(&[1, 2, 2, 2], -1.0, 1.0, 4));
+        let y = g.global_avg_pool(x);
+        assert_eq!(g.value(y).shape().dims(), &[1, 2]);
+        let loss = g.sum(y);
+        g.backward(loss);
+        for &v in g.grad(x).as_slice() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! im2col-based convolution: the fast path used by the autograd engine.
+//!
+//! The naive loops in [`crate::tensor`] are the *reference* implementation;
+//! these functions compute the same convolutions by materializing the
+//! patch matrix and reducing to [`Tensor::matmul`], which is substantially
+//! faster at training scale. Equality against the reference is enforced by
+//! unit tests here and property tests in `tests/proptests.rs`.
+
+use crate::tensor::Conv2dSpec;
+use crate::Tensor;
+
+/// Lowers `input` (`[n, c, h, w]`) to the patch matrix of shape
+/// `[n·h_out·w_out, c·k·k]` (rows are output positions, columns are the
+/// receptive-field elements, zero-padded out of bounds).
+pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = dims4(input);
+    let k = spec.kernel;
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let rows = n * ho * wo;
+    let cols = c * k * k;
+    let mut out = vec![0.0f32; rows * cols];
+    let x = input.as_slice();
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((b * ho + oy) * wo + ox) * cols;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let x_base = ((b * c + ci) * h + iy as usize) * w;
+                        let o_base = row + (ci * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[o_base + kx] = x[x_base + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Inverse scatter of [`im2col`]: accumulates a patch-matrix gradient back
+/// into input space (`[n, c, h, w]`).
+pub fn col2im(
+    cols_grad: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+) -> Tensor {
+    let k = spec.kernel;
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let cols = c * k * k;
+    assert_eq!(
+        cols_grad.shape().dims(),
+        [n * ho * wo, cols],
+        "col2im gradient shape mismatch"
+    );
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let g = cols_grad.as_slice();
+    let o = out.as_mut_slice();
+    for b in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = ((b * ho + oy) * wo + ox) * cols;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let o_base = ((b * c + ci) * h + iy as usize) * w;
+                        let g_base = row + (ci * k + ky) * k;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            o[o_base + ix as usize] += g[g_base + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// im2col-backed full convolution; numerically identical to
+/// [`crate::conv2d_forward`].
+pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, c_in, h, w) = dims4(input);
+    let (c_out, c_in_w, kh, kw) = dims4(weight);
+    assert_eq!(c_in, c_in_w, "conv2d channel mismatch: input {c_in} vs weight {c_in_w}");
+    assert_eq!(kh, spec.kernel, "weight kernel {kh} != spec {}", spec.kernel);
+    assert_eq!(kw, spec.kernel, "weight kernel {kw} != spec {}", spec.kernel);
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    // [n·ho·wo, cin·k·k] x [cin·k·k, cout] = [n·ho·wo, cout]
+    let cols = im2col(input, spec);
+    let w_mat = weight.reshape(&[c_out, c_in * kh * kw]).transpose();
+    let prod = cols.matmul(&w_mat);
+    // Transpose the channel axis into NCHW order.
+    let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
+    {
+        let p = prod.as_slice();
+        let o = out.as_mut_slice();
+        let hw = ho * wo;
+        for b in 0..n {
+            for pos in 0..hw {
+                let row = (b * hw + pos) * c_out;
+                for co in 0..c_out {
+                    o[(b * c_out + co) * hw + pos] = p[row + co];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// im2col-backed backward pass; numerically identical to
+/// [`crate::conv2d_backward`]. Returns `(grad_input, grad_weight)`.
+pub fn conv2d_backward_fast(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor) {
+    let (n, c_in, h, w) = dims4(input);
+    let (c_out, _, kh, kw) = dims4(weight);
+    let (gn, gc, ho, wo) = dims4(grad_out);
+    assert_eq!((gn, gc), (n, c_out), "conv2d grad_out batch/channel mismatch");
+    let hw = ho * wo;
+    // grad_out in [n·ho·wo, cout] layout.
+    let mut g_mat = Tensor::zeros(&[n * hw, c_out]);
+    {
+        let g = grad_out.as_slice();
+        let o = g_mat.as_mut_slice();
+        for b in 0..n {
+            for co in 0..c_out {
+                for pos in 0..hw {
+                    o[(b * hw + pos) * c_out + co] = g[(b * c_out + co) * hw + pos];
+                }
+            }
+        }
+    }
+    let cols = im2col(input, spec);
+    // grad_weight = g_mat^T · cols  -> [cout, cin·k·k]
+    let gw = g_mat.transpose().matmul(&cols).reshape(&[c_out, c_in, kh, kw]);
+    // grad_cols = g_mat · w_mat    -> [n·ho·wo, cin·k·k]
+    let w_mat = weight.reshape(&[c_out, c_in * kh * kw]);
+    let g_cols = g_mat.matmul(&w_mat);
+    let gx = col2im(&g_cols, n, c_in, h, w, spec);
+    (gx, gw)
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.shape().rank(), 4, "expected rank-4 tensor, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{conv2d_backward, conv2d_forward};
+
+    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+    }
+
+    #[test]
+    fn forward_matches_reference_across_shapes() {
+        for (n, c_in, c_out, h, k, stride, padding, seed) in [
+            (1, 1, 1, 5, 3, 1, 1, 1u64),
+            (2, 3, 4, 8, 3, 2, 1, 2),
+            (1, 4, 2, 7, 5, 1, 2, 3),
+            (3, 2, 5, 6, 1, 1, 0, 4),
+            (1, 3, 3, 9, 7, 2, 3, 5),
+        ] {
+            let spec = Conv2dSpec { kernel: k, stride, padding };
+            let x = Tensor::uniform(&[n, c_in, h, h], -1.0, 1.0, seed);
+            let w = Tensor::uniform(&[c_out, c_in, k, k], -0.5, 0.5, seed + 100);
+            let fast = conv2d_forward_fast(&x, &w, spec);
+            let reference = conv2d_forward(&x, &w, spec);
+            assert!(close(&fast, &reference, 1e-5), "mismatch at k={k} s={stride} p={padding}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_reference() {
+        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let x = Tensor::uniform(&[2, 3, 8, 8], -1.0, 1.0, 7);
+        let w = Tensor::uniform(&[4, 3, 3, 3], -0.5, 0.5, 8);
+        let y = conv2d_forward(&x, &w, spec);
+        let g = Tensor::uniform(y.shape().dims(), -1.0, 1.0, 9);
+        let (gx_fast, gw_fast) = conv2d_backward_fast(&x, &w, spec, &g);
+        let (gx_ref, gw_ref) = conv2d_backward(&x, &w, spec, &g);
+        assert!(close(&gx_fast, &gx_ref, 1e-4), "grad_input mismatch");
+        assert!(close(&gw_fast, &gw_ref, 1e-4), "grad_weight mismatch");
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> — the two lowering maps are
+        // transposes of each other.
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let x = Tensor::uniform(&[1, 2, 5, 5], -1.0, 1.0, 11);
+        let cols = im2col(&x, spec);
+        let y = Tensor::uniform(cols.shape().dims(), -1.0, 1.0, 12);
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, 1, 2, 5, 5, spec);
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjointness broken: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn patch_matrix_shape() {
+        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let cols = im2col(&x, spec);
+        assert_eq!(cols.shape().dims(), &[2 * 4 * 4, 3 * 9]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Deterministic weight initializers.
+//!
+//! Every initializer takes an explicit seed so that all experiments in the
+//! reproduction are bit-for-bit repeatable. The variance conventions match
+//! the usual PyTorch defaults for convolutional networks.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::Tensor;
+
+/// Kaiming (He) uniform initialization for layers followed by ReLU.
+///
+/// Samples from `U(-b, b)` with `b = sqrt(6 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+///
+/// # Example
+///
+/// ```
+/// use lightnas_tensor::init;
+///
+/// let w = init::kaiming_uniform(&[64, 32], 32, 0);
+/// assert_eq!(w.shape().dims(), &[64, 32]);
+/// ```
+pub fn kaiming_uniform(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0 / fan_in as f32).sqrt();
+    Tensor::uniform(shape, -bound, bound, seed)
+}
+
+/// Xavier/Glorot uniform initialization for linear layers.
+///
+/// Samples from `U(-b, b)` with `b = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out` is zero.
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Tensor::uniform(shape, -bound, bound, seed)
+}
+
+/// Standard normal initialization scaled by `std`.
+///
+/// Uses the Box–Muller transform over the seeded [`StdRng`] stream.
+pub fn normal(shape: &[usize], std: f32, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f32 = rng.random_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(r * theta.cos() * std);
+        if data.len() < n {
+            data.push(r * theta.sin() * std);
+        }
+    }
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let small = kaiming_uniform(&[1000], 10, 0);
+        let large = kaiming_uniform(&[1000], 1000, 0);
+        assert!(small.as_slice().iter().map(|x| x.abs()).fold(0.0, f32::max) > 0.3);
+        assert!(large.as_slice().iter().map(|x| x.abs()).fold(0.0, f32::max) < 0.1);
+    }
+
+    #[test]
+    fn normal_moments_are_roughly_right() {
+        let t = normal(&[10_000], 2.0, 123);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        assert_eq!(normal(&[32], 1.0, 7), normal(&[32], 1.0, 7));
+        assert_eq!(xavier_uniform(&[8, 8], 8, 8, 3), xavier_uniform(&[8, 8], 8, 8, 3));
+    }
+}

@@ -1,0 +1,50 @@
+//! Dense `f32` tensors with reverse-mode automatic differentiation.
+//!
+//! This crate is the numerical substrate of the LightNAS reproduction. It
+//! provides exactly what the paper's training loops need and nothing more:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` array with a dynamic
+//!   [`Shape`], elementwise arithmetic, reductions, matrix multiplication and
+//!   2-D (depthwise) convolution.
+//! * [`Graph`] / [`Var`] — a tape-based reverse-mode autograd engine. Every
+//!   differentiable operation appends a node to the tape; [`Graph::backward`]
+//!   walks the tape in reverse and accumulates gradients.
+//! * [`init`] — weight initializers (Kaiming / Xavier / constant) driven by an
+//!   explicit seed so every experiment in the reproduction is deterministic.
+//!
+//! The engine is deliberately single-threaded and loop-based: at the scale of
+//! the proxy tasks used in this reproduction (the MLP latency predictor and
+//! the small shape-classification supernet) clarity and verifiability beat
+//! throughput. Gradient correctness is established by finite-difference tests
+//! in `tests/gradcheck.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use lightnas_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+//! let w = g.parameter(Tensor::from_vec(vec![0.5, -0.5, 1.0, 2.0], &[2, 2]));
+//! let y = g.matmul(x, w);
+//! let loss = g.sum(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(w).shape().dims(), &[2, 2]);
+//! ```
+
+mod autograd;
+mod im2col;
+mod shape;
+mod tensor;
+
+pub mod init;
+
+pub use autograd::{Graph, Var};
+pub use shape::Shape;
+pub use im2col::{col2im, conv2d_backward_fast, conv2d_forward_fast, im2col};
+pub use tensor::{
+    conv2d_forward, conv2d_backward, dwconv2d_forward, dwconv2d_backward, Conv2dSpec, Tensor,
+};
+
+/// Numerical tolerance used throughout the test-suite when comparing floats.
+pub const TEST_EPS: f32 = 1e-4;

@@ -1,0 +1,274 @@
+//! Finite-difference gradient verification for every differentiable op.
+//!
+//! Each check builds the same scalar loss twice: once through the autograd
+//! tape (analytic gradient) and once with central finite differences on a
+//! perturbed parameter. Agreement within a relative tolerance establishes
+//! the correctness of the backward pass.
+
+use lightnas_tensor::{Conv2dSpec, Graph, Tensor, Var};
+
+
+
+fn finite_diff(build: &impl Fn(&mut Graph, Tensor) -> (Var, Var), theta: &Tensor, eps: f32) -> Tensor {
+    let mut grad = Tensor::zeros(theta.shape().dims());
+    for i in 0..theta.len() {
+        let mut plus = theta.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = theta.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let mut gp = Graph::new();
+        let (_, lp) = build(&mut gp, plus);
+        let mut gm = Graph::new();
+        let (_, lm) = build(&mut gm, minus);
+        grad.as_mut_slice()[i] = (gp.value(lp).item() - gm.value(lm).item()) / (2.0 * eps);
+    }
+    grad
+}
+
+fn check(name: &str, theta: Tensor, build: impl Fn(&mut Graph, Tensor) -> (Var, Var)) {
+    let mut g = Graph::new();
+    let (param, loss) = build(&mut g, theta.clone());
+    g.backward(loss);
+    let analytic = g.grad(param).clone();
+    let numeric = finite_diff(&build, &theta, 1e-3);
+    assert_eq!(analytic.shape(), numeric.shape(), "{name}: gradient shape mismatch");
+    for (i, (&a, &n)) in analytic.as_slice().iter().zip(numeric.as_slice()).enumerate() {
+        let denom = a.abs().max(n.abs()).max(1e-2);
+        assert!(
+            (a - n).abs() / denom < 0.05,
+            "{name}: gradient mismatch at {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[test]
+fn gradcheck_matmul_chain() {
+    let theta = Tensor::uniform(&[3, 4], -1.0, 1.0, 10);
+    check("matmul", theta, |g, t| {
+        let w = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[2, 3], -1.0, 1.0, 11));
+        let y = g.matmul(x, w);
+        let loss = g.sum(y);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_mul_then_mean() {
+    let theta = Tensor::uniform(&[6], -2.0, 2.0, 12);
+    check("mul+mean", theta, |g, t| {
+        let w = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[6], -1.0, 1.0, 13));
+        let y = g.mul(w, x);
+        let z = g.mul(y, y); // quadratic, exercises accumulation
+        let loss = g.mean(z);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_relu_path() {
+    // Offsets keep values away from the kink at 0 where FD is ill-defined.
+    let theta = Tensor::from_vec(vec![-1.5, -0.6, 0.7, 1.8, 0.3, -0.2], &[6]);
+    check("relu", theta, |g, t| {
+        let w = g.parameter(t);
+        let y = g.relu(w);
+        let loss = g.sum(y);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_sigmoid() {
+    let theta = Tensor::uniform(&[5], -2.0, 2.0, 14);
+    check("sigmoid", theta, |g, t| {
+        let w = g.parameter(t);
+        let y = g.sigmoid(w);
+        let loss = g.sum(y);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_row_bias() {
+    let theta = Tensor::uniform(&[4], -1.0, 1.0, 15);
+    check("row_bias", theta, |g, t| {
+        let b = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[3, 4], -1.0, 1.0, 16));
+        let y = g.add_row_bias(x, b);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (b, loss)
+    });
+}
+
+#[test]
+fn gradcheck_channel_bias() {
+    let theta = Tensor::uniform(&[3], -1.0, 1.0, 17);
+    check("channel_bias", theta, |g, t| {
+        let b = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[2, 3, 2, 2], -1.0, 1.0, 18));
+        let y = g.add_channel_bias(x, b);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (b, loss)
+    });
+}
+
+#[test]
+fn gradcheck_channel_gate() {
+    let theta = Tensor::uniform(&[2, 3], 0.1, 0.9, 19);
+    check("channel_gate", theta, |g, t| {
+        let gate = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[2, 3, 2, 2], -1.0, 1.0, 20));
+        let y = g.mul_channel_gate(x, gate);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (gate, loss)
+    });
+}
+
+#[test]
+fn gradcheck_conv2d_weight() {
+    let theta = Tensor::uniform(&[2, 3, 3, 3], -0.5, 0.5, 21);
+    check("conv2d_w", theta, |g, t| {
+        let w = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[1, 3, 5, 5], -1.0, 1.0, 22));
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let y = g.conv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_conv2d_input() {
+    let theta = Tensor::uniform(&[1, 2, 4, 4], -1.0, 1.0, 23);
+    check("conv2d_x", theta, |g, t| {
+        let x = g.parameter(t);
+        let w = g.input(Tensor::uniform(&[3, 2, 3, 3], -0.5, 0.5, 24));
+        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let y = g.conv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (x, loss)
+    });
+}
+
+#[test]
+fn gradcheck_dwconv2d_weight() {
+    let theta = Tensor::uniform(&[4, 1, 3, 3], -0.5, 0.5, 25);
+    check("dwconv_w", theta, |g, t| {
+        let w = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[1, 4, 5, 5], -1.0, 1.0, 26));
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let y = g.dwconv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_dwconv2d_input() {
+    let theta = Tensor::uniform(&[1, 3, 4, 4], -1.0, 1.0, 27);
+    check("dwconv_x", theta, |g, t| {
+        let x = g.parameter(t);
+        let w = g.input(Tensor::uniform(&[3, 1, 3, 3], -0.5, 0.5, 28));
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let y = g.dwconv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (x, loss)
+    });
+}
+
+#[test]
+fn gradcheck_global_avg_pool() {
+    let theta = Tensor::uniform(&[2, 3, 3, 3], -1.0, 1.0, 29);
+    check("gap", theta, |g, t| {
+        let x = g.parameter(t);
+        let y = g.global_avg_pool(x);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (x, loss)
+    });
+}
+
+#[test]
+fn gradcheck_softmax_cross_entropy() {
+    let theta = Tensor::uniform(&[4, 5], -2.0, 2.0, 30);
+    check("ce", theta, |g, t| {
+        let logits = g.parameter(t);
+        let loss = g.softmax_cross_entropy(logits, &[0, 3, 2, 4]);
+        (logits, loss)
+    });
+}
+
+#[test]
+fn gradcheck_mse() {
+    let theta = Tensor::uniform(&[7], -1.0, 1.0, 31);
+    check("mse", theta, |g, t| {
+        let p = g.parameter(t);
+        let loss = g.mse_loss(p, Tensor::uniform(&[7], -1.0, 1.0, 32));
+        (p, loss)
+    });
+}
+
+#[test]
+fn gradcheck_mix_coefficients() {
+    let theta = Tensor::uniform(&[3], -1.0, 1.0, 33);
+    check("mix_coeffs", theta, |g, t| {
+        let c = g.parameter(t);
+        let xs: Vec<Var> = (0..3)
+            .map(|k| g.input(Tensor::uniform(&[2, 2], -1.0, 1.0, 34 + k)))
+            .collect();
+        let y = g.mix(c, &xs);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (c, loss)
+    });
+}
+
+#[test]
+fn gradcheck_mix_branch() {
+    let theta = Tensor::uniform(&[2, 2], -1.0, 1.0, 40);
+    check("mix_branch", theta, |g, t| {
+        let x0 = g.parameter(t);
+        let x1 = g.input(Tensor::uniform(&[2, 2], -1.0, 1.0, 41));
+        let c = g.input(Tensor::from_vec(vec![0.3, 0.7], &[2]));
+        let y = g.mix(c, &[x0, x1]);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (x0, loss)
+    });
+}
+
+#[test]
+fn gradcheck_reshape_passthrough() {
+    let theta = Tensor::uniform(&[2, 6], -1.0, 1.0, 42);
+    check("reshape", theta, |g, t| {
+        let x = g.parameter(t);
+        let y = g.reshape(x, &[3, 4]);
+        let z = g.mul(y, y);
+        let loss = g.sum(z);
+        (x, loss)
+    });
+}
+
+#[test]
+fn gradcheck_deep_composite() {
+    // A miniature MLP: x W1 -> relu -> W2 -> CE, checking W1.
+    let theta = Tensor::uniform(&[4, 8], -0.5, 0.5, 43);
+    check("composite", theta, |g, t| {
+        let w1 = g.parameter(t);
+        let w2 = g.input(Tensor::uniform(&[8, 3], -0.5, 0.5, 44));
+        let x = g.input(Tensor::uniform(&[5, 4], -1.0, 1.0, 45));
+        let h = g.matmul(x, w1);
+        let h = g.relu(h);
+        let logits = g.matmul(h, w2);
+        let loss = g.softmax_cross_entropy(logits, &[0, 1, 2, 0, 1]);
+        (w1, loss)
+    });
+}

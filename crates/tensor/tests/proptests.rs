@@ -1,0 +1,137 @@
+//! Property-based invariants of the tensor algebra (proptest).
+
+use proptest::prelude::*;
+
+use lightnas_tensor::{Conv2dSpec, Graph, Tensor};
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative(a in arb_vec(12), b in arb_vec(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]);
+        let tb = Tensor::from_vec(b, &[3, 4]);
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in arb_vec(8), b in arb_vec(8)) {
+        let ta = Tensor::from_vec(a, &[8]);
+        let tb = Tensor::from_vec(b, &[8]);
+        let back = ta.sub(&tb).add(&tb);
+        for (x, y) in back.as_slice().iter().zip(ta.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in arb_vec(6), b in arb_vec(6), s in -5.0f32..5.0) {
+        let ta = Tensor::from_vec(a, &[6]);
+        let tb = Tensor::from_vec(b, &[6]);
+        let left = ta.add(&tb).scale(s);
+        let right = ta.scale(s).add(&tb.scale(s));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in arb_vec(12), b in arb_vec(20)) {
+        // (A B)^T = B^T A^T
+        let ta = Tensor::from_vec(a, &[3, 4]);
+        let tb = Tensor::from_vec(b, &[4, 5]);
+        let left = ta.matmul(&tb).transpose();
+        let right = tb.transpose().matmul(&ta.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matmul_is_linear_in_lhs(a in arb_vec(6), b in arb_vec(6), c in arb_vec(9)) {
+        // (A + B) C = A C + B C
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[2, 3]);
+        let tc = Tensor::from_vec(c, &[3, 3]);
+        let left = ta.add(&tb).matmul(&tc);
+        let right = ta.matmul(&tc).add(&tb.matmul(&tc));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn sum_matches_mean_times_len(a in arb_vec(16)) {
+        let t = Tensor::from_vec(a, &[16]);
+        prop_assert!((t.sum() - t.mean() * 16.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(x1 in arb_vec(32), x2 in arb_vec(32), w in arb_vec(18)) {
+        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let t1 = Tensor::from_vec(x1, &[1, 2, 4, 4]);
+        let t2 = Tensor::from_vec(x2, &[1, 2, 4, 4]);
+        let tw = Tensor::from_vec(w, &[1, 2, 3, 3]);
+        let left = lightnas_tensor::conv2d_forward(&t1.add(&t2), &tw, spec);
+        let right = lightnas_tensor::conv2d_forward(&t1, &tw, spec)
+            .add(&lightnas_tensor::conv2d_forward(&t2, &tw, spec));
+        for (a, b) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn relu_output_is_nonnegative_and_idempotent(a in arb_vec(10)) {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(a, &[10]));
+        let y = g.relu(x);
+        let z = g.relu(y);
+        prop_assert!(g.value(y).as_slice().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(g.value(y).as_slice(), g.value(z).as_slice());
+    }
+
+    #[test]
+    fn softmax_ce_loss_is_nonnegative(a in arb_vec(15), t in 0usize..5) {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::from_vec(a, &[3, 5]));
+        let loss = g.softmax_cross_entropy(logits, &[t, (t + 1) % 5, (t + 2) % 5]);
+        prop_assert!(g.value(loss).item() >= 0.0);
+    }
+
+    #[test]
+    fn backward_is_linear_in_loss_scaling(a in arb_vec(8), s in 0.5f32..4.0) {
+        // grad(s * L) = s * grad(L)
+        let base = {
+            let mut g = Graph::new();
+            let w = g.parameter(Tensor::from_vec(a.clone(), &[8]));
+            let sq = g.mul(w, w);
+            let loss = g.sum(sq);
+            g.backward(loss);
+            g.grad(w).clone()
+        };
+        let scaled = {
+            let mut g = Graph::new();
+            let w = g.parameter(Tensor::from_vec(a, &[8]));
+            let sq = g.mul(w, w);
+            let sum = g.sum(sq);
+            let loss = g.scale(sum, s);
+            g.backward(loss);
+            g.grad(w).clone()
+        };
+        for (b, sc) in base.as_slice().iter().zip(scaled.as_slice()) {
+            prop_assert!((b * s - sc).abs() < 1e-2 * (1.0 + b.abs() * s));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_reductions(a in arb_vec(24)) {
+        let t = Tensor::from_vec(a, &[2, 3, 4]);
+        let r = t.reshape(&[6, 4]);
+        prop_assert!((t.sum() - r.sum()).abs() < 1e-3);
+        prop_assert_eq!(t.argmax(), r.argmax());
+    }
+}

@@ -1,0 +1,52 @@
+//! Cross-device portability: the LightNAS workflow is device-agnostic —
+//! retrain the predictor on the new platform's measurements and search with
+//! the same engine. This example targets a weaker Jetson-Nano-class profile
+//! alongside the Xavier.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example cross_device
+//! ```
+
+use lightnas_repro::prelude::*;
+
+fn search_on(device: &Xavier, label: &str, target_ms: f64) {
+    let space = SearchSpace::standard();
+    let oracle = AccuracyOracle::imagenet();
+    println!("[{label}] training the latency predictor on this device's measurements ...");
+    let data = MetricDataset::sample_diverse(device, &space, Metric::LatencyMs, 3000, 0);
+    let (train, valid) = data.split(0.9);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed: 0 },
+    );
+    println!("[{label}] predictor RMSE {:.3} ms", predictor.rmse(&valid));
+    let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());
+    let net = engine.search_architecture(target_ms, 0);
+    println!(
+        "[{label}] target {target_ms:.0} ms -> measured {:.2} ms | top-1 {:.1}% | {}",
+        device.true_latency_ms(&net, &space),
+        oracle.top1(&net, TrainingProtocol::full(), 0),
+        net
+    );
+}
+
+fn main() {
+    let xavier = Xavier::maxn();
+    let nano = Xavier::new(XavierConfig::nano_class());
+
+    // The same architecture runs very differently on the two devices.
+    let space = SearchSpace::standard();
+    let m = mobilenet_v2();
+    println!(
+        "MobileNetV2: {:.1} ms on the Xavier, {:.1} ms on the Nano-class device\n",
+        xavier.true_latency_ms(&m, &space),
+        nano.true_latency_ms(&m, &space)
+    );
+
+    search_on(&xavier, "xavier", 24.0);
+    println!();
+    search_on(&nano, "nano ", 75.0);
+    println!("\nsame engine, two devices — only the predictor's training data changed.");
+}

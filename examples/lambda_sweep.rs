@@ -1,0 +1,45 @@
+//! The cost of NOT searching once: reproduce the fixed-λ trial-and-error
+//! workflow of FBNet-style methods (paper Sec. 2.2 / Fig. 3) and compare it
+//! against the LightNAS one-time search for the same 24 ms target.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example lambda_sweep
+//! ```
+
+use lightnas::sweep::runs_to_hit_target;
+use lightnas_repro::prelude::*;
+
+fn main() {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let oracle = AccuracyOracle::imagenet();
+    let lut = LutPredictor::build(&device, &space);
+
+    // Shortened schedule so the whole demonstration stays interactive.
+    let config = SearchConfig::fast();
+    let target = 24.0;
+
+    println!("fixed-λ engine: bisecting λ until the searched network hits {target} ms ± 0.5 ...");
+    let (runs, landed) = runs_to_hit_target(
+        &space, &oracle, &lut, &device, target, 0.5, config, 15,
+    );
+    println!("  -> {runs} full search runs, landed at {landed:.2} ms");
+
+    println!("\nLightNAS: one run with the learned multiplier ...");
+    let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 3000, 0);
+    let (train, _) = data.split(0.9);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed: 0 },
+    );
+    let engine = LightNas::new(&space, &oracle, &predictor, config);
+    let outcome = engine.search(target, 0);
+    let measured = device.true_latency_ms(&outcome.architecture, &space);
+    println!("  -> 1 search run, landed at {measured:.2} ms (λ learned to {:+.3})", outcome.lambda);
+
+    println!(
+        "\nimplicit-cost ratio: {runs}x search runs for the fixed-λ workflow vs 1x for LightNAS"
+    );
+}

@@ -1,0 +1,34 @@
+//! A *real* bi-level differentiable search, end to end, with true
+//! gradients: the micro supernet trains its shared weights on the synthetic
+//! shapes dataset while the architecture parameters learn which operator
+//! each slot should use — the gradient machinery of Sec. 3.3 on actual
+//! tensors rather than the paper-scale oracle.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example micro_supernet
+//! ```
+
+use lightnas::micro::bilevel_search;
+use lightnas_space::Operator;
+
+fn main() {
+    println!("bi-level single-path search on the shapes dataset (2 slots, 8 channels) ...");
+    let outcome = bilevel_search(2, 8, 24, 1);
+
+    println!("\nvalidation loss during the search:");
+    for (epoch, loss) in outcome.valid_losses.iter().enumerate() {
+        let bar = "#".repeat((loss * 12.0).min(60.0) as usize);
+        println!("  epoch {epoch:>2}: {loss:>5.2} {bar}");
+    }
+
+    println!("\nderived architecture:");
+    for (slot, &k) in outcome.chosen.iter().enumerate() {
+        println!("  slot {slot}: {}", Operator::from_index(k));
+    }
+    println!(
+        "\nvalidation accuracy of the derived network: {:.1}% (chance: 16.7%)",
+        outcome.valid_accuracy * 100.0
+    );
+}

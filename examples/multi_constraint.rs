@@ -1,0 +1,55 @@
+//! Multi-constraint search: one run, two learned multipliers — latency AND
+//! energy budgets satisfied simultaneously (the reproduction's extension of
+//! Eq. 10; see `lightnas::multi`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example multi_constraint
+//! ```
+
+use lightnas::multi::{Budget, MultiConstraintSearch};
+use lightnas_repro::prelude::*;
+
+fn train(metric: Metric, seed: u64) -> MlpPredictor {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let data = MetricDataset::sample_diverse(&device, &space, metric, 3000, seed);
+    let (train, _) = data.split(0.9);
+    MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed },
+    )
+}
+
+fn main() {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let oracle = AccuracyOracle::imagenet();
+    println!("training one predictor per constrained metric ...");
+    let latency = train(Metric::LatencyMs, 0);
+    let energy = train(Metric::EnergyMj, 1);
+
+    for (t_ms, t_mj) in [(24.0, 450.0), (26.0, 420.0), (22.0, 800.0)] {
+        let engine = MultiConstraintSearch::new(
+            &space,
+            &oracle,
+            vec![
+                Budget { predictor: &latency, target: t_ms, label: "latency" },
+                Budget { predictor: &energy, target: t_mj, label: "energy" },
+            ],
+            SearchConfig::paper(),
+        );
+        let out = engine.search(0);
+        let net = &out.outcome.architecture;
+        println!(
+            "budgets ({t_ms:.0} ms, {t_mj:.0} mJ) -> measured ({:.2} ms, {:.0} mJ), top-1 {:.1}%, lambdas [{:.3}, {:.3}]",
+            device.true_latency_ms(net, &space),
+            device.true_energy_mj(net, &space),
+            oracle.top1(net, TrainingProtocol::full(), 0),
+            out.lambdas[0],
+            out.lambdas[1],
+        );
+    }
+    println!("\na slack budget's multiplier rests at zero; the binding one engages.");
+}

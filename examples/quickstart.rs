@@ -1,0 +1,51 @@
+//! Quickstart: one-time search for a 24 ms LightNet.
+//!
+//! Builds the whole pipeline — simulated Jetson AGX Xavier, latency
+//! predictor, accuracy oracle — then runs a single LightNAS search for a
+//! 24 ms constraint and verifies the result on the device.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lightnas_repro::prelude::*;
+
+fn main() {
+    // 1. The search space of the paper: 21 searchable MBConv/skip slots.
+    let space = SearchSpace::standard();
+    println!("search space: {} slots x 7 ops  (|A| = 7^21)", space.layers().len());
+
+    // 2. The simulated device (substitute for the physical Xavier).
+    let device = Xavier::maxn();
+
+    // 3. Train the latency predictor on measured random architectures.
+    println!("sampling architectures and training the latency predictor ...");
+    let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 4000, 0);
+    let (train, valid) = data.split(0.8);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 80, batch_size: 256, lr: 1e-3, seed: 0 },
+    );
+    println!("predictor validation RMSE: {:.3} ms", predictor.rmse(&valid));
+
+    // 4. One-time search for the 24 ms target.
+    let oracle = AccuracyOracle::imagenet();
+    let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());
+    println!("searching (target 24 ms) ...");
+    let outcome = engine.search(24.0, 0);
+    let net = &outcome.architecture;
+
+    // 5. Verify on the device and report.
+    let latency = device.true_latency_ms(net, &space);
+    let top1 = oracle.top1(net, TrainingProtocol::full(), 0);
+    println!("\nLightNet-24ms");
+    println!("  operators : {net}");
+    println!("  diagram   : {}", net.diagram(&space));
+    println!("  measured  : {latency:.2} ms (target 24.00)");
+    println!("  top-1     : {top1:.1}% (360-epoch protocol)");
+    println!("  top-5     : {:.1}%", oracle.top5_from_top1(top1));
+    println!("  MAdds     : {:.0}M", net.flops(&space).mflops());
+    println!("  final λ   : {:+.3}", outcome.lambda);
+}

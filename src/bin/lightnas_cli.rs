@@ -1,0 +1,255 @@
+//! `lightnas_cli` — the reproduction's command-line front end.
+//!
+//! ```text
+//! cargo run --release --bin lightnas_cli -- search --target 24
+//! cargo run --release --bin lightnas_cli -- search --target 500 --metric energy
+//! cargo run --release --bin lightnas_cli -- measure --arch K3E6-K5E3-...-K7E6
+//! cargo run --release --bin lightnas_cli -- evolve --budget 24
+//! cargo run --release --bin lightnas_cli -- sweep --lambdas 0.001,0.01,0.1
+//! cargo run --release --bin lightnas_cli -- baselines
+//! ```
+//!
+//! Every command builds its substrate from scratch (deterministic seeds),
+//! so invocations are reproducible. `--quick` shrinks the predictor corpus
+//! and the search schedule for fast experimentation.
+
+use std::process::ExitCode;
+
+use lightnas::pareto::trace_frontier;
+use lightnas::sweep::lambda_sweep;
+use lightnas::{EvolutionConfig, EvolutionSearch, LightNas, SearchConfig};
+use lightnas_repro::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "search" => cmd_search(&args[1..]),
+        "measure" => cmd_measure(&args[1..]),
+        "evolve" => cmd_evolve(&args[1..]),
+        "sweep" => cmd_sweep(&args[1..]),
+        "frontier" => cmd_frontier(&args[1..]),
+        "baselines" => cmd_baselines(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+lightnas_cli — LightNAS (DAC 2022) reproduction
+
+USAGE:
+  lightnas_cli search   --target <value> [--metric latency|energy|memory] [--seed N] [--quick]
+  lightnas_cli measure  --arch <K3E6-K5E3-...>  (21 labels)
+  lightnas_cli evolve   --budget <ms> [--seed N] [--quick]
+  lightnas_cli sweep    --lambdas <a,b,c> [--quick]
+  lightnas_cli frontier --targets <a,b,c> [--quick]
+  lightnas_cli baselines";
+
+/// Pulls `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn has(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+struct Stack {
+    space: SearchSpace,
+    device: Xavier,
+    oracle: AccuracyOracle,
+}
+
+fn stack() -> Stack {
+    Stack {
+        space: SearchSpace::standard(),
+        device: Xavier::maxn(),
+        oracle: AccuracyOracle::imagenet(),
+    }
+}
+
+fn train_predictor(s: &Stack, metric: Metric, quick: bool) -> MlpPredictor {
+    let (n, epochs) = if quick { (1500, 40) } else { (8000, 120) };
+    eprintln!("[cli] sampling {n} architectures and training the {metric:?} predictor ...");
+    let data = MetricDataset::sample_diverse(&s.device, &s.space, metric, n, 0);
+    let (train, valid) = data.split(0.8);
+    let p = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs, batch_size: 256, lr: 1e-3, seed: 0 },
+    );
+    eprintln!("[cli] predictor RMSE: {:.3} {}", p.rmse(&valid), metric.unit());
+    p
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let target: f64 = flag(args, "--target")
+        .ok_or("search requires --target")?
+        .parse()
+        .map_err(|e| format!("bad --target: {e}"))?;
+    if target <= 0.0 {
+        return Err("--target must be positive".into());
+    }
+    let metric = match flag(args, "--metric").as_deref() {
+        None | Some("latency") => Metric::LatencyMs,
+        Some("energy") => Metric::EnergyMj,
+        Some("memory") => Metric::PeakMemoryMib,
+        Some(other) => return Err(format!("unknown metric {other:?}")),
+    };
+    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(0);
+    let quick = has(args, "--quick");
+    let s = stack();
+    let predictor = train_predictor(&s, metric, quick);
+    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    eprintln!("[cli] searching (target {target} {}) ...", metric.unit());
+    let outcome = LightNas::new(&s.space, &s.oracle, &predictor, config).search(target, seed);
+    let net = &outcome.architecture;
+    println!("architecture: {net}");
+    println!("diagram     : {}", net.diagram(&s.space));
+    match metric {
+        Metric::LatencyMs => println!(
+            "measured    : {:.2} ms (target {target:.2})",
+            s.device.true_latency_ms(net, &s.space)
+        ),
+        Metric::EnergyMj => println!(
+            "measured    : {:.0} mJ (target {target:.0}), latency {:.2} ms",
+            s.device.true_energy_mj(net, &s.space),
+            s.device.true_latency_ms(net, &s.space)
+        ),
+        Metric::PeakMemoryMib => println!(
+            "measured    : {:.1} MiB (target {target:.1}), latency {:.2} ms",
+            s.device.peak_memory_mib(net, &s.space),
+            s.device.true_latency_ms(net, &s.space)
+        ),
+    }
+    let top1 = s.oracle.top1(net, TrainingProtocol::full(), seed);
+    println!("top-1/top-5 : {top1:.1}% / {:.1}%", s.oracle.top5_from_top1(top1));
+    println!("MAdds       : {:.0}M", net.flops(&s.space).mflops());
+    println!("final lambda: {:+.3}", outcome.lambda);
+    Ok(())
+}
+
+fn cmd_measure(args: &[String]) -> Result<(), String> {
+    let text = flag(args, "--arch").ok_or("measure requires --arch")?;
+    let arch: Architecture = text.parse().map_err(|e| format!("{e}"))?;
+    let s = stack();
+    let top1 = s.oracle.top1(&arch, TrainingProtocol::full(), 0);
+    println!("architecture: {arch}");
+    println!("latency     : {:.2} ms", s.device.true_latency_ms(&arch, &s.space));
+    println!("energy      : {:.0} mJ", s.device.true_energy_mj(&arch, &s.space));
+    println!("top-1/top-5 : {top1:.1}% / {:.1}%", s.oracle.top5_from_top1(top1));
+    println!("MAdds       : {:.0}M", arch.flops(&s.space).mflops());
+    println!("params      : {:.2}M", arch.flops(&s.space).total_params() as f64 / 1e6);
+    println!("depth       : {} non-skip layers", arch.depth());
+    Ok(())
+}
+
+fn cmd_evolve(args: &[String]) -> Result<(), String> {
+    let budget: f64 = flag(args, "--budget")
+        .ok_or("evolve requires --budget")?
+        .parse()
+        .map_err(|e| format!("bad --budget: {e}"))?;
+    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(0);
+    let quick = has(args, "--quick");
+    let s = stack();
+    let predictor = train_predictor(&s, Metric::LatencyMs, quick);
+    let config = if quick {
+        EvolutionConfig { population: 32, tournament: 4, generations: 400 }
+    } else {
+        EvolutionConfig::default()
+    };
+    eprintln!("[cli] evolving under a {budget} ms budget ...");
+    let engine = EvolutionSearch::new(&s.space, &s.oracle, &predictor, config);
+    let arch = engine.search(budget, seed).ok_or("no feasible architecture found")?;
+    let top1 = s.oracle.top1(&arch, TrainingProtocol::full(), seed);
+    println!("architecture: {arch}");
+    println!("latency     : {:.2} ms", s.device.true_latency_ms(&arch, &s.space));
+    println!("top-1       : {top1:.1}%");
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let lambdas: Vec<f64> = flag(args, "--lambdas")
+        .ok_or("sweep requires --lambdas")?
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|e| format!("bad lambda {t:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if lambdas.is_empty() {
+        return Err("--lambdas needs at least one value".into());
+    }
+    let quick = has(args, "--quick");
+    let s = stack();
+    let lut = LutPredictor::build(&s.device, &s.space);
+    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    let points = lambda_sweep(&s.space, &s.oracle, &lut, &s.device, &lambdas, config, 0);
+    println!("{:>10} {:>12} {:>14} {:>8}", "lambda", "latency(ms)", "top1@50ep(%)", "skips");
+    for p in points {
+        println!(
+            "{:>10.4} {:>12.2} {:>14.2} {:>7.0}%",
+            p.lambda,
+            p.latency_ms,
+            p.top1_quick,
+            p.skip_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_frontier(args: &[String]) -> Result<(), String> {
+    let targets: Vec<f64> = flag(args, "--targets")
+        .ok_or("frontier requires --targets")?
+        .split(',')
+        .map(|t| t.trim().parse().map_err(|e| format!("bad target {t:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    if targets.is_empty() {
+        return Err("--targets needs at least one value".into());
+    }
+    let quick = has(args, "--quick");
+    let s = stack();
+    let predictor = train_predictor(&s, Metric::LatencyMs, quick);
+    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    let points = trace_frontier(&s.space, &s.oracle, &predictor, config, &targets, 0);
+    println!("{:>12} {:>12} {:>10}", "target(ms)", "measured(ms)", "top1(%)");
+    for p in points {
+        println!(
+            "{:>12.1} {:>12.2} {:>10.2}",
+            p.target,
+            s.device.true_latency_ms(&p.architecture, &s.space),
+            p.top1
+        );
+    }
+    Ok(())
+}
+
+fn cmd_baselines() -> Result<(), String> {
+    let s = stack();
+    println!(
+        "{:<20} {:>12} {:>10} {:>10} {:>10}",
+        "name", "latency(ms)", "paper ms", "top1(%)", "paper top1"
+    );
+    for r in reference_architectures() {
+        let lat = s.device.true_latency_ms(&r.arch, &s.space);
+        let top1 = s.oracle.top1(&r.arch, TrainingProtocol::full(), 0);
+        println!(
+            "{:<20} {:>12.2} {:>10.1} {:>10.1} {:>10.1}",
+            r.name, lat, r.paper_latency_ms, top1, r.paper_top1
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! **lightnas-repro** — a full reproduction of *"You Only Search Once: On
+//! Lightweight Differentiable Architecture Search for Resource-Constrained
+//! Embedded Platforms"* (Luo et al., DAC 2022) in Rust.
+//!
+//! This umbrella crate re-exports every subsystem so the examples and
+//! cross-crate integration tests have a single import root:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autograd.
+//! * [`nn`] — layers, optimizers, schedules, Gumbel sampling, synthetic data.
+//! * [`space`] — the MobileNetV2-based layer-wise search space (Sec. 3.1).
+//! * [`hw`] — the simulated Jetson AGX Xavier (latency/energy roofline).
+//! * [`predictor`] — the MLP hardware-metric predictor and LUT baseline
+//!   (Sec. 3.2).
+//! * [`eval`] — the ImageNet accuracy oracle, training protocols and COCO
+//!   detection transfer.
+//! * [`search`] — the LightNAS engine (learned λ, single path) and the
+//!   FBNet / DARTS / random baselines (Sec. 3.3–3.4).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use lightnas_repro::prelude::*;
+//!
+//! let space = SearchSpace::standard();
+//! let device = Xavier::maxn();
+//! let oracle = AccuracyOracle::imagenet();
+//! let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 10_000, 0);
+//! let predictor = MlpPredictor::train(&data.split(0.8).0, &TrainConfig::default());
+//! let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());
+//! let net = engine.search_architecture(24.0, 0); // you only search once
+//! println!("LightNet-24ms: {net}");
+//! ```
+
+pub use lightnas as search;
+pub use lightnas_eval as eval;
+pub use lightnas_hw as hw;
+pub use lightnas_nn as nn;
+pub use lightnas_predictor as predictor;
+pub use lightnas_space as space;
+pub use lightnas_tensor as tensor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use lightnas::{
+        ArchParams, DartsSearch, EvolutionConfig, EvolutionSearch, FbnetSearch, LightNas,
+        ProxylessSearch, RandomSearch, SearchConfig, SearchOutcome, SearchTrace,
+    };
+    pub use lightnas_eval::{AccuracyOracle, SsdLite, TrainingProtocol};
+    pub use lightnas_hw::{Xavier, XavierConfig};
+    pub use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+    pub use lightnas_space::{
+        mobilenet_v2, reference_architectures, Architecture, Operator, SearchSpace, SpaceConfig,
+    };
+}

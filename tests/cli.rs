@@ -1,0 +1,59 @@
+//! Integration tests of the `lightnas_cli` binary (fast commands only —
+//! the search commands are exercised through the library tests).
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lightnas_cli"))
+}
+
+#[test]
+fn measure_prints_all_metrics_for_a_valid_architecture() {
+    let arch = vec!["K3E6"; 21].join("-");
+    let out = cli().args(["measure", "--arch", &arch]).output().expect("spawns");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for field in ["latency", "energy", "top-1", "MAdds", "params", "depth"] {
+        assert!(text.contains(field), "missing {field} in:\n{text}");
+    }
+    assert!(text.contains("20.2"), "MobileNetV2 anchor latency missing:\n{text}");
+}
+
+#[test]
+fn measure_rejects_malformed_architectures() {
+    let out = cli().args(["measure", "--arch", "K3E6-bogus"]).output().expect("spawns");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "unexpected stderr: {err}");
+}
+
+#[test]
+fn baselines_lists_the_table2_roster() {
+    let out = cli().arg("baselines").output().expect("spawns");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in ["MobileNetV2", "FBNet-C", "OFA-L", "EfficientNet-B0"] {
+        assert!(text.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = cli().arg("--help").output().expect("spawns");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lightnas_cli"));
+}
+
+#[test]
+fn search_requires_a_target() {
+    let out = cli().arg("search").output().expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--target"));
+}

@@ -1,0 +1,32 @@
+//! Shared fixture for the cross-crate integration tests: substrate stack
+//! built once per test binary.
+
+use std::sync::OnceLock;
+
+use lightnas_repro::prelude::*;
+
+pub struct Stack {
+    pub space: SearchSpace,
+    pub device: Xavier,
+    pub oracle: AccuracyOracle,
+    pub predictor: MlpPredictor,
+    pub lut: LutPredictor,
+}
+
+static STACK: OnceLock<Stack> = OnceLock::new();
+
+pub fn stack() -> &'static Stack {
+    STACK.get_or_init(|| {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let oracle = AccuracyOracle::imagenet();
+        let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 2500, 42);
+        let (train, _) = data.split(0.9);
+        let predictor = MlpPredictor::train(
+            &train,
+            &TrainConfig { epochs: 60, batch_size: 128, lr: 2e-3, seed: 0 },
+        );
+        let lut = LutPredictor::build(&device, &space);
+        Stack { space, device, oracle, predictor, lut }
+    })
+}

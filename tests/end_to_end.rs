@@ -1,0 +1,165 @@
+//! End-to-end integration: the full LightNAS pipeline across all crates —
+//! device simulation → predictor training → one-time search → evaluation.
+
+mod common;
+
+use common::stack;
+use lightnas_repro::prelude::*;
+
+#[test]
+fn one_time_search_hits_the_target_end_to_end() {
+    let s = stack();
+    let engine = LightNas::new(&s.space, &s.oracle, &s.predictor, SearchConfig::paper());
+    let outcome = engine.search(24.0, 11);
+    let measured = s.device.true_latency_ms(&outcome.architecture, &s.space);
+    assert!(
+        (measured - 24.0).abs() < 1.5,
+        "one-time search landed at {measured:.2} ms for a 24 ms target"
+    );
+}
+
+#[test]
+fn searched_networks_dominate_their_latency_band() {
+    // The Table 2 shape: at comparable latency, the searched network is at
+    // least as accurate as every reference baseline in the band.
+    let s = stack();
+    let engine = LightNas::new(&s.space, &s.oracle, &s.predictor, SearchConfig::paper());
+    let refs = reference_architectures();
+    let mut checked = 0;
+    for &t in &[20.0, 24.0, 28.0] {
+        let net = engine.search_architecture(t, 0xe2e);
+        let our_lat = s.device.true_latency_ms(&net, &s.space);
+        let our_top1 = s.oracle.top1(&net, TrainingProtocol::full(), 0);
+        for r in refs.iter().filter(|r| !r.extra_techniques) {
+            let lat = s.device.true_latency_ms(&r.arch, &s.space);
+            if (lat - our_lat).abs() < 1.0 {
+                let base_top1 = s.oracle.top1(&r.arch, TrainingProtocol::full(), 0);
+                assert!(
+                    our_top1 + 0.15 >= base_top1,
+                    "at {our_lat:.1} ms, {} ({base_top1:.2}) beats LightNet ({our_top1:.2})",
+                    r.name
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 1, "no latency-matched baselines encountered");
+}
+
+#[test]
+fn fixed_lambda_engine_needs_tuning_where_lightnas_does_not() {
+    let s = stack();
+    let config = SearchConfig::fast();
+    // One arbitrary λ almost surely misses the 22 ms target ...
+    let fbnet = FbnetSearch::new(&s.space, &s.oracle, &s.lut, 0.01, config);
+    let fb_arch = fbnet.search_architecture(2);
+    let fb_lat = s.device.true_latency_ms(&fb_arch, &s.space);
+    // ... while LightNAS is on target with the same step budget.
+    let light = LightNas::new(&s.space, &s.oracle, &s.predictor, config);
+    let ln_arch = light.search_architecture(22.0, 2);
+    let ln_lat = s.device.true_latency_ms(&ln_arch, &s.space);
+    assert!(
+        (ln_lat - 22.0).abs() < (fb_lat - 22.0).abs() + 0.5,
+        "LightNAS ({ln_lat:.2} ms) should be closer to 22 ms than fixed-λ ({fb_lat:.2} ms)"
+    );
+    assert!((ln_lat - 22.0).abs() < 2.0, "LightNAS missed the target: {ln_lat:.2} ms");
+}
+
+#[test]
+fn energy_constrained_search_works_through_the_same_engine() {
+    let s = stack();
+    let data = MetricDataset::sample_diverse(&s.device, &s.space, Metric::EnergyMj, 1500, 7);
+    let (train, _) = data.split(0.9);
+    let energy_predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 7 },
+    );
+    let engine = LightNas::new(&s.space, &s.oracle, &energy_predictor, SearchConfig::paper());
+    let outcome = engine.search(500.0, 3);
+    let measured = s.device.true_energy_mj(&outcome.architecture, &s.space);
+    assert!(
+        (measured - 500.0).abs() < 60.0,
+        "energy-constrained search landed at {measured:.0} mJ for a 500 mJ target"
+    );
+}
+
+#[test]
+fn memory_constrained_search_works_through_the_same_engine() {
+    // The third metric (peak inference memory): train a predictor on it,
+    // plug it into the unchanged engine, hit the budget.
+    let s = stack();
+    let data =
+        MetricDataset::sample_diverse(&s.device, &s.space, Metric::PeakMemoryMib, 1500, 17);
+    let (train, valid) = data.split(0.9);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 17 },
+    );
+    assert!(
+        predictor.rmse(&valid) < valid.target_std() / 2.0,
+        "memory predictor failed to learn"
+    );
+    // Pick a mid-range budget from the corpus itself.
+    let budget = data.target_mean();
+    let engine = LightNas::new(&s.space, &s.oracle, &predictor, SearchConfig::paper());
+    let outcome = engine.search(budget, 4);
+    let measured = s.device.peak_memory_mib(&outcome.architecture, &s.space);
+    assert!(
+        (measured - budget).abs() < budget * 0.12,
+        "memory-constrained search landed at {measured:.1} MiB for a {budget:.1} MiB target"
+    );
+}
+
+#[test]
+fn multi_constraint_search_satisfies_both_budgets() {
+    use lightnas_repro::search::multi::{Budget, MultiConstraintSearch};
+    let s = stack();
+    let data = MetricDataset::sample_diverse(&s.device, &s.space, Metric::EnergyMj, 1500, 23);
+    let (train, _) = data.split(0.9);
+    let energy = MlpPredictor::train(
+        &train,
+        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 23 },
+    );
+    let engine = MultiConstraintSearch::new(
+        &s.space,
+        &s.oracle,
+        vec![
+            Budget { predictor: &s.predictor, target: 25.0, label: "latency" },
+            Budget { predictor: &energy, target: 470.0, label: "energy" },
+        ],
+        SearchConfig::paper(),
+    );
+    let out = engine.search(1);
+    let arch = &out.outcome.architecture;
+    assert!(s.device.true_latency_ms(arch, &s.space) < 26.5);
+    assert!(s.device.true_energy_mj(arch, &s.space) < 520.0);
+}
+
+#[test]
+fn detection_transfer_preserves_backbone_ordering() {
+    let s = stack();
+    let ssd = SsdLite::new(s.device.clone());
+    let engine = LightNas::new(&s.space, &s.oracle, &s.predictor, SearchConfig::paper());
+    let light = engine.search_architecture(28.0, 5);
+    let mbv2 = mobilenet_v2();
+    let r_light = ssd.evaluate(&light, &s.oracle, 0);
+    let r_mbv2 = ssd.evaluate(&mbv2, &s.oracle, 0);
+    assert!(
+        r_light.ap > r_mbv2.ap,
+        "LightNet backbone AP {:.1} should beat MobileNetV2 {:.1}",
+        r_light.ap,
+        r_mbv2.ap
+    );
+}
+
+#[test]
+fn random_search_is_weaker_than_lightnas_at_equal_budget() {
+    let s = stack();
+    let engine = LightNas::new(&s.space, &s.oracle, &s.predictor, SearchConfig::paper());
+    let ln = engine.search_architecture(24.0, 9);
+    let rs = RandomSearch::new(&s.space, &s.oracle, &s.predictor, 300)
+        .search(24.0, 9)
+        .expect("feasible budget");
+    let (a, b) = (s.oracle.asymptotic_top1(&ln), s.oracle.asymptotic_top1(&rs));
+    assert!(a > b, "LightNAS {a:.2} should beat random search {b:.2}");
+}

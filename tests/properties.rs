@@ -1,0 +1,174 @@
+//! Property-based tests on cross-crate invariants (proptest).
+
+use proptest::prelude::*;
+
+use lightnas_repro::prelude::*;
+use lightnas_repro::space::{NUM_OPS, SEARCHABLE_LAYERS};
+
+fn arb_arch() -> impl Strategy<Value = Architecture> {
+    proptest::collection::vec(0..NUM_OPS, SEARCHABLE_LAYERS)
+        .prop_map(|idx| Architecture::new(idx.into_iter().map(Operator::from_index).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoding_round_trips(arch in arb_arch()) {
+        let enc = arch.encode();
+        prop_assert_eq!(Architecture::decode(&enc), arch);
+    }
+
+    #[test]
+    fn encoding_has_exactly_l_ones(arch in arb_arch()) {
+        let ones = arch.encode().iter().filter(|&&v| v == 1.0).count();
+        prop_assert_eq!(ones, SEARCHABLE_LAYERS + 1); // + the fixed block row
+    }
+
+    #[test]
+    fn latency_is_positive_and_bounded(arch in arb_arch()) {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let ms = device.true_latency_ms(&arch, &space);
+        prop_assert!(ms > 5.0 && ms < 60.0, "latency {} out of physical range", ms);
+    }
+
+    #[test]
+    fn energy_exceeds_static_floor(arch in arb_arch()) {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let ms = device.true_latency_ms(&arch, &space);
+        let mj = device.true_energy_mj(&arch, &space);
+        // Energy can never be below static power x total time.
+        prop_assert!(mj >= device.config().static_power_w * ms - 1e-6);
+    }
+
+    #[test]
+    fn upgrading_one_op_never_reduces_flops(arch in arb_arch(), slot in 0..SEARCHABLE_LAYERS) {
+        let space = SearchSpace::standard();
+        let mut ops = arch.ops().to_vec();
+        // K7E6 is the superset operator: replacing anything with it cannot
+        // reduce the analytic cost.
+        ops[slot] = Operator::from_index(5);
+        let upgraded = Architecture::new(ops);
+        prop_assert!(
+            upgraded.flops(&space).total_flops() >= arch.flops(&space).total_flops()
+        );
+    }
+
+    #[test]
+    fn upgrading_one_op_never_reduces_true_latency(arch in arb_arch(), slot in 0..SEARCHABLE_LAYERS) {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let mut ops = arch.ops().to_vec();
+        if ops[slot] == Operator::from_index(5) {
+            return Ok(()); // already maximal
+        }
+        ops[slot] = Operator::from_index(5);
+        let upgraded = Architecture::new(ops);
+        // Allow a small tolerance: the transition-stall term is not strictly
+        // monotone in op size (a heavier op can smooth a workload cliff).
+        prop_assert!(
+            device.true_latency_ms(&upgraded, &space)
+                >= device.true_latency_ms(&arch, &space) - 0.05
+        );
+    }
+
+    #[test]
+    fn oracle_quality_is_deterministic(arch in arb_arch()) {
+        let oracle = AccuracyOracle::imagenet();
+        prop_assert_eq!(oracle.quality(&arch), oracle.quality(&arch));
+    }
+
+    #[test]
+    fn top1_is_within_the_physical_range(arch in arb_arch(), seed in 0u64..1000) {
+        let oracle = AccuracyOracle::imagenet();
+        let t = oracle.top1(&arch, TrainingProtocol::full(), seed);
+        prop_assert!((5.0..78.0).contains(&t), "top-1 {} out of range", t);
+    }
+
+    #[test]
+    fn quick_protocol_never_beats_full(arch in arb_arch()) {
+        let oracle = AccuracyOracle::imagenet();
+        let quick = oracle.top1(&arch, TrainingProtocol::quick(), 0);
+        let full = oracle.top1(&arch, TrainingProtocol::full(), 0);
+        prop_assert!(quick <= full + 1e-9);
+    }
+
+    #[test]
+    fn top5_always_at_least_top1(top1 in 10.0f64..77.0) {
+        let oracle = AccuracyOracle::imagenet();
+        prop_assert!(oracle.top5_from_top1(top1) >= top1);
+    }
+
+    #[test]
+    fn se_tail_monotonically_helps_accuracy(arch in arb_arch(), tail in 1usize..=21) {
+        let oracle = AccuracyOracle::imagenet();
+        let with = oracle.asymptotic_top1(&arch.with_se_tail(tail));
+        let without = oracle.asymptotic_top1(&arch);
+        prop_assert!(with >= without - 1e-9);
+    }
+
+    #[test]
+    fn se_tail_monotonically_costs_latency(arch in arb_arch(), tail in 1usize..=21) {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let with = device.true_latency_ms(&arch.with_se_tail(tail), &space);
+        let without = device.true_latency_ms(&arch, &space);
+        prop_assert!(with >= without - 1e-9);
+    }
+
+    #[test]
+    fn selection_probabilities_are_normalized(
+        logits in proptest::collection::vec(-3.0f64..3.0, SEARCHABLE_LAYERS * NUM_OPS)
+    ) {
+        let mut params = ArchParams::new();
+        for (l, row) in params.alpha_mut().iter_mut().enumerate() {
+            for (k, v) in row.iter_mut().enumerate() {
+                *v = logits[l * NUM_OPS + k];
+            }
+        }
+        for row in params.probabilities() {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(row.iter().all(|&p| p > 0.0));
+        }
+        // The strongest arch always has the highest selection probability
+        // among single-op swaps of itself.
+        let strongest = params.strongest();
+        let p_star = params.selection_probability(&strongest);
+        let mut ops = strongest.ops().to_vec();
+        for l in 0..SEARCHABLE_LAYERS {
+            let orig = ops[l];
+            for k in 0..NUM_OPS {
+                ops[l] = Operator::from_index(k);
+                let p = params.selection_probability(&Architecture::new(ops.clone()));
+                prop_assert!(p <= p_star + 1e-12);
+            }
+            ops[l] = orig;
+        }
+    }
+
+    #[test]
+    fn lut_never_overestimates_by_much(arch in arb_arch()) {
+        // The LUT misses the runtime overhead and stalls, so its prediction
+        // sits consistently BELOW the true latency.
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let lut = LutPredictor::build(&device, &space);
+        let predicted = lut.predict(&arch);
+        let truth = device.true_latency_ms(&arch, &space);
+        prop_assert!(truth > predicted, "LUT {} >= truth {}", predicted, truth);
+        prop_assert!(truth - predicted < 16.0, "gap {} implausible", truth - predicted);
+    }
+
+    #[test]
+    fn width_scaling_moves_flops_monotonically(arch in arb_arch()) {
+        let narrow = SearchSpace::with_config(SpaceConfig { resolution: 224, width_mult: 0.75 });
+        let standard = SearchSpace::standard();
+        let wide = SearchSpace::with_config(SpaceConfig { resolution: 224, width_mult: 1.4 });
+        let f = |s: &SearchSpace| arch.flops(s).total_flops();
+        prop_assert!(f(&narrow) <= f(&standard));
+        prop_assert!(f(&standard) <= f(&wide));
+    }
+}
