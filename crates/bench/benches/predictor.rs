@@ -19,7 +19,12 @@ fn bench_predictor(c: &mut Criterion) {
     let (train, _) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 0,
+        },
     );
     let lut = LutPredictor::build(&device, &space);
     let arch = Architecture::random(&space, 7);
@@ -34,14 +39,21 @@ fn bench_predictor(c: &mut Criterion) {
     c.bench_function("lut_predict_one", |b| {
         b.iter(|| black_box(lut.predict(black_box(&arch))))
     });
-    c.bench_function("arch_encode", |b| b.iter(|| black_box(black_box(&arch).encode())));
+    c.bench_function("arch_encode", |b| {
+        b.iter(|| black_box(black_box(&arch).encode()))
+    });
 
     let small = MetricDataset::sample(&device, &space, Metric::LatencyMs, 256, 3);
     c.bench_function("mlp_train_epoch_256", |b| {
         b.iter(|| {
             let p = MlpPredictor::train(
                 black_box(&small),
-                &TrainConfig { epochs: 1, batch_size: 128, lr: 1e-3, seed: 0 },
+                &TrainConfig {
+                    epochs: 1,
+                    batch_size: 128,
+                    lr: 1e-3,
+                    seed: 0,
+                },
             );
             black_box(p)
         })

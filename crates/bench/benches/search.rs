@@ -21,7 +21,12 @@ fn bench_search(c: &mut Criterion) {
     let (train, _) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 0,
+        },
     );
     let lut = LutPredictor::build(&device, &space);
     let arch = Architecture::random(&space, 5);

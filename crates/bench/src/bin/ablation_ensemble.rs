@@ -19,7 +19,12 @@ fn distill(ensemble: &EnsemblePredictor, corpus: &MetricDataset, epochs: usize) 
     let data = MetricDataset::from_rows(Metric::LatencyMs, corpus.archs().to_vec(), targets);
     MlpPredictor::train(
         &data,
-        &TrainConfig { epochs, batch_size: 256, lr: 1e-3, seed: 0xd157 },
+        &TrainConfig {
+            epochs,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0xd157,
+        },
     )
 }
 
@@ -30,7 +35,12 @@ fn main() {
     let n = if h.quick { 400 } else { 1200 };
     let data = MetricDataset::sample_diverse(&h.device, &h.space, Metric::LatencyMs, n, 77);
     let (train, valid) = data.split(0.8);
-    let cfg = TrainConfig { epochs, batch_size: 128, lr: 2e-3, seed: 7 };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 128,
+        lr: 2e-3,
+        seed: 7,
+    };
 
     eprintln!("[ablation] training single MLP and 4-member ensemble on {n} samples ...");
     let single = MlpPredictor::train(&train, &cfg);
@@ -61,7 +71,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["target (ms)", "single-MLP-driven (miss)", "ensemble-driven (miss)"],
+            &[
+                "target (ms)",
+                "single-MLP-driven (miss)",
+                "ensemble-driven (miss)"
+            ],
             &rows
         )
     );

@@ -17,7 +17,10 @@ fn main() {
     println!("Ablation A: λ learning rate (target {target} ms)");
     let mut rows = Vec::new();
     for &lr in &[5e-5, 2e-4, 5e-4, 2e-3, 1e-2] {
-        let config = SearchConfig { lambda_lr: lr, ..base };
+        let config = SearchConfig {
+            lambda_lr: lr,
+            ..base
+        };
         let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
         let outcome = engine.search(target, 17);
         let measured = h.device.true_latency_ms(&outcome.architecture, &h.space);
@@ -40,7 +43,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["eta_lambda", "measured (ms)", "final lambda", "lambda roughness"],
+            &[
+                "eta_lambda",
+                "measured (ms)",
+                "final lambda",
+                "lambda roughness"
+            ],
             &rows
         )
     );
@@ -51,7 +59,10 @@ fn main() {
         if warmup >= base.epochs {
             continue;
         }
-        let config = SearchConfig { warmup_epochs: warmup, ..base };
+        let config = SearchConfig {
+            warmup_epochs: warmup,
+            ..base
+        };
         let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
         let outcome = engine.search(target, 17);
         let measured = h.device.true_latency_ms(&outcome.architecture, &h.space);

@@ -27,13 +27,18 @@ fn main() {
     let (train, _) = lut_data.split(0.9);
     let lut_mlp = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: if h.quick { 40 } else { 120 }, batch_size: 256, lr: 1e-3, seed: 3 },
+        &TrainConfig {
+            epochs: if h.quick { 40 } else { 120 },
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 3,
+        },
     );
 
     let mut rows = Vec::new();
     for &t in &[20.0f64, 24.0, 28.0] {
-        let mlp_net = LightNas::new(&h.space, &h.oracle, &h.predictor, config)
-            .search_architecture(t, 9);
+        let mlp_net =
+            LightNas::new(&h.space, &h.oracle, &h.predictor, config).search_architecture(t, 9);
         let lut_net =
             LightNas::new(&h.space, &h.oracle, &lut_mlp, config).search_architecture(t, 9);
         rows.push(vec![
@@ -46,7 +51,11 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["target (ms)", "MLP-driven measured (ms)", "LUT-driven measured (ms)"],
+            &[
+                "target (ms)",
+                "MLP-driven measured (ms)",
+                "LUT-driven measured (ms)"
+            ],
             &rows
         )
     );

@@ -24,7 +24,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for &(name, tau_start, tau_end) in schedules {
-        let config = SearchConfig { tau_start, tau_end, ..base };
+        let config = SearchConfig {
+            tau_start,
+            tau_end,
+            ..base
+        };
         let engine = LightNas::new(&h.space, &h.oracle, &h.predictor, config);
         // Average across seeds: temperature effects are noisy by nature.
         let mut lat = 0.0;

@@ -40,13 +40,18 @@ fn main() {
         "-".into(),
         format!("{:.2}", ln_break.iter().sum::<f64>()),
     ]);
-    println!(
-        "Per-layer latency anatomy at a shared {t:.1} ms budget (searchable slots only):"
-    );
+    println!("Per-layer latency anatomy at a shared {t:.1} ms budget (searchable slots only):");
     println!(
         "{}",
         render_table(
-            &["slot", "shape", "MBV2 op", "MBV2 ms", "LightNet op", "LightNet ms"],
+            &[
+                "slot",
+                "shape",
+                "MBV2 op",
+                "MBV2 ms",
+                "LightNet op",
+                "LightNet ms"
+            ],
             &rows
         )
     );

@@ -29,7 +29,12 @@ fn main() {
             format!("{lat:.2}"),
             format!("{top1:.2}"),
             format!("{runs}"),
-            if (lat - target).abs() <= 1.0 { "yes" } else { "no" }.to_string(),
+            if (lat - target).abs() <= 1.0 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     };
 
@@ -46,8 +51,8 @@ fn main() {
     let fb_arch = {
         // reproduce the bisection to recover the final lambda
         let (mut lo, mut hi) = (1e-5f64, 1.0f64);
-        let mut arch = FbnetSearch::new(&h.space, &h.oracle, &h.lut, 1e-3, config)
-            .search_architecture(0);
+        let mut arch =
+            FbnetSearch::new(&h.space, &h.oracle, &h.lut, 1e-3, config).search_architecture(0);
         for run in 0..fb_runs {
             let lambda = (lo.ln() + (hi / lo).ln() / 2.0).exp();
             arch = FbnetSearch::new(&h.space, &h.oracle, &h.lut, lambda, config)
@@ -67,8 +72,8 @@ fn main() {
     record("FBNet-style (lambda bisection)", &fb_arch, fb_runs);
 
     eprintln!("[engines] ProxylessNAS-style ...");
-    let px_arch = ProxylessSearch::new(&h.space, &h.oracle, &h.lut, 0.02, config)
-        .search_architecture(0);
+    let px_arch =
+        ProxylessSearch::new(&h.space, &h.oracle, &h.lut, 0.02, config).search_architecture(0);
     record("ProxylessNAS-style (fixed lambda=0.02)", &px_arch, 1);
 
     eprintln!("[engines] regularized evolution ...");
@@ -76,7 +81,11 @@ fn main() {
         &h.space,
         &h.oracle,
         &h.predictor,
-        EvolutionConfig { population: 64, tournament: 8, generations: 1500 },
+        EvolutionConfig {
+            population: 64,
+            tournament: 8,
+            generations: 1500,
+        },
     )
     .search(target, 0)
     .expect("budget feasible");
@@ -92,7 +101,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["engine", "measured (ms)", "top-1 (%)", "search runs", "on target"],
+            &[
+                "engine",
+                "measured (ms)",
+                "top-1 (%)",
+                "search runs",
+                "on target"
+            ],
             &rows
         )
     );

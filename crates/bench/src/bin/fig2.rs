@@ -25,19 +25,50 @@ fn main() {
 
     let lat_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.1)).collect();
     let en_pts: Vec<(f64, f64)> = rows.iter().map(|r| (r.0, r.2)).collect();
-    println!("{}", ascii_chart("Figure 2 (left): FLOPs (M) vs latency (ms)", &lat_pts, 70, 18));
-    println!("{}", ascii_chart("Figure 2 (right): FLOPs (M) vs energy (mJ)", &en_pts, 70, 18));
-    let mut left = SvgPlot::new("Figure 2 (left): FLOPs vs latency", "FLOPs (M)", "latency (ms)");
-    left.add_series("random architectures", lat_pts.clone(), SeriesStyle::Scatter);
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 2 (left): FLOPs (M) vs latency (ms)",
+            &lat_pts,
+            70,
+            18
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 2 (right): FLOPs (M) vs energy (mJ)",
+            &en_pts,
+            70,
+            18
+        )
+    );
+    let mut left = SvgPlot::new(
+        "Figure 2 (left): FLOPs vs latency",
+        "FLOPs (M)",
+        "latency (ms)",
+    );
+    left.add_series(
+        "random architectures",
+        lat_pts.clone(),
+        SeriesStyle::Scatter,
+    );
     save_figure("fig2_latency", &left);
-    let mut right = SvgPlot::new("Figure 2 (right): FLOPs vs energy", "FLOPs (M)", "energy (mJ)");
+    let mut right = SvgPlot::new(
+        "Figure 2 (right): FLOPs vs energy",
+        "FLOPs (M)",
+        "energy (mJ)",
+    );
     right.add_series("random architectures", en_pts.clone(), SeriesStyle::Scatter);
     save_figure("fig2_energy", &right);
 
     let flops: Vec<f64> = rows.iter().map(|r| r.0).collect();
     let lats: Vec<f64> = rows.iter().map(|r| r.1).collect();
     let ens: Vec<f64> = rows.iter().map(|r| r.2).collect();
-    println!("Pearson(FLOPs, latency) = {:.3}", correlation(&flops, &lats));
+    println!(
+        "Pearson(FLOPs, latency) = {:.3}",
+        correlation(&flops, &lats)
+    );
     println!("Pearson(FLOPs, energy)  = {:.3}", correlation(&flops, &ens));
 
     // The paper's headline: same latency, very different FLOPs. Report the
@@ -50,9 +81,9 @@ fn main() {
         .filter(|r| (r.1 - med).abs() < 0.25)
         .map(|r| r.0)
         .collect();
-    let (lo, hi) = band
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &f| (lo.min(f), hi.max(f)));
+    let (lo, hi) = band.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &f| {
+        (lo.min(f), hi.max(f))
+    });
     println!(
         "within latency band {:.2}±0.25 ms: {} architectures, FLOPs range {:.0}M .. {:.0}M ({:.0}% spread)",
         med,

@@ -13,8 +13,15 @@ use lightnas_bench::{ascii_chart, render_table, save_figure, Harness};
 fn main() {
     let h = Harness::standard();
     let grid = default_lambda_grid();
-    let points =
-        lambda_sweep(&h.space, &h.oracle, &h.lut, &h.device, &grid, h.search_config(), 0);
+    let points = lambda_sweep(
+        &h.space,
+        &h.oracle,
+        &h.lut,
+        &h.device,
+        &grid,
+        h.search_config(),
+        0,
+    );
 
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -29,21 +36,52 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["lambda", "latency (ms)", "top-1 @50ep (%)", "skip ops"], &rows)
+        render_table(
+            &["lambda", "latency (ms)", "top-1 @50ep (%)", "skip ops"],
+            &rows
+        )
     );
 
-    let lat_pts: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.lambda.log10(), p.latency_ms)).collect();
-    let acc_pts: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.lambda.log10(), p.top1_quick)).collect();
-    let mut left = SvgPlot::new("Figure 3 (left): lambda vs latency", "log10(lambda)", "latency (ms)");
+    let lat_pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.lambda.log10(), p.latency_ms))
+        .collect();
+    let acc_pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.lambda.log10(), p.top1_quick))
+        .collect();
+    let mut left = SvgPlot::new(
+        "Figure 3 (left): lambda vs latency",
+        "log10(lambda)",
+        "latency (ms)",
+    );
     left.add_series("FBNet fixed-lambda", lat_pts.clone(), SeriesStyle::Line);
     save_figure("fig3_latency", &left);
-    let mut right = SvgPlot::new("Figure 3 (right): lambda vs top-1 @50ep", "log10(lambda)", "top-1 (%)");
+    let mut right = SvgPlot::new(
+        "Figure 3 (right): lambda vs top-1 @50ep",
+        "log10(lambda)",
+        "top-1 (%)",
+    );
     right.add_series("FBNet fixed-lambda", acc_pts.clone(), SeriesStyle::Line);
     save_figure("fig3_accuracy", &right);
-    println!("{}", ascii_chart("Figure 3 (left): log10(lambda) vs latency (ms)", &lat_pts, 60, 14));
-    println!("{}", ascii_chart("Figure 3 (right): log10(lambda) vs top-1 @50ep (%)", &acc_pts, 60, 14));
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 3 (left): log10(lambda) vs latency (ms)",
+            &lat_pts,
+            60,
+            14
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "Figure 3 (right): log10(lambda) vs top-1 @50ep (%)",
+            &acc_pts,
+            60,
+            14
+        )
+    );
 
     // The implicit-cost experiment: how many full search runs does bisection
     // over λ need to land within 0.5 ms of a 24 ms target?

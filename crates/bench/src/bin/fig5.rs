@@ -14,8 +14,13 @@ fn main() {
 
     // MLP scatter on the held-out fold.
     let preds = h.predictor.predict_all(&h.valid);
-    let mlp_pts: Vec<(f64, f64)> =
-        h.valid.targets().iter().zip(&preds).map(|(&m, &p)| (m, p)).collect();
+    let mlp_pts: Vec<(f64, f64)> = h
+        .valid
+        .targets()
+        .iter()
+        .zip(&preds)
+        .map(|(&m, &p)| (m, p))
+        .collect();
     println!(
         "{}",
         ascii_chart(
@@ -28,19 +33,37 @@ fn main() {
     let mlp_rmse = h.predictor.rmse(&h.valid);
     println!("MLP predictor RMSE: {mlp_rmse:.3} ms   (paper: 0.04 ms)\n");
     let diag: Vec<(f64, f64)> = {
-        let lo = h.valid.targets().iter().copied().fold(f64::INFINITY, f64::min);
+        let lo = h
+            .valid
+            .targets()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let hi = h.valid.targets().iter().copied().fold(0.0f64, f64::max);
         vec![(lo, lo), (hi, hi)]
     };
-    let mut left = SvgPlot::new("Figure 5 (left): MLP predictor", "measured (ms)", "predicted (ms)");
-    left.add_series("validation architectures", mlp_pts.clone(), SeriesStyle::Scatter);
+    let mut left = SvgPlot::new(
+        "Figure 5 (left): MLP predictor",
+        "measured (ms)",
+        "predicted (ms)",
+    );
+    left.add_series(
+        "validation architectures",
+        mlp_pts.clone(),
+        SeriesStyle::Scatter,
+    );
     left.add_series("y = x", diag.clone(), SeriesStyle::Line);
     save_figure("fig5_mlp", &left);
 
     // LUT scatter: raw and bias-corrected.
     let lut_preds = h.lut.predict_all(&h.valid);
-    let lut_pts: Vec<(f64, f64)> =
-        h.valid.targets().iter().zip(&lut_preds).map(|(&m, &p)| (m, p)).collect();
+    let lut_pts: Vec<(f64, f64)> = h
+        .valid
+        .targets()
+        .iter()
+        .zip(&lut_preds)
+        .map(|(&m, &p)| (m, p))
+        .collect();
     println!(
         "{}",
         ascii_chart(
@@ -51,9 +74,18 @@ fn main() {
         )
     );
     let mut right = SvgPlot::new("Figure 5 (right): LUT", "measured (ms)", "predicted (ms)");
-    right.add_series("validation architectures", lut_pts.clone(), SeriesStyle::Scatter);
+    right.add_series(
+        "validation architectures",
+        lut_pts.clone(),
+        SeriesStyle::Scatter,
+    );
     {
-        let lo = h.valid.targets().iter().copied().fold(f64::INFINITY, f64::min);
+        let lo = h
+            .valid
+            .targets()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         let hi = h.valid.targets().iter().copied().fold(0.0f64, f64::max);
         right.add_series("y = x", vec![(lo, lo), (hi, hi)], SeriesStyle::Line);
     }

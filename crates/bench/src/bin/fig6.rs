@@ -45,7 +45,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["network", "latency (ms)", "depth", "skips", "K7 ops", "E6 ops", "MAdds (M)"],
+            &[
+                "network",
+                "latency (ms)",
+                "depth",
+                "skips",
+                "K7 ops",
+                "E6 ops",
+                "MAdds (M)"
+            ],
             &rows
         )
     );

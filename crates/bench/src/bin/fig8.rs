@@ -15,19 +15,40 @@ fn main() {
     // Left: energy predictor scatter.
     let (energy_predictor, valid) = h.energy_predictor();
     let preds = energy_predictor.predict_all(&valid);
-    let pts: Vec<(f64, f64)> =
-        valid.targets().iter().zip(&preds).map(|(&m, &p)| (m, p)).collect();
+    let pts: Vec<(f64, f64)> = valid
+        .targets()
+        .iter()
+        .zip(&preds)
+        .map(|(&m, &p)| (m, p))
+        .collect();
     println!(
         "{}",
-        ascii_chart("Figure 8 (left): measured (x) vs predicted (y) energy, mJ", &pts, 60, 16)
+        ascii_chart(
+            "Figure 8 (left): measured (x) vs predicted (y) energy, mJ",
+            &pts,
+            60,
+            16
+        )
     );
-    let mut left = SvgPlot::new("Figure 8 (left): energy predictor", "measured (mJ)", "predicted (mJ)");
-    left.add_series("validation architectures", pts.clone(), SeriesStyle::Scatter);
+    let mut left = SvgPlot::new(
+        "Figure 8 (left): energy predictor",
+        "measured (mJ)",
+        "predicted (mJ)",
+    );
+    left.add_series(
+        "validation architectures",
+        pts.clone(),
+        SeriesStyle::Scatter,
+    );
     save_figure("fig8_predictor", &left);
     println!(
         "energy predictor RMSE: {:.2} mJ on targets spanning {:.0}..{:.0} mJ\n",
         energy_predictor.rmse(&valid),
-        valid.targets().iter().copied().fold(f64::INFINITY, f64::min),
+        valid
+            .targets()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
         valid.targets().iter().copied().fold(0.0f64, f64::max),
     );
 
@@ -49,7 +70,11 @@ fn main() {
             12
         )
     );
-    let mut right = SvgPlot::new("Figure 8 (right): 500 mJ search", "search epoch", "predicted energy (mJ)");
+    let mut right = SvgPlot::new(
+        "Figure 8 (right): 500 mJ search",
+        "search epoch",
+        "predicted energy (mJ)",
+    );
     right.add_series("derived architecture", trace_pts.clone(), SeriesStyle::Line);
     save_figure("fig8_search", &right);
     let measured = h.device.true_energy_mj(&outcome.architecture, &h.space);

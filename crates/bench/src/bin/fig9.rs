@@ -23,7 +23,9 @@ fn main() {
     for v in scaled_variants() {
         let space = SearchSpace::with_config(v.config);
         let lat = h.device.true_latency_ms(&mbv2, &space);
-        let top1 = h.oracle.scaled_top1(&mbv2, v.config, TrainingProtocol::quick(), 0);
+        let top1 = h
+            .oracle
+            .scaled_top1(&mbv2, v.config, TrainingProtocol::quick(), 0);
         scale_rows.push(vec![
             v.label.clone(),
             format!("{:.2}", lat),
@@ -53,9 +55,15 @@ fn main() {
     }
 
     println!("MobileNetV2 scaling grid (50-epoch quick evaluation):");
-    println!("{}", render_table(&["variant", "latency (ms)", "top-1 (%)"], &scale_rows));
+    println!(
+        "{}",
+        render_table(&["variant", "latency (ms)", "top-1 (%)"], &scale_rows)
+    );
     println!("LightNets at matched budgets (50-epoch quick evaluation):");
-    println!("{}", render_table(&["network", "latency (ms)", "top-1 (%)"], &light_rows));
+    println!(
+        "{}",
+        render_table(&["network", "latency (ms)", "top-1 (%)"], &light_rows)
+    );
 
     let mut chart = SvgPlot::new(
         "Figure 9: search vs MobileNetV2 scaling (50-epoch protocol)",

@@ -5,23 +5,52 @@
 //! Pareto frontier at one search per point — the λ-sweep methods would pay
 //! an extra tuning multiplier per point.
 
-use lightnas::pareto::{pareto_indices, trace_frontier};
+use lightnas::pareto::{pareto_indices, FrontierPoint};
 use lightnas_bench::plot::{SeriesStyle, SvgPlot};
 use lightnas_bench::{ascii_chart, render_table, save_figure, Harness};
 use lightnas_eval::TrainingProtocol;
+use lightnas_runtime::{run_sweep, SearchJob, SweepOptions};
 use lightnas_space::reference_architectures;
 
 fn main() {
     let h = Harness::standard();
     let targets: Vec<f64> = (0..10).map(|i| 18.0 + 1.5 * i as f64).collect();
-    eprintln!("[pareto] tracing {} frontier points ...", targets.len());
-    let points = trace_frontier(
-        &h.space,
+    let workers = lightnas_bench::sweep_workers();
+    eprintln!(
+        "[pareto] tracing {} frontier points on {workers} workers ...",
+        targets.len()
+    );
+    // One search job per target, through the runtime scheduler: results are
+    // index-ordered and byte-identical to serial `trace_frontier`, but the
+    // points land concurrently behind one shared predictor cache.
+    let jobs = SearchJob::grid(&targets, &[0], h.search_config());
+    let report = run_sweep(
         &h.oracle,
         &h.predictor,
-        h.search_config(),
-        &targets,
-        0,
+        &jobs,
+        &SweepOptions::with_workers(workers),
+        None,
+    );
+    let points: Vec<FrontierPoint> = report
+        .completed()
+        .into_iter()
+        .map(|r| {
+            let architecture = r.outcome.architecture.clone();
+            FrontierPoint {
+                target: r.job.target,
+                predicted: h.predictor.predict(&architecture),
+                top1: h
+                    .oracle
+                    .top1(&architecture, TrainingProtocol::full(), r.job.seed),
+                architecture,
+            }
+        })
+        .collect();
+    eprintln!(
+        "[pareto] sweep cache: {} hits / {} misses ({:.1}% hit rate)",
+        report.cache.hits,
+        report.cache.misses,
+        100.0 * report.cache.hit_rate()
     );
 
     let rows: Vec<Vec<String>> = points
@@ -35,7 +64,10 @@ fn main() {
         })
         .collect();
     println!("LightNAS frontier (one search per point):");
-    println!("{}", render_table(&["target (ms)", "measured (ms)", "top-1 (%)"], &rows));
+    println!(
+        "{}",
+        render_table(&["target (ms)", "measured (ms)", "top-1 (%)"], &rows)
+    );
 
     let pairs: Vec<(f64, f64)> = points
         .iter()
@@ -58,13 +90,20 @@ fn main() {
         let lat = h.device.true_latency_ms(&r.arch, &h.space);
         let top1 = h.oracle.top1(&r.arch, TrainingProtocol::full(), 0);
         total += 1;
-        if pairs.iter().any(|&(l, a)| l <= lat + 0.05 && a >= top1 - 0.05) {
+        if pairs
+            .iter()
+            .any(|&(l, a)| l <= lat + 0.05 && a >= top1 - 0.05)
+        {
             dominated += 1;
         }
     }
     println!("{dominated}/{total} non-† baselines are dominated by the traced frontier.");
 
-    let mut chart = SvgPlot::new("LightNAS frontier vs baselines", "latency (ms)", "top-1 (%)");
+    let mut chart = SvgPlot::new(
+        "LightNAS frontier vs baselines",
+        "latency (ms)",
+        "top-1 (%)",
+    );
     chart.add_series("LightNAS frontier", pairs.clone(), SeriesStyle::Line);
     let base_pts: Vec<(f64, f64)> = reference_architectures()
         .into_iter()
@@ -85,6 +124,11 @@ fn main() {
     }
     println!(
         "{}",
-        ascii_chart("latency (ms) vs top-1 (%): frontier + baselines", &all, 70, 16)
+        ascii_chart(
+            "latency (ms) vs top-1 (%): frontier + baselines",
+            &all,
+            70,
+            16
+        )
     );
 }

@@ -1,6 +1,9 @@
-//! Convenience driver: regenerates every exhibit in sequence, writing each
-//! binary's output under `results/`. Equivalent to running the individual
-//! `figN` / `tableN` / ablation binaries by hand.
+//! Convenience driver: regenerates every exhibit, writing each binary's
+//! output under `results/`. Equivalent to running the individual `figN` /
+//! `tableN` / ablation binaries by hand — but the subprocesses are driven
+//! through the runtime's [`JobScheduler`], so independent exhibits overlap
+//! (`LIGHTNAS_WORKERS` picks the pool size) while the summary stays in
+//! deterministic exhibit order.
 //!
 //! ```text
 //! cargo run --release -p lightnas-bench --bin repro_all [-- --out results]
@@ -13,11 +16,34 @@ use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 use std::time::Instant;
 
+use lightnas_runtime::JobScheduler;
+
 const EXHIBITS: &[&str] = &[
-    "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "table3",
-    "table4", "ablation_predictor", "ablation_lambda", "ablation_temperature",
-    "ablation_ensemble", "engines", "pareto", "anatomy",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "ablation_predictor",
+    "ablation_lambda",
+    "ablation_temperature",
+    "ablation_ensemble",
+    "engines",
+    "pareto",
+    "anatomy",
+    "runtime_sweep",
 ];
+
+enum Status {
+    Ok(std::time::Duration, PathBuf),
+    Failed(String),
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,28 +60,54 @@ fn main() -> ExitCode {
     let self_path = std::env::current_exe().expect("own path");
     let bin_dir = self_path.parent().expect("bin dir");
 
-    let mut failures = 0;
-    for name in EXHIBITS {
+    // Every exhibit builds its own harness, so they are heavyweight but
+    // fully independent — ideal scheduler jobs. Default to 2 workers: the
+    // subprocesses are CPU-bound, and oversubscription only adds noise to
+    // their printed timings.
+    let workers = std::env::var("LIGHTNAS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(2)
+        });
+    eprintln!(
+        "[repro_all] {} exhibits on {workers} workers",
+        EXHIBITS.len()
+    );
+
+    let statuses = JobScheduler::new(workers).run(EXHIBITS.len(), |i| {
+        let name = EXHIBITS[i];
         let started = Instant::now();
-        eprint!("[repro_all] {name} ... ");
-        let output = Command::new(bin_dir.join(name)).output();
-        match output {
+        eprintln!("[repro_all] {name} ...");
+        match Command::new(bin_dir.join(name)).output() {
             Ok(out) if out.status.success() => {
                 let path = out_dir.join(format!("{name}.txt"));
-                if let Err(e) = fs::write(&path, &out.stdout) {
-                    eprintln!("write failed: {e}");
-                    failures += 1;
-                    continue;
+                match fs::write(&path, &out.stdout) {
+                    Ok(()) => Status::Ok(started.elapsed(), path),
+                    Err(e) => Status::Failed(format!("write failed: {e}")),
                 }
-                eprintln!("ok ({:.1?}) -> {}", started.elapsed(), path.display());
             }
-            Ok(out) => {
-                eprintln!("FAILED (status {})", out.status);
-                eprintln!("{}", String::from_utf8_lossy(&out.stderr));
-                failures += 1;
+            Ok(out) => Status::Failed(format!(
+                "status {}\n{}",
+                out.status,
+                String::from_utf8_lossy(&out.stderr)
+            )),
+            Err(e) => Status::Failed(format!("failed to launch: {e}")),
+        }
+    });
+
+    let mut failures = 0;
+    for (name, status) in EXHIBITS.iter().zip(&statuses) {
+        match status {
+            Status::Ok(took, path) => {
+                eprintln!("[repro_all] {name} ok ({took:.1?}) -> {}", path.display())
             }
-            Err(e) => {
-                eprintln!("FAILED to launch: {e}");
+            Status::Failed(why) => {
+                eprintln!("[repro_all] {name} FAILED: {why}");
                 failures += 1;
             }
         }

@@ -33,7 +33,9 @@ fn main() {
             ]
         })
         .collect();
-    println!("Table 1: method comparison (published per-run costs, total includes the implicit sweep)");
+    println!(
+        "Table 1: method comparison (published per-run costs, total includes the implicit sweep)"
+    );
     println!(
         "{}",
         render_table(
@@ -54,18 +56,22 @@ fn main() {
 
     // Reproduction-side measurements: memory and batch size per path regime.
     let config = SearchConfig::paper();
-    let mem_rows: Vec<Vec<String>> = [("multi-path (DARTS/FBNet)", 7usize), ("two-path (ProxylessNAS)", 2), ("single-path (LightNAS)", 1)]
-        .iter()
-        .map(|(name, paths)| {
-            vec![
-                name.to_string(),
-                format!("{paths}"),
-                format!("{:.2}", search_memory_gib(&space, *paths, 128)),
-                format!("{}", max_batch_within(&space, *paths, 24.0)),
-                format!("{:.0}", simulated_gpu_hours(&config, *paths)),
-            ]
-        })
-        .collect();
+    let mem_rows: Vec<Vec<String>> = [
+        ("multi-path (DARTS/FBNet)", 7usize),
+        ("two-path (ProxylessNAS)", 2),
+        ("single-path (LightNAS)", 1),
+    ]
+    .iter()
+    .map(|(name, paths)| {
+        vec![
+            name.to_string(),
+            format!("{paths}"),
+            format!("{:.2}", search_memory_gib(&space, *paths, 128)),
+            format!("{}", max_batch_within(&space, *paths, 24.0)),
+            format!("{:.0}", simulated_gpu_hours(&config, *paths)),
+        ]
+    })
+    .collect();
     println!("Supernet training memory (this reproduction's activation model):");
     println!(
         "{}",

@@ -72,12 +72,18 @@ fn main() {
                 format!("{:.1}", r.top1),
                 format!("{:.1}", r.top5),
                 format!("{:.1}", r.latency),
-                r.paper_top1.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
-                r.paper_lat.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+                r.paper_top1
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.paper_lat
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
-    println!("Table 2: ImageNet comparison under the simulated substrate (sorted by measured latency)");
+    println!(
+        "Table 2: ImageNet comparison under the simulated substrate (sorted by measured latency)"
+    );
     println!("† = architectures using extra techniques (SE / Swish) in the original paper");
     println!(
         "{}",

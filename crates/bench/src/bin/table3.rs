@@ -50,7 +50,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["backbone", "AP", "AP50", "AP75", "APs", "APm", "APl", "latency (ms)"],
+            &[
+                "backbone",
+                "AP",
+                "AP50",
+                "AP75",
+                "APs",
+                "APm",
+                "APl",
+                "latency (ms)"
+            ],
             &rows
         )
     );

@@ -37,7 +37,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["architecture", "top-1 (%)", "top-5 (%)", "FLOPs (M)", "latency (ms)"],
+            &[
+                "architecture",
+                "top-1 (%)",
+                "top-5 (%)",
+                "FLOPs (M)",
+                "latency (ms)"
+            ],
             &rows
         )
     );

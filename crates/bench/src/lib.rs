@@ -40,7 +40,25 @@ pub struct Harness {
 
 /// `true` when `LIGHTNAS_QUICK=1` (or any non-empty value) is set.
 pub fn quick_mode() -> bool {
-    std::env::var("LIGHTNAS_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    std::env::var("LIGHTNAS_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Worker-thread count for the scheduler-driven harnesses: the
+/// `LIGHTNAS_WORKERS` variable when set to a positive integer, otherwise
+/// the machine's available parallelism (capped at 8).
+pub fn sweep_workers() -> usize {
+    std::env::var("LIGHTNAS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        })
 }
 
 impl Harness {
@@ -57,11 +75,19 @@ impl Harness {
         let started = Instant::now();
         let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, n, 0);
         let (train, valid) = data.split(0.8);
-        eprintln!("[harness] sampled {n} architectures in {:.1?}", started.elapsed());
+        eprintln!(
+            "[harness] sampled {n} architectures in {:.1?}",
+            started.elapsed()
+        );
         let started = Instant::now();
         let predictor = MlpPredictor::train(
             &train,
-            &TrainConfig { epochs, batch_size: 256, lr: 1e-3, seed: 0 },
+            &TrainConfig {
+                epochs,
+                batch_size: 256,
+                lr: 1e-3,
+                seed: 0,
+            },
         );
         eprintln!(
             "[harness] trained MLP predictor ({epochs} epochs) in {:.1?}; validation RMSE {:.3} ms",
@@ -69,7 +95,15 @@ impl Harness {
             predictor.rmse(&valid)
         );
         let lut = LutPredictor::build(&device, &space);
-        Self { space, device, oracle, predictor, lut, valid, quick }
+        Self {
+            space,
+            device,
+            oracle,
+            predictor,
+            lut,
+            valid,
+            quick,
+        }
     }
 
     /// The search schedule appropriate for the mode: the paper's 90-epoch
@@ -90,7 +124,12 @@ impl Harness {
         let (train, valid) = data.split(0.8);
         let predictor = MlpPredictor::train(
             &train,
-            &TrainConfig { epochs, batch_size: 256, lr: 1e-3, seed: 1 },
+            &TrainConfig {
+                epochs,
+                batch_size: 256,
+                lr: 1e-3,
+                seed: 1,
+            },
         );
         (predictor, valid)
     }
@@ -120,7 +159,12 @@ pub fn save_figure(name: &str, chart: &plot::SvgPlot) {
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cols = headers.len();
     for (i, r) in rows.iter().enumerate() {
-        assert_eq!(r.len(), cols, "row {i} has {} cells, expected {cols}", r.len());
+        assert_eq!(
+            r.len(),
+            cols,
+            "row {i} has {} cells, expected {cols}",
+            r.len()
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for r in rows {
@@ -207,7 +251,11 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
     let n = xs.len() as f64;
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
-    let cov: f64 = xs.iter().zip(ys).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>();
+    let cov: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(a, b)| (a - mx) * (b - my))
+        .sum::<f64>();
     let sx: f64 = xs.iter().map(|a| (a - mx) * (a - mx)).sum::<f64>().sqrt();
     let sy: f64 = ys.iter().map(|b| (b - my) * (b - my)).sum::<f64>().sqrt();
     cov / (sx * sy)
@@ -228,7 +276,10 @@ mod tests {
         );
         assert!(t.contains("| name        | value |") || t.contains("| name"));
         let line_lens: Vec<usize> = t.lines().map(|l| l.len()).collect();
-        assert!(line_lens.windows(2).all(|w| w[0] == w[1]), "ragged table:\n{t}");
+        assert!(
+            line_lens.windows(2).all(|w| w[0] == w[1]),
+            "ragged table:\n{t}"
+        );
     }
 
     #[test]

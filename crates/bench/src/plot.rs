@@ -28,7 +28,9 @@ struct Series {
 }
 
 /// Color cycle (colorblind-safe Okabe-Ito subset).
-const COLORS: [&str; 6] = ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+const COLORS: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
 
 /// An SVG chart under construction.
 ///
@@ -68,7 +70,12 @@ impl SvgPlot {
     /// Appends a series; colors cycle automatically.
     pub fn add_series(&mut self, name: &str, points: Vec<(f64, f64)>, style: SeriesStyle) {
         let color = COLORS[self.series.len() % COLORS.len()];
-        self.series.push(Series { name: name.to_string(), points, style, color });
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+            style,
+            color,
+        });
     }
 
     /// Number of series added so far.
@@ -268,7 +275,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -299,7 +308,10 @@ mod tests {
     #[test]
     fn ticks_choose_round_steps() {
         for t in nice_ticks(0.0, 100.0, 6) {
-            assert!((t % 20.0).abs() < 1e-9 || (t % 25.0).abs() < 1e-9, "odd tick {t}");
+            assert!(
+                (t % 20.0).abs() < 1e-9 || (t % 25.0).abs() < 1e-9,
+                "odd tick {t}"
+            );
         }
     }
 

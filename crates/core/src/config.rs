@@ -1,6 +1,61 @@
 //! Search configuration, traces and outcomes shared by all engines.
 
+use std::fmt;
+
 use lightnas_space::Architecture;
+
+/// A rejected [`SearchConfig`] (see [`SearchConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `warmup_epochs >= epochs`: no post-warmup epoch would ever train `α`.
+    WarmupSwallowsSchedule {
+        /// Configured warmup epochs.
+        warmup_epochs: usize,
+        /// Configured total epochs.
+        epochs: usize,
+    },
+    /// `steps_per_epoch == 0`: every epoch would be empty.
+    ZeroStepsPerEpoch,
+    /// A learning rate that must be positive is not.
+    NonPositiveLearningRate {
+        /// Which rate: `"alpha_lr"` or `"lambda_lr"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The temperature schedule is not positive and decreasing.
+    BadTemperature {
+        /// Configured `tau_start`.
+        tau_start: f64,
+        /// Configured `tau_end`.
+        tau_end: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::WarmupSwallowsSchedule {
+                warmup_epochs,
+                epochs,
+            } => write!(
+                f,
+                "warmup_epochs ({warmup_epochs}) must be smaller than epochs ({epochs})"
+            ),
+            ConfigError::ZeroStepsPerEpoch => write!(f, "steps_per_epoch must be positive"),
+            ConfigError::NonPositiveLearningRate { name, value } => {
+                write!(f, "{name} must be positive, got {value}")
+            }
+            ConfigError::BadTemperature { tau_start, tau_end } => write!(
+                f,
+                "temperature schedule needs 0 < tau_end <= tau_start, \
+                 got tau_start {tau_start}, tau_end {tau_end}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Hyper-parameters of a search run (paper Sec. 4.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +108,41 @@ impl SearchConfig {
             lambda_lr: 4e-3,
             ..Self::paper()
         }
+    }
+
+    /// Checks the schedule is runnable: at least one post-warmup epoch,
+    /// non-empty epochs, positive learning rates and a sane temperature
+    /// decay. Engine constructors call this, so a bad config fails fast
+    /// instead of silently searching nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.warmup_epochs >= self.epochs {
+            return Err(ConfigError::WarmupSwallowsSchedule {
+                warmup_epochs: self.warmup_epochs,
+                epochs: self.epochs,
+            });
+        }
+        if self.steps_per_epoch == 0 {
+            return Err(ConfigError::ZeroStepsPerEpoch);
+        }
+        // `partial_cmp` keeps NaN on the rejecting side: anything that is not
+        // strictly greater than zero (including NaN) is invalid.
+        let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+        for (name, value) in [("alpha_lr", self.alpha_lr), ("lambda_lr", self.lambda_lr)] {
+            if !positive(value) {
+                return Err(ConfigError::NonPositiveLearningRate { name, value });
+            }
+        }
+        if !positive(self.tau_end) || self.tau_end > self.tau_start {
+            return Err(ConfigError::BadTemperature {
+                tau_start: self.tau_start,
+                tau_end: self.tau_end,
+            });
+        }
+        Ok(())
     }
 
     /// Temperature at a given epoch: exponential decay from `tau_start`
@@ -127,7 +217,10 @@ impl SearchTrace {
     ///
     /// Propagates any I/O error from the writer.
     pub fn write_csv<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
-        writeln!(w, "epoch,sampled_metric,argmax_metric,lambda,tau,valid_loss")?;
+        writeln!(
+            w,
+            "epoch,sampled_metric,argmax_metric,lambda,tau,valid_loss"
+        )?;
         for r in &self.records {
             writeln!(
                 w,
@@ -197,6 +290,114 @@ mod tests {
         assert!((c.alpha_lr - 1e-3).abs() < 1e-12);
         assert!((c.lambda_lr - 5e-4).abs() < 1e-12);
         assert!((c.tau_start - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stock_configs_validate() {
+        assert_eq!(SearchConfig::paper().validate(), Ok(()));
+        assert_eq!(SearchConfig::fast().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_warmup_swallowing_the_schedule() {
+        let c = SearchConfig {
+            warmup_epochs: 90,
+            ..SearchConfig::paper()
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::WarmupSwallowsSchedule {
+                warmup_epochs: 90,
+                epochs: 90
+            })
+        );
+        let zero = SearchConfig {
+            epochs: 0,
+            warmup_epochs: 0,
+            ..SearchConfig::paper()
+        };
+        assert!(
+            zero.validate().is_err(),
+            "zero-epoch schedule must be rejected"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_empty_epochs() {
+        let c = SearchConfig {
+            steps_per_epoch: 0,
+            ..SearchConfig::paper()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroStepsPerEpoch));
+    }
+
+    #[test]
+    fn validate_rejects_non_positive_learning_rates() {
+        let c = SearchConfig {
+            alpha_lr: 0.0,
+            ..SearchConfig::paper()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveLearningRate {
+                name: "alpha_lr",
+                ..
+            })
+        ));
+        let c = SearchConfig {
+            lambda_lr: -1e-4,
+            ..SearchConfig::paper()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveLearningRate {
+                name: "lambda_lr",
+                ..
+            })
+        ));
+        // NaN is not positive either.
+        let c = SearchConfig {
+            alpha_lr: f64::NAN,
+            ..SearchConfig::paper()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_broken_temperature_schedules() {
+        let c = SearchConfig {
+            tau_end: 0.0,
+            ..SearchConfig::paper()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadTemperature { .. })
+        ));
+        let c = SearchConfig {
+            tau_start: 0.1,
+            tau_end: 5.0,
+            ..SearchConfig::paper()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadTemperature { .. })
+        ));
+    }
+
+    #[test]
+    fn config_errors_render_helpful_messages() {
+        let msg = ConfigError::WarmupSwallowsSchedule {
+            warmup_epochs: 9,
+            epochs: 9,
+        }
+        .to_string();
+        assert!(msg.contains("warmup_epochs (9)"), "{msg}");
+        let msg = ConfigError::NonPositiveLearningRate {
+            name: "alpha_lr",
+            value: -0.5,
+        }
+        .to_string();
+        assert!(msg.contains("alpha_lr") && msg.contains("-0.5"), "{msg}");
     }
 
     #[test]

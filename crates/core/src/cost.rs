@@ -134,10 +134,7 @@ mod tests {
         let full: Vec<&MethodProfile> = all
             .iter()
             .filter(|m| {
-                m.differentiable
-                    && m.latency_optimization
-                    && m.specified_latency
-                    && m.proxyless
+                m.differentiable && m.latency_optimization && m.specified_latency && m.proxyless
             })
             .collect();
         assert_eq!(full.len(), 1);
@@ -149,7 +146,10 @@ mod tests {
         let all = method_profiles();
         let fbnet = all.iter().find(|m| m.name == "FBNet").expect("present");
         assert_eq!(fbnet.total_design_cost(), 2160.0);
-        let ours = all.iter().find(|m| m.name == "LightNAS (ours)").expect("present");
+        let ours = all
+            .iter()
+            .find(|m| m.name == "LightNAS (ours)")
+            .expect("present");
         assert_eq!(ours.total_design_cost(), 10.0);
         assert!(fbnet.total_design_cost() / ours.total_design_cost() > 100.0);
     }

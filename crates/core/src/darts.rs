@@ -23,7 +23,11 @@ pub struct DartsSearch<'a> {
 impl<'a> DartsSearch<'a> {
     /// Assembles the engine.
     pub fn new(space: &'a SearchSpace, oracle: &'a AccuracyOracle, config: SearchConfig) -> Self {
-        Self { space, oracle, config }
+        Self {
+            space,
+            oracle,
+            config,
+        }
     }
 
     /// The space this engine searches over.
@@ -59,8 +63,7 @@ impl<'a> DartsSearch<'a> {
                 let probs = params.probabilities();
                 let mut grad_alpha = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
                 for l in 0..SEARCHABLE_LAYERS {
-                    let dot: f64 =
-                        (0..NUM_OPS).map(|k| probs[l][k] * marginals[l][k]).sum();
+                    let dot: f64 = (0..NUM_OPS).map(|k| probs[l][k] * marginals[l][k]).sum();
                     for (k, slot) in grad_alpha[l].iter_mut().enumerate() {
                         *slot = probs[l][k] * (marginals[l][k] - dot);
                     }
@@ -84,7 +87,11 @@ impl<'a> DartsSearch<'a> {
                 },
             });
         }
-        SearchOutcome { architecture: params.strongest(), trace, lambda: 0.0 }
+        SearchOutcome {
+            architecture: params.strongest(),
+            trace,
+            lambda: 0.0,
+        }
     }
 
     /// Convenience: searches and returns only the architecture.
@@ -101,11 +108,14 @@ mod tests {
     #[test]
     fn darts_maximizes_accuracy_regardless_of_latency() {
         let f = fixture();
-        let arch = DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast())
-            .search_architecture();
+        let arch =
+            DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast()).search_architecture();
         let top1 = f.oracle.asymptotic_top1(&arch);
         let mbv2 = f.oracle.asymptotic_top1(&lightnas_space::mobilenet_v2());
-        assert!(top1 > mbv2, "DARTS result {top1:.2} should beat MobileNetV2 {mbv2:.2}");
+        assert!(
+            top1 > mbv2,
+            "DARTS result {top1:.2} should beat MobileNetV2 {mbv2:.2}"
+        );
         // ... and its latency is high: nothing restrains it.
         let lat = f.device.true_latency_ms(&arch, &f.space);
         assert!(lat > 24.0, "hardware-agnostic search landed at {lat:.2} ms");
@@ -123,8 +133,8 @@ mod tests {
         // With an accuracy-only objective and no noise the search should
         // never prefer skips (they carry zero utility).
         let f = fixture();
-        let arch = DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast())
-            .search_architecture();
+        let arch =
+            DartsSearch::new(&f.space, &f.oracle, SearchConfig::fast()).search_architecture();
         let skips = arch.ops().iter().filter(|o| o.is_skip()).count();
         assert!(skips <= 2, "accuracy-only search chose {skips} skips");
     }

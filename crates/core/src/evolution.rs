@@ -27,7 +27,11 @@ pub struct EvolutionConfig {
 
 impl Default for EvolutionConfig {
     fn default() -> Self {
-        Self { population: 64, tournament: 8, generations: 2000 }
+        Self {
+            population: 64,
+            tournament: 8,
+            generations: 2000,
+        }
     }
 }
 
@@ -58,7 +62,12 @@ impl<'a> EvolutionSearch<'a> {
             (1..=config.population).contains(&config.tournament),
             "tournament must be within the population"
         );
-        Self { space, oracle, predictor, config }
+        Self {
+            space,
+            oracle,
+            predictor,
+            config,
+        }
     }
 
     /// The space this engine searches over.
@@ -70,16 +79,13 @@ impl<'a> EvolutionSearch<'a> {
     /// when no feasible individual was ever found.
     pub fn search(&self, budget: f64, seed: u64) -> Option<Architecture> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xe501_u64);
-        let fitness = |arch: &Architecture| {
-            self.oracle.top1(arch, TrainingProtocol::quick(), seed)
-        };
+        let fitness = |arch: &Architecture| self.oracle.top1(arch, TrainingProtocol::quick(), seed);
 
         // Seed the population with feasible random individuals (rejection
         // sampling with a patience cap).
         let mut population: Vec<(Architecture, f64)> = Vec::with_capacity(self.config.population);
         let mut attempts = 0;
-        while population.len() < self.config.population && attempts < self.config.population * 200
-        {
+        while population.len() < self.config.population && attempts < self.config.population * 200 {
             attempts += 1;
             let candidate = Architecture::random_with(&mut rng);
             if self.predictor.predict(&candidate) <= budget {
@@ -128,7 +134,11 @@ mod tests {
     use crate::test_support::fixture;
 
     fn small() -> EvolutionConfig {
-        EvolutionConfig { population: 24, tournament: 4, generations: 300 }
+        EvolutionConfig {
+            population: 24,
+            tournament: 4,
+            generations: 300,
+        }
     }
 
     #[test]
@@ -137,7 +147,10 @@ mod tests {
         let engine = EvolutionSearch::new(&f.space, &f.oracle, &f.predictor, small());
         let arch = engine.search(24.0, 1).expect("feasible");
         let lat = f.device.true_latency_ms(&arch, &f.space);
-        assert!(lat < 25.5, "evolved architecture measures {lat:.2} ms for a 24 ms budget");
+        assert!(
+            lat < 25.5,
+            "evolved architecture measures {lat:.2} ms for a 24 ms budget"
+        );
     }
 
     #[test]
@@ -148,7 +161,11 @@ mod tests {
             &f.space,
             &f.oracle,
             &f.predictor,
-            EvolutionConfig { population: 24, tournament: 4, generations: evals },
+            EvolutionConfig {
+                population: 24,
+                tournament: 4,
+                generations: evals,
+            },
         )
         .search(24.0, 3)
         .expect("feasible");
@@ -183,7 +200,11 @@ mod tests {
             &f.space,
             &f.oracle,
             &f.predictor,
-            EvolutionConfig { population: 4, tournament: 5, generations: 1 },
+            EvolutionConfig {
+                population: 4,
+                tournament: 5,
+                generations: 1,
+            },
         );
     }
 }

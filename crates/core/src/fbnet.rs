@@ -49,7 +49,13 @@ impl<'a> FbnetSearch<'a> {
         config: SearchConfig,
     ) -> Self {
         assert!(lambda >= 0.0, "λ must be non-negative, got {lambda}");
-        Self { space, oracle, lut, lambda, config }
+        Self {
+            space,
+            oracle,
+            lut,
+            lambda,
+            config,
+        }
     }
 
     /// The fixed trade-off coefficient.
@@ -106,7 +112,11 @@ impl<'a> FbnetSearch<'a> {
             let argmax_metric = self.lut.predict(&params.strongest());
             trace.push(EpochRecord {
                 epoch,
-                sampled_metric: if count > 0.0 { sampled_sum / count } else { argmax_metric },
+                sampled_metric: if count > 0.0 {
+                    sampled_sum / count
+                } else {
+                    argmax_metric
+                },
                 argmax_metric,
                 lambda: self.lambda,
                 tau,
@@ -117,7 +127,11 @@ impl<'a> FbnetSearch<'a> {
                 },
             });
         }
-        SearchOutcome { architecture: params.strongest(), trace, lambda: self.lambda }
+        SearchOutcome {
+            architecture: params.strongest(),
+            trace,
+            lambda: self.lambda,
+        }
     }
 
     /// Convenience: searches and returns only the architecture.

@@ -64,6 +64,7 @@ mod optimizer;
 mod proxyless;
 mod random_search;
 mod relax;
+mod stepper;
 
 #[cfg(test)]
 pub(crate) mod test_support {
@@ -94,10 +95,21 @@ pub(crate) mod test_support {
             let oracle = AccuracyOracle::imagenet();
             let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 2500, 42);
             let (train, _) = data.split(0.9);
-            let cfg = TrainConfig { epochs: 60, batch_size: 128, lr: 2e-3, seed: 0 };
+            let cfg = TrainConfig {
+                epochs: 60,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            };
             let predictor = MlpPredictor::train(&train, &cfg);
             let lut = LutPredictor::build(&device, &space);
-            Fixture { space, oracle, device, predictor, lut }
+            Fixture {
+                space,
+                oracle,
+                device,
+                predictor,
+                lut,
+            }
         })
     }
 }
@@ -109,11 +121,13 @@ pub mod multi;
 pub mod pareto;
 pub mod sweep;
 
-pub use config::{EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+pub use config::{ConfigError, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
 pub use darts::DartsSearch;
 pub use evolution::{EvolutionConfig, EvolutionSearch};
 pub use fbnet::FbnetSearch;
 pub use lightnas_engine::LightNas;
+pub use optimizer::AdamState;
 pub use proxyless::ProxylessSearch;
 pub use random_search::RandomSearch;
 pub use relax::ArchParams;
+pub use stepper::{SearchState, SearchStepper};

@@ -2,13 +2,11 @@
 //! constraint multiplier (paper Sec. 3.3–3.4).
 
 use lightnas_eval::AccuracyOracle;
-use lightnas_predictor::MlpPredictor;
-use lightnas_space::{Architecture, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lightnas_predictor::{MlpPredictor, Predictor};
+use lightnas_space::{Architecture, SearchSpace};
 
-use crate::optimizer::AlphaAdam;
-use crate::{ArchParams, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+use crate::stepper::SearchStepper;
+use crate::{SearchConfig, SearchOutcome};
 
 /// The LightNAS search engine.
 ///
@@ -25,23 +23,41 @@ use crate::{ArchParams, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
 /// combined objective and λ **ascends** the constraint residual
 /// (`λ ← λ + η_λ·(LAT/T − 1)`, Eq. 11) until the derived architecture's
 /// predicted metric settles at the target — "you only search once".
+///
+/// The engine is generic over the [`Predictor`] implementation, so the
+/// plain [`MlpPredictor`] (the default), an ensemble, or a memoizing
+/// [`CachedPredictor`](lightnas_predictor::CachedPredictor) all work. The
+/// loop itself lives in [`SearchStepper`] — an epoch-granular, resumable
+/// form of the same computation; `search` is the run-to-completion shorthand.
 #[derive(Debug)]
-pub struct LightNas<'a> {
+pub struct LightNas<'a, P = MlpPredictor> {
     space: &'a SearchSpace,
     oracle: &'a AccuracyOracle,
-    predictor: &'a MlpPredictor,
+    predictor: &'a P,
     config: SearchConfig,
 }
 
-impl<'a> LightNas<'a> {
+impl<'a, P: Predictor> LightNas<'a, P> {
     /// Assembles an engine over the given substrates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SearchConfig::validate`].
     pub fn new(
         space: &'a SearchSpace,
         oracle: &'a AccuracyOracle,
-        predictor: &'a MlpPredictor,
+        predictor: &'a P,
         config: SearchConfig,
     ) -> Self {
-        Self { space, oracle, predictor, config }
+        if let Err(e) = config.validate() {
+            panic!("invalid search config: {e}");
+        }
+        Self {
+            space,
+            oracle,
+            predictor,
+            config,
+        }
     }
 
     /// The engine's configuration.
@@ -56,75 +72,23 @@ impl<'a> LightNas<'a> {
     ///
     /// Panics if `t` is not positive.
     pub fn search(&self, t: f64, seed: u64) -> SearchOutcome {
-        assert!(t > 0.0, "target must be positive, got {t}");
-        let c = &self.config;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x11c9_7a5b);
-        let mut params = ArchParams::new();
-        let mut adam = AlphaAdam::new(c.alpha_lr, c.alpha_weight_decay);
-        let mut lambda = 0.0f64;
-        let mut trace = SearchTrace::new();
-        let total_steps = c.total_steps().max(1) as f64;
-        let mut global_step = 0usize;
+        let mut stepper = self.stepper(t, seed);
+        stepper.run();
+        stepper.outcome()
+    }
 
-        for epoch in 0..c.epochs {
-            let tau = c.tau_at(epoch);
-            let mut sampled_sum = 0.0;
-            let mut loss_sum = 0.0;
-            let mut count = 0.0;
-            for _ in 0..c.steps_per_epoch {
-                // `w*(α)` training progress stands in for the supernet
-                // weight updates (see DESIGN.md §2).
-                let progress = global_step as f64 / total_steps;
-                global_step += 1;
-                // Warmup: only w trains; α and λ stay frozen (Sec. 4.1).
-                if epoch < c.warmup_epochs {
-                    continue;
-                }
-                // Single-path sample (Eq. 7-9): one architecture active.
-                let (arch, relaxed, probs) = params.sample(tau, &mut rng);
-                // ∂L_valid/∂P̄ — the supernet's validation-loss marginals.
-                let acc_marginals = self.oracle.loss_marginals(&arch, progress);
-                // ∂LAT/∂P̄ — one predictor backward at the sampled path.
-                let metric_grad = self.predictor.gradient(&arch.encode());
-                // LAT(α): the paper encodes α by its argmax (Eq. 4), so the
-                // constraint residual is evaluated on the derived
-                // architecture, not the noisy sample.
-                let metric = self.predictor.predict(&params.strongest());
-                // Combine per Eq. 12: g = ∂L_valid/∂P̄ + (λ/T)·∂LAT/∂P̄.
-                let mut g = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
-                for l in 0..SEARCHABLE_LAYERS {
-                    for k in 0..NUM_OPS {
-                        // Row l+1 of the encoding: row 0 is the fixed block.
-                        let lat_g = metric_grad[(l + 1) * NUM_OPS + k] as f64;
-                        g[l][k] = acc_marginals[l][k] + lambda / t * lat_g;
-                    }
-                }
-                let grad_alpha = params.backward(&g, &relaxed, &probs, tau);
-                adam.step(params.alpha_mut(), &grad_alpha);
-                // λ ascends the constraint residual (Eq. 11). It may go
-                // negative: when LAT < T the penalty becomes a reward for
-                // latency, pushing the architecture up towards T.
-                lambda += c.lambda_lr * (metric / t - 1.0);
-                sampled_sum += self.predictor.predict(&arch);
-                loss_sum += self.oracle.valid_loss(&arch, progress);
-                count += 1.0;
-            }
-            let argmax_metric = self.predictor.predict(&params.strongest());
-            trace.push(EpochRecord {
-                epoch,
-                sampled_metric: if count > 0.0 { sampled_sum / count } else { argmax_metric },
-                argmax_metric,
-                lambda,
-                tau,
-                valid_loss: if count > 0.0 {
-                    loss_sum / count
-                } else {
-                    self.oracle.valid_loss(&params.strongest(), 0.0)
-                },
-            });
-        }
-
-        SearchOutcome { architecture: params.strongest(), trace, lambda }
+    /// An epoch-granular, checkpointable form of [`search`](Self::search):
+    /// the returned [`SearchStepper`] runs the identical computation but can
+    /// pause between epochs and snapshot its [`SearchState`]
+    /// (see [`SearchStepper::state`]).
+    ///
+    /// [`SearchState`]: crate::SearchState
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive.
+    pub fn stepper(&self, t: f64, seed: u64) -> SearchStepper<'a, P> {
+        SearchStepper::new(self.oracle, self.predictor, self.config, t, seed)
     }
 
     /// The space this engine searches over.
@@ -188,7 +152,10 @@ mod tests {
         let slow_net = engine.search(28.0, 5).architecture;
         let lf = f.device.true_latency_ms(&fast_net, &f.space);
         let ls = f.device.true_latency_ms(&slow_net, &f.space);
-        assert!(lf < ls, "18 ms target gave {lf:.2}, 28 ms target gave {ls:.2}");
+        assert!(
+            lf < ls,
+            "18 ms target gave {lf:.2}, 28 ms target gave {ls:.2}"
+        );
         assert!(
             f.oracle.asymptotic_top1(&slow_net) > f.oracle.asymptotic_top1(&fast_net),
             "looser budget should buy accuracy"

@@ -19,7 +19,10 @@ use lightnas_space::{layer_cost, Operator, SearchSpace, NUM_OPS};
 ///
 /// Panics unless `1 <= paths <= 7`.
 pub fn activation_bytes_per_sample(space: &SearchSpace, paths: usize) -> u64 {
-    assert!((1..=NUM_OPS).contains(&paths), "paths must be in 1..=7, got {paths}");
+    assert!(
+        (1..=NUM_OPS).contains(&paths),
+        "paths must be in 1..=7, got {paths}"
+    );
     let mut total = 0u64;
     for spec in space.layers() {
         // The `paths` heaviest candidates dominate worst-case storage; take
@@ -101,7 +104,10 @@ mod tests {
         let budget = 24.0; // GiB, an RTX 3090
         let single = max_batch_within(&space, 1, budget);
         let multi = max_batch_within(&space, NUM_OPS, budget);
-        assert!(single >= 4 * multi.max(1), "single {single} vs multi {multi}");
+        assert!(
+            single >= 4 * multi.max(1),
+            "single {single} vs multi {multi}"
+        );
         assert!(single >= 128, "paper batch size 128 must fit single-path");
     }
 
@@ -109,7 +115,10 @@ mod tests {
     fn search_memory_is_gigabytes_scale() {
         let space = SearchSpace::standard();
         let g = search_memory_gib(&space, NUM_OPS, 128);
-        assert!(g > 1.0 && g < 600.0, "multi-path memory {g:.1} GiB implausible");
+        assert!(
+            g > 1.0 && g < 600.0,
+            "multi-path memory {g:.1} GiB implausible"
+        );
     }
 
     #[test]

@@ -74,7 +74,12 @@ impl MicroSupernet {
             cand_layers.push(CandidateLayer { blocks });
         }
         let head = ClassifierHead::new(store, "head", channels, NUM_CLASSES, seed + 999);
-        Self { stem, layers: cand_layers, head, channels }
+        Self {
+            stem,
+            layers: cand_layers,
+            head,
+            channels,
+        }
     }
 
     /// Number of searchable slots.
@@ -131,7 +136,11 @@ impl MicroSupernet {
         x: Var,
         coeff_vars: &[Var],
     ) -> Var {
-        assert_eq!(coeff_vars.len(), self.layers.len(), "coefficient count mismatch");
+        assert_eq!(
+            coeff_vars.len(),
+            self.layers.len(),
+            "coefficient count mismatch"
+        );
         let mut h = self.stem.forward(g, b, store, x);
         h = g.relu6(h);
         for (layer, &coeffs) in self.layers.iter().zip(coeff_vars) {

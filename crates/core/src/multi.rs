@@ -76,9 +76,18 @@ impl<'a> MultiConstraintSearch<'a> {
     ) -> Self {
         assert!(!budgets.is_empty(), "need at least one budget");
         for b in &budgets {
-            assert!(b.target > 0.0, "budget {:?} must have a positive target", b.label);
+            assert!(
+                b.target > 0.0,
+                "budget {:?} must have a positive target",
+                b.label
+            );
         }
-        Self { space, oracle, budgets, config }
+        Self {
+            space,
+            oracle,
+            budgets,
+            config,
+        }
     }
 
     /// The space this engine searches over.
@@ -122,8 +131,8 @@ impl<'a> MultiConstraintSearch<'a> {
                     let metric_grad = b.predictor.gradient(&encoding);
                     for l in 0..SEARCHABLE_LAYERS {
                         for k in 0..NUM_OPS {
-                            g[l][k] += lambdas[i] / b.target
-                                * metric_grad[(l + 1) * NUM_OPS + k] as f64;
+                            g[l][k] +=
+                                lambdas[i] / b.target * metric_grad[(l + 1) * NUM_OPS + k] as f64;
                         }
                     }
                     let metric = b.predictor.predict(&strongest);
@@ -139,7 +148,11 @@ impl<'a> MultiConstraintSearch<'a> {
             let argmax_metric = self.budgets[0].predictor.predict(&params.strongest());
             trace.push(EpochRecord {
                 epoch,
-                sampled_metric: if count > 0.0 { sampled_sum / count } else { argmax_metric },
+                sampled_metric: if count > 0.0 {
+                    sampled_sum / count
+                } else {
+                    argmax_metric
+                },
                 argmax_metric,
                 lambda: lambdas[0],
                 tau,
@@ -172,17 +185,17 @@ mod tests {
         static P: OnceLock<MlpPredictor> = OnceLock::new();
         P.get_or_init(|| {
             let f = fixture();
-            let data = MetricDataset::sample_diverse(
-                &f.device,
-                &f.space,
-                Metric::EnergyMj,
-                1500,
-                99,
-            );
+            let data =
+                MetricDataset::sample_diverse(&f.device, &f.space, Metric::EnergyMj, 1500, 99);
             let (train, _) = data.split(0.9);
             MlpPredictor::train(
                 &train,
-                &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 9 },
+                &TrainConfig {
+                    epochs: 50,
+                    batch_size: 128,
+                    lr: 2e-3,
+                    seed: 9,
+                },
             )
         })
     }
@@ -193,12 +206,21 @@ mod tests {
         let engine = MultiConstraintSearch::new(
             &f.space,
             &f.oracle,
-            vec![Budget { predictor: &f.predictor, target: 22.0, label: "latency" }],
+            vec![Budget {
+                predictor: &f.predictor,
+                target: 22.0,
+                label: "latency",
+            }],
             crate::SearchConfig::paper(),
         );
         let out = engine.search(5);
-        let lat = f.device.true_latency_ms(&out.outcome.architecture, &f.space);
-        assert!((lat - 22.0).abs() < 1.5, "single-budget multi search landed at {lat:.2}");
+        let lat = f
+            .device
+            .true_latency_ms(&out.outcome.architecture, &f.space);
+        assert!(
+            (lat - 22.0).abs() < 1.5,
+            "single-budget multi search landed at {lat:.2}"
+        );
         assert_eq!(out.lambdas.len(), 1);
     }
 
@@ -212,8 +234,16 @@ mod tests {
             &f.space,
             &f.oracle,
             vec![
-                Budget { predictor: &f.predictor, target: 21.0, label: "latency" },
-                Budget { predictor: energy, target: 900.0, label: "energy" },
+                Budget {
+                    predictor: &f.predictor,
+                    target: 21.0,
+                    label: "latency",
+                },
+                Budget {
+                    predictor: energy,
+                    target: 900.0,
+                    label: "energy",
+                },
             ],
             crate::SearchConfig::paper(),
         );
@@ -221,14 +251,20 @@ mod tests {
         let arch = &out.outcome.architecture;
         let lat = f.device.true_latency_ms(arch, &f.space);
         let e = f.device.true_energy_mj(arch, &f.space);
-        assert!((lat - 21.0).abs() < 1.5, "latency {lat:.2} should bind at 21 ms");
+        assert!(
+            (lat - 21.0).abs() < 1.5,
+            "latency {lat:.2} should bind at 21 ms"
+        );
         assert!(e < 900.0, "slack energy budget violated: {e:.0} mJ");
         assert!(
             out.lambdas[1] <= 1e-9,
             "slack budget's multiplier should rest at zero, got {:.3}",
             out.lambdas[1]
         );
-        assert!(out.lambdas[0] > 0.0, "binding budget's multiplier should engage");
+        assert!(
+            out.lambdas[0] > 0.0,
+            "binding budget's multiplier should engage"
+        );
     }
 
     #[test]
@@ -240,8 +276,16 @@ mod tests {
             &f.space,
             &f.oracle,
             vec![
-                Budget { predictor: &f.predictor, target: 24.0, label: "latency" },
-                Budget { predictor: energy, target: 450.0, label: "energy" },
+                Budget {
+                    predictor: &f.predictor,
+                    target: 24.0,
+                    label: "latency",
+                },
+                Budget {
+                    predictor: energy,
+                    target: 450.0,
+                    label: "energy",
+                },
             ],
             crate::SearchConfig::paper(),
         );
@@ -249,7 +293,10 @@ mod tests {
         let arch = &out.outcome.architecture;
         let lat = f.device.true_latency_ms(arch, &f.space);
         let e = f.device.true_energy_mj(arch, &f.space);
-        assert!(lat < 25.5, "latency {lat:.2} exceeds 24 ms budget by too much");
+        assert!(
+            lat < 25.5,
+            "latency {lat:.2} exceeds 24 ms budget by too much"
+        );
         assert!(e < 500.0, "energy {e:.0} exceeds 450 mJ budget by too much");
     }
 
@@ -257,11 +304,7 @@ mod tests {
     #[should_panic(expected = "at least one budget")]
     fn empty_budget_list_rejected() {
         let f = fixture();
-        let _ = MultiConstraintSearch::new(
-            &f.space,
-            &f.oracle,
-            vec![],
-            crate::SearchConfig::fast(),
-        );
+        let _ =
+            MultiConstraintSearch::new(&f.space, &f.oracle, vec![], crate::SearchConfig::fast());
     }
 }

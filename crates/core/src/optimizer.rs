@@ -2,6 +2,30 @@
 
 use lightnas_space::{NUM_OPS, SEARCHABLE_LAYERS};
 
+/// The serializable moment state of [`AlphaAdam`], captured by search
+/// checkpoints (`lightnas-runtime`) so a resumed search continues with the
+/// exact optimizer trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// Step counter (bias-correction time).
+    pub t: u64,
+    /// First-moment estimates, one row per searchable slot.
+    pub m: Vec<[f64; NUM_OPS]>,
+    /// Second-moment estimates, one row per searchable slot.
+    pub v: Vec<[f64; NUM_OPS]>,
+}
+
+impl AdamState {
+    /// The all-zero state a fresh optimizer starts from.
+    pub fn fresh() -> Self {
+        Self {
+            t: 0,
+            m: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+            v: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+        }
+    }
+}
+
 /// Adam state for the `L×K` architecture-parameter matrix.
 #[derive(Debug, Clone)]
 pub(crate) struct AlphaAdam {
@@ -10,38 +34,45 @@ pub(crate) struct AlphaAdam {
     beta1: f64,
     beta2: f64,
     eps: f64,
-    t: u64,
-    m: Vec<[f64; NUM_OPS]>,
-    v: Vec<[f64; NUM_OPS]>,
+    state: AdamState,
 }
 
 impl AlphaAdam {
     pub(crate) fn new(lr: f64, weight_decay: f64) -> Self {
+        Self::from_state(lr, weight_decay, AdamState::fresh())
+    }
+
+    /// Rebuilds an optimizer mid-run from checkpointed moments.
+    pub(crate) fn from_state(lr: f64, weight_decay: f64, state: AdamState) -> Self {
         Self {
             lr,
             weight_decay,
             beta1: 0.9,
             beta2: 0.999,
             eps: 1e-8,
-            t: 0,
-            m: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
-            v: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+            state,
         }
+    }
+
+    /// A snapshot of the moment state (for checkpoints).
+    pub(crate) fn state(&self) -> &AdamState {
+        &self.state
     }
 
     /// One descent step in place.
     pub(crate) fn step(&mut self, alpha: &mut [[f64; NUM_OPS]], grad: &[[f64; NUM_OPS]]) {
         assert_eq!(alpha.len(), grad.len(), "alpha/grad row mismatch");
-        self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let s = &mut self.state;
+        s.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(s.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(s.t as i32);
         for l in 0..alpha.len() {
             for k in 0..NUM_OPS {
                 let g = grad[l][k] + self.weight_decay * alpha[l][k];
-                self.m[l][k] = self.beta1 * self.m[l][k] + (1.0 - self.beta1) * g;
-                self.v[l][k] = self.beta2 * self.v[l][k] + (1.0 - self.beta2) * g * g;
-                let m_hat = self.m[l][k] / bc1;
-                let v_hat = self.v[l][k] / bc2;
+                s.m[l][k] = self.beta1 * s.m[l][k] + (1.0 - self.beta1) * g;
+                s.v[l][k] = self.beta2 * s.v[l][k] + (1.0 - self.beta2) * g * g;
+                let m_hat = s.m[l][k] / bc1;
+                let v_hat = s.v[l][k] / bc2;
                 alpha[l][k] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
             }
         }
@@ -74,5 +105,31 @@ mod tests {
             opt.step(&mut alpha, &zero);
         }
         assert!(alpha[3][3] < 1.0);
+    }
+
+    #[test]
+    fn state_round_trip_continues_identically() {
+        // Two optimizers: one stepped straight through, one snapshotted and
+        // rebuilt mid-run. Their trajectories must match exactly.
+        let grad_at = |i: usize| {
+            let mut g = vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS];
+            g[i % SEARCHABLE_LAYERS][i % NUM_OPS] = 1.0 + i as f64 * 0.1;
+            g
+        };
+        let mut a_alpha = vec![[0.5; NUM_OPS]; SEARCHABLE_LAYERS];
+        let mut a_opt = AlphaAdam::new(0.01, 1e-3);
+        let mut b_alpha = a_alpha.clone();
+        let mut b_opt = AlphaAdam::new(0.01, 1e-3);
+        for i in 0..7 {
+            a_opt.step(&mut a_alpha, &grad_at(i));
+            b_opt.step(&mut b_alpha, &grad_at(i));
+        }
+        let mut b_opt = AlphaAdam::from_state(0.01, 1e-3, b_opt.state().clone());
+        for i in 7..20 {
+            a_opt.step(&mut a_alpha, &grad_at(i));
+            b_opt.step(&mut b_alpha, &grad_at(i));
+        }
+        assert_eq!(a_alpha, b_alpha);
+        assert_eq!(a_opt.state(), b_opt.state());
     }
 }

@@ -6,7 +6,7 @@
 //! dominance filter used by it and by the analysis harnesses.
 
 use lightnas_eval::{AccuracyOracle, TrainingProtocol};
-use lightnas_predictor::MlpPredictor;
+use lightnas_predictor::Predictor;
 use lightnas_space::{Architecture, SearchSpace};
 
 use crate::{LightNas, SearchConfig};
@@ -58,10 +58,10 @@ pub struct FrontierPoint {
 
 /// Runs one LightNAS search per target and returns all points (callers can
 /// reduce them with [`pareto_indices`] over `(predicted, top1)`).
-pub fn trace_frontier(
+pub fn trace_frontier<P: Predictor>(
     space: &SearchSpace,
     oracle: &AccuracyOracle,
-    predictor: &MlpPredictor,
+    predictor: &P,
     config: SearchConfig,
     targets: &[f64],
     seed: u64,
@@ -125,8 +125,7 @@ mod tests {
         // frontier (within run noise).
         assert!(points[2].top1 + 0.2 >= points[0].top1);
         // And the whole sweep survives the dominance filter almost intact.
-        let pairs: Vec<(f64, f64)> =
-            points.iter().map(|p| (p.predicted, p.top1)).collect();
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.predicted, p.top1)).collect();
         assert!(pareto_indices(&pairs).len() >= 2);
     }
 }

@@ -40,7 +40,13 @@ impl<'a> ProxylessSearch<'a> {
         config: SearchConfig,
     ) -> Self {
         assert!(lambda >= 0.0, "λ must be non-negative, got {lambda}");
-        Self { space, oracle, lut, lambda, config }
+        Self {
+            space,
+            oracle,
+            lut,
+            lambda,
+            config,
+        }
     }
 
     /// The fixed trade-off coefficient.
@@ -87,8 +93,7 @@ impl<'a> ProxylessSearch<'a> {
                         b = (b + 1 + rng.random_range(0..NUM_OPS - 1)) % NUM_OPS;
                     }
                     let score = |k: usize| {
-                        marginals[l][k]
-                            + self.lambda * self.lut.entry(l, Operator::from_index(k))
+                        marginals[l][k] + self.lambda * self.lut.entry(l, Operator::from_index(k))
                     };
                     // Centering (the REINFORCE baseline ProxylessNAS's
                     // binarized update implies): the better of the two paths
@@ -108,7 +113,11 @@ impl<'a> ProxylessSearch<'a> {
             let argmax_metric = self.lut.predict(&params.strongest());
             trace.push(EpochRecord {
                 epoch,
-                sampled_metric: if count > 0.0 { sampled_sum / count } else { argmax_metric },
+                sampled_metric: if count > 0.0 {
+                    sampled_sum / count
+                } else {
+                    argmax_metric
+                },
                 argmax_metric,
                 lambda: self.lambda,
                 tau,
@@ -119,7 +128,11 @@ impl<'a> ProxylessSearch<'a> {
                 },
             });
         }
-        SearchOutcome { architecture: params.strongest(), trace, lambda: self.lambda }
+        SearchOutcome {
+            architecture: params.strongest(),
+            trace,
+            lambda: self.lambda,
+        }
     }
 
     /// Convenience: searches and returns only the architecture.
@@ -136,8 +149,7 @@ mod tests {
     #[test]
     fn two_path_search_improves_over_uniform_start() {
         let f = fixture();
-        let engine =
-            ProxylessSearch::new(&f.space, &f.oracle, &f.lut, 0.0, SearchConfig::fast());
+        let engine = ProxylessSearch::new(&f.space, &f.oracle, &f.lut, 0.0, SearchConfig::fast());
         let arch = engine.search_architecture(1);
         let random = Architecture::random(&f.space, 1);
         assert!(
@@ -150,14 +162,10 @@ mod tests {
     fn lambda_still_trades_accuracy_for_latency() {
         let f = fixture();
         let lat_for = |lambda: f64| {
-            let engine = ProxylessSearch::new(
-                &f.space,
-                &f.oracle,
-                &f.lut,
-                lambda,
-                SearchConfig::fast(),
-            );
-            f.device.true_latency_ms(&engine.search_architecture(2), &f.space)
+            let engine =
+                ProxylessSearch::new(&f.space, &f.oracle, &f.lut, lambda, SearchConfig::fast());
+            f.device
+                .true_latency_ms(&engine.search_architecture(2), &f.space)
         };
         assert!(lat_for(0.002) > lat_for(0.5));
     }
@@ -165,8 +173,7 @@ mod tests {
     #[test]
     fn search_is_deterministic_per_seed() {
         let f = fixture();
-        let engine =
-            ProxylessSearch::new(&f.space, &f.oracle, &f.lut, 0.01, SearchConfig::fast());
+        let engine = ProxylessSearch::new(&f.space, &f.oracle, &f.lut, 0.01, SearchConfig::fast());
         assert_eq!(engine.search_architecture(4), engine.search_architecture(4));
     }
 }

@@ -32,7 +32,12 @@ impl<'a> RandomSearch<'a> {
         samples: usize,
     ) -> Self {
         assert!(samples > 0, "need at least one sample");
-        Self { space, oracle, predictor, samples }
+        Self {
+            space,
+            oracle,
+            predictor,
+            samples,
+        }
     }
 
     /// Best architecture whose predicted metric is ≤ `budget`.
@@ -65,7 +70,10 @@ mod tests {
         let rs = RandomSearch::new(&f.space, &f.oracle, &f.predictor, 200);
         let arch = rs.search(22.0, 3).expect("budget is feasible");
         let lat = f.device.true_latency_ms(&arch, &f.space);
-        assert!(lat < 23.5, "random pick measures {lat:.2} ms for a 22 ms budget");
+        assert!(
+            lat < 23.5,
+            "random pick measures {lat:.2} ms for a 22 ms budget"
+        );
     }
 
     #[test]

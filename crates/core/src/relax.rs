@@ -31,7 +31,9 @@ impl Default for ArchParams {
 impl ArchParams {
     /// Uniform initialization (`α = 0`), giving equal operator probability.
     pub fn new() -> Self {
-        Self { alpha: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS] }
+        Self {
+            alpha: vec![[0.0; NUM_OPS]; SEARCHABLE_LAYERS],
+        }
     }
 
     /// The raw parameter matrix.
@@ -270,10 +272,18 @@ mod tests {
             let mut am = a.clone();
             am.alpha_mut()[0][j] -= eps;
             let f = |x: &ArchParams| -> f64 {
-                x.probabilities()[0].iter().zip(&c).map(|(p, cc)| p * cc).sum()
+                x.probabilities()[0]
+                    .iter()
+                    .zip(&c)
+                    .map(|(p, cc)| p * cc)
+                    .sum()
             };
             let fd = (f(&ap) - f(&am)) / (2.0 * eps);
-            assert!((fd - grad[j]).abs() < 1e-6, "coord {j}: {fd} vs {}", grad[j]);
+            assert!(
+                (fd - grad[j]).abs() < 1e-6,
+                "coord {j}: {fd} vs {}",
+                grad[j]
+            );
         }
     }
 
@@ -301,8 +311,15 @@ mod tests {
         let hot = a.backward(&g, &relaxed, &probs, 5.0);
         let cold = a.backward(&g, &relaxed, &probs, 0.5);
         let norm = |rows: &Vec<[f64; NUM_OPS]>| -> f64 {
-            rows.iter().flat_map(|r| r.iter()).map(|x| x * x).sum::<f64>().sqrt()
+            rows.iter()
+                .flat_map(|r| r.iter())
+                .map(|x| x * x)
+                .sum::<f64>()
+                .sqrt()
         };
-        assert!(norm(&cold) > norm(&hot), "colder τ should sharpen gradients");
+        assert!(
+            norm(&cold) > norm(&hot),
+            "colder τ should sharpen gradients"
+        );
     }
 }

@@ -48,14 +48,22 @@ pub fn lambda_sweep(
             let top1_quick = oracle.top1(&arch, TrainingProtocol::quick(), seed);
             let skips = arch.ops().iter().filter(|o| o.is_skip()).count();
             let skip_fraction = skips as f64 / arch.ops().len() as f64;
-            SweepPoint { lambda, architecture: arch, latency_ms, top1_quick, skip_fraction }
+            SweepPoint {
+                lambda,
+                architecture: arch,
+                latency_ms,
+                top1_quick,
+                skip_fraction,
+            }
         })
         .collect()
 }
 
 /// The λ grid of the motivational experiment: log-spaced over [1e-4, 1].
 pub fn default_lambda_grid() -> Vec<f64> {
-    vec![0.0001, 0.0003, 0.001, 0.003, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.6, 1.0]
+    vec![
+        0.0001, 0.0003, 0.001, 0.003, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.6, 1.0,
+    ]
 }
 
 /// How many sweep runs it takes to land within `tolerance_ms` of a target
@@ -137,7 +145,10 @@ mod tests {
             4,
         );
         assert!(points[1].skip_fraction > points[0].skip_fraction);
-        assert!(points[1].skip_fraction > 0.5, "λ=1 should collapse to skips");
+        assert!(
+            points[1].skip_fraction > 0.5,
+            "λ=1 should collapse to skips"
+        );
     }
 
     #[test]
@@ -153,7 +164,10 @@ mod tests {
             SearchConfig::fast(),
             12,
         );
-        assert!(runs >= 2, "fixed-λ search should need trial and error, used {runs}");
+        assert!(
+            runs >= 2,
+            "fixed-λ search should need trial and error, used {runs}"
+        );
         if runs < 12 {
             assert!((lat - 22.0).abs() <= 0.5);
         }

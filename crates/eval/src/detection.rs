@@ -49,9 +49,15 @@ pub struct SsdLite {
 impl SsdLite {
     /// An evaluator at the standard 320×320 detection input.
     pub fn new(device: Xavier) -> Self {
-        let det_space =
-            SearchSpace::with_config(SpaceConfig { resolution: 320, width_mult: 1.0 });
-        Self { device, det_space, head_ms: 42.0 }
+        let det_space = SearchSpace::with_config(SpaceConfig {
+            resolution: 320,
+            width_mult: 1.0,
+        });
+        Self {
+            device,
+            det_space,
+            head_ms: 42.0,
+        }
     }
 
     /// The detection-resolution search space (320×320).
@@ -63,7 +69,12 @@ impl SsdLite {
     /// from the 320×320 re-simulation plus the head cost.
     ///
     /// `seed` controls the (small) training-run noise.
-    pub fn evaluate(&self, arch: &Architecture, oracle: &AccuracyOracle, seed: u64) -> DetectionResult {
+    pub fn evaluate(
+        &self,
+        arch: &Architecture,
+        oracle: &AccuracyOracle,
+        seed: u64,
+    ) -> DetectionResult {
         let top1 = oracle.top1(arch, TrainingProtocol::full(), seed);
         // Calibrated linear transfer: 72.0 -> 20.4, slope 0.4 AP per top-1
         // point, plus a deterministic per-(arch, seed) residual of ±0.15.
@@ -99,7 +110,11 @@ mod tests {
     fn mobilenet_v2_matches_table3_anchor() {
         let (ssd, oracle) = setup();
         let r = ssd.evaluate(&mobilenet_v2(), &oracle, 0);
-        assert!((r.ap - 20.4).abs() < 0.8, "MBV2 AP {:.1} should be ≈ 20.4", r.ap);
+        assert!(
+            (r.ap - 20.4).abs() < 0.8,
+            "MBV2 AP {:.1} should be ≈ 20.4",
+            r.ap
+        );
         assert!(
             (r.latency_ms - 72.6).abs() < 12.0,
             "MBV2 SSDLite latency {:.1} ms should be ≈ 72.6",
@@ -136,7 +151,10 @@ mod tests {
         let m = mobilenet_v2();
         let cls = Xavier::maxn().true_latency_ms(&m, &space);
         let det = ssd.evaluate(&m, &oracle, 0).latency_ms;
-        assert!(det > 2.0 * cls, "SSDLite {det:.1} ms vs classification {cls:.1} ms");
+        assert!(
+            det > 2.0 * cls,
+            "SSDLite {det:.1} ms vs classification {cls:.1} ms"
+        );
     }
 
     #[test]
@@ -146,14 +164,20 @@ mod tests {
         let space = SearchSpace::standard();
         let a = Architecture::random(&space, 10);
         let b = Architecture::random(&space, 11);
-        let (la, lb) =
-            (device.true_latency_ms(&a, &space), device.true_latency_ms(&b, &space));
+        let (la, lb) = (
+            device.true_latency_ms(&a, &space),
+            device.true_latency_ms(&b, &space),
+        );
         let (da, db) = (
             ssd.evaluate(&a, &oracle, 0).latency_ms,
             ssd.evaluate(&b, &oracle, 0).latency_ms,
         );
         if (la - lb).abs() > 1.0 {
-            assert_eq!(la > lb, da > db, "detection latency must follow backbone latency");
+            assert_eq!(
+                la > lb,
+                da > db,
+                "detection latency must follow backbone latency"
+            );
         }
     }
 }

@@ -121,7 +121,9 @@ fn fit(l: usize, k: usize) -> f64 {
 
 /// Deterministic noise in [-1, 1] from an architecture and a seed.
 fn arch_noise(arch: &Architecture, seed: u64) -> f64 {
-    let mut z = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(0x9e37_79b9);
+    let mut z = seed
+        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+        .wrapping_add(0x9e37_79b9);
     for op in arch.ops() {
         z = z
             .wrapping_mul(0x0100_0000_01b3)
@@ -150,8 +152,11 @@ impl AccuracyOracle {
             .map(|(l, spec)| {
                 let depth_frac = l as f64 / (n.max(2) - 1) as f64;
                 let base = 0.55 + 1.10 * depth_frac.powf(1.2);
-                let reduction_boost =
-                    if spec.stride > 1 || spec.cin != spec.cout { 1.25 } else { 1.0 };
+                let reduction_boost = if spec.stride > 1 || spec.cin != spec.cout {
+                    1.25
+                } else {
+                    1.0
+                };
                 base * reduction_boost
             })
             .collect();
@@ -209,7 +214,10 @@ impl AccuracyOracle {
             return 0.0;
         }
         let n = arch.ops().len();
-        let wrapped = arch.ops()[n - tail..].iter().filter(|o| !o.is_skip()).count();
+        let wrapped = arch.ops()[n - tail..]
+            .iter()
+            .filter(|o| !o.is_skip())
+            .count();
         let idiosyncrasy = fit(tail, arch.ops()[n - 1].index()) * 0.12;
         (0.058 * wrapped as f64 + idiosyncrasy).max(0.0)
     }
@@ -225,7 +233,11 @@ impl AccuracyOracle {
         let c = &self.config;
         let x = (c.quality_knee - q) / c.quality_scale;
         const X0: f64 = 1.9;
-        let deficit = if x <= X0 { x.exp() } else { X0.exp() * (1.0 + (x - X0)) };
+        let deficit = if x <= X0 {
+            x.exp()
+        } else {
+            X0.exp() * (1.0 + (x - X0))
+        };
         let top1 = c.top1_ceiling - deficit;
         (top1 + self.se_bonus(arch)).clamp(c.top1_floor, c.top1_ceiling - 1e-3)
     }
@@ -313,13 +325,19 @@ mod tests {
     }
 
     fn k7e6() -> Architecture {
-        Architecture::homogeneous(Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 })
+        Architecture::homogeneous(Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E6,
+        })
     }
 
     #[test]
     fn mobilenet_v2_lands_near_72() {
         let top1 = oracle().asymptotic_top1(&mobilenet_v2());
-        assert!((top1 - 72.0).abs() < 1.5, "MBV2 top-1 {top1:.2} should be ≈ 72.0");
+        assert!(
+            (top1 - 72.0).abs() < 1.5,
+            "MBV2 top-1 {top1:.2} should be ≈ 72.0"
+        );
     }
 
     #[test]
@@ -331,7 +349,10 @@ mod tests {
     #[test]
     fn all_skip_network_is_poor() {
         let top1 = oracle().asymptotic_top1(&Architecture::homogeneous(Operator::SkipConnect));
-        assert!(top1 <= 25.0, "trivial network top-1 {top1:.2} should be near the floor");
+        assert!(
+            top1 <= 25.0,
+            "trivial network top-1 {top1:.2} should be near the floor"
+        );
     }
 
     #[test]
@@ -347,18 +368,27 @@ mod tests {
         let mut raised = 0;
         for l in 0..SEARCHABLE_LAYERS {
             let mut ops = base.ops().to_vec();
-            ops[l] = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+            ops[l] = Operator::MbConv {
+                kernel: Kernel::K3,
+                expansion: Expansion::E6,
+            };
             if o.quality(&Architecture::new(ops)) > q0 {
                 raised += 1;
             }
         }
-        assert!(raised >= SEARCHABLE_LAYERS - 2, "only {raised} slots improved");
+        assert!(
+            raised >= SEARCHABLE_LAYERS - 2,
+            "only {raised} slots improved"
+        );
     }
 
     #[test]
     fn later_slots_are_worth_more() {
         let o = oracle();
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         // Compare two same-kind (non-reduction) slots early vs late.
         assert!(o.utility(18, op) > o.utility(2, op));
     }
@@ -379,8 +409,20 @@ mod tests {
         // expectation: qa − qb = u(3) − u(10) + pair_penalty, because `a`
         // keeps slot 3 (losing slot 10) while `b` keeps slot 10 (losing
         // slot 3) and additionally pays the adjacency penalty.
-        let u10 = o.utility(10, Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 });
-        let u3 = o.utility(3, Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 });
+        let u10 = o.utility(
+            10,
+            Operator::MbConv {
+                kernel: Kernel::K3,
+                expansion: Expansion::E6,
+            },
+        );
+        let u3 = o.utility(
+            3,
+            Operator::MbConv {
+                kernel: Kernel::K3,
+                expansion: Expansion::E6,
+            },
+        );
         assert!((qa - qb) - (u3 - u10) > 0.3, "missing adjacency penalty");
     }
 
@@ -411,8 +453,10 @@ mod tests {
         let o = oracle();
         let m = mobilenet_v2();
         assert!(o.valid_loss(&m, 0.0) > o.valid_loss(&m, 1.0));
-        assert!(o.valid_loss(&Architecture::homogeneous(Operator::SkipConnect), 0.5)
-            > o.valid_loss(&k7e6(), 0.5));
+        assert!(
+            o.valid_loss(&Architecture::homogeneous(Operator::SkipConnect), 0.5)
+                > o.valid_loss(&k7e6(), 0.5)
+        );
     }
 
     #[test]

@@ -3,15 +3,17 @@
 use lightnas_eval::{AccuracyOracle, SsdLite, TrainingProtocol};
 use lightnas_hw::Xavier;
 use lightnas_space::{
-    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator,
-    SearchSpace,
+    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator, SearchSpace,
 };
 
 #[test]
 fn anchor_mobilenet_v2_top1_is_72() {
     let oracle = AccuracyOracle::imagenet();
     let t = oracle.top1(&mobilenet_v2(), TrainingProtocol::full(), 0);
-    assert!((t - 72.0).abs() < 1.5, "MobileNetV2 top-1 {t:.2} drifted from 72.0");
+    assert!(
+        (t - 72.0).abs() < 1.5,
+        "MobileNetV2 top-1 {t:.2} drifted from 72.0"
+    );
 }
 
 #[test]
@@ -24,7 +26,10 @@ fn anchor_pareto_ceiling_matches_table2() {
         expansion: Expansion::E6,
     });
     let t = oracle.top1(&heavy, TrainingProtocol::full(), 0);
-    assert!((75.8..77.2).contains(&t), "heavy-network top-1 {t:.2} outside the Table 2 band");
+    assert!(
+        (75.8..77.2).contains(&t),
+        "heavy-network top-1 {t:.2} outside the Table 2 band"
+    );
 }
 
 #[test]
@@ -35,7 +40,10 @@ fn anchor_quick_protocol_drop_matches_figure3() {
     let quick = oracle.top1(&m, TrainingProtocol::quick(), 0);
     let full = oracle.top1(&m, TrainingProtocol::full(), 0);
     let drop = full - quick;
-    assert!((5.0..9.0).contains(&drop), "50-epoch drop {drop:.2} outside Fig. 3's band");
+    assert!(
+        (5.0..9.0).contains(&drop),
+        "50-epoch drop {drop:.2} outside Fig. 3's band"
+    );
 }
 
 #[test]
@@ -48,13 +56,21 @@ fn reference_accuracy_ordering_is_broadly_preserved() {
     let rows: Vec<(f64, f64)> = reference_architectures()
         .into_iter()
         .filter(|r| !r.extra_techniques)
-        .map(|r| (r.paper_top1, oracle.top1(&r.arch, TrainingProtocol::full(), 0)))
+        .map(|r| {
+            (
+                r.paper_top1,
+                oracle.top1(&r.arch, TrainingProtocol::full(), 0),
+            )
+        })
         .collect();
     let n = rows.len() as f64;
     let mx = rows.iter().map(|r| r.0).sum::<f64>() / n;
     let my = rows.iter().map(|r| r.1).sum::<f64>() / n;
     let cov: f64 = rows.iter().map(|r| (r.0 - mx) * (r.1 - my)).sum();
-    assert!(cov > 0.0, "published vs simulated accuracies anti-correlated");
+    assert!(
+        cov > 0.0,
+        "published vs simulated accuracies anti-correlated"
+    );
 }
 
 #[test]
@@ -64,7 +80,11 @@ fn detection_anchor_mobilenet_v2() {
     let r = ssd.evaluate(&mobilenet_v2(), &oracle, 0);
     // Table 3: MobileNetV2 = 20.4 AP / 72.6 ms.
     assert!((r.ap - 20.4).abs() < 1.0, "MBV2 AP {:.1}", r.ap);
-    assert!((r.latency_ms - 72.6).abs() < 15.0, "MBV2 det latency {:.1}", r.latency_ms);
+    assert!(
+        (r.latency_ms - 72.6).abs() < 15.0,
+        "MBV2 det latency {:.1}",
+        r.latency_ms
+    );
 }
 
 #[test]
@@ -97,8 +117,14 @@ fn se_deltas_match_table4_bands() {
         let se = base.with_se_tail(9);
         let d_acc = oracle.asymptotic_top1(&se) - oracle.asymptotic_top1(&base);
         let d_lat = device.true_latency_ms(&se, &space) - device.true_latency_ms(&base, &space);
-        assert!((0.1..1.5).contains(&d_acc), "seed {seed}: SE top-1 delta {d_acc:.2}");
-        assert!((0.3..3.5).contains(&d_lat), "seed {seed}: SE latency delta {d_lat:.2}");
+        assert!(
+            (0.1..1.5).contains(&d_acc),
+            "seed {seed}: SE top-1 delta {d_acc:.2}"
+        );
+        assert!(
+            (0.3..3.5).contains(&d_lat),
+            "seed {seed}: SE latency delta {d_lat:.2}"
+        );
     }
 }
 
@@ -113,18 +139,32 @@ fn width_scaling_anchor_matches_published_mobilenet_numbers() {
     let base = oracle.scaled_top1(&m, SpaceConfig::default(), full, 0);
     let w075 = oracle.scaled_top1(
         &m,
-        SpaceConfig { resolution: 224, width_mult: 0.75 },
+        SpaceConfig {
+            resolution: 224,
+            width_mult: 0.75,
+        },
         full,
         0,
     );
     let r192 = oracle.scaled_top1(
         &m,
-        SpaceConfig { resolution: 192, width_mult: 1.0 },
+        SpaceConfig {
+            resolution: 192,
+            width_mult: 1.0,
+        },
         full,
         0,
     );
-    assert!((base - w075 - 2.2).abs() < 0.5, "width drop {:.2} vs published 2.2", base - w075);
-    assert!((base - r192 - 1.3).abs() < 0.4, "resolution drop {:.2} vs published 1.3", base - r192);
+    assert!(
+        (base - w075 - 2.2).abs() < 0.5,
+        "width drop {:.2} vs published 2.2",
+        base - w075
+    );
+    assert!(
+        (base - r192 - 1.3).abs() < 0.4,
+        "resolution drop {:.2} vs published 1.3",
+        base - r192
+    );
 }
 
 #[test]
@@ -134,10 +174,36 @@ fn scaling_shifts_compose_additively() {
     let m = mobilenet_v2();
     let full = TrainingProtocol::full();
     let base = oracle.scaled_top1(&m, SpaceConfig::default(), full, 0);
-    let w = oracle.scaled_top1(&m, SpaceConfig { resolution: 224, width_mult: 0.9 }, full, 0);
-    let r = oracle.scaled_top1(&m, SpaceConfig { resolution: 208, width_mult: 1.0 }, full, 0);
-    let both =
-        oracle.scaled_top1(&m, SpaceConfig { resolution: 208, width_mult: 0.9 }, full, 0);
+    let w = oracle.scaled_top1(
+        &m,
+        SpaceConfig {
+            resolution: 224,
+            width_mult: 0.9,
+        },
+        full,
+        0,
+    );
+    let r = oracle.scaled_top1(
+        &m,
+        SpaceConfig {
+            resolution: 208,
+            width_mult: 1.0,
+        },
+        full,
+        0,
+    );
+    let both = oracle.scaled_top1(
+        &m,
+        SpaceConfig {
+            resolution: 208,
+            width_mult: 0.9,
+        },
+        full,
+        0,
+    );
     let predicted = base + (w - base) + (r - base);
-    assert!((both - predicted).abs() < 1e-9, "log-shifts must compose additively");
+    assert!(
+        (both - predicted).abs() < 1e-9,
+        "log-shifts must compose additively"
+    );
 }

@@ -246,7 +246,11 @@ impl Xavier {
         let mut total = self.config.runtime_overhead_ms;
         let mut prev_out: u64 = u64::MAX; // first kernel reads cold input
         for k in &stream {
-            let warm = if prev_out <= self.config.l2_cache_bytes { prev_out } else { 0 };
+            let warm = if prev_out <= self.config.l2_cache_bytes {
+                prev_out
+            } else {
+                0
+            };
             total += self.kernel_ms(k, warm) + self.stall_ms(prev_out, k.bytes(self.config.batch));
             prev_out = k.out_bytes(self.config.batch);
         }
@@ -260,9 +264,17 @@ impl Xavier {
         let mut dynamic = 0.0;
         let mut prev_out: u64 = u64::MAX;
         for k in &stream {
-            let warm = if prev_out <= c.l2_cache_bytes { prev_out } else { 0 };
+            let warm = if prev_out <= c.l2_cache_bytes {
+                prev_out
+            } else {
+                0
+            };
             let t = self.kernel_ms(k, warm);
-            let p = if self.is_compute_bound(k) { c.compute_power_w } else { c.memory_power_w };
+            let p = if self.is_compute_bound(k) {
+                c.compute_power_w
+            } else {
+                c.memory_power_w
+            };
             dynamic += p * t; // W * ms = mJ
             dynamic += c.memory_power_w * self.stall_ms(prev_out, k.bytes(c.batch));
             prev_out = k.out_bytes(c.batch);
@@ -329,12 +341,7 @@ impl Xavier {
     /// # Panics
     ///
     /// Panics if `layer` is out of range.
-    pub fn isolated_op_latency_ms(
-        &self,
-        layer: usize,
-        op: Operator,
-        space: &SearchSpace,
-    ) -> f64 {
+    pub fn isolated_op_latency_ms(&self, layer: usize, op: Operator, space: &SearchSpace) -> f64 {
         let spec = &space.layers()[layer];
         kernels_for_layer(op, spec, false)
             .iter()
@@ -344,7 +351,10 @@ impl Xavier {
 
     /// Isolated latency of the fixed stem + head (for LUT construction).
     pub fn isolated_fixed_latency_ms(&self, space: &SearchSpace) -> f64 {
-        self.fixed_kernels(space).iter().map(|k| self.kernel_ms(k, 0)).sum()
+        self.fixed_kernels(space)
+            .iter()
+            .map(|k| self.kernel_ms(k, 0))
+            .sum()
     }
 
     /// Per-searchable-layer in-network latency contribution (diagnostics).
@@ -361,9 +371,13 @@ impl Xavier {
             let with_se = i + arch.se_tail() >= n;
             let mut layer_ms = 0.0;
             for k in kernels_for_layer(op, spec, with_se) {
-                let warm = if prev_out <= self.config.l2_cache_bytes { prev_out } else { 0 };
-                layer_ms += self.kernel_ms(&k, warm)
-                    + self.stall_ms(prev_out, k.bytes(self.config.batch));
+                let warm = if prev_out <= self.config.l2_cache_bytes {
+                    prev_out
+                } else {
+                    0
+                };
+                layer_ms +=
+                    self.kernel_ms(&k, warm) + self.stall_ms(prev_out, k.bytes(self.config.batch));
                 prev_out = k.out_bytes(self.config.batch);
             }
             out.push(layer_ms);
@@ -411,7 +425,10 @@ mod tests {
         let (dev, space) = setup();
         let lat = |k, e| {
             dev.true_latency_ms(
-                &Architecture::homogeneous(Operator::MbConv { kernel: k, expansion: e }),
+                &Architecture::homogeneous(Operator::MbConv {
+                    kernel: k,
+                    expansion: e,
+                }),
                 &space,
             )
         };
@@ -425,8 +442,7 @@ mod tests {
         // The Fig. 2 property: find two architectures whose FLOPs ordering
         // disagrees with their latency ordering.
         let (dev, space) = setup();
-        let archs: Vec<Architecture> =
-            (0..200).map(|s| Architecture::random(&space, s)).collect();
+        let archs: Vec<Architecture> = (0..200).map(|s| Architecture::random(&space, s)).collect();
         let mut found = false;
         'outer: for a in &archs {
             for b in &archs {

@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn mbconv_launches_three_kernels() {
         let s = space();
-        let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K5,
+            expansion: Expansion::E6,
+        };
         let ks = kernels_for_layer(op, &s.layers()[4], false);
         assert_eq!(ks.len(), 3);
         assert_eq!(ks[0].kind, KernelKind::Pointwise);
@@ -160,7 +163,10 @@ mod tests {
     #[test]
     fn se_adds_a_fourth_kernel() {
         let s = space();
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E3,
+        };
         let ks = kernels_for_layer(op, &s.layers()[20], true);
         assert_eq!(ks.len(), 4);
         assert_eq!(ks[2].kind, KernelKind::Se);
@@ -172,7 +178,10 @@ mod tests {
         let spec = &s.layers()[8];
         let dw = |k| {
             kernels_for_layer(
-                Operator::MbConv { kernel: k, expansion: Expansion::E3 },
+                Operator::MbConv {
+                    kernel: k,
+                    expansion: Expansion::E3,
+                },
                 spec,
                 false,
             )[1]
@@ -185,7 +194,10 @@ mod tests {
     #[test]
     fn bytes_scale_with_batch_for_activations_only() {
         let s = space();
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         let k = kernels_for_layer(op, &s.layers()[4], false)[0];
         let b1 = k.bytes(1);
         let b8 = k.bytes(8);
@@ -199,9 +211,14 @@ mod tests {
         // total multiply-adds for MBConv slots.
         let s = space();
         for (i, spec) in s.layers().iter().enumerate() {
-            let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E3 };
-            let from_kernels: u64 =
-                kernels_for_layer(op, spec, false).iter().map(|k| k.madds).sum();
+            let op = Operator::MbConv {
+                kernel: Kernel::K5,
+                expansion: Expansion::E3,
+            };
+            let from_kernels: u64 = kernels_for_layer(op, spec, false)
+                .iter()
+                .map(|k| k.madds)
+                .sum();
             let from_cost = lightnas_space::layer_cost(op, spec, false).flops;
             assert_eq!(from_kernels, from_cost, "layer {i} disagreement");
         }

@@ -23,7 +23,10 @@ pub struct GaussianNoise {
 impl GaussianNoise {
     /// Creates a noise source from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), spare: None }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// Draws one `N(mean, std²)` sample.

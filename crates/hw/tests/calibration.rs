@@ -6,8 +6,7 @@
 
 use lightnas_hw::Xavier;
 use lightnas_space::{
-    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator,
-    SearchSpace,
+    mobilenet_v2, reference_architectures, Architecture, Expansion, Kernel, Operator, SearchSpace,
 };
 
 fn setup() -> (Xavier, SearchSpace) {
@@ -18,7 +17,10 @@ fn setup() -> (Xavier, SearchSpace) {
 fn anchor_mobilenet_v2_is_20_2_ms() {
     let (dev, space) = setup();
     let ms = dev.true_latency_ms(&mobilenet_v2(), &space);
-    assert!((ms - 20.2).abs() < 0.8, "MobileNetV2 {ms:.2} ms drifted from the 20.2 ms anchor");
+    assert!(
+        (ms - 20.2).abs() < 0.8,
+        "MobileNetV2 {ms:.2} ms drifted from the 20.2 ms anchor"
+    );
 }
 
 #[test]
@@ -35,7 +37,10 @@ fn anchor_space_range_covers_table2() {
     // EfficientNet-B0-like (heaviest + full SE) approaches the 37 ms row.
     let effnet = heaviest.with_se_tail(21);
     let ms = dev.true_latency_ms(&effnet, &space);
-    assert!(ms > 31.0, "SE-heavy extreme {ms:.1} ms should push beyond 31 ms");
+    assert!(
+        ms > 31.0,
+        "SE-heavy extreme {ms:.1} ms should push beyond 31 ms"
+    );
 }
 
 #[test]
@@ -65,7 +70,10 @@ fn anchor_energy_range_brackets_500mj() {
         .collect();
     let below = energies.iter().filter(|&&e| e < 500.0).count();
     let above = energies.iter().filter(|&&e| e > 500.0).count();
-    assert!(below > 5 && above > 5, "500 mJ not inside the bulk ({below} below / {above} above)");
+    assert!(
+        below > 5 && above > 5,
+        "500 mJ not inside the bulk ({below} below / {above} above)"
+    );
 }
 
 #[test]
@@ -74,13 +82,17 @@ fn measurement_noise_matches_the_declared_sigma() {
     let m = mobilenet_v2();
     let truth = dev.true_latency_ms(&m, &space);
     let n = 500;
-    let errs: Vec<f64> =
-        (0..n).map(|s| dev.measure_latency_ms(&m, &space, s) - truth).collect();
+    let errs: Vec<f64> = (0..n)
+        .map(|s| dev.measure_latency_ms(&m, &space, s) - truth)
+        .collect();
     let mean = errs.iter().sum::<f64>() / n as f64;
     let std = (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / n as f64).sqrt();
     let declared = dev.config().noise_std_ms;
     assert!(mean.abs() < declared / 2.0, "noise is biased: {mean:.4}");
-    assert!((std - declared).abs() < declared * 0.25, "noise std {std:.4} vs declared {declared}");
+    assert!(
+        (std - declared).abs() < declared * 0.25,
+        "noise std {std:.4} vs declared {declared}"
+    );
 }
 
 #[test]
@@ -94,8 +106,9 @@ fn energy_noise_is_relative_not_absolute() {
         expansion: Expansion::E6,
     });
     let spread = |arch: &Architecture| {
-        let vals: Vec<f64> =
-            (0..200).map(|s| dev.measure_energy_mj(arch, &space, s)).collect();
+        let vals: Vec<f64> = (0..200)
+            .map(|s| dev.measure_energy_mj(arch, &space, s))
+            .collect();
         let m = vals.iter().sum::<f64>() / vals.len() as f64;
         (vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64).sqrt()
     };
@@ -111,7 +124,10 @@ fn batch_one_inference_is_several_times_faster() {
     let dev8 = Xavier::maxn();
     let m = mobilenet_v2();
     let ratio = dev8.true_latency_ms(&m, &space) / dev1.true_latency_ms(&m, &space);
-    assert!(ratio > 1.2 && ratio < 8.0, "batch-8/batch-1 ratio {ratio:.2} implausible");
+    assert!(
+        ratio > 1.2 && ratio < 8.0,
+        "batch-8/batch-1 ratio {ratio:.2} implausible"
+    );
 }
 
 #[test]
@@ -123,7 +139,10 @@ fn nano_class_profile_is_uniformly_slower() {
         let arch = Architecture::random(&space, seed);
         let fast = xavier.true_latency_ms(&arch, &space);
         let slow = nano.true_latency_ms(&arch, &space);
-        assert!(slow > 1.5 * fast, "nano {slow:.1} ms vs xavier {fast:.1} ms (seed {seed})");
+        assert!(
+            slow > 1.5 * fast,
+            "nano {slow:.1} ms vs xavier {fast:.1} ms (seed {seed})"
+        );
     }
 }
 
@@ -139,14 +158,23 @@ fn device_profiles_rank_architectures_differently() {
     let mut swaps = 0;
     for (i, a) in archs.iter().enumerate() {
         for b in archs.iter().skip(i + 1) {
-            let (xa, xb) = (xavier.true_latency_ms(a, &space), xavier.true_latency_ms(b, &space));
-            let (na, nb) = (nano.true_latency_ms(a, &space), nano.true_latency_ms(b, &space));
+            let (xa, xb) = (
+                xavier.true_latency_ms(a, &space),
+                xavier.true_latency_ms(b, &space),
+            );
+            let (na, nb) = (
+                nano.true_latency_ms(a, &space),
+                nano.true_latency_ms(b, &space),
+            );
             if (xa - xb).abs() > 0.1 && (na - nb).abs() > 0.1 && ((xa > xb) != (na > nb)) {
                 swaps += 1;
             }
         }
     }
-    assert!(swaps > 0, "device profiles should disagree on some orderings");
+    assert!(
+        swaps > 0,
+        "device profiles should disagree on some orderings"
+    );
 }
 
 #[test]
@@ -160,9 +188,18 @@ fn peak_memory_tracks_operator_size() {
         kernel: Kernel::K3,
         expansion: Expansion::E6,
     });
-    let (ml, mh) = (dev.peak_memory_mib(&light, &space), dev.peak_memory_mib(&heavy, &space));
-    assert!(mh > ml, "expansion 6 should need more memory than 3 ({mh:.1} vs {ml:.1} MiB)");
-    assert!(ml > 5.0 && mh < 400.0, "peak memory out of plausible range: {ml:.1}..{mh:.1}");
+    let (ml, mh) = (
+        dev.peak_memory_mib(&light, &space),
+        dev.peak_memory_mib(&heavy, &space),
+    );
+    assert!(
+        mh > ml,
+        "expansion 6 should need more memory than 3 ({mh:.1} vs {ml:.1} MiB)"
+    );
+    assert!(
+        ml > 5.0 && mh < 400.0,
+        "peak memory out of plausible range: {ml:.1}..{mh:.1}"
+    );
 }
 
 #[test]

@@ -108,8 +108,7 @@ mod tests {
     fn gumbel_mean_is_euler_mascheroni() {
         let mut rng = StdRng::seed_from_u64(1);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| gumbel_sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| gumbel_sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 0.5772).abs() < 0.01, "gumbel mean {mean}");
     }
 

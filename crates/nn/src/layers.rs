@@ -31,10 +31,20 @@ impl Linear {
     ) -> Self {
         let w = store.add(
             format!("{name}.w"),
-            init::xavier_uniform(&[in_features, out_features], in_features, out_features, seed),
+            init::xavier_uniform(
+                &[in_features, out_features],
+                in_features,
+                out_features,
+                seed,
+            ),
         );
         let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(&[out_features])));
-        Self { w, b, in_features, out_features }
+        Self {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
     }
 
     /// Input feature count.
@@ -89,7 +99,11 @@ impl Conv2d {
         );
         Self {
             w,
-            spec: Conv2dSpec { kernel, stride, padding },
+            spec: Conv2dSpec {
+                kernel,
+                stride,
+                padding,
+            },
             in_channels,
             out_channels,
         }
@@ -135,7 +149,15 @@ impl DwConv2d {
             format!("{name}.w"),
             init::kaiming_uniform(&[channels, 1, kernel, kernel], kernel * kernel, seed),
         );
-        Self { w, spec: Conv2dSpec { kernel, stride, padding }, channels }
+        Self {
+            w,
+            spec: Conv2dSpec {
+                kernel,
+                stride,
+                padding,
+            },
+            channels,
+        }
     }
 
     /// Channel count (input = output).
@@ -167,7 +189,11 @@ impl ChannelAffine {
     pub fn new(store: &mut ParamStore, name: &str, channels: usize) -> Self {
         let scale = store.add(format!("{name}.scale"), Tensor::ones(&[channels]));
         let bias = store.add(format!("{name}.bias"), Tensor::zeros(&[channels]));
-        Self { scale, bias, channels }
+        Self {
+            scale,
+            bias,
+            channels,
+        }
     }
 
     /// Channel count.
@@ -212,9 +238,19 @@ impl SqueezeExcite {
         seed: u64,
     ) -> Self {
         let hidden = channels / reduction;
-        assert!(hidden > 0, "SE hidden width is zero (channels {channels} / reduction {reduction})");
+        assert!(
+            hidden > 0,
+            "SE hidden width is zero (channels {channels} / reduction {reduction})"
+        );
         let fc1 = Linear::new(store, &format!("{name}.fc1"), channels, hidden, true, seed);
-        let fc2 = Linear::new(store, &format!("{name}.fc2"), hidden, channels, true, seed + 1);
+        let fc2 = Linear::new(
+            store,
+            &format!("{name}.fc2"),
+            hidden,
+            channels,
+            true,
+            seed + 1,
+        );
         Self { fc1, fc2 }
     }
 
@@ -273,7 +309,8 @@ impl MbConv {
         });
         let dw = DwConv2d::new(store, &format!("{name}.dw"), mid, kernel, stride, seed + 1);
         let dw_affine = ChannelAffine::new(store, &format!("{name}.dw_aff"), mid);
-        let se = with_se.then(|| SqueezeExcite::new(store, &format!("{name}.se"), mid, 4, seed + 2));
+        let se =
+            with_se.then(|| SqueezeExcite::new(store, &format!("{name}.se"), mid, 4, seed + 2));
         let project = Conv2d::new(store, &format!("{name}.project"), mid, cout, 1, 1, seed + 3);
         let project_affine = ChannelAffine::new(store, &format!("{name}.project_aff"), cout);
         Self {
@@ -323,8 +360,16 @@ pub struct ClassifierHead {
 
 impl ClassifierHead {
     /// Registers the head for `channels` input channels and `classes` outputs.
-    pub fn new(store: &mut ParamStore, name: &str, channels: usize, classes: usize, seed: u64) -> Self {
-        Self { fc: Linear::new(store, name, channels, classes, true, seed) }
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        channels: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            fc: Linear::new(store, name, channels, classes, true, seed),
+        }
     }
 
     /// Maps `[n, c, h, w]` features to `[n, classes]` logits.
@@ -350,12 +395,22 @@ impl Mlp {
     ///
     /// Panics if fewer than two widths are given.
     pub fn new(store: &mut ParamStore, name: &str, widths: &[usize], seed: u64) -> Self {
-        assert!(widths.len() >= 2, "MLP needs at least input and output widths");
+        assert!(
+            widths.len() >= 2,
+            "MLP needs at least input and output widths"
+        );
         let layers = widths
             .windows(2)
             .enumerate()
             .map(|(i, w)| {
-                Linear::new(store, &format!("{name}.l{i}"), w[0], w[1], true, seed + i as u64)
+                Linear::new(
+                    store,
+                    &format!("{name}.l{i}"),
+                    w[0],
+                    w[1],
+                    true,
+                    seed + i as u64,
+                )
             })
             .collect();
         Self { layers }

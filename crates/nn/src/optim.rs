@@ -26,7 +26,12 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Self { lr, momentum, weight_decay, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Current learning rate.
@@ -87,7 +92,16 @@ impl Adam {
 
     /// Creates an Adam optimizer with explicit hyper-parameters.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
-        Self { lr, beta1, beta2, eps, weight_decay, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Current learning rate.
@@ -244,6 +258,9 @@ mod tests {
         let mut opt = Adam::new(0.1, 0.0);
         opt.apply(&mut store, id, &Tensor::from_vec(vec![123.0], &[1]));
         let moved = 10.0 - store.get(id).as_slice()[0];
-        assert!((moved - 0.1).abs() < 1e-3, "first step {moved} should be ≈ lr");
+        assert!(
+            (moved - 0.1).abs() < 1e-3,
+            "first step {moved} should be ≈ lr"
+        );
     }
 }

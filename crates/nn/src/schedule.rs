@@ -35,7 +35,12 @@ impl CosineSchedule {
     /// Panics if `total_steps` is zero.
     pub fn new(base_lr: f32, total_steps: usize) -> Self {
         assert!(total_steps > 0, "schedule needs at least one step");
-        Self { base_lr, total_steps, warmup_start: base_lr, warmup_steps: 0 }
+        Self {
+            base_lr,
+            total_steps,
+            warmup_start: base_lr,
+            warmup_steps: 0,
+        }
     }
 
     /// Adds a linear warmup from `start` to `base_lr` over `steps` steps.
@@ -97,7 +102,11 @@ impl TemperatureSchedule {
         assert!(tau0 > 0.0, "tau0 must be positive");
         assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0, 1]");
         assert!(tau_min > 0.0, "tau_min must be positive");
-        Self { tau0, rate, tau_min }
+        Self {
+            tau0,
+            rate,
+            tau_min,
+        }
     }
 
     /// The paper's default: τ₀ = 5 decayed so that τ ≈ 0.1 after 80 epochs.

@@ -10,7 +10,12 @@ use lightnas_tensor::Graph;
 
 fn accuracy(
     store: &ParamStore,
-    forward: impl Fn(&mut Graph, &mut Bindings, &ParamStore, lightnas_tensor::Var) -> lightnas_tensor::Var,
+    forward: impl Fn(
+        &mut Graph,
+        &mut Bindings,
+        &ParamStore,
+        lightnas_tensor::Var,
+    ) -> lightnas_tensor::Var,
     data: &ShapesDataset,
 ) -> f64 {
     let mut correct = 0usize;
@@ -49,7 +54,7 @@ fn linear_probe_beats_chance_on_shapes() {
     let mut store = ParamStore::new();
     let lin = Linear::new(&mut store, "probe", 64, NUM_CLASSES, true, 0);
     let mut opt = Adam::new(5e-3, 1e-4);
-    for epoch in 0..30 {
+    for epoch in 0..60 {
         for idx in train.epoch_batches(32, epoch) {
             let (x, y) = train.batch(&idx);
             let b = idx.len();
@@ -109,7 +114,10 @@ fn small_convnet_reaches_high_accuracy() {
         }
     }
     let acc = accuracy(&store, forward, &valid);
-    assert!(acc > 0.8, "convnet accuracy {acc:.2} should be high on shapes");
+    assert!(
+        acc > 0.8,
+        "convnet accuracy {acc:.2} should be high on shapes"
+    );
 }
 
 #[test]
@@ -130,7 +138,7 @@ fn se_block_still_trains() {
     let mut opt = Sgd::new(0.05, 0.9, 1e-4);
     let mut first_loss = None;
     let mut last_loss = 0.0f32;
-    for epoch in 0..15 {
+    for epoch in 0..30 {
         for idx in train.epoch_batches(32, epoch) {
             let (x, y) = train.batch(&idx);
             let mut g = Graph::new();
@@ -175,7 +183,10 @@ fn gradient_descent_with_cosine_schedule_is_stable() {
             let loss = g.softmax_cross_entropy(logits, &y);
             g.backward(loss);
             opt.step(&mut store, &g, &bind);
-            assert!(g.value(loss).item().is_finite(), "loss diverged at step {step}");
+            assert!(
+                g.value(loss).item().is_finite(),
+                "loss diverged at step {step}"
+            );
         }
     }
 }

@@ -1,0 +1,347 @@
+//! The [`Predictor`] abstraction, a compact encoding key, and a thread-safe
+//! memoizing wrapper.
+//!
+//! The search engine re-evaluates `predict(argmax α)` at **every** step
+//! (`LAT(α)` is defined on the derived architecture, Eq. 4), and the argmax
+//! architecture changes only when a slot actually flips — so across a
+//! 90-epoch search the same few hundred architectures are queried thousands
+//! of times. [`CachedPredictor`] memoizes `predict`/`gradient` by the packed
+//! [`encoding_key`] and exposes hit/miss counters; `lightnas-runtime` shares
+//! one cache across a whole sweep of concurrent search jobs, where the hit
+//! rate compounds further (neighbouring targets visit overlapping
+//! architectures).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+use lightnas_space::{Architecture, NUM_OPS, SEARCHABLE_LAYERS, TOTAL_LAYERS};
+
+use crate::{EnsemblePredictor, MlpPredictor};
+
+/// The querying interface shared by the MLP predictor, the ensemble, and
+/// caching wrappers — everything a differentiable search needs from a
+/// hardware-metric model.
+pub trait Predictor {
+    /// Predicted metric for a flattened `ᾱ` encoding (Eq. 4).
+    fn predict_encoding(&self, encoding: &[f32]) -> f64;
+
+    /// Gradient of the prediction w.r.t. the encoding (`∂LAT/∂ᾱ`, Eq. 12).
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32>;
+
+    /// Predicted metric for an architecture.
+    fn predict(&self, arch: &Architecture) -> f64 {
+        self.predict_encoding(&arch.encode())
+    }
+}
+
+impl Predictor for MlpPredictor {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        MlpPredictor::predict_encoding(self, encoding)
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        MlpPredictor::gradient(self, encoding)
+    }
+}
+
+impl Predictor for EnsemblePredictor {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        EnsemblePredictor::predict_encoding(self, encoding)
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        EnsemblePredictor::gradient(self, encoding)
+    }
+}
+
+impl<P: Predictor + ?Sized> Predictor for &P {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        (**self).predict_encoding(encoding)
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        (**self).gradient(encoding)
+    }
+
+    fn predict(&self, arch: &Architecture) -> f64 {
+        (**self).predict(arch)
+    }
+}
+
+/// Packs a one-hot `ᾱ` encoding into a single `u64` cache key: the argmax
+/// operator index of each searchable row, 3 bits per slot (`K = 7 < 8`).
+///
+/// Equals [`architecture_key`] of the decoded architecture.
+///
+/// # Panics
+///
+/// Panics if `encoding.len() != TOTAL_LAYERS * NUM_OPS`.
+pub fn encoding_key(encoding: &[f32]) -> u64 {
+    assert_eq!(
+        encoding.len(),
+        TOTAL_LAYERS * NUM_OPS,
+        "encoding must have {} values",
+        TOTAL_LAYERS * NUM_OPS
+    );
+    let mut key = 0u64;
+    for l in 1..TOTAL_LAYERS {
+        let row = &encoding[l * NUM_OPS..(l + 1) * NUM_OPS];
+        let mut best = 0usize;
+        for (k, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = k;
+            }
+        }
+        key = (key << 3) | best as u64;
+    }
+    key
+}
+
+/// The cache key of an architecture, without materializing its encoding.
+pub fn architecture_key(arch: &Architecture) -> u64 {
+    debug_assert_eq!(arch.ops().len(), SEARCHABLE_LAYERS);
+    arch.ops()
+        .iter()
+        .fold(0u64, |key, op| (key << 3) | op.index() as u64)
+}
+
+/// Hit/miss counters of a [`CachedPredictor`] (one pair per query kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries forwarded to the wrapped predictor.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries answered from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+/// A thread-safe memoizing wrapper around any [`Predictor`].
+///
+/// Both `predict` and `gradient` results are cached by the packed
+/// architecture key; concurrent readers share `RwLock`-protected maps, and a
+/// simultaneous miss on two threads just computes the (deterministic) value
+/// twice. The wrapped predictor is borrowed, so one cache can front the same
+/// model for many search jobs at once.
+#[derive(Debug)]
+pub struct CachedPredictor<'a, P: Predictor> {
+    inner: &'a P,
+    predictions: RwLock<HashMap<u64, f64>>,
+    gradients: RwLock<HashMap<u64, Vec<f32>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a, P: Predictor> CachedPredictor<'a, P> {
+    /// Wraps `inner` with empty caches.
+    pub fn new(inner: &'a P) -> Self {
+        Self {
+            inner,
+            predictions: RwLock::new(HashMap::new()),
+            gradients: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &'a P {
+        self.inner
+    }
+
+    /// Current hit/miss counters (aggregated over both query kinds).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct architectures with a cached prediction.
+    pub fn cached_predictions(&self) -> usize {
+        self.predictions.read().expect("cache lock poisoned").len()
+    }
+
+    /// Number of distinct architectures with a cached gradient.
+    pub fn cached_gradients(&self) -> usize {
+        self.gradients.read().expect("cache lock poisoned").len()
+    }
+
+    /// Drops all cached values and resets the counters.
+    pub fn clear(&self) {
+        self.predictions
+            .write()
+            .expect("cache lock poisoned")
+            .clear();
+        self.gradients.write().expect("cache lock poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn predict_keyed(&self, key: u64, compute: impl FnOnce() -> f64) -> f64 {
+        if let Some(&v) = self
+            .predictions
+            .read()
+            .expect("cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        self.predictions
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, v);
+        v
+    }
+}
+
+impl<P: Predictor> Predictor for CachedPredictor<'_, P> {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        let key = encoding_key(encoding);
+        self.predict_keyed(key, || self.inner.predict_encoding(encoding))
+    }
+
+    fn predict(&self, arch: &Architecture) -> f64 {
+        // Keyed straight off the operator list — no 154-float encoding is
+        // materialized on a hit.
+        self.predict_keyed(architecture_key(arch), || self.inner.predict(arch))
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        let key = encoding_key(encoding);
+        if let Some(g) = self
+            .gradients
+            .read()
+            .expect("cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return g.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let g = self.inner.gradient(encoding);
+        self.gradients
+            .write()
+            .expect("cache lock poisoned")
+            .insert(key, g.clone());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Metric, MetricDataset, TrainConfig};
+    use lightnas_hw::Xavier;
+    use lightnas_space::SearchSpace;
+
+    fn small_predictor() -> MlpPredictor {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 400, 11);
+        MlpPredictor::train(
+            &data,
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn keys_agree_between_architecture_and_encoding() {
+        let space = SearchSpace::standard();
+        for seed in 0..32 {
+            let arch = Architecture::random(&space, seed);
+            assert_eq!(architecture_key(&arch), encoding_key(&arch.encode()));
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_across_architectures() {
+        let space = SearchSpace::standard();
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200 {
+            seen.insert(architecture_key(&Architecture::random(&space, seed)));
+        }
+        assert!(seen.len() >= 199, "only {} distinct keys", seen.len());
+    }
+
+    #[test]
+    fn cached_values_match_the_wrapped_predictor() {
+        let p = small_predictor();
+        let cached = CachedPredictor::new(&p);
+        let space = SearchSpace::standard();
+        for seed in 0..10 {
+            let arch = Architecture::random(&space, seed);
+            let enc = arch.encode();
+            assert_eq!(Predictor::predict(&cached, &arch), p.predict(&arch));
+            assert_eq!(Predictor::gradient(&cached, &enc), p.gradient(&enc));
+            // Second round must come from the cache and stay identical.
+            assert_eq!(Predictor::predict(&cached, &arch), p.predict(&arch));
+            assert_eq!(Predictor::gradient(&cached, &enc), p.gradient(&enc));
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 20, "one predict + one gradient miss per arch");
+        assert_eq!(stats.hits, 20);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cached.cached_predictions(), 10);
+        assert_eq!(cached.cached_gradients(), 10);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let p = small_predictor();
+        let cached = CachedPredictor::new(&p);
+        let arch = Architecture::random(&SearchSpace::standard(), 1);
+        let _ = Predictor::predict(&cached, &arch);
+        cached.clear();
+        assert_eq!(cached.stats(), CacheStats::default());
+        assert_eq!(cached.cached_predictions(), 0);
+    }
+
+    #[test]
+    fn concurrent_queries_are_consistent() {
+        let p = small_predictor();
+        let cached = CachedPredictor::new(&p);
+        let space = SearchSpace::standard();
+        let archs: Vec<Architecture> = (0..8).map(|s| Architecture::random(&space, s)).collect();
+        let expected: Vec<f64> = archs.iter().map(|a| p.predict(a)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (arch, &want) in archs.iter().zip(&expected) {
+                        assert_eq!(Predictor::predict(&cached, arch), want);
+                    }
+                });
+            }
+        });
+        let stats = cached.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert_eq!(cached.cached_predictions(), 8);
+    }
+}

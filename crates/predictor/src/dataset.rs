@@ -1,8 +1,8 @@
 //! Sampled (architecture encoding, measured metric) datasets.
 
 use lightnas_hw::Xavier;
-use rand::RngExt;
 use lightnas_space::{Architecture, SearchSpace};
+use rand::RngExt;
 
 /// Which hardware metric a dataset (and the predictor fit on it) targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -70,33 +70,33 @@ impl MetricDataset {
         seed: u64,
     ) -> Self {
         use lightnas_space::{Operator, NUM_OPS, SEARCHABLE_LAYERS};
-        Self::collect(device, space, metric, n, seed, |space, i, rng| match i % 10 {
-            8 => {
-                // Two-operator pool.
-                let a = rng.random_range(0..NUM_OPS);
-                let b = rng.random_range(0..NUM_OPS);
-                let ops = (0..SEARCHABLE_LAYERS)
-                    .map(|_| {
-                        Operator::from_index(if rng.random::<bool>() { a } else { b })
-                    })
-                    .collect();
-                Architecture::new(ops)
+        Self::collect(device, space, metric, n, seed, |space, i, rng| {
+            match i % 10 {
+                8 => {
+                    // Two-operator pool.
+                    let a = rng.random_range(0..NUM_OPS);
+                    let b = rng.random_range(0..NUM_OPS);
+                    let ops = (0..SEARCHABLE_LAYERS)
+                        .map(|_| Operator::from_index(if rng.random::<bool>() { a } else { b }))
+                        .collect();
+                    Architecture::new(ops)
+                }
+                9 => {
+                    // Dominant operator with ~30% flips.
+                    let dom = rng.random_range(0..NUM_OPS);
+                    let ops = (0..SEARCHABLE_LAYERS)
+                        .map(|_| {
+                            if rng.random_range(0..10) < 3 {
+                                Operator::from_index(rng.random_range(0..NUM_OPS))
+                            } else {
+                                Operator::from_index(dom)
+                            }
+                        })
+                        .collect();
+                    Architecture::new(ops)
+                }
+                _ => Architecture::random(space, seed.wrapping_add(i as u64)),
             }
-            9 => {
-                // Dominant operator with ~30% flips.
-                let dom = rng.random_range(0..NUM_OPS);
-                let ops = (0..SEARCHABLE_LAYERS)
-                    .map(|_| {
-                        if rng.random_range(0..10) < 3 {
-                            Operator::from_index(rng.random_range(0..NUM_OPS))
-                        } else {
-                            Operator::from_index(dom)
-                        }
-                    })
-                    .collect();
-                Architecture::new(ops)
-            }
-            _ => Architecture::random(space, seed.wrapping_add(i as u64)),
         })
     }
 
@@ -126,7 +126,12 @@ impl MetricDataset {
             targets.push(y);
             archs.push(arch);
         }
-        Self { metric, encodings, targets, archs }
+        Self {
+            metric,
+            encodings,
+            targets,
+            archs,
+        }
     }
 
     /// Builds a dataset from preexisting rows.
@@ -137,7 +142,12 @@ impl MetricDataset {
     pub fn from_rows(metric: Metric, archs: Vec<Architecture>, targets: Vec<f64>) -> Self {
         assert_eq!(archs.len(), targets.len(), "row count mismatch");
         let encodings = archs.iter().map(Architecture::encode).collect();
-        Self { metric, encodings, targets, archs }
+        Self {
+            metric,
+            encodings,
+            targets,
+            archs,
+        }
     }
 
     /// The metric this dataset measures.
@@ -184,8 +194,7 @@ impl MetricDataset {
             return 0.0;
         }
         let m = self.target_mean();
-        (self.targets.iter().map(|t| (t - m) * (t - m)).sum::<f64>()
-            / self.targets.len() as f64)
+        (self.targets.iter().map(|t| (t - m) * (t - m)).sum::<f64>() / self.targets.len() as f64)
             .sqrt()
     }
 
@@ -213,7 +222,10 @@ impl MetricDataset {
     ///
     /// Panics unless `0 < fraction < 1` and both folds end up non-empty.
     pub fn split(&self, fraction: f64) -> (Self, Self) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         let cut = ((self.len() as f64) * fraction).round() as usize;
         assert!(cut > 0 && cut < self.len(), "split produces an empty fold");
         let take = |range: std::ops::Range<usize>| Self {
@@ -232,7 +244,13 @@ mod tests {
     use lightnas_hw::Xavier;
 
     fn small() -> MetricDataset {
-        MetricDataset::sample(&Xavier::maxn(), &SearchSpace::standard(), Metric::LatencyMs, 64, 3)
+        MetricDataset::sample(
+            &Xavier::maxn(),
+            &SearchSpace::standard(),
+            Metric::LatencyMs,
+            64,
+            3,
+        )
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl EnsemblePredictor {
         assert!(members > 0, "ensemble needs at least one member");
         let members = (0..members)
             .map(|i| {
-                let cfg = TrainConfig { seed: config.seed ^ (0x5eed_0000 + i as u64), ..*config };
+                let cfg = TrainConfig {
+                    seed: config.seed ^ (0x5eed_0000 + i as u64),
+                    ..*config
+                };
                 MlpPredictor::train(train, &cfg)
             })
             .collect();
@@ -53,18 +56,23 @@ impl EnsemblePredictor {
 
     /// Mean prediction for a flattened encoding.
     pub fn predict_encoding(&self, encoding: &[f32]) -> f64 {
-        self.members.iter().map(|m| m.predict_encoding(encoding)).sum::<f64>()
+        self.members
+            .iter()
+            .map(|m| m.predict_encoding(encoding))
+            .sum::<f64>()
             / self.members.len() as f64
     }
 
     /// Mean prediction and its epistemic standard deviation.
     pub fn predict_with_uncertainty(&self, arch: &Architecture) -> (f64, f64) {
         let encoding = arch.encode();
-        let preds: Vec<f64> =
-            self.members.iter().map(|m| m.predict_encoding(&encoding)).collect();
+        let preds: Vec<f64> = self
+            .members
+            .iter()
+            .map(|m| m.predict_encoding(&encoding))
+            .collect();
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
-            / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
         (mean, var.sqrt())
     }
 
@@ -128,10 +136,14 @@ mod tests {
         FIX.get_or_init(|| {
             let space = SearchSpace::standard();
             let device = Xavier::maxn();
-            let data =
-                MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 1200, 5);
+            let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 1200, 5);
             let (train, valid) = data.split(0.8);
-            let cfg = TrainConfig { epochs: 30, batch_size: 128, lr: 2e-3, seed: 0 };
+            let cfg = TrainConfig {
+                epochs: 30,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            };
             Fix {
                 ensemble: EnsemblePredictor::train(&train, &cfg, 4),
                 single: MlpPredictor::train(&train, &cfg),
@@ -174,7 +186,10 @@ mod tests {
                 any_positive = true;
             }
         }
-        assert!(any_positive, "independently trained members never disagree — suspicious");
+        assert!(
+            any_positive,
+            "independently trained members never disagree — suspicious"
+        );
     }
 
     #[test]
@@ -189,7 +204,9 @@ mod tests {
                     *a += v;
                 }
             }
-            acc.into_iter().map(|v| v / f.ensemble.len() as f32).collect()
+            acc.into_iter()
+                .map(|v| v / f.ensemble.len() as f32)
+                .collect()
         };
         for (a, b) in g.iter().zip(&manual) {
             assert!((a - b).abs() < 1e-6);
@@ -202,7 +219,12 @@ mod tests {
         let f = fix();
         let _ = EnsemblePredictor::train(
             &f.valid,
-            &TrainConfig { epochs: 1, batch_size: 32, lr: 1e-3, seed: 0 },
+            &TrainConfig {
+                epochs: 1,
+                batch_size: 32,
+                lr: 1e-3,
+                seed: 0,
+            },
             0,
         );
     }

@@ -34,11 +34,13 @@
 //! println!("validation RMSE: {:.3} ms", predictor.rmse(&valid));
 //! ```
 
+mod cache;
 mod dataset;
 mod ensemble;
 mod lut;
 mod mlp;
 
+pub use cache::{architecture_key, encoding_key, CacheStats, CachedPredictor, Predictor};
 pub use dataset::{Metric, MetricDataset};
 pub use ensemble::EnsemblePredictor;
 pub use lut::LutPredictor;

@@ -42,7 +42,11 @@ impl LutPredictor {
                 row
             })
             .collect();
-        Self { table, fixed_ms: device.isolated_fixed_latency_ms(space), bias_ms: 0.0 }
+        Self {
+            table,
+            fixed_ms: device.isolated_fixed_latency_ms(space),
+            bias_ms: 0.0,
+        }
     }
 
     /// Predicted latency: the sum of the architecture's per-op entries plus
@@ -86,7 +90,11 @@ impl LutPredictor {
             .map(|(arch, &y)| y - self.predict(arch))
             .sum::<f64>()
             / data.len() as f64;
-        Self { table: self.table.clone(), fixed_ms: self.fixed_ms, bias_ms: self.bias_ms + mean_err }
+        Self {
+            table: self.table.clone(),
+            fixed_ms: self.fixed_ms,
+            bias_ms: self.bias_ms + mean_err,
+        }
     }
 
     /// Mean signed error (`measured − predicted`) over a dataset: the
@@ -170,10 +178,12 @@ mod tests {
             .map(|(a, &y)| y - lut.predict(a))
             .collect();
         let mean = errs.iter().sum::<f64>() / errs.len() as f64;
-        let std = (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>()
-            / errs.len() as f64)
-            .sqrt();
-        assert!(std < mean / 5.0, "gap std {std:.3} vs mean {mean:.3}: not consistent");
+        let std =
+            (errs.iter().map(|e| (e - mean) * (e - mean)).sum::<f64>() / errs.len() as f64).sqrt();
+        assert!(
+            std < mean / 5.0,
+            "gap std {std:.3} vs mean {mean:.3}: not consistent"
+        );
     }
 
     #[test]
@@ -183,7 +193,11 @@ mod tests {
         assert!(corrected.mean_gap(&data).abs() < 1e-6);
         // Residual error stays bounded away from zero: additivity cannot
         // express the cross-layer cache term.
-        assert!(corrected.rmse(&data) > 0.05, "rmse {} suspiciously low", corrected.rmse(&data));
+        assert!(
+            corrected.rmse(&data) > 0.05,
+            "rmse {} suspiciously low",
+            corrected.rmse(&data)
+        );
     }
 
     #[test]
@@ -204,7 +218,10 @@ mod tests {
         for l in 0..SEARCHABLE_LAYERS {
             let k3e3 = lut.entry(l, Operator::from_index(0));
             let k7e6 = lut.entry(l, Operator::from_index(5));
-            assert!(k7e6 > k3e3, "layer {l}: K7E6 {k7e6} should exceed K3E3 {k3e3}");
+            assert!(
+                k7e6 > k3e3,
+                "layer {l}: K7E6 {k7e6} should exceed K3E3 {k3e3}"
+            );
         }
     }
 }

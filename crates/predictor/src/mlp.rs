@@ -28,7 +28,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 120, batch_size: 256, lr: 1e-3, seed: 0 }
+        Self {
+            epochs: 120,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -55,7 +60,12 @@ impl MlpPredictor {
     pub fn train(train: &MetricDataset, config: &TrainConfig) -> Self {
         assert!(!train.is_empty(), "cannot train on an empty dataset");
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, "predictor", &[INPUT_WIDTH, 128, 64, 1], config.seed);
+        let mlp = Mlp::new(
+            &mut store,
+            "predictor",
+            &[INPUT_WIDTH, 128, 64, 1],
+            config.seed,
+        );
         let mean = train.target_mean();
         let std = train.target_std().max(1e-6);
         let n = train.len();
@@ -85,7 +95,12 @@ impl MlpPredictor {
                 opt.step(&mut store, &g, &bind);
             }
         }
-        Self { store, mlp, mean, std }
+        Self {
+            store,
+            mlp,
+            mean,
+            std,
+        }
     }
 
     /// Predicts the metric for a flattened encoding.
@@ -94,7 +109,11 @@ impl MlpPredictor {
     ///
     /// Panics if `encoding.len() != 154`.
     pub fn predict_encoding(&self, encoding: &[f32]) -> f64 {
-        assert_eq!(encoding.len(), INPUT_WIDTH, "encoding must have {INPUT_WIDTH} values");
+        assert_eq!(
+            encoding.len(),
+            INPUT_WIDTH,
+            "encoding must have {INPUT_WIDTH} values"
+        );
         let mut g = Graph::new();
         let mut bind = Bindings::new();
         let x = g.input(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
@@ -116,7 +135,11 @@ impl MlpPredictor {
     ///
     /// Panics if `encoding.len() != 154`.
     pub fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
-        assert_eq!(encoding.len(), INPUT_WIDTH, "encoding must have {INPUT_WIDTH} values");
+        assert_eq!(
+            encoding.len(),
+            INPUT_WIDTH,
+            "encoding must have {INPUT_WIDTH} values"
+        );
         let mut g = Graph::new();
         let mut bind = Bindings::new();
         // The input is registered as a parameter so backward reaches it.
@@ -124,7 +147,11 @@ impl MlpPredictor {
         let out = self.mlp.forward(&mut g, &mut bind, &self.store, x);
         let scalar = g.sum(out);
         g.backward(scalar);
-        g.grad(x).as_slice().iter().map(|&v| v * self.std as f32).collect()
+        g.grad(x)
+            .as_slice()
+            .iter()
+            .map(|&v| v * self.std as f32)
+            .collect()
     }
 
     /// Root-mean-square error over a dataset, in the metric's unit.
@@ -144,7 +171,10 @@ impl MlpPredictor {
 
     /// Predictions for every row of a dataset (for scatter plots, Fig. 5).
     pub fn predict_all(&self, data: &MetricDataset) -> Vec<f64> {
-        data.encodings().iter().map(|e| self.predict_encoding(e)).collect()
+        data.encodings()
+            .iter()
+            .map(|e| self.predict_encoding(e))
+            .collect()
     }
 }
 
@@ -160,7 +190,12 @@ mod tests {
         let device = Xavier::maxn();
         let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 1200, 1);
         let (train, valid) = data.split(0.8);
-        let config = TrainConfig { epochs: 40, batch_size: 128, lr: 2e-3, seed: 0 };
+        let config = TrainConfig {
+            epochs: 40,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 0,
+        };
         (MlpPredictor::train(&train, &config), train, valid)
     }
 
@@ -182,12 +217,13 @@ mod tests {
         let preds = p.predict_all(&valid);
         let ys = valid.targets();
         let n = preds.len() as f64;
-        let (mp, my) = (
-            preds.iter().sum::<f64>() / n,
-            ys.iter().sum::<f64>() / n,
-        );
-        let cov: f64 =
-            preds.iter().zip(ys).map(|(a, b)| (a - mp) * (b - my)).sum::<f64>() / n;
+        let (mp, my) = (preds.iter().sum::<f64>() / n, ys.iter().sum::<f64>() / n);
+        let cov: f64 = preds
+            .iter()
+            .zip(ys)
+            .map(|(a, b)| (a - mp) * (b - my))
+            .sum::<f64>()
+            / n;
         let sp = (preds.iter().map(|a| (a - mp) * (a - mp)).sum::<f64>() / n).sqrt();
         let sy = (ys.iter().map(|b| (b - my) * (b - my)).sum::<f64>() / n).sqrt();
         let corr = cov / (sp * sy);

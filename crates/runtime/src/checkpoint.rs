@@ -1,0 +1,522 @@
+//! Versioned on-disk snapshots of a search job.
+//!
+//! A checkpoint is the serialized form of a
+//! [`SearchState`](lightnas::SearchState) plus the immutable run parameters
+//! (`target`, `seed`, [`SearchConfig`]) it belongs to, so a resumed runtime
+//! can both rebuild the stepper and *refuse* a checkpoint that was written
+//! by a different job.
+//!
+//! # Format (`lightnas-checkpoint v1`)
+//!
+//! A line-oriented text format, one `key value...` record per line,
+//! terminated by an `end` line (which guards against truncated writes on
+//! top of the atomic temp-file + rename protocol used by [`Checkpoint::save`]).
+//! Every `f64` is serialized as the 16-hex-digit form of its IEEE-754 bits
+//! (`f64::to_bits`), **not** as a decimal — resume must be bit-identical,
+//! and decimal round-trips are where bit-identity goes to die.
+//!
+//! ```text
+//! lightnas-checkpoint v1
+//! target 4038000000000000
+//! seed 7
+//! config 30 30 3 3f68db8bac710cb3 3f50624dd2f1a9fc 3f70624dd2f1a9fc 4014000000000000 3fb999999999999a
+//! epoch 7
+//! global_step 210
+//! lambda bfb32af5bcc91d11
+//! rng 9a3298211f1c5f2d ... (4 words)
+//! adam_t 120
+//! alpha 0 3fb32af5bcc91d11 ... (7 words; 21 rows)
+//! adam_m 0 ... / adam_v 0 ...
+//! trace 0 <sampled> <argmax> <lambda> <tau> <valid_loss>
+//! end
+//! ```
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+
+use lightnas::{AdamState, EpochRecord, SearchConfig, SearchState, SearchTrace};
+use lightnas_space::{NUM_OPS, SEARCHABLE_LAYERS};
+
+/// The format identifier written as the first line of every checkpoint.
+pub const CHECKPOINT_VERSION: &str = "lightnas-checkpoint v1";
+
+/// Why a checkpoint could not be saved, loaded, or used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The first line did not name a supported format version.
+    UnsupportedVersion(String),
+    /// A record line was missing, duplicated, or unparsable.
+    Malformed {
+        /// 1-based line number (0 when the problem is file-global).
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The checkpoint belongs to a different job (target/seed/config).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v:?} (expected {CHECKPOINT_VERSION:?})"
+                )
+            }
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "malformed checkpoint at line {line}: {reason}")
+            }
+            CheckpointError::Mismatch(what) => {
+                write!(f, "checkpoint belongs to a different job: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A serializable snapshot of one search job between epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The constraint target `T` the job searches for.
+    pub target: f64,
+    /// The job's RNG seed.
+    pub seed: u64,
+    /// The schedule the job runs.
+    pub config: SearchConfig,
+    /// The complete mutable search state.
+    pub state: SearchState,
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hex_f64(tok: &str) -> Result<f64, String> {
+    u64::from_str_radix(tok, 16)
+        .map(f64::from_bits)
+        .map_err(|_| format!("bad f64 bit pattern {tok:?}"))
+}
+
+fn parse_int<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad {what} {tok:?}"))
+}
+
+/// Parses `row` + `NUM_OPS` hex words into `rows[row]`.
+fn parse_row(rest: &[&str], rows: &mut [[f64; NUM_OPS]], what: &str) -> Result<(), String> {
+    if rest.len() != 1 + NUM_OPS {
+        return Err(format!("{what} row needs an index and {NUM_OPS} values"));
+    }
+    let idx: usize = parse_int(rest[0], "row index")?;
+    if idx >= rows.len() {
+        return Err(format!("{what} row {idx} out of range"));
+    }
+    for (k, tok) in rest[1..].iter().enumerate() {
+        rows[idx][k] = parse_hex_f64(tok)?;
+    }
+    Ok(())
+}
+
+impl Checkpoint {
+    /// Bundles a job's identity with a state snapshot.
+    pub fn new(target: f64, seed: u64, config: SearchConfig, state: SearchState) -> Self {
+        Self {
+            target,
+            seed,
+            config,
+            state,
+        }
+    }
+
+    /// `Ok` iff this checkpoint was written by the job described by
+    /// `(target, seed, config)` — bit-exact on the target, exact on the
+    /// seed and every config field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] naming the differing field.
+    pub fn verify_matches(
+        &self,
+        target: f64,
+        seed: u64,
+        config: &SearchConfig,
+    ) -> Result<(), CheckpointError> {
+        if self.target.to_bits() != target.to_bits() {
+            return Err(CheckpointError::Mismatch(format!(
+                "target {} vs {}",
+                self.target, target
+            )));
+        }
+        if self.seed != seed {
+            return Err(CheckpointError::Mismatch(format!(
+                "seed {} vs {}",
+                self.seed, seed
+            )));
+        }
+        if self.config != *config {
+            return Err(CheckpointError::Mismatch("config differs".into()));
+        }
+        Ok(())
+    }
+
+    /// The checkpoint in its on-disk text form.
+    pub fn render(&self) -> String {
+        let c = &self.config;
+        let s = &self.state;
+        let mut out = String::with_capacity(8 * 1024);
+        out.push_str(CHECKPOINT_VERSION);
+        out.push('\n');
+        out.push_str(&format!("target {}\n", hex(self.target)));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!(
+            "config {} {} {} {} {} {} {} {}\n",
+            c.epochs,
+            c.steps_per_epoch,
+            c.warmup_epochs,
+            hex(c.alpha_lr),
+            hex(c.alpha_weight_decay),
+            hex(c.lambda_lr),
+            hex(c.tau_start),
+            hex(c.tau_end),
+        ));
+        out.push_str(&format!("epoch {}\n", s.epoch));
+        out.push_str(&format!("global_step {}\n", s.global_step));
+        out.push_str(&format!("lambda {}\n", hex(s.lambda)));
+        out.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x}\n",
+            s.rng[0], s.rng[1], s.rng[2], s.rng[3]
+        ));
+        out.push_str(&format!("adam_t {}\n", s.adam.t));
+        let row = |name: &str, i: usize, r: &[f64; NUM_OPS]| {
+            let words: Vec<String> = r.iter().map(|&v| hex(v)).collect();
+            format!("{name} {i} {}\n", words.join(" "))
+        };
+        for (i, r) in s.alpha.iter().enumerate() {
+            out.push_str(&row("alpha", i, r));
+        }
+        for (i, r) in s.adam.m.iter().enumerate() {
+            out.push_str(&row("adam_m", i, r));
+        }
+        for (i, r) in s.adam.v.iter().enumerate() {
+            out.push_str(&row("adam_v", i, r));
+        }
+        for r in s.trace.records() {
+            out.push_str(&format!(
+                "trace {} {} {} {} {} {}\n",
+                r.epoch,
+                hex(r.sampled_metric),
+                hex(r.argmax_metric),
+                hex(r.lambda),
+                hex(r.tau),
+                hex(r.valid_loss),
+            ));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the text form produced by [`render`](Self::render).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::UnsupportedVersion`] for a foreign first
+    /// line, or [`CheckpointError::Malformed`] for missing/duplicated/
+    /// unparsable records or a missing `end` terminator.
+    pub fn parse(text: &str) -> Result<Self, CheckpointError> {
+        let bad = |line: usize, reason: String| CheckpointError::Malformed { line, reason };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, v)) if v == CHECKPOINT_VERSION => {}
+            Some((_, v)) => return Err(CheckpointError::UnsupportedVersion(v.to_string())),
+            None => return Err(CheckpointError::UnsupportedVersion(String::new())),
+        }
+        let mut target = None;
+        let mut seed = None;
+        let mut config = None;
+        let mut epoch = None;
+        let mut global_step = None;
+        let mut lambda = None;
+        let mut rng = None;
+        let mut adam_t = None;
+        let mut alpha = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
+        let mut adam_m = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
+        let mut adam_v = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
+        let mut rows_seen = [0usize; 3];
+        let mut trace = SearchTrace::new();
+        let mut terminated = false;
+        for (i, line) in lines {
+            let ln = i + 1;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let (&key, rest) = match toks.split_first() {
+                Some(split) => split,
+                None => continue,
+            };
+            let one = |rest: &[&str]| -> Result<String, CheckpointError> {
+                match rest {
+                    [tok] => Ok(tok.to_string()),
+                    _ => Err(bad(ln, format!("{key} needs exactly one value"))),
+                }
+            };
+            match key {
+                "target" => target = Some(parse_hex_f64(&one(rest)?).map_err(|r| bad(ln, r))?),
+                "seed" => seed = Some(parse_int(&one(rest)?, "seed").map_err(|r| bad(ln, r))?),
+                "config" => {
+                    if rest.len() != 8 {
+                        return Err(bad(ln, "config needs 8 fields".into()));
+                    }
+                    config = Some(SearchConfig {
+                        epochs: parse_int(rest[0], "epochs").map_err(|r| bad(ln, r))?,
+                        steps_per_epoch: parse_int(rest[1], "steps_per_epoch")
+                            .map_err(|r| bad(ln, r))?,
+                        warmup_epochs: parse_int(rest[2], "warmup_epochs")
+                            .map_err(|r| bad(ln, r))?,
+                        alpha_lr: parse_hex_f64(rest[3]).map_err(|r| bad(ln, r))?,
+                        alpha_weight_decay: parse_hex_f64(rest[4]).map_err(|r| bad(ln, r))?,
+                        lambda_lr: parse_hex_f64(rest[5]).map_err(|r| bad(ln, r))?,
+                        tau_start: parse_hex_f64(rest[6]).map_err(|r| bad(ln, r))?,
+                        tau_end: parse_hex_f64(rest[7]).map_err(|r| bad(ln, r))?,
+                    });
+                }
+                "epoch" => epoch = Some(parse_int(&one(rest)?, "epoch").map_err(|r| bad(ln, r))?),
+                "global_step" => {
+                    global_step =
+                        Some(parse_int(&one(rest)?, "global_step").map_err(|r| bad(ln, r))?)
+                }
+                "lambda" => lambda = Some(parse_hex_f64(&one(rest)?).map_err(|r| bad(ln, r))?),
+                "rng" => {
+                    if rest.len() != 4 {
+                        return Err(bad(ln, "rng needs 4 words".into()));
+                    }
+                    let mut words = [0u64; 4];
+                    for (w, tok) in words.iter_mut().zip(rest) {
+                        *w = u64::from_str_radix(tok, 16)
+                            .map_err(|_| bad(ln, format!("bad rng word {tok:?}")))?;
+                    }
+                    rng = Some(words);
+                }
+                "adam_t" => {
+                    adam_t = Some(parse_int(&one(rest)?, "adam_t").map_err(|r| bad(ln, r))?)
+                }
+                "alpha" => {
+                    parse_row(rest, &mut alpha, "alpha").map_err(|r| bad(ln, r))?;
+                    rows_seen[0] += 1;
+                }
+                "adam_m" => {
+                    parse_row(rest, &mut adam_m, "adam_m").map_err(|r| bad(ln, r))?;
+                    rows_seen[1] += 1;
+                }
+                "adam_v" => {
+                    parse_row(rest, &mut adam_v, "adam_v").map_err(|r| bad(ln, r))?;
+                    rows_seen[2] += 1;
+                }
+                "trace" => {
+                    if rest.len() != 6 {
+                        return Err(bad(ln, "trace needs 6 fields".into()));
+                    }
+                    trace.push(EpochRecord {
+                        epoch: parse_int(rest[0], "trace epoch").map_err(|r| bad(ln, r))?,
+                        sampled_metric: parse_hex_f64(rest[1]).map_err(|r| bad(ln, r))?,
+                        argmax_metric: parse_hex_f64(rest[2]).map_err(|r| bad(ln, r))?,
+                        lambda: parse_hex_f64(rest[3]).map_err(|r| bad(ln, r))?,
+                        tau: parse_hex_f64(rest[4]).map_err(|r| bad(ln, r))?,
+                        valid_loss: parse_hex_f64(rest[5]).map_err(|r| bad(ln, r))?,
+                    });
+                }
+                "end" => {
+                    terminated = true;
+                    break;
+                }
+                other => return Err(bad(ln, format!("unknown record {other:?}"))),
+            }
+        }
+        if !terminated {
+            return Err(bad(0, "missing `end` terminator (truncated file?)".into()));
+        }
+        for (name, &n) in ["alpha", "adam_m", "adam_v"].iter().zip(&rows_seen) {
+            if n != SEARCHABLE_LAYERS {
+                return Err(bad(
+                    0,
+                    format!("{name} has {n} rows, expected {SEARCHABLE_LAYERS}"),
+                ));
+            }
+        }
+        let missing = |what: &str| bad(0, format!("missing {what} record"));
+        Ok(Self {
+            target: target.ok_or_else(|| missing("target"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            config: config.ok_or_else(|| missing("config"))?,
+            state: SearchState {
+                epoch: epoch.ok_or_else(|| missing("epoch"))?,
+                global_step: global_step.ok_or_else(|| missing("global_step"))?,
+                alpha,
+                lambda: lambda.ok_or_else(|| missing("lambda"))?,
+                adam: AdamState {
+                    t: adam_t.ok_or_else(|| missing("adam_t"))?,
+                    m: adam_m,
+                    v: adam_v,
+                },
+                rng: rng.ok_or_else(|| missing("rng"))?,
+                trace,
+            },
+        })
+    }
+
+    /// Writes the checkpoint atomically: the text goes to `<path>.tmp`,
+    /// which is then renamed over `path`, so a crash mid-write leaves either
+    /// the previous checkpoint or none — never a torn one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.render().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors and [`parse`](Self::parse) failures.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        Self::parse(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut state = SearchState::fresh(42);
+        state.epoch = 2;
+        state.global_step = 60;
+        state.lambda = -0.062_5;
+        state.alpha[3][5] = 1.5e-3;
+        state.adam.t = 60;
+        state.adam.m[0][1] = -3.25e-7;
+        state.adam.v[20][6] = 9.0e-9;
+        for epoch in 0..2 {
+            state.trace.push(EpochRecord {
+                epoch,
+                sampled_metric: 21.75 + epoch as f64,
+                argmax_metric: 22.5,
+                lambda: 0.031_25,
+                tau: 4.5,
+                valid_loss: 2.125,
+            });
+        }
+        Checkpoint::new(24.0, 42, SearchConfig::fast(), state)
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let ck = sample();
+        let back = Checkpoint::parse(&ck.render()).expect("round trip");
+        assert_eq!(back, ck);
+        assert_eq!(back.state.lambda.to_bits(), ck.state.lambda.to_bits());
+        assert_eq!(back.state.rng, ck.state.rng);
+    }
+
+    #[test]
+    fn round_trip_survives_awkward_floats() {
+        let mut ck = sample();
+        ck.state.lambda = f64::from_bits(0x3ff0_0000_0000_0001); // 1 + ulp
+        ck.state.alpha[0][0] = -0.0;
+        ck.state.alpha[0][1] = f64::MIN_POSITIVE / 2.0; // subnormal
+        let back = Checkpoint::parse(&ck.render()).expect("round trip");
+        assert_eq!(back.state.lambda.to_bits(), ck.state.lambda.to_bits());
+        assert_eq!(back.state.alpha[0][0].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            back.state.alpha[0][1].to_bits(),
+            ck.state.alpha[0][1].to_bits()
+        );
+    }
+
+    #[test]
+    fn save_load_round_trip_and_no_tmp_left_behind() {
+        let dir = std::env::temp_dir().join(format!("lightnas-ckpt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("job0.ckpt");
+        let ck = sample();
+        ck.save(&path).expect("save");
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "tmp file must be renamed away"
+        );
+        assert_eq!(Checkpoint::load(&path).expect("load"), ck);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_version_is_rejected() {
+        let err = Checkpoint::parse("lightnas-checkpoint v99\nend\n").unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::UnsupportedVersion(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let full = sample().render();
+        let cut = &full[..full.len() - 5]; // chop the `end` line
+        let err = Checkpoint::parse(cut).unwrap_err();
+        assert!(err.to_string().contains("end"), "{err}");
+    }
+
+    #[test]
+    fn missing_and_malformed_records_are_rejected() {
+        let no_seed: String = sample()
+            .render()
+            .lines()
+            .filter(|l| !l.starts_with("seed"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(Checkpoint::parse(&no_seed)
+            .unwrap_err()
+            .to_string()
+            .contains("seed"));
+        let garbled = sample().render().replace("lambda ", "lambda zz");
+        assert!(Checkpoint::parse(&garbled).is_err());
+    }
+
+    #[test]
+    fn verify_matches_pins_target_seed_and_config() {
+        let ck = sample();
+        assert!(ck.verify_matches(24.0, 42, &SearchConfig::fast()).is_ok());
+        assert!(ck
+            .verify_matches(24.000001, 42, &SearchConfig::fast())
+            .is_err());
+        assert!(ck.verify_matches(24.0, 43, &SearchConfig::fast()).is_err());
+        assert!(ck.verify_matches(24.0, 42, &SearchConfig::paper()).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! The sweep runner: search jobs × worker pool × shared predictor cache ×
+//! checkpoint/resume × telemetry, composed.
+//!
+//! [`run_sweep`] is the runtime's front door. It takes a list of
+//! [`SearchJob`]s, executes them on a [`JobScheduler`] pool behind one
+//! shared [`CachedPredictor`], optionally persists a [`Checkpoint`] per job
+//! under a directory, and optionally narrates everything to a [`Telemetry`]
+//! sink. The returned [`SweepReport`] carries per-job statuses in job order
+//! — deterministic under any worker count — plus the merged cache counters
+//! and the wall-clock.
+//!
+//! An `epoch_budget` turns the runner into a resumable batch system: when
+//! the budget runs out mid-sweep (a simulated kill, a cluster preemption
+//! slot, a CI time box), in-flight jobs checkpoint and report
+//! [`JobStatus::Interrupted`]; calling [`run_sweep`] again with the same
+//! jobs and checkpoint directory resumes each exactly where it stopped and
+//! — because [`SearchState`](lightnas::SearchState) snapshots are
+//! bit-exact — lands on results byte-identical to a never-interrupted run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::{Duration, Instant};
+
+use lightnas::{SearchConfig, SearchOutcome, SearchStepper};
+use lightnas_eval::AccuracyOracle;
+use lightnas_predictor::{CacheStats, CachedPredictor, Predictor};
+
+use crate::checkpoint::Checkpoint;
+use crate::scheduler::JobScheduler;
+use crate::telemetry::{Field, Telemetry};
+
+/// One unit of schedulable search work: "find the best architecture at
+/// `target` with `seed` under `config`". A job is a pure function of this
+/// triple, which is what makes sweeps deterministic under concurrency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchJob {
+    /// The constraint target `T` (ms for latency, mJ for energy).
+    pub target: f64,
+    /// RNG seed of the search.
+    pub seed: u64,
+    /// The schedule to run.
+    pub config: SearchConfig,
+}
+
+impl SearchJob {
+    /// Convenience constructor.
+    pub fn new(target: f64, seed: u64, config: SearchConfig) -> Self {
+        Self {
+            target,
+            seed,
+            config,
+        }
+    }
+
+    /// The grid of jobs a target × seed sweep expands to (row-major:
+    /// all seeds of the first target, then the next target).
+    pub fn grid(targets: &[f64], seeds: &[u64], config: SearchConfig) -> Vec<SearchJob> {
+        targets
+            .iter()
+            .flat_map(|&target| {
+                seeds
+                    .iter()
+                    .map(move |&seed| Self::new(target, seed, config))
+            })
+            .collect()
+    }
+}
+
+/// Knobs of one [`run_sweep`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOptions {
+    /// Worker threads (0 or 1 = serial).
+    pub workers: usize,
+    /// Where per-job checkpoints live; `None` disables persistence.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write a checkpoint every N completed epochs (0 = only when
+    /// interrupted). Requires `checkpoint_dir`.
+    pub checkpoint_every: usize,
+    /// Total epochs the whole sweep may run before in-flight jobs are
+    /// interrupted (simulated kill / preemption slot). `None` = unlimited.
+    pub epoch_budget: Option<usize>,
+}
+
+impl SweepOptions {
+    /// Serial, unlimited, no persistence.
+    pub fn serial() -> Self {
+        Self::default()
+    }
+
+    /// `workers` threads, unlimited, no persistence.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// A finished job's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Position in the submitted job list.
+    pub index: usize,
+    /// The job that ran.
+    pub job: SearchJob,
+    /// The search outcome (architecture, trace, λ).
+    pub outcome: SearchOutcome,
+    /// `Some(epoch)` when the job continued from a checkpoint.
+    pub resumed_from: Option<usize>,
+    /// Wall-clock spent in this invocation (excludes pre-checkpoint time).
+    pub wall: Duration,
+}
+
+/// What happened to one job in one [`run_sweep`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// The job ran (or resumed) to completion.
+    Completed(JobResult),
+    /// The epoch budget ran out first.
+    Interrupted {
+        /// Position in the submitted job list.
+        index: usize,
+        /// Epochs completed so far.
+        epoch: usize,
+        /// Where the state was persisted (`None` without a checkpoint dir —
+        /// the progress of this invocation is then lost).
+        checkpoint: Option<PathBuf>,
+    },
+}
+
+impl JobStatus {
+    /// The result, when completed.
+    pub fn completed(&self) -> Option<&JobResult> {
+        match self {
+            JobStatus::Completed(r) => Some(r),
+            JobStatus::Interrupted { .. } => None,
+        }
+    }
+}
+
+/// The outcome of one [`run_sweep`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Per-job statuses, in submission order.
+    pub statuses: Vec<JobStatus>,
+    /// Merged hit/miss counters of the sweep-wide predictor cache.
+    pub cache: CacheStats,
+    /// Wall-clock of the whole invocation.
+    pub wall: Duration,
+}
+
+impl SweepReport {
+    /// The completed results, in submission order.
+    pub fn completed(&self) -> Vec<&JobResult> {
+        self.statuses
+            .iter()
+            .filter_map(JobStatus::completed)
+            .collect()
+    }
+
+    /// `true` when no job was interrupted.
+    pub fn all_completed(&self) -> bool {
+        self.statuses.iter().all(|s| s.completed().is_some())
+    }
+}
+
+fn checkpoint_path(dir: &Path, index: usize) -> PathBuf {
+    dir.join(format!("job{index:03}.ckpt"))
+}
+
+/// Runs every job and returns the per-job statuses in submission order.
+///
+/// All jobs share one [`CachedPredictor`] over `predictor` — memoization
+/// never changes a value, so results are byte-identical to uncached serial
+/// runs; neighbouring jobs (same target, different seed, or adjacent
+/// targets) re-visit overlapping architectures and compound the hit rate.
+///
+/// # Panics
+///
+/// Panics if a checkpoint on disk fails to parse or belongs to a different
+/// job than the one it is named for — silently discarding or overwriting
+/// someone's search state would be worse than stopping.
+pub fn run_sweep<P: Predictor + Sync>(
+    oracle: &AccuracyOracle,
+    predictor: &P,
+    jobs: &[SearchJob],
+    opts: &SweepOptions,
+    telemetry: Option<&Telemetry>,
+) -> SweepReport {
+    let started = Instant::now();
+    let scheduler = JobScheduler::new(opts.workers);
+    let cached = CachedPredictor::new(predictor);
+    // A signed counter so concurrent over-draining (several workers passing
+    // zero at once) saturates harmlessly instead of wrapping.
+    let budget = opts.epoch_budget.map(|n| AtomicI64::new(n as i64));
+    let take_epoch = || match &budget {
+        Some(b) => b.fetch_sub(1, Ordering::Relaxed) > 0,
+        None => true,
+    };
+    if let Some(t) = telemetry {
+        t.emit(
+            "run_start",
+            &[
+                ("jobs", Field::U(jobs.len() as u64)),
+                ("workers", Field::U(scheduler.workers() as u64)),
+                (
+                    "epoch_budget",
+                    opts.epoch_budget
+                        .map_or(Field::B(false), |n| Field::U(n as u64)),
+                ),
+            ],
+        );
+    }
+
+    let statuses = scheduler.run(jobs.len(), |index| {
+        let job = jobs[index];
+        let job_started = Instant::now();
+        let ckpt_path = opts
+            .checkpoint_dir
+            .as_deref()
+            .map(|d| checkpoint_path(d, index));
+        let mut resumed_from = None;
+        let mut stepper = match ckpt_path.as_deref().filter(|p| p.exists()) {
+            Some(path) => {
+                let ck = Checkpoint::load(path)
+                    .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
+                ck.verify_matches(job.target, job.seed, &job.config)
+                    .unwrap_or_else(|e| panic!("refusing {}: {e}", path.display()));
+                resumed_from = Some(ck.state.epoch);
+                SearchStepper::from_state(oracle, &cached, job.config, job.target, ck.state)
+            }
+            None => SearchStepper::new(oracle, &cached, job.config, job.target, job.seed),
+        };
+        if let Some(t) = telemetry {
+            t.emit(
+                "job_start",
+                &[
+                    ("job", Field::U(index as u64)),
+                    ("target", Field::F(job.target)),
+                    ("seed", Field::U(job.seed)),
+                    ("from_epoch", Field::U(stepper.epoch() as u64)),
+                    ("resumed", Field::B(resumed_from.is_some())),
+                ],
+            );
+        }
+        let save = |stepper: &SearchStepper<'_, _>, path: &Path| {
+            Checkpoint::new(job.target, job.seed, job.config, stepper.state())
+                .save(path)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        };
+        while !stepper.is_complete() {
+            if !take_epoch() {
+                let epoch = stepper.epoch();
+                if let Some(path) = ckpt_path.as_deref() {
+                    save(&stepper, path);
+                }
+                if let Some(t) = telemetry {
+                    t.emit(
+                        "job_interrupted",
+                        &[
+                            ("job", Field::U(index as u64)),
+                            ("epoch", Field::U(epoch as u64)),
+                            (
+                                "checkpoint",
+                                ckpt_path
+                                    .as_deref()
+                                    .map_or(Field::B(false), |p| Field::S(p.display().to_string())),
+                            ),
+                        ],
+                    );
+                }
+                return JobStatus::Interrupted {
+                    index,
+                    epoch,
+                    checkpoint: ckpt_path,
+                };
+            }
+            let record = stepper
+                .step_epoch()
+                .expect("not complete, so an epoch must run");
+            if let Some(t) = telemetry {
+                t.emit(
+                    "epoch",
+                    &[
+                        ("job", Field::U(index as u64)),
+                        ("epoch", Field::U(record.epoch as u64)),
+                        ("argmax_metric", Field::F(record.argmax_metric)),
+                        ("lambda", Field::F(record.lambda)),
+                        ("tau", Field::F(record.tau)),
+                    ],
+                );
+            }
+            if let Some(path) = ckpt_path.as_deref() {
+                let every = opts.checkpoint_every;
+                if every > 0 && stepper.epoch() % every == 0 && !stepper.is_complete() {
+                    save(&stepper, path);
+                    if let Some(t) = telemetry {
+                        t.emit(
+                            "checkpoint",
+                            &[
+                                ("job", Field::U(index as u64)),
+                                ("epoch", Field::U(stepper.epoch() as u64)),
+                                ("path", Field::S(path.display().to_string())),
+                            ],
+                        );
+                    }
+                }
+            }
+        }
+        let outcome = stepper.outcome();
+        // A finished job's checkpoint is spent; removing it lets the next
+        // invocation of the same sweep start fresh instead of replaying a
+        // completed state.
+        if let Some(path) = ckpt_path.as_deref() {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(t) = telemetry {
+            t.emit(
+                "job_done",
+                &[
+                    ("job", Field::U(index as u64)),
+                    ("epochs", Field::U(job.config.epochs as u64)),
+                    ("arch", Field::S(outcome.architecture.to_spec())),
+                    ("lambda", Field::F(outcome.lambda)),
+                    ("predicted", Field::F(cached.predict(&outcome.architecture))),
+                    (
+                        "wall_ms",
+                        Field::F(job_started.elapsed().as_secs_f64() * 1e3),
+                    ),
+                    ("resumed", Field::B(resumed_from.is_some())),
+                ],
+            );
+        }
+        JobStatus::Completed(JobResult {
+            index,
+            job,
+            outcome,
+            resumed_from,
+            wall: job_started.elapsed(),
+        })
+    });
+
+    let cache = cached.stats();
+    let wall = started.elapsed();
+    if let Some(t) = telemetry {
+        let done = statuses.iter().filter(|s| s.completed().is_some()).count();
+        t.emit(
+            "run_end",
+            &[
+                ("completed", Field::U(done as u64)),
+                ("interrupted", Field::U((statuses.len() - done) as u64)),
+                ("wall_ms", Field::F(wall.as_secs_f64() * 1e3)),
+                ("cache_hits", Field::U(cache.hits)),
+                ("cache_misses", Field::U(cache.misses)),
+                ("cache_hit_rate", Field::F(cache.hit_rate())),
+            ],
+        );
+    }
+    SweepReport {
+        statuses,
+        cache,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expands_row_major() {
+        let jobs = SearchJob::grid(&[20.0, 24.0], &[0, 1, 2], SearchConfig::fast());
+        assert_eq!(jobs.len(), 6);
+        assert_eq!((jobs[0].target, jobs[0].seed), (20.0, 0));
+        assert_eq!((jobs[2].target, jobs[2].seed), (20.0, 2));
+        assert_eq!((jobs[3].target, jobs[3].seed), (24.0, 0));
+        assert_eq!(jobs[5].config, SearchConfig::fast());
+    }
+
+    #[test]
+    fn checkpoint_paths_are_stable_and_ordered() {
+        let dir = Path::new("/tmp/x");
+        assert_eq!(checkpoint_path(dir, 0), dir.join("job000.ckpt"));
+        assert_eq!(checkpoint_path(dir, 42), dir.join("job042.ckpt"));
+    }
+
+    #[test]
+    fn report_filters_completed() {
+        let r = JobResult {
+            index: 0,
+            job: SearchJob::new(20.0, 0, SearchConfig::fast()),
+            outcome: SearchOutcome {
+                architecture: lightnas_space::Architecture::homogeneous(
+                    lightnas_space::Operator::SkipConnect,
+                ),
+                trace: lightnas::SearchTrace::new(),
+                lambda: 0.0,
+            },
+            resumed_from: None,
+            wall: Duration::ZERO,
+        };
+        let report = SweepReport {
+            statuses: vec![
+                JobStatus::Completed(r),
+                JobStatus::Interrupted {
+                    index: 1,
+                    epoch: 3,
+                    checkpoint: None,
+                },
+            ],
+            cache: CacheStats::default(),
+            wall: Duration::ZERO,
+        };
+        assert_eq!(report.completed().len(), 1);
+        assert!(!report.all_completed());
+    }
+}

@@ -1,0 +1,176 @@
+//! Append-only JSONL run telemetry.
+//!
+//! One [`Telemetry`] sink per sweep, one JSON object per line, written under
+//! `results/runs/<run-id>.jsonl` by convention. The schema is flat and
+//! self-describing — every line carries `"event"` and `"run"` keys plus
+//! event-specific fields (see DESIGN.md for the event catalogue) — so the
+//! files grep/`jq` cleanly and survive partially-written runs: a crashed
+//! sweep leaves a valid prefix, because every line is flushed as it is
+//! emitted.
+//!
+//! JSON is rendered by hand (no serde in the dependency closure); values are
+//! limited to the small [`Field`] vocabulary the runtime needs.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A telemetry field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// An unsigned counter (job index, epoch, hit count, ...).
+    U(u64),
+    /// A float metric (λ, predicted latency, wall-clock ms, ...). Non-finite
+    /// values render as `null` to keep the line valid JSON.
+    F(f64),
+    /// A string (architecture spec, checkpoint path, ...).
+    S(String),
+    /// A flag.
+    B(bool),
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders one event line (without the trailing newline).
+fn render_line(run: &str, event: &str, fields: &[(&str, Field)]) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"event\":");
+    push_json_string(&mut out, event);
+    out.push_str(",\"run\":");
+    push_json_string(&mut out, run);
+    for (key, value) in fields {
+        out.push(',');
+        push_json_string(&mut out, key);
+        out.push(':');
+        match value {
+            Field::U(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Field::F(f) if f.is_finite() => {
+                let _ = write!(out, "{f}");
+            }
+            Field::F(_) => out.push_str("null"),
+            Field::S(s) => push_json_string(&mut out, s),
+            Field::B(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// A thread-safe JSONL event sink for one run.
+#[derive(Debug)]
+pub struct Telemetry {
+    run_id: String,
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Telemetry {
+    /// Creates (truncating) `<dir>/<run_id>.jsonl` and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn create(dir: impl AsRef<Path>, run_id: &str) -> std::io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{run_id}.jsonl"));
+        let writer = Mutex::new(BufWriter::new(File::create(&path)?));
+        Ok(Self {
+            run_id: run_id.to_string(),
+            path,
+            writer,
+        })
+    }
+
+    /// The run identifier stamped on every line.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// Where the JSONL file lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one event line and flushes it (crash-safe prefix property).
+    /// I/O failures are swallowed: telemetry must never take down a sweep.
+    pub fn emit(&self, event: &str, fields: &[(&str, Field)]) {
+        let line = render_line(&self.run_id, event, fields);
+        let mut w = self.writer.lock().expect("telemetry lock poisoned");
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_flat_json_objects() {
+        let line = render_line(
+            "r1",
+            "job_done",
+            &[
+                ("job", Field::U(3)),
+                ("lambda", Field::F(-0.5)),
+                ("arch", Field::S("0123456".into())),
+                ("resumed", Field::B(false)),
+            ],
+        );
+        assert_eq!(
+            line,
+            r#"{"event":"job_done","run":"r1","job":3,"lambda":-0.5,"arch":"0123456","resumed":false}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = render_line("r", "e", &[("msg", Field::S("a\"b\\c\nd\u{1}".into()))]);
+        assert!(line.contains(r#""msg":"a\"b\\c\nd\u0001""#), "{line}");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = render_line("r", "e", &[("x", Field::F(f64::NAN))]);
+        assert!(line.ends_with(r#""x":null}"#), "{line}");
+    }
+
+    #[test]
+    fn sink_appends_one_line_per_event() {
+        let dir =
+            std::env::temp_dir().join(format!("lightnas-telemetry-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Telemetry::create(&dir, "unit").expect("create sink");
+        t.emit("run_start", &[("jobs", Field::U(2))]);
+        t.emit("run_end", &[("completed", Field::U(2))]);
+        let text = std::fs::read_to_string(t.path()).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"event":"run_start","run":"unit""#));
+        assert!(lines[1].contains(r#""completed":2"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

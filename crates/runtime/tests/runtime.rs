@@ -1,0 +1,271 @@
+//! End-to-end properties of the runtime: worker-count-independent
+//! determinism, cache transparency, and kill/resume bit-identity.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use lightnas::{LightNas, SearchConfig};
+use lightnas_eval::AccuracyOracle;
+use lightnas_hw::Xavier;
+use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig};
+use lightnas_runtime::{run_sweep, JobStatus, SearchJob, SweepOptions, Telemetry};
+use lightnas_space::SearchSpace;
+
+struct Fixture {
+    space: SearchSpace,
+    oracle: AccuracyOracle,
+    predictor: MlpPredictor,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let oracle = AccuracyOracle::imagenet();
+        let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 1200, 7);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 0,
+        };
+        let predictor = MlpPredictor::train(&data, &cfg);
+        Fixture {
+            space,
+            oracle,
+            predictor,
+        }
+    })
+}
+
+/// A schedule small enough for CI but long enough to interrupt mid-way.
+fn tiny_config() -> SearchConfig {
+    SearchConfig {
+        epochs: 10,
+        steps_per_epoch: 12,
+        warmup_epochs: 2,
+        ..SearchConfig::fast()
+    }
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lightnas-runtime-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `(architecture spec, λ bits)` per job — the byte-level fingerprint two
+/// sweeps must share to count as identical.
+fn fingerprints(report: &lightnas_runtime::SweepReport) -> Vec<(String, u64)> {
+    report
+        .statuses
+        .iter()
+        .map(|s| {
+            let r = s.completed().expect("sweep must complete");
+            (r.outcome.architecture.to_spec(), r.outcome.lambda.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_matches_serial_engine_under_any_worker_count() {
+    let f = fixture();
+    let config = tiny_config();
+    let jobs = SearchJob::grid(&[19.0, 25.0], &[0, 3], config);
+
+    // Ground truth: the plain engine, no scheduler, no cache.
+    let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, config);
+    let expected: Vec<(String, u64)> = jobs
+        .iter()
+        .map(|j| {
+            let o = engine.search(j.target, j.seed);
+            (o.architecture.to_spec(), o.lambda.to_bits())
+        })
+        .collect();
+
+    for workers in [1, 4] {
+        let report = run_sweep(
+            &f.oracle,
+            &f.predictor,
+            &jobs,
+            &SweepOptions::with_workers(workers),
+            None,
+        );
+        assert!(report.all_completed());
+        assert_eq!(
+            fingerprints(&report),
+            expected,
+            "{workers}-worker sweep must be byte-identical to serial searches"
+        );
+        // The shared cache must actually absorb repeat queries: every epoch
+        // re-predicts the argmax architecture, which rarely changes.
+        let stats = report.cache;
+        assert!(stats.hits > stats.misses, "cache barely hit: {stats:?}");
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_to_identical_results() {
+    let f = fixture();
+    let config = tiny_config();
+    let jobs = SearchJob::grid(&[21.0], &[1, 4, 8], config);
+    let total_epochs: usize = jobs.len() * config.epochs;
+
+    let uninterrupted = run_sweep(
+        &f.oracle,
+        &f.predictor,
+        &jobs,
+        &SweepOptions::serial(),
+        None,
+    );
+    let expected = fingerprints(&uninterrupted);
+
+    let dir = test_dir("resume");
+    let killed = SweepOptions {
+        workers: 2,
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 0,
+        epoch_budget: Some(total_epochs / 2),
+    };
+    let first = run_sweep(&f.oracle, &f.predictor, &jobs, &killed, None);
+    assert!(
+        !first.all_completed(),
+        "the budget must interrupt the sweep"
+    );
+    let mut saw_checkpoint = false;
+    for s in &first.statuses {
+        if let JobStatus::Interrupted {
+            epoch, checkpoint, ..
+        } = s
+        {
+            assert!(*epoch < config.epochs);
+            let path = checkpoint.as_ref().expect("dir configured, so a path");
+            assert!(
+                path.exists(),
+                "interrupted job must leave {}",
+                path.display()
+            );
+            saw_checkpoint = true;
+        }
+    }
+    assert!(saw_checkpoint);
+
+    // Same invocation again, unlimited: resumes the survivors.
+    let second = run_sweep(
+        &f.oracle,
+        &f.predictor,
+        &jobs,
+        &SweepOptions {
+            epoch_budget: None,
+            ..killed
+        },
+        None,
+    );
+    assert!(second.all_completed());
+    assert_eq!(
+        fingerprints(&second),
+        expected,
+        "resumed results must be byte-identical to the uninterrupted run"
+    );
+    let resumed = second
+        .statuses
+        .iter()
+        .filter(|s| s.completed().is_some_and(|r| r.resumed_from.is_some()))
+        .count();
+    assert!(
+        resumed > 0,
+        "at least one job must have come back from a checkpoint"
+    );
+    // Completed jobs clean up after themselves.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .map(|rd| rd.filter_map(Result::ok).map(|e| e.path()).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "spent checkpoints must be removed: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn periodic_checkpoints_appear_while_running() {
+    let f = fixture();
+    let config = tiny_config();
+    let jobs = vec![SearchJob::new(23.0, 2, config)];
+    let dir = test_dir("periodic");
+    // Budget stops the job right after several periodic checkpoints.
+    let opts = SweepOptions {
+        workers: 1,
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        epoch_budget: Some(7),
+    };
+    let report = run_sweep(&f.oracle, &f.predictor, &jobs, &opts, None);
+    assert!(!report.all_completed());
+    let ck = lightnas_runtime::Checkpoint::load(&dir.join("job000.ckpt")).expect("checkpoint");
+    assert_eq!(ck.seed, 2);
+    assert_eq!(
+        ck.state.epoch, 7,
+        "budget of 7 epochs leaves a 7-epoch state"
+    );
+    assert_eq!(ck.state.trace.records().len(), 7);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_narrates_a_sweep_as_valid_jsonl() {
+    let f = fixture();
+    let config = tiny_config();
+    let jobs = SearchJob::grid(&[20.0], &[0, 1], config);
+    let dir = test_dir("telemetry");
+    let telemetry = Telemetry::create(&dir, "itest").expect("sink");
+    let report = run_sweep(
+        &f.oracle,
+        &f.predictor,
+        &jobs,
+        &SweepOptions::with_workers(2),
+        Some(&telemetry),
+    );
+    assert!(report.all_completed());
+    let text = std::fs::read_to_string(telemetry.path()).expect("jsonl");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 2 + 2 * (2 + config.epochs),
+        "events missing:\n{text}"
+    );
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"event\":\"") && line.ends_with('}'),
+            "bad line {line}"
+        );
+        assert!(line.contains("\"run\":\"itest\""));
+    }
+    let count = |ev: &str| {
+        lines
+            .iter()
+            .filter(|l| l.contains(&format!("\"event\":\"{ev}\"")))
+            .count()
+    };
+    assert_eq!(count("run_start"), 1);
+    assert_eq!(count("job_start"), 2);
+    assert_eq!(count("epoch"), 2 * config.epochs);
+    assert_eq!(count("job_done"), 2);
+    assert_eq!(count("run_end"), 1);
+    // The job_done events carry parseable architecture specs.
+    for line in lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"job_done\""))
+    {
+        let spec = line
+            .split("\"arch\":\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("arch field");
+        assert!(
+            lightnas_space::Architecture::from_spec(spec).is_ok(),
+            "bad spec {spec}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,7 +79,10 @@ impl Architecture {
     /// Panics if `n > SEARCHABLE_LAYERS`.
     pub fn with_se_tail(&self, n: usize) -> Self {
         assert!(n <= SEARCHABLE_LAYERS, "SE tail {n} exceeds layer count");
-        Self { ops: self.ops.clone(), se_tail: n }
+        Self {
+            ops: self.ops.clone(),
+            se_tail: n,
+        }
     }
 
     /// Number of trailing layers carrying an SE module.
@@ -112,12 +115,21 @@ impl Architecture {
     ///
     /// Panics if `enc` is not a valid `154`-long one-hot-per-row encoding.
     pub fn decode(enc: &[f32]) -> Self {
-        assert_eq!(enc.len(), TOTAL_LAYERS * NUM_OPS, "encoding must have {} values", TOTAL_LAYERS * NUM_OPS);
+        assert_eq!(
+            enc.len(),
+            TOTAL_LAYERS * NUM_OPS,
+            "encoding must have {} values",
+            TOTAL_LAYERS * NUM_OPS
+        );
         let mut ops = Vec::with_capacity(SEARCHABLE_LAYERS);
         for l in 1..TOTAL_LAYERS {
             let row = &enc[l * NUM_OPS..(l + 1) * NUM_OPS];
-            let ones: Vec<usize> =
-                row.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(i, _)| i).collect();
+            let ones: Vec<usize> = row
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(i, _)| i)
+                .collect();
             assert_eq!(ones.len(), 1, "row {l} is not one-hot");
             ops.push(Operator::from_index(ones[0]));
         }
@@ -139,7 +151,11 @@ impl Architecture {
     /// through this type's constructors).
     pub fn hamming(&self, other: &Architecture) -> usize {
         assert_eq!(self.ops.len(), other.ops.len(), "layer count mismatch");
-        self.ops.iter().zip(&other.ops).filter(|(a, b)| a != b).count()
+        self.ops
+            .iter()
+            .zip(&other.ops)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Mutates one uniformly chosen slot to a new random operator.
@@ -155,7 +171,60 @@ impl Architecture {
                 break;
             }
         }
-        Self { ops, se_tail: self.se_tail }
+        Self {
+            ops,
+            se_tail: self.se_tail,
+        }
+    }
+
+    /// The compact one-line spec used by checkpoint files and telemetry
+    /// lines: one digit (`0`–`6`, the operator index) per searchable slot,
+    /// plus a `+se<n>` suffix when an SE tail is present. Example:
+    /// `054160123456012345601+se9`.
+    ///
+    /// Round-trips exactly through [`from_spec`](Self::from_spec).
+    pub fn to_spec(&self) -> String {
+        let mut spec = String::with_capacity(SEARCHABLE_LAYERS + 5);
+        for op in &self.ops {
+            spec.push(char::from(b'0' + op.index() as u8));
+        }
+        if self.se_tail > 0 {
+            spec.push_str(&format!("+se{}", self.se_tail));
+        }
+        spec
+    }
+
+    /// Parses the compact form produced by [`to_spec`](Self::to_spec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseSpecError`] on a wrong slot count, an operator digit
+    /// outside `0..7`, or a malformed/oversized SE suffix.
+    pub fn from_spec(spec: &str) -> Result<Self, ParseSpecError> {
+        let (ops_part, se_tail) = match spec.split_once('+') {
+            None => (spec, 0),
+            Some((ops_part, suffix)) => {
+                let tail = suffix
+                    .strip_prefix("se")
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .ok_or_else(|| ParseSpecError::BadSeSuffix(suffix.to_string()))?;
+                if tail == 0 || tail > SEARCHABLE_LAYERS {
+                    return Err(ParseSpecError::SeTailOutOfRange(tail));
+                }
+                (ops_part, tail)
+            }
+        };
+        if ops_part.chars().count() != SEARCHABLE_LAYERS {
+            return Err(ParseSpecError::SlotCount(ops_part.chars().count()));
+        }
+        let mut ops = Vec::with_capacity(SEARCHABLE_LAYERS);
+        for c in ops_part.chars() {
+            match c.to_digit(10) {
+                Some(d) if (d as usize) < NUM_OPS => ops.push(Operator::from_index(d as usize)),
+                _ => return Err(ParseSpecError::BadDigit(c)),
+            }
+        }
+        Ok(Self { ops, se_tail })
     }
 
     /// A one-line diagram of the architecture, e.g.
@@ -185,6 +254,43 @@ impl fmt::Display for Architecture {
         write!(f, "{}", labels.join("-"))
     }
 }
+
+/// Error returned when parsing a compact spec string fails
+/// (see [`Architecture::from_spec`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseSpecError {
+    /// The spec held the wrong number of slot digits.
+    SlotCount(usize),
+    /// A character was not an operator digit `0`–`6`.
+    BadDigit(char),
+    /// The `+` suffix was not of the form `se<n>`.
+    BadSeSuffix(String),
+    /// The SE tail length was zero or exceeded the layer count.
+    SeTailOutOfRange(usize),
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseSpecError::SlotCount(n) => {
+                write!(f, "expected {SEARCHABLE_LAYERS} operator digits, got {n}")
+            }
+            ParseSpecError::BadDigit(c) => {
+                write!(
+                    f,
+                    "invalid operator digit {c:?} (expected 0..{})",
+                    NUM_OPS - 1
+                )
+            }
+            ParseSpecError::BadSeSuffix(s) => write!(f, "invalid suffix {s:?} (expected se<n>)"),
+            ParseSpecError::SeTailOutOfRange(n) => {
+                write!(f, "SE tail {n} outside 1..={SEARCHABLE_LAYERS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
 
 /// Error returned when parsing an architecture string fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -250,14 +356,23 @@ mod tests {
         let space = SearchSpace::standard();
         let a = Architecture::random(&space, 3);
         let ones = a.encode().iter().filter(|&&v| v == 1.0).count();
-        assert_eq!(ones, TOTAL_LAYERS, "ᾱ must contain exactly L ones (paper Sec. 3.2)");
+        assert_eq!(
+            ones, TOTAL_LAYERS,
+            "ᾱ must contain exactly L ones (paper Sec. 3.2)"
+        );
     }
 
     #[test]
     fn random_is_deterministic_per_seed() {
         let space = SearchSpace::standard();
-        assert_eq!(Architecture::random(&space, 9), Architecture::random(&space, 9));
-        assert_ne!(Architecture::random(&space, 9), Architecture::random(&space, 10));
+        assert_eq!(
+            Architecture::random(&space, 9),
+            Architecture::random(&space, 9)
+        );
+        assert_ne!(
+            Architecture::random(&space, 9),
+            Architecture::random(&space, 10)
+        );
     }
 
     #[test]
@@ -305,7 +420,10 @@ mod tests {
         let a = Architecture::random(&space, 5);
         let d = a.diagram(&space);
         for ch in [24, 32, 64, 112, 184, 352] {
-            assert!(d.contains(&format!("({ch})")), "diagram missing stage {ch}: {d}");
+            assert!(
+                d.contains(&format!("({ch})")),
+                "diagram missing stage {ch}: {d}"
+            );
         }
     }
 
@@ -355,6 +473,57 @@ mod parse_tests {
     fn parse_rejects_unknown_label() {
         let text = vec!["K9E9"; SEARCHABLE_LAYERS].join("-");
         assert!(text.parse::<Architecture>().is_err());
+    }
+}
+
+#[cfg(test)]
+mod spec_tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_with_and_without_se_tail() {
+        let space = SearchSpace::standard();
+        for seed in 0..20 {
+            let plain = Architecture::random(&space, seed);
+            assert_eq!(Architecture::from_spec(&plain.to_spec()), Ok(plain.clone()));
+            let se = plain.with_se_tail(1 + (seed as usize % SEARCHABLE_LAYERS));
+            assert_eq!(Architecture::from_spec(&se.to_spec()), Ok(se));
+        }
+    }
+
+    #[test]
+    fn spec_is_compact_digits() {
+        let a = Architecture::homogeneous(Operator::SkipConnect);
+        let spec = a.to_spec();
+        assert_eq!(spec.len(), SEARCHABLE_LAYERS);
+        assert!(spec.chars().all(|c| c.is_ascii_digit()));
+        assert_eq!(a.with_se_tail(9).to_spec(), format!("{spec}+se9"));
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed_strings() {
+        assert_eq!(
+            Architecture::from_spec("012"),
+            Err(ParseSpecError::SlotCount(3))
+        );
+        let with_seven = format!("{}7", "0".repeat(SEARCHABLE_LAYERS - 1));
+        assert_eq!(
+            Architecture::from_spec(&with_seven),
+            Err(ParseSpecError::BadDigit('7'))
+        );
+        let ok_ops = "0".repeat(SEARCHABLE_LAYERS);
+        assert_eq!(
+            Architecture::from_spec(&format!("{ok_ops}+xe9")),
+            Err(ParseSpecError::BadSeSuffix("xe9".into()))
+        );
+        assert_eq!(
+            Architecture::from_spec(&format!("{ok_ops}+se0")),
+            Err(ParseSpecError::SeTailOutOfRange(0))
+        );
+        assert_eq!(
+            Architecture::from_spec(&format!("{ok_ops}+se22")),
+            Err(ParseSpecError::SeTailOutOfRange(22))
+        );
     }
 }
 

@@ -19,7 +19,10 @@ pub struct SpaceConfig {
 
 impl Default for SpaceConfig {
     fn default() -> Self {
-        Self { resolution: 224, width_mult: 1.0 }
+        Self {
+            resolution: 224,
+            width_mult: 1.0,
+        }
     }
 }
 
@@ -62,8 +65,14 @@ impl LayerSpec {
 }
 
 /// `(base_out_channels, num_layers, first_stride)` per searchable stage.
-const STAGES: [(usize, usize, usize); 6] =
-    [(24, 4, 2), (32, 4, 2), (64, 4, 2), (112, 4, 1), (184, 4, 2), (352, 1, 1)];
+const STAGES: [(usize, usize, usize); 6] = [
+    (24, 4, 2),
+    (32, 4, 2),
+    (64, 4, 2),
+    (112, 4, 1),
+    (184, 4, 2),
+    (352, 1, 1),
+];
 
 /// Base channel counts of the fixed parts.
 const STEM_CHANNELS: usize = 32;
@@ -105,7 +114,11 @@ impl SearchSpace {
     /// Panics if the resolution is too small to survive the five stride-2
     /// reductions (minimum 32).
     pub fn with_config(config: SpaceConfig) -> Self {
-        assert!(config.resolution >= 32, "resolution {} too small", config.resolution);
+        assert!(
+            config.resolution >= 32,
+            "resolution {} too small",
+            config.resolution
+        );
         let stem_out = config.scale_channels(STEM_CHANNELS);
         let fixed_out = config.scale_channels(FIXED_BLOCK_CHANNELS);
         // Stem is stride 2; the fixed bottleneck is stride 1.
@@ -228,7 +241,10 @@ mod tests {
 
     #[test]
     fn width_scaling_rounds_to_multiples_of_eight() {
-        let cfg = SpaceConfig { resolution: 224, width_mult: 0.75 };
+        let cfg = SpaceConfig {
+            resolution: 224,
+            width_mult: 0.75,
+        };
         let s = SearchSpace::with_config(cfg);
         for l in s.layers() {
             assert_eq!(l.cout % 8, 0, "channels {} not multiple of 8", l.cout);
@@ -239,7 +255,10 @@ mod tests {
 
     #[test]
     fn smaller_resolution_shrinks_feature_maps() {
-        let s160 = SearchSpace::with_config(SpaceConfig { resolution: 160, width_mult: 1.0 });
+        let s160 = SearchSpace::with_config(SpaceConfig {
+            resolution: 160,
+            width_mult: 1.0,
+        });
         assert_eq!(s160.stem_resolution(), 80);
         assert_eq!(s160.final_resolution(), 5);
     }
@@ -247,6 +266,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn tiny_resolution_rejected() {
-        let _ = SearchSpace::with_config(SpaceConfig { resolution: 16, width_mult: 1.0 });
+        let _ = SearchSpace::with_config(SpaceConfig {
+            resolution: 16,
+            width_mult: 1.0,
+        });
     }
 }

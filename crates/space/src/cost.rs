@@ -80,7 +80,13 @@ pub fn layer_cost(op: Operator, spec: &LayerSpec, with_se: bool) -> LayerCost {
         Operator::SkipConnect => {
             if spec.skip_is_identity() {
                 // Pure identity: no compute, no traffic beyond aliasing.
-                LayerCost { flops: 0, params: 0, act_in: 0, act_out: 0, kernels: 0 }
+                LayerCost {
+                    flops: 0,
+                    params: 0,
+                    act_in: 0,
+                    act_out: 0,
+                    kernels: 0,
+                }
             } else {
                 // Stride-matched average pool + zero channel pad: one cheap
                 // memory-bound kernel.
@@ -196,7 +202,10 @@ pub fn network_cost(space: &SearchSpace, ops: &[Operator], se_tail: usize) -> Ne
         .enumerate()
         .map(|(i, (&op, spec))| layer_cost(op, spec, i + se_tail >= n))
         .collect();
-    NetworkCost { per_layer, fixed: fixed_cost(space) }
+    NetworkCost {
+        per_layer,
+        fixed: fixed_cost(space),
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +222,10 @@ mod tests {
         // All-K3E6 (≈ MobileNetV2) should land in the standard mobile range
         // of roughly 300-600M multiply-adds at 224x224.
         let space = SearchSpace::standard();
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         let cost = network_cost(&space, &all_op(op), 0);
         let m = cost.mflops();
         assert!(m > 250.0 && m < 650.0, "unexpected MAdds: {m}M");
@@ -222,8 +234,14 @@ mod tests {
     #[test]
     fn bigger_kernels_cost_more() {
         let space = SearchSpace::standard();
-        let k3 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
-        let k7 = Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 };
+        let k3 = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
+        let k7 = Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E6,
+        };
         let c3 = network_cost(&space, &all_op(k3), 0).total_flops();
         let c7 = network_cost(&space, &all_op(k7), 0).total_flops();
         assert!(c7 > c3);
@@ -232,8 +250,14 @@ mod tests {
     #[test]
     fn bigger_expansion_costs_more() {
         let space = SearchSpace::standard();
-        let e3 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 };
-        let e6 = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let e3 = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E3,
+        };
+        let e6 = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         assert!(
             network_cost(&space, &all_op(e6), 0).total_flops()
                 > network_cost(&space, &all_op(e3), 0).total_flops()
@@ -259,7 +283,10 @@ mod tests {
         assert!(!spec.skip_is_identity());
         let skip = layer_cost(Operator::SkipConnect, spec, false);
         let conv = layer_cost(
-            Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 },
+            Operator::MbConv {
+                kernel: Kernel::K3,
+                expansion: Expansion::E3,
+            },
             spec,
             false,
         );
@@ -271,7 +298,10 @@ mod tests {
     fn se_adds_modest_flops_and_params() {
         let space = SearchSpace::standard();
         let spec = &space.layers()[20];
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         let plain = layer_cost(op, spec, false);
         let with_se = layer_cost(op, spec, true);
         assert!(with_se.flops > plain.flops);
@@ -283,14 +313,23 @@ mod tests {
     #[test]
     fn se_tail_applies_to_last_layers_only() {
         let space = SearchSpace::standard();
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         let plain = network_cost(&space, &all_op(op), 0);
         let se9 = network_cost(&space, &all_op(op), 9);
         for i in 0..SEARCHABLE_LAYERS {
             if i < SEARCHABLE_LAYERS - 9 {
-                assert_eq!(plain.per_layer[i], se9.per_layer[i], "layer {i} should be unchanged");
+                assert_eq!(
+                    plain.per_layer[i], se9.per_layer[i],
+                    "layer {i} should be unchanged"
+                );
             } else {
-                assert!(se9.per_layer[i].flops > plain.per_layer[i].flops, "layer {i} should gain SE");
+                assert!(
+                    se9.per_layer[i].flops > plain.per_layer[i].flops,
+                    "layer {i} should gain SE"
+                );
             }
         }
     }
@@ -301,7 +340,10 @@ mod tests {
         let a = network_cost(&space, &all_op(Operator::SkipConnect), 0);
         let b = network_cost(
             &space,
-            &all_op(Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 }),
+            &all_op(Operator::MbConv {
+                kernel: Kernel::K7,
+                expansion: Expansion::E6,
+            }),
             0,
         );
         assert_eq!(a.fixed, b.fixed);
@@ -310,7 +352,10 @@ mod tests {
 
     #[test]
     fn lower_resolution_reduces_flops_quadratically() {
-        let op = Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        };
         let full = SearchSpace::standard();
         let half = SearchSpace::with_config(crate::SpaceConfig {
             resolution: 112,

@@ -75,12 +75,30 @@ impl Operator {
     /// architecture parameters `α`: MBConv (3,3), (3,6), (5,3), (5,6),
     /// (7,3), (7,6), then SkipConnect.
     pub const ALL: [Operator; NUM_OPS] = [
-        Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E3 },
-        Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 },
-        Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E3 },
-        Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 },
-        Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E3 },
-        Operator::MbConv { kernel: Kernel::K7, expansion: Expansion::E6 },
+        Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E3,
+        },
+        Operator::MbConv {
+            kernel: Kernel::K3,
+            expansion: Expansion::E6,
+        },
+        Operator::MbConv {
+            kernel: Kernel::K5,
+            expansion: Expansion::E3,
+        },
+        Operator::MbConv {
+            kernel: Kernel::K5,
+            expansion: Expansion::E6,
+        },
+        Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E3,
+        },
+        Operator::MbConv {
+            kernel: Kernel::K7,
+            expansion: Expansion::E6,
+        },
         Operator::SkipConnect,
     ];
 
@@ -172,7 +190,9 @@ impl std::str::FromStr for Operator {
                 return Ok(op);
             }
         }
-        Err(ParseOperatorError { input: s.to_string() })
+        Err(ParseOperatorError {
+            input: s.to_string(),
+        })
     }
 }
 
@@ -204,7 +224,10 @@ mod tests {
 
     #[test]
     fn kernel_and_expansion_accessors() {
-        let op = Operator::MbConv { kernel: Kernel::K5, expansion: Expansion::E6 };
+        let op = Operator::MbConv {
+            kernel: Kernel::K5,
+            expansion: Expansion::E6,
+        };
         assert_eq!(op.kernel().map(Kernel::size), Some(5));
         assert_eq!(op.expansion().map(Expansion::ratio), Some(6));
         assert_eq!(Operator::SkipConnect.kernel(), None);

@@ -114,11 +114,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 21.2,
             extra_techniques: false,
             arch: arch([
-                mb(7, 6), mb(3, 3), mb(3, 6), mb(7, 6),
-                mb(5, 3), mb(3, 3), SKIP, SKIP,
-                mb(5, 6), mb(3, 3), mb(3, 3), mb(3, 3),
-                mb(5, 3), mb(5, 6), mb(3, 3), mb(5, 6),
-                mb(7, 6), mb(5, 3), mb(5, 3), mb(5, 3),
+                mb(7, 6),
+                mb(3, 3),
+                mb(3, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(3, 3),
+                SKIP,
+                SKIP,
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 3),
+                mb(5, 6),
+                mb(3, 3),
+                mb(5, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(5, 3),
                 mb(7, 6),
             ]),
         },
@@ -131,11 +146,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 24.5,
             extra_techniques: false,
             arch: arch([
-                mb(7, 6), mb(3, 6), mb(7, 6), mb(7, 6),
-                mb(5, 6), mb(3, 3), mb(3, 3), SKIP,
-                mb(5, 6), mb(3, 3), mb(3, 6), mb(3, 3),
-                mb(5, 6), mb(5, 6), mb(5, 6), mb(5, 6),
-                mb(7, 6), mb(5, 6), mb(5, 3), mb(5, 6),
+                mb(7, 6),
+                mb(3, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 3),
+                SKIP,
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 6),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(5, 3),
+                mb(5, 6),
                 mb(7, 6),
             ]),
         },
@@ -148,11 +178,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 29.9,
             extra_techniques: false,
             arch: arch([
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(3, 3), mb(7, 6),
-                mb(5, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(3, 3),
+                mb(7, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
                 mb(7, 6),
             ]),
         },
@@ -167,11 +212,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 21.7,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(5, 6), mb(7, 6), mb(7, 6),
-                mb(5, 3), mb(3, 3), SKIP, SKIP,
-                mb(5, 6), mb(5, 3), mb(3, 3), mb(3, 3),
-                mb(5, 3), mb(3, 3), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(5, 3), mb(5, 3), mb(3, 3),
+                mb(3, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(3, 3),
+                SKIP,
+                SKIP,
+                mb(5, 6),
+                mb(5, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(3, 3),
                 mb(5, 6),
             ]),
         },
@@ -184,11 +244,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 23.0,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(5, 6), mb(7, 6), mb(7, 6),
-                mb(5, 6), mb(3, 3), SKIP, mb(3, 3),
-                mb(5, 6), mb(3, 3), mb(3, 6), mb(5, 3),
-                mb(5, 6), mb(3, 3), mb(3, 3), mb(5, 6),
-                mb(5, 6), mb(5, 3), mb(5, 6), mb(5, 3),
+                mb(3, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(3, 3),
+                SKIP,
+                mb(3, 3),
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 6),
+                mb(5, 3),
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 3),
+                mb(5, 6),
+                mb(5, 3),
                 mb(7, 6),
             ]),
         },
@@ -201,11 +276,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 26.4,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(5, 6), mb(3, 3), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(3, 6), mb(3, 6), mb(3, 6),
-                mb(5, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(5, 6), mb(5, 6), mb(5, 6),
+                mb(3, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
                 mb(7, 6),
             ]),
         },
@@ -219,11 +309,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 20.1,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(3, 3), mb(3, 3), mb(7, 6),
-                mb(5, 3), mb(5, 3), mb(5, 3), SKIP,
-                mb(5, 6), mb(5, 6), mb(5, 6), SKIP,
-                mb(3, 6), mb(3, 6), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(5, 6), mb(5, 6), mb(5, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(7, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(5, 3),
+                SKIP,
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                SKIP,
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
                 mb(3, 6),
             ]),
         },
@@ -236,11 +341,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 22.9,
             extra_techniques: true,
             arch: arch([
-                mb(3, 6), mb(3, 3), mb(7, 6), mb(7, 6),
-                mb(5, 3), mb(5, 3), mb(5, 3), SKIP,
-                mb(3, 6), mb(3, 6), mb(3, 6), mb(3, 6),
-                mb(3, 6), mb(3, 6), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(5, 6), mb(5, 6), mb(5, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(5, 3),
+                SKIP,
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
                 mb(3, 6),
             ])
             .with_se_tail(9),
@@ -255,11 +375,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 21.4,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(5, 6), mb(7, 6), mb(7, 6),
-                mb(5, 3), mb(3, 3), SKIP, SKIP,
-                mb(5, 6), mb(3, 3), mb(3, 3), SKIP,
-                mb(5, 3), mb(3, 3), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(5, 3), mb(5, 3), mb(3, 3),
+                mb(3, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(3, 3),
+                SKIP,
+                SKIP,
+                mb(5, 6),
+                mb(3, 3),
+                mb(3, 3),
+                SKIP,
+                mb(5, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(3, 3),
                 mb(7, 6),
             ]),
         },
@@ -272,11 +407,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 26.3,
             extra_techniques: false,
             arch: arch([
-                mb(3, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(3, 3), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(3, 6), mb(3, 6), mb(3, 3),
-                mb(5, 6), mb(7, 6), mb(7, 6), mb(5, 6),
-                mb(7, 6), mb(5, 6), mb(5, 6), mb(5, 6),
+                mb(3, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(7, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
                 mb(7, 6),
             ]),
         },
@@ -289,11 +439,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 29.3,
             extra_techniques: false,
             arch: arch([
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
                 mb(7, 6),
             ]),
         },
@@ -307,11 +472,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 23.0,
             extra_techniques: true,
             arch: arch([
-                mb(3, 6), mb(3, 3), mb(7, 6), mb(7, 6),
-                mb(5, 3), mb(5, 3), mb(5, 3), SKIP,
-                mb(3, 6), mb(3, 6), mb(3, 6), mb(3, 3),
-                mb(3, 6), mb(3, 6), mb(3, 3), mb(3, 3),
-                mb(5, 6), mb(5, 6), mb(5, 6), mb(3, 3),
+                mb(3, 6),
+                mb(3, 3),
+                mb(7, 6),
+                mb(7, 6),
+                mb(5, 3),
+                mb(5, 3),
+                mb(5, 3),
+                SKIP,
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(3, 6),
+                mb(3, 6),
+                mb(3, 3),
+                mb(3, 3),
+                mb(5, 6),
+                mb(5, 6),
+                mb(5, 6),
+                mb(3, 3),
                 mb(5, 6),
             ])
             .with_se_tail(9),
@@ -326,11 +506,26 @@ pub fn reference_architectures() -> Vec<ReferenceArch> {
             paper_latency_ms: 37.2,
             extra_techniques: true,
             arch: arch([
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
-                mb(7, 6), mb(7, 6), mb(7, 6), mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
+                mb(7, 6),
                 mb(7, 6),
             ])
             .with_se_tail(21),
@@ -399,7 +594,10 @@ mod tests {
     fn search_costs_match_table1() {
         let refs = reference_architectures();
         let cost = |name: &str| {
-            refs.iter().find(|r| r.name == name).expect("present").search_cost_gpu_hours
+            refs.iter()
+                .find(|r| r.name == name)
+                .expect("present")
+                .search_cost_gpu_hours
         };
         assert_eq!(cost("MnasNet-B1"), Some(40_000.0));
         assert_eq!(cost("OFA-S"), Some(1275.0));
@@ -411,7 +609,10 @@ mod tests {
     #[test]
     fn paper_latency_spans_20_to_37ms() {
         let refs = reference_architectures();
-        let min = refs.iter().map(|r| r.paper_latency_ms).fold(f64::INFINITY, f64::min);
+        let min = refs
+            .iter()
+            .map(|r| r.paper_latency_ms)
+            .fold(f64::INFINITY, f64::min);
         let max = refs.iter().map(|r| r.paper_latency_ms).fold(0.0, f64::max);
         assert!((20.0..=21.0).contains(&min));
         assert!((37.0..=38.0).contains(&max));

@@ -11,7 +11,10 @@ use crate::{Architecture, Expansion, Kernel, Operator, SpaceConfig};
 /// `MBConv K3 E6` (the paper's observation that MobileNetV2 "simply stacks
 /// the same operator across all network layers", Sec. 4.2).
 pub fn mobilenet_v2() -> Architecture {
-    Architecture::homogeneous(Operator::MbConv { kernel: Kernel::K3, expansion: Expansion::E6 })
+    Architecture::homogeneous(Operator::MbConv {
+        kernel: Kernel::K3,
+        expansion: Expansion::E6,
+    })
 }
 
 /// Which axis a scaled variant changes.
@@ -45,14 +48,20 @@ pub fn scaled_variants() -> Vec<ScaledVariant> {
         out.push(ScaledVariant {
             label: format!("MBV2 x{w:.2}"),
             axis: ScalingAxis::Width,
-            config: SpaceConfig { resolution: 224, width_mult: w },
+            config: SpaceConfig {
+                resolution: 224,
+                width_mult: w,
+            },
         });
     }
     for &r in &[160usize, 176, 192, 208] {
         out.push(ScaledVariant {
             label: format!("MBV2 @{r}"),
             axis: ScalingAxis::Resolution,
-            config: SpaceConfig { resolution: r, width_mult: 1.0 },
+            config: SpaceConfig {
+                resolution: r,
+                width_mult: 1.0,
+            },
         });
     }
     out

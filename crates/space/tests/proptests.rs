@@ -71,6 +71,18 @@ proptest! {
     }
 
     #[test]
+    fn spec_round_trips(ops in arb_ops(), tail in 0usize..=SEARCHABLE_LAYERS) {
+        let arch = if tail == 0 {
+            Architecture::new(ops)
+        } else {
+            Architecture::new(ops).with_se_tail(tail)
+        };
+        let spec = arch.to_spec();
+        let parsed = Architecture::from_spec(&spec);
+        prop_assert_eq!(parsed, Ok(arch), "spec {} did not round-trip", spec);
+    }
+
+    #[test]
     fn width_multiplier_scales_channels_monotonically(w in 0.5f32..2.0) {
         let cfg = SpaceConfig { resolution: 224, width_mult: w };
         let base = SpaceConfig::default();
@@ -99,5 +111,8 @@ fn mobilenet_v2_flops_anchor() {
     // the head; ours must stay inside that envelope.
     let space = SearchSpace::standard();
     let m = mobilenet_v2().flops(&space).mflops();
-    assert!((250.0..550.0).contains(&m), "MobileNetV2 MAdds {m}M out of envelope");
+    assert!(
+        (250.0..550.0).contains(&m),
+        "MobileNetV2 MAdds {m}M out of envelope"
+    );
 }

@@ -54,19 +54,37 @@ enum Op {
     AddChannelBias(Var, Var),
     /// `[n, c, h, w] * [n, c]` per-sample channel gate (Squeeze-and-Excitation).
     MulChannelGate(Var, Var),
-    Conv2d { x: Var, w: Var, spec: Conv2dSpec },
-    DwConv2d { x: Var, w: Var, spec: Conv2dSpec },
+    Conv2d {
+        x: Var,
+        w: Var,
+        spec: Conv2dSpec,
+    },
+    DwConv2d {
+        x: Var,
+        w: Var,
+        spec: Conv2dSpec,
+    },
     /// `[n, c, h, w] -> [n, c]` spatial mean.
     GlobalAvgPool(Var),
     Reshape(Var),
     Sum(Var),
     Mean(Var),
     /// Weighted sum of same-shaped tensors by a coefficient vector `[k]`.
-    Mix { coeffs: Var, inputs: Vec<Var> },
+    Mix {
+        coeffs: Var,
+        inputs: Vec<Var>,
+    },
     /// Mean softmax cross-entropy over a batch; `probs` caches softmax(logits).
-    SoftmaxCrossEntropy { logits: Var, targets: Vec<usize>, probs: Tensor },
+    SoftmaxCrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Tensor,
+    },
     /// Mean squared error against a constant target.
-    MseLoss { pred: Var, target: Tensor },
+    MseLoss {
+        pred: Var,
+        target: Tensor,
+    },
 }
 
 struct Node {
@@ -101,7 +119,11 @@ impl Graph {
     }
 
     fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
-        self.nodes.push(Node { op, value, requires_grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            requires_grad,
+        });
         self.grads.push(None);
         Var(self.nodes.len() - 1)
     }
@@ -216,10 +238,26 @@ impl Graph {
     /// Panics if the shapes are not `[m, n]` and `[n]`.
     pub fn add_row_bias(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape().rank(), 2, "add_row_bias lhs must be rank-2, got {}", av.shape());
-        assert_eq!(bv.shape().rank(), 1, "add_row_bias bias must be rank-1, got {}", bv.shape());
+        assert_eq!(
+            av.shape().rank(),
+            2,
+            "add_row_bias lhs must be rank-2, got {}",
+            av.shape()
+        );
+        assert_eq!(
+            bv.shape().rank(),
+            1,
+            "add_row_bias bias must be rank-1, got {}",
+            bv.shape()
+        );
         let (m, n) = (av.shape().dim(0), av.shape().dim(1));
-        assert_eq!(n, bv.shape().dim(0), "bias size mismatch: {} vs {}", av.shape(), bv.shape());
+        assert_eq!(
+            n,
+            bv.shape().dim(0),
+            "bias size mismatch: {} vs {}",
+            av.shape(),
+            bv.shape()
+        );
         let mut out = av.clone();
         {
             let o = out.as_mut_slice();
@@ -242,9 +280,19 @@ impl Graph {
     /// Panics on rank or channel mismatch.
     pub fn add_channel_bias(&mut self, a: Var, b: Var) -> Var {
         let (av, bv) = (self.value(a), self.value(b));
-        assert_eq!(av.shape().rank(), 4, "add_channel_bias lhs must be rank-4, got {}", av.shape());
+        assert_eq!(
+            av.shape().rank(),
+            4,
+            "add_channel_bias lhs must be rank-4, got {}",
+            av.shape()
+        );
         let c = av.shape().dim(1);
-        assert_eq!(bv.shape().dims(), [c], "channel bias must be [{c}], got {}", bv.shape());
+        assert_eq!(
+            bv.shape().dims(),
+            [c],
+            "channel bias must be [{c}], got {}",
+            bv.shape()
+        );
         let hw = av.shape().dim(2) * av.shape().dim(3);
         let n = av.shape().dim(0);
         let mut out = av.clone();
@@ -272,10 +320,25 @@ impl Graph {
     /// Panics on rank or dimension mismatch.
     pub fn mul_channel_gate(&mut self, a: Var, gate: Var) -> Var {
         let (av, gv) = (self.value(a), self.value(gate));
-        assert_eq!(av.shape().rank(), 4, "mul_channel_gate lhs must be rank-4, got {}", av.shape());
-        assert_eq!(gv.shape().rank(), 2, "gate must be rank-2, got {}", gv.shape());
+        assert_eq!(
+            av.shape().rank(),
+            4,
+            "mul_channel_gate lhs must be rank-4, got {}",
+            av.shape()
+        );
+        assert_eq!(
+            gv.shape().rank(),
+            2,
+            "gate must be rank-2, got {}",
+            gv.shape()
+        );
         let (n, c) = (av.shape().dim(0), av.shape().dim(1));
-        assert_eq!(gv.shape().dims(), [n, c], "gate must be [{n}, {c}], got {}", gv.shape());
+        assert_eq!(
+            gv.shape().dims(),
+            [n, c],
+            "gate must be [{n}, {c}], got {}",
+            gv.shape()
+        );
         let hw = av.shape().dim(2) * av.shape().dim(3);
         let mut out = av.clone();
         {
@@ -317,7 +380,12 @@ impl Graph {
     /// Panics if `a` is not rank-4.
     pub fn global_avg_pool(&mut self, a: Var) -> Var {
         let av = self.value(a);
-        assert_eq!(av.shape().rank(), 4, "global_avg_pool input must be rank-4, got {}", av.shape());
+        assert_eq!(
+            av.shape().rank(),
+            4,
+            "global_avg_pool input must be rank-4, got {}",
+            av.shape()
+        );
         let (n, c, h, w) = (
             av.shape().dim(0),
             av.shape().dim(1),
@@ -391,7 +459,14 @@ impl Graph {
             out.add_scaled_assign(xv, c);
         }
         let rg = self.rg(coeffs) || inputs.iter().any(|&v| self.rg(v));
-        self.push(Op::Mix { coeffs, inputs: inputs.to_vec() }, out, rg)
+        self.push(
+            Op::Mix {
+                coeffs,
+                inputs: inputs.to_vec(),
+            },
+            out,
+            rg,
+        )
     }
 
     /// Mean softmax cross-entropy of `logits` (`[batch, classes]`) against
@@ -403,9 +478,20 @@ impl Graph {
     /// batch size, or any target is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
         let lv = self.value(logits);
-        assert_eq!(lv.shape().rank(), 2, "logits must be rank-2, got {}", lv.shape());
+        assert_eq!(
+            lv.shape().rank(),
+            2,
+            "logits must be rank-2, got {}",
+            lv.shape()
+        );
         let (n, classes) = (lv.shape().dim(0), lv.shape().dim(1));
-        assert_eq!(targets.len(), n, "targets length {} != batch {}", targets.len(), n);
+        assert_eq!(
+            targets.len(),
+            n,
+            "targets length {} != batch {}",
+            targets.len(),
+            n
+        );
         let mut probs = Tensor::zeros(&[n, classes]);
         let mut loss = 0.0f64;
         {
@@ -430,7 +516,15 @@ impl Graph {
         }
         let value = Tensor::scalar((loss / n as f64) as f32);
         let rg = self.rg(logits);
-        self.push(Op::SoftmaxCrossEntropy { logits, targets: targets.to_vec(), probs }, value, rg)
+        self.push(
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+            value,
+            rg,
+        )
     }
 
     /// Mean squared error between `pred` and a constant `target`.
@@ -440,9 +534,16 @@ impl Graph {
     /// Panics if the shapes differ.
     pub fn mse_loss(&mut self, pred: Var, target: Tensor) -> Var {
         let pv = self.value(pred);
-        assert_eq!(pv.shape(), target.shape(), "mse shape mismatch: {} vs {}", pv.shape(), target.shape());
+        assert_eq!(
+            pv.shape(),
+            target.shape(),
+            "mse shape mismatch: {} vs {}",
+            pv.shape(),
+            target.shape()
+        );
         let diff = pv.sub(&target);
-        let value = Tensor::scalar(diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32);
+        let value =
+            Tensor::scalar(diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32);
         let rg = self.rg(pred);
         self.push(Op::MseLoss { pred, target }, value, rg)
     }
@@ -514,7 +615,9 @@ impl Graph {
                 Delta::One(*a, g.mul(&mask))
             }
             Op::Relu6(a) => {
-                let mask = self.value(*a).map(|x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 });
+                let mask = self
+                    .value(*a)
+                    .map(|x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 });
                 Delta::One(*a, g.mul(&mask))
             }
             Op::Sigmoid(a) => {
@@ -537,8 +640,12 @@ impl Graph {
                 Delta::Two(*a, g.clone(), *b, gb)
             }
             Op::AddChannelBias(a, b) => {
-                let (n, c, h, w) =
-                    (g.shape().dim(0), g.shape().dim(1), g.shape().dim(2), g.shape().dim(3));
+                let (n, c, h, w) = (
+                    g.shape().dim(0),
+                    g.shape().dim(1),
+                    g.shape().dim(2),
+                    g.shape().dim(3),
+                );
                 let mut gb = Tensor::zeros(&[c]);
                 {
                     let gs = g.as_slice();
@@ -555,8 +662,12 @@ impl Graph {
             Op::MulChannelGate(a, gate) => {
                 let av = self.value(*a);
                 let gv = self.value(*gate);
-                let (n, c, h, w) =
-                    (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2), av.shape().dim(3));
+                let (n, c, h, w) = (
+                    av.shape().dim(0),
+                    av.shape().dim(1),
+                    av.shape().dim(2),
+                    av.shape().dim(3),
+                );
                 let hw = h * w;
                 let mut ga = Tensor::zeros(av.shape().dims());
                 let mut ggate = Tensor::zeros(&[n, c]);
@@ -591,8 +702,12 @@ impl Graph {
             }
             Op::GlobalAvgPool(a) => {
                 let av = self.value(*a);
-                let (n, c, h, w) =
-                    (av.shape().dim(0), av.shape().dim(1), av.shape().dim(2), av.shape().dim(3));
+                let (n, c, h, w) = (
+                    av.shape().dim(0),
+                    av.shape().dim(1),
+                    av.shape().dim(2),
+                    av.shape().dim(3),
+                );
                 let hw = (h * w) as f32;
                 let mut ga = Tensor::zeros(av.shape().dims());
                 {
@@ -630,15 +745,23 @@ impl Graph {
                 let mut gc = Tensor::zeros(&[inputs.len()]);
                 for (k, &v) in inputs.iter().enumerate() {
                     let xv = self.value(v);
-                    let dot: f32 =
-                        gscalar.as_slice().iter().zip(xv.as_slice()).map(|(a, b)| a * b).sum();
+                    let dot: f32 = gscalar
+                        .as_slice()
+                        .iter()
+                        .zip(xv.as_slice())
+                        .map(|(a, b)| a * b)
+                        .sum();
                     gc.as_mut_slice()[k] = dot;
                     out.push((v, gscalar.scale(cv.as_slice()[k])));
                 }
                 out.push((*coeffs, gc));
                 Delta::Many(out)
             }
-            Op::SoftmaxCrossEntropy { logits, targets, probs } => {
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 let (n, classes) = (probs.shape().dim(0), probs.shape().dim(1));
                 let mut gl = probs.clone();
                 {

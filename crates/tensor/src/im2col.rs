@@ -100,9 +100,20 @@ pub fn col2im(
 pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c_in, h, w) = dims4(input);
     let (c_out, c_in_w, kh, kw) = dims4(weight);
-    assert_eq!(c_in, c_in_w, "conv2d channel mismatch: input {c_in} vs weight {c_in_w}");
-    assert_eq!(kh, spec.kernel, "weight kernel {kh} != spec {}", spec.kernel);
-    assert_eq!(kw, spec.kernel, "weight kernel {kw} != spec {}", spec.kernel);
+    assert_eq!(
+        c_in, c_in_w,
+        "conv2d channel mismatch: input {c_in} vs weight {c_in_w}"
+    );
+    assert_eq!(
+        kh, spec.kernel,
+        "weight kernel {kh} != spec {}",
+        spec.kernel
+    );
+    assert_eq!(
+        kw, spec.kernel,
+        "weight kernel {kw} != spec {}",
+        spec.kernel
+    );
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
     // [n·ho·wo, cin·k·k] x [cin·k·k, cout] = [n·ho·wo, cout]
     let cols = im2col(input, spec);
@@ -137,7 +148,11 @@ pub fn conv2d_backward_fast(
     let (n, c_in, h, w) = dims4(input);
     let (c_out, _, kh, kw) = dims4(weight);
     let (gn, gc, ho, wo) = dims4(grad_out);
-    assert_eq!((gn, gc), (n, c_out), "conv2d grad_out batch/channel mismatch");
+    assert_eq!(
+        (gn, gc),
+        (n, c_out),
+        "conv2d grad_out batch/channel mismatch"
+    );
     let hw = ho * wo;
     // grad_out in [n·ho·wo, cout] layout.
     let mut g_mat = Tensor::zeros(&[n * hw, c_out]);
@@ -154,7 +169,10 @@ pub fn conv2d_backward_fast(
     }
     let cols = im2col(input, spec);
     // grad_weight = g_mat^T · cols  -> [cout, cin·k·k]
-    let gw = g_mat.transpose().matmul(&cols).reshape(&[c_out, c_in, kh, kw]);
+    let gw = g_mat
+        .transpose()
+        .matmul(&cols)
+        .reshape(&[c_out, c_in, kh, kw]);
     // grad_cols = g_mat · w_mat    -> [n·ho·wo, cin·k·k]
     let w_mat = weight.reshape(&[c_out, c_in * kh * kw]);
     let g_cols = g_mat.matmul(&w_mat);
@@ -163,8 +181,18 @@ pub fn conv2d_backward_fast(
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
-    assert_eq!(t.shape().rank(), 4, "expected rank-4 tensor, got {}", t.shape());
-    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+    assert_eq!(
+        t.shape().rank(),
+        4,
+        "expected rank-4 tensor, got {}",
+        t.shape()
+    );
+    (
+        t.shape().dim(0),
+        t.shape().dim(1),
+        t.shape().dim(2),
+        t.shape().dim(3),
+    )
 }
 
 #[cfg(test)]
@@ -189,18 +217,29 @@ mod tests {
             (3, 2, 5, 6, 1, 1, 0, 4),
             (1, 3, 3, 9, 7, 2, 3, 5),
         ] {
-            let spec = Conv2dSpec { kernel: k, stride, padding };
+            let spec = Conv2dSpec {
+                kernel: k,
+                stride,
+                padding,
+            };
             let x = Tensor::uniform(&[n, c_in, h, h], -1.0, 1.0, seed);
             let w = Tensor::uniform(&[c_out, c_in, k, k], -0.5, 0.5, seed + 100);
             let fast = conv2d_forward_fast(&x, &w, spec);
             let reference = conv2d_forward(&x, &w, spec);
-            assert!(close(&fast, &reference, 1e-5), "mismatch at k={k} s={stride} p={padding}");
+            assert!(
+                close(&fast, &reference, 1e-5),
+                "mismatch at k={k} s={stride} p={padding}"
+            );
         }
     }
 
     #[test]
     fn backward_matches_reference() {
-        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let x = Tensor::uniform(&[2, 3, 8, 8], -1.0, 1.0, 7);
         let w = Tensor::uniform(&[4, 3, 3, 3], -0.5, 0.5, 8);
         let y = conv2d_forward(&x, &w, spec);
@@ -215,19 +254,40 @@ mod tests {
     fn im2col_col2im_adjointness() {
         // <im2col(x), y> == <x, col2im(y)> — the two lowering maps are
         // transposes of each other.
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let x = Tensor::uniform(&[1, 2, 5, 5], -1.0, 1.0, 11);
         let cols = im2col(&x, spec);
         let y = Tensor::uniform(cols.shape().dims(), -1.0, 1.0, 12);
-        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let back = col2im(&y, 1, 2, 5, 5, spec);
-        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjointness broken: {lhs} vs {rhs}");
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjointness broken: {lhs} vs {rhs}"
+        );
     }
 
     #[test]
     fn patch_matrix_shape() {
-        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let x = Tensor::zeros(&[2, 3, 8, 8]);
         let cols = im2col(&x, spec);
         assert_eq!(cols.shape().dims(), &[2 * 4 * 4, 3 * 9]);

@@ -80,15 +80,26 @@ mod tests {
     fn normal_moments_are_roughly_right() {
         let t = normal(&[10_000], 2.0, 123);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .as_slice()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
-        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {} too far from 2", var.sqrt());
+        assert!(
+            (var.sqrt() - 2.0).abs() < 0.1,
+            "std {} too far from 2",
+            var.sqrt()
+        );
     }
 
     #[test]
     fn init_is_deterministic() {
         assert_eq!(normal(&[32], 1.0, 7), normal(&[32], 1.0, 7));
-        assert_eq!(xavier_uniform(&[8, 8], 8, 8, 3), xavier_uniform(&[8, 8], 8, 8, 3));
+        assert_eq!(
+            xavier_uniform(&[8, 8], 8, 8, 3),
+            xavier_uniform(&[8, 8], 8, 8, 3)
+        );
     }
 }

@@ -40,10 +40,10 @@ mod tensor;
 pub mod init;
 
 pub use autograd::{Graph, Var};
-pub use shape::Shape;
 pub use im2col::{col2im, conv2d_backward_fast, conv2d_forward_fast, im2col};
+pub use shape::Shape;
 pub use tensor::{
-    conv2d_forward, conv2d_backward, dwconv2d_forward, dwconv2d_backward, Conv2dSpec, Tensor,
+    conv2d_backward, conv2d_forward, dwconv2d_backward, dwconv2d_forward, Conv2dSpec, Tensor,
 };
 
 /// Numerical tolerance used throughout the test-suite when comparing floats.

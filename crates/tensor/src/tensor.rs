@@ -61,12 +61,18 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let shape = Shape::new(shape);
-        Self { data: vec![value; shape.len()], shape }
+        Self {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// A scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { data: vec![value], shape: Shape::scalar() }
+        Self {
+            data: vec![value],
+            shape: Shape::scalar(),
+        }
     }
 
     /// A tensor with elements drawn i.i.d. from `U(lo, hi)`, seeded.
@@ -132,7 +138,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "item() on tensor with {} elements", self.data.len());
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() on tensor with {} elements",
+            self.data.len()
+        );
         self.data[0]
     }
 
@@ -151,8 +162,16 @@ impl Tensor {
             "shape mismatch in {op}: {} vs {}",
             self.shape, other.shape
         );
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { data, shape: self.shape.clone() }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            data,
+            shape: self.shape.clone(),
+        }
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -182,7 +201,10 @@ impl Tensor {
 
     /// Applies `f` to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// In-place `self += other * s` (axpy). Panics on shape mismatch.
@@ -240,11 +262,25 @@ impl Tensor {
     ///
     /// Panics if either operand is not rank-2 or the inner dimensions differ.
     pub fn matmul(&self, other: &Self) -> Self {
-        assert_eq!(self.shape.rank(), 2, "matmul lhs must be rank-2, got {}", self.shape);
-        assert_eq!(other.shape.rank(), 2, "matmul rhs must be rank-2, got {}", other.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "matmul lhs must be rank-2, got {}",
+            self.shape
+        );
+        assert_eq!(
+            other.shape.rank(),
+            2,
+            "matmul rhs must be rank-2, got {}",
+            other.shape
+        );
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
-        assert_eq!(k, k2, "matmul inner dimension mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dimension mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
@@ -268,7 +304,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2.
     pub fn transpose(&self) -> Self {
-        assert_eq!(self.shape.rank(), 2, "transpose requires rank-2, got {}", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "transpose requires rank-2, got {}",
+            self.shape
+        );
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
@@ -286,7 +327,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2 or `count` exceeds the row count.
     pub fn sample_rows(&self, count: usize, seed: u64) -> Self {
-        assert_eq!(self.shape.rank(), 2, "sample_rows requires rank-2, got {}", self.shape);
+        assert_eq!(
+            self.shape.rank(),
+            2,
+            "sample_rows requires rank-2, got {}",
+            self.shape
+        );
         let rows = self.shape.dim(0);
         let cols = self.shape.dim(1);
         assert!(count <= rows, "cannot sample {count} rows from {rows}");
@@ -311,7 +357,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "data={:?})", self.data)
         } else {
-            write!(f, "data=[{}, {}, ..; {}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "data=[{}, {}, ..; {}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -335,7 +387,12 @@ impl Conv2dSpec {
     /// Panics if the padded input is smaller than the kernel.
     pub fn out_size(&self, n: usize) -> usize {
         let padded = n + 2 * self.padding;
-        assert!(padded >= self.kernel, "input {n} too small for kernel {} / padding {}", self.kernel, self.padding);
+        assert!(
+            padded >= self.kernel,
+            "input {n} too small for kernel {} / padding {}",
+            self.kernel,
+            self.padding
+        );
         (padded - self.kernel) / self.stride + 1
     }
 }
@@ -351,9 +408,20 @@ impl Conv2dSpec {
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c_in, h, w) = dims4(input, "conv2d input");
     let (c_out, c_in_w, kh, kw) = dims4(weight, "conv2d weight");
-    assert_eq!(c_in, c_in_w, "conv2d channel mismatch: input {c_in} vs weight {c_in_w}");
-    assert_eq!(kh, spec.kernel, "weight kernel height {kh} != spec kernel {}", spec.kernel);
-    assert_eq!(kw, spec.kernel, "weight kernel width {kw} != spec kernel {}", spec.kernel);
+    assert_eq!(
+        c_in, c_in_w,
+        "conv2d channel mismatch: input {c_in} vs weight {c_in_w}"
+    );
+    assert_eq!(
+        kh, spec.kernel,
+        "weight kernel height {kh} != spec kernel {}",
+        spec.kernel
+    );
+    assert_eq!(
+        kw, spec.kernel,
+        "weight kernel width {kw} != spec kernel {}",
+        spec.kernel
+    );
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
     let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
     let x = input.as_slice();
@@ -404,7 +472,11 @@ pub fn conv2d_backward(
     let (n, c_in, h, w) = dims4(input, "conv2d input");
     let (c_out, _, kh, kw) = dims4(weight, "conv2d weight");
     let (gn, gc, ho, wo) = dims4(grad_out, "conv2d grad_out");
-    assert_eq!((gn, gc), (n, c_out), "conv2d grad_out batch/channel mismatch");
+    assert_eq!(
+        (gn, gc),
+        (n, c_out),
+        "conv2d grad_out batch/channel mismatch"
+    );
     let mut gx = Tensor::zeros(&[n, c_in, h, w]);
     let mut gw = Tensor::zeros(&[c_out, c_in, kh, kw]);
     let x = input.as_slice();
@@ -545,8 +617,18 @@ pub fn dwconv2d_backward(
 }
 
 fn dims4(t: &Tensor, what: &str) -> (usize, usize, usize, usize) {
-    assert_eq!(t.shape().rank(), 4, "{what} must be rank-4, got {}", t.shape());
-    (t.shape().dim(0), t.shape().dim(1), t.shape().dim(2), t.shape().dim(3))
+    assert_eq!(
+        t.shape().rank(),
+        4,
+        "{what} must be rank-4, got {}",
+        t.shape()
+    );
+    (
+        t.shape().dim(0),
+        t.shape().dim(1),
+        t.shape().dim(2),
+        t.shape().dim(3),
+    )
 }
 
 #[cfg(test)]
@@ -618,7 +700,11 @@ mod tests {
         // A 1x1 kernel with weight 1 is the identity on a single channel.
         let x = Tensor::uniform(&[1, 1, 4, 4], -1.0, 1.0, 3);
         let w = Tensor::ones(&[1, 1, 1, 1]);
-        let spec = Conv2dSpec { kernel: 1, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let y = conv2d_forward(&x, &w, spec);
         assert_eq!(x.as_slice(), y.as_slice());
     }
@@ -628,7 +714,11 @@ mod tests {
         // All-ones 3x3 kernel on all-ones input, no padding: every output is 9.
         let x = Tensor::ones(&[1, 1, 5, 5]);
         let w = Tensor::ones(&[1, 1, 3, 3]);
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
         let y = conv2d_forward(&x, &w, spec);
         assert_eq!(y.shape().dims(), &[1, 1, 3, 3]);
         assert!(y.as_slice().iter().all(|&v| (v - 9.0).abs() < 1e-6));
@@ -638,14 +728,22 @@ mod tests {
     fn conv2d_padding_preserves_size() {
         let x = Tensor::ones(&[2, 3, 8, 8]);
         let w = Tensor::uniform(&[4, 3, 3, 3], -0.1, 0.1, 9);
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = conv2d_forward(&x, &w, spec);
         assert_eq!(y.shape().dims(), &[2, 4, 8, 8]);
     }
 
     #[test]
     fn conv2d_stride_two_halves_size() {
-        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         assert_eq!(spec.out_size(8), 4);
         assert_eq!(spec.out_size(7), 4);
     }
@@ -654,7 +752,11 @@ mod tests {
     fn dwconv_keeps_channels() {
         let x = Tensor::uniform(&[1, 6, 4, 4], -1.0, 1.0, 5);
         let w = Tensor::uniform(&[6, 1, 3, 3], -1.0, 1.0, 6);
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = dwconv2d_forward(&x, &w, spec);
         assert_eq!(y.shape().dims(), &[1, 6, 4, 4]);
     }
@@ -665,7 +767,11 @@ mod tests {
         let x = Tensor::ones(&[1, 2, 3, 3]);
         let mut w = Tensor::ones(&[2, 1, 1, 1]);
         w.set(&[1, 0, 0, 0], 0.0);
-        let spec = Conv2dSpec { kernel: 1, stride: 1, padding: 0 };
+        let spec = Conv2dSpec {
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
         let y = dwconv2d_forward(&x, &w, spec);
         for iy in 0..3 {
             for ix in 0..3 {

@@ -7,9 +7,11 @@
 
 use lightnas_tensor::{Conv2dSpec, Graph, Tensor, Var};
 
-
-
-fn finite_diff(build: &impl Fn(&mut Graph, Tensor) -> (Var, Var), theta: &Tensor, eps: f32) -> Tensor {
+fn finite_diff(
+    build: &impl Fn(&mut Graph, Tensor) -> (Var, Var),
+    theta: &Tensor,
+    eps: f32,
+) -> Tensor {
     let mut grad = Tensor::zeros(theta.shape().dims());
     for i in 0..theta.len() {
         let mut plus = theta.clone();
@@ -31,8 +33,17 @@ fn check(name: &str, theta: Tensor, build: impl Fn(&mut Graph, Tensor) -> (Var, 
     g.backward(loss);
     let analytic = g.grad(param).clone();
     let numeric = finite_diff(&build, &theta, 1e-3);
-    assert_eq!(analytic.shape(), numeric.shape(), "{name}: gradient shape mismatch");
-    for (i, (&a, &n)) in analytic.as_slice().iter().zip(numeric.as_slice()).enumerate() {
+    assert_eq!(
+        analytic.shape(),
+        numeric.shape(),
+        "{name}: gradient shape mismatch"
+    );
+    for (i, (&a, &n)) in analytic
+        .as_slice()
+        .iter()
+        .zip(numeric.as_slice())
+        .enumerate()
+    {
         let denom = a.abs().max(n.abs()).max(1e-2);
         assert!(
             (a - n).abs() / denom < 0.05,
@@ -134,7 +145,11 @@ fn gradcheck_conv2d_weight() {
     check("conv2d_w", theta, |g, t| {
         let w = g.parameter(t);
         let x = g.input(Tensor::uniform(&[1, 3, 5, 5], -1.0, 1.0, 22));
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = g.conv2d(x, w, spec);
         let z = g.mul(y, y);
         let loss = g.mean(z);
@@ -148,7 +163,11 @@ fn gradcheck_conv2d_input() {
     check("conv2d_x", theta, |g, t| {
         let x = g.parameter(t);
         let w = g.input(Tensor::uniform(&[3, 2, 3, 3], -0.5, 0.5, 24));
-        let spec = Conv2dSpec { kernel: 3, stride: 2, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
         let y = g.conv2d(x, w, spec);
         let z = g.mul(y, y);
         let loss = g.mean(z);
@@ -162,7 +181,11 @@ fn gradcheck_dwconv2d_weight() {
     check("dwconv_w", theta, |g, t| {
         let w = g.parameter(t);
         let x = g.input(Tensor::uniform(&[1, 4, 5, 5], -1.0, 1.0, 26));
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = g.dwconv2d(x, w, spec);
         let z = g.mul(y, y);
         let loss = g.mean(z);
@@ -176,7 +199,11 @@ fn gradcheck_dwconv2d_input() {
     check("dwconv_x", theta, |g, t| {
         let x = g.parameter(t);
         let w = g.input(Tensor::uniform(&[3, 1, 3, 3], -0.5, 0.5, 28));
-        let spec = Conv2dSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = g.dwconv2d(x, w, spec);
         let z = g.mul(y, y);
         let loss = g.mean(z);

@@ -19,7 +19,12 @@ fn search_on(device: &Xavier, label: &str, target_ms: f64) {
     let (train, valid) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 60,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
     );
     println!("[{label}] predictor RMSE {:.3} ms", predictor.rmse(&valid));
     let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());

@@ -20,7 +20,12 @@ fn main() {
     let (train, _) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 60,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
     );
     let engine = LightNas::new(&space, &oracle, &predictor, SearchConfig::paper());
     let ssd = SsdLite::new(device.clone());
@@ -39,7 +44,10 @@ fn main() {
         ));
     }
 
-    println!("\n{:<16} {:>6} {:>6} {:>6} {:>12}", "backbone", "AP", "AP50", "AP75", "latency(ms)");
+    println!(
+        "\n{:<16} {:>6} {:>6} {:>6} {:>12}",
+        "backbone", "AP", "AP50", "AP75", "latency(ms)"
+    );
     for (name, arch) in &backbones {
         let r = ssd.evaluate(arch, &oracle, 0);
         println!(

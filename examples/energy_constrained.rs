@@ -20,12 +20,21 @@ fn main() {
     let (train, valid) = data.split(0.8);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 80, batch_size: 256, lr: 1e-3, seed: 1 },
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 1,
+        },
     );
     println!(
         "energy predictor validation RMSE: {:.1} mJ over a {:.0}..{:.0} mJ range",
         predictor.rmse(&valid),
-        valid.targets().iter().copied().fold(f64::INFINITY, f64::min),
+        valid
+            .targets()
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min),
         valid.targets().iter().copied().fold(0.0f64, f64::max),
     );
 

@@ -22,9 +22,8 @@ fn main() {
     let target = 24.0;
 
     println!("fixed-λ engine: bisecting λ until the searched network hits {target} ms ± 0.5 ...");
-    let (runs, landed) = runs_to_hit_target(
-        &space, &oracle, &lut, &device, target, 0.5, config, 15,
-    );
+    let (runs, landed) =
+        runs_to_hit_target(&space, &oracle, &lut, &device, target, 0.5, config, 15);
     println!("  -> {runs} full search runs, landed at {landed:.2} ms");
 
     println!("\nLightNAS: one run with the learned multiplier ...");
@@ -32,12 +31,20 @@ fn main() {
     let (train, _) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 60,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
     );
     let engine = LightNas::new(&space, &oracle, &predictor, config);
     let outcome = engine.search(target, 0);
     let measured = device.true_latency_ms(&outcome.architecture, &space);
-    println!("  -> 1 search run, landed at {measured:.2} ms (λ learned to {:+.3})", outcome.lambda);
+    println!(
+        "  -> 1 search run, landed at {measured:.2} ms (λ learned to {:+.3})",
+        outcome.lambda
+    );
 
     println!(
         "\nimplicit-cost ratio: {runs}x search runs for the fixed-λ workflow vs 1x for LightNAS"

@@ -18,7 +18,12 @@ fn train(metric: Metric, seed: u64) -> MlpPredictor {
     let (train, _) = data.split(0.9);
     MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 60, batch_size: 256, lr: 1e-3, seed },
+        &TrainConfig {
+            epochs: 60,
+            batch_size: 256,
+            lr: 1e-3,
+            seed,
+        },
     )
 }
 
@@ -35,8 +40,16 @@ fn main() {
             &space,
             &oracle,
             vec![
-                Budget { predictor: &latency, target: t_ms, label: "latency" },
-                Budget { predictor: &energy, target: t_mj, label: "energy" },
+                Budget {
+                    predictor: &latency,
+                    target: t_ms,
+                    label: "latency",
+                },
+                Budget {
+                    predictor: &energy,
+                    target: t_mj,
+                    label: "energy",
+                },
             ],
             SearchConfig::paper(),
         );

@@ -15,7 +15,10 @@ use lightnas_repro::prelude::*;
 fn main() {
     // 1. The search space of the paper: 21 searchable MBConv/skip slots.
     let space = SearchSpace::standard();
-    println!("search space: {} slots x 7 ops  (|A| = 7^21)", space.layers().len());
+    println!(
+        "search space: {} slots x 7 ops  (|A| = 7^21)",
+        space.layers().len()
+    );
 
     // 2. The simulated device (substitute for the physical Xavier).
     let device = Xavier::maxn();
@@ -26,9 +29,17 @@ fn main() {
     let (train, valid) = data.split(0.8);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 80, batch_size: 256, lr: 1e-3, seed: 0 },
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
     );
-    println!("predictor validation RMSE: {:.3} ms", predictor.rmse(&valid));
+    println!(
+        "predictor validation RMSE: {:.3} ms",
+        predictor.rmse(&valid)
+    );
 
     // 4. One-time search for the 24 ms target.
     let oracle = AccuracyOracle::imagenet();

@@ -1,0 +1,79 @@
+//! Runtime sweep: a frontier of LightNets as scheduled, resumable jobs.
+//!
+//! Where `quickstart` runs one search inline, this example hands a
+//! 3-target × 2-seed grid to the `lightnas-runtime` subsystem: a worker
+//! pool executes the jobs behind one shared predictor cache, every epoch is
+//! narrated to a JSONL telemetry file under `results/runs/`, and each job
+//! checkpoints so a killed process would resume bit-identically.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example runtime_sweep
+//! ```
+
+use lightnas_repro::prelude::*;
+
+fn main() {
+    // 1. Substrates, as in quickstart (shared by every job of the sweep).
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let oracle = AccuracyOracle::imagenet();
+    println!("sampling architectures and training the latency predictor ...");
+    let data = MetricDataset::sample_diverse(&device, &space, Metric::LatencyMs, 4000, 0);
+    let (train, valid) = data.split(0.8);
+    let predictor = MlpPredictor::train(
+        &train,
+        &TrainConfig {
+            epochs: 80,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
+    );
+    println!(
+        "predictor validation RMSE: {:.3} ms",
+        predictor.rmse(&valid)
+    );
+
+    // 2. The job grid: each entry is a pure function of (target, seed).
+    let jobs = SearchJob::grid(&[20.0, 25.0, 30.0], &[0, 1], SearchConfig::paper());
+    let telemetry = Telemetry::create("results/runs", "example_runtime_sweep")
+        .expect("results/runs must be writable");
+    let options = SweepOptions {
+        workers: 4,
+        checkpoint_dir: Some("results/runs/example_ckpt".into()),
+        checkpoint_every: 10,
+        epoch_budget: None,
+    };
+    println!(
+        "running {} search jobs on {} workers ...\n",
+        jobs.len(),
+        options.workers
+    );
+    let report =
+        lightnas_repro::runtime::run_sweep(&oracle, &predictor, &jobs, &options, Some(&telemetry));
+
+    // 3. Report the frontier.
+    println!("target  seed  measured   top-1   architecture");
+    for r in report.completed() {
+        let net = &r.outcome.architecture;
+        println!(
+            "{:>5.1}  {:>4}  {:>7.2}ms  {:>5.1}%  {}",
+            r.job.target,
+            r.job.seed,
+            device.true_latency_ms(net, &space),
+            oracle.top1(net, TrainingProtocol::full(), r.job.seed),
+            net.to_spec(),
+        );
+    }
+    println!(
+        "\ncache: {} hits / {} misses ({:.1}% hit rate) | wall {:.2?} | telemetry {}",
+        report.cache.hits,
+        report.cache.misses,
+        100.0 * report.cache.hit_rate(),
+        report.wall,
+        telemetry.path().display(),
+    );
+    let _ = std::fs::remove_dir_all("results/runs/example_ckpt");
+}

@@ -92,9 +92,18 @@ fn train_predictor(s: &Stack, metric: Metric, quick: bool) -> MlpPredictor {
     let (train, valid) = data.split(0.8);
     let p = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs, batch_size: 256, lr: 1e-3, seed: 0 },
+        &TrainConfig {
+            epochs,
+            batch_size: 256,
+            lr: 1e-3,
+            seed: 0,
+        },
     );
-    eprintln!("[cli] predictor RMSE: {:.3} {}", p.rmse(&valid), metric.unit());
+    eprintln!(
+        "[cli] predictor RMSE: {:.3} {}",
+        p.rmse(&valid),
+        metric.unit()
+    );
     p
 }
 
@@ -112,11 +121,19 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         Some("memory") => Metric::PeakMemoryMib,
         Some(other) => return Err(format!("unknown metric {other:?}")),
     };
-    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(0);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(0);
     let quick = has(args, "--quick");
     let s = stack();
     let predictor = train_predictor(&s, metric, quick);
-    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    let config = if quick {
+        SearchConfig::fast()
+    } else {
+        SearchConfig::paper()
+    };
     eprintln!("[cli] searching (target {target} {}) ...", metric.unit());
     let outcome = LightNas::new(&s.space, &s.oracle, &predictor, config).search(target, seed);
     let net = &outcome.architecture;
@@ -139,7 +156,10 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         ),
     }
     let top1 = s.oracle.top1(net, TrainingProtocol::full(), seed);
-    println!("top-1/top-5 : {top1:.1}% / {:.1}%", s.oracle.top5_from_top1(top1));
+    println!(
+        "top-1/top-5 : {top1:.1}% / {:.1}%",
+        s.oracle.top5_from_top1(top1)
+    );
     println!("MAdds       : {:.0}M", net.flops(&s.space).mflops());
     println!("final lambda: {:+.3}", outcome.lambda);
     Ok(())
@@ -151,11 +171,23 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
     let s = stack();
     let top1 = s.oracle.top1(&arch, TrainingProtocol::full(), 0);
     println!("architecture: {arch}");
-    println!("latency     : {:.2} ms", s.device.true_latency_ms(&arch, &s.space));
-    println!("energy      : {:.0} mJ", s.device.true_energy_mj(&arch, &s.space));
-    println!("top-1/top-5 : {top1:.1}% / {:.1}%", s.oracle.top5_from_top1(top1));
+    println!(
+        "latency     : {:.2} ms",
+        s.device.true_latency_ms(&arch, &s.space)
+    );
+    println!(
+        "energy      : {:.0} mJ",
+        s.device.true_energy_mj(&arch, &s.space)
+    );
+    println!(
+        "top-1/top-5 : {top1:.1}% / {:.1}%",
+        s.oracle.top5_from_top1(top1)
+    );
     println!("MAdds       : {:.0}M", arch.flops(&s.space).mflops());
-    println!("params      : {:.2}M", arch.flops(&s.space).total_params() as f64 / 1e6);
+    println!(
+        "params      : {:.2}M",
+        arch.flops(&s.space).total_params() as f64 / 1e6
+    );
     println!("depth       : {} non-skip layers", arch.depth());
     Ok(())
 }
@@ -165,21 +197,34 @@ fn cmd_evolve(args: &[String]) -> Result<(), String> {
         .ok_or("evolve requires --budget")?
         .parse()
         .map_err(|e| format!("bad --budget: {e}"))?;
-    let seed: u64 = flag(args, "--seed").map(|s| s.parse()).transpose().map_err(|e| format!("bad --seed: {e}"))?.unwrap_or(0);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --seed: {e}"))?
+        .unwrap_or(0);
     let quick = has(args, "--quick");
     let s = stack();
     let predictor = train_predictor(&s, Metric::LatencyMs, quick);
     let config = if quick {
-        EvolutionConfig { population: 32, tournament: 4, generations: 400 }
+        EvolutionConfig {
+            population: 32,
+            tournament: 4,
+            generations: 400,
+        }
     } else {
         EvolutionConfig::default()
     };
     eprintln!("[cli] evolving under a {budget} ms budget ...");
     let engine = EvolutionSearch::new(&s.space, &s.oracle, &predictor, config);
-    let arch = engine.search(budget, seed).ok_or("no feasible architecture found")?;
+    let arch = engine
+        .search(budget, seed)
+        .ok_or("no feasible architecture found")?;
     let top1 = s.oracle.top1(&arch, TrainingProtocol::full(), seed);
     println!("architecture: {arch}");
-    println!("latency     : {:.2} ms", s.device.true_latency_ms(&arch, &s.space));
+    println!(
+        "latency     : {:.2} ms",
+        s.device.true_latency_ms(&arch, &s.space)
+    );
     println!("top-1       : {top1:.1}%");
     Ok(())
 }
@@ -188,7 +233,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let lambdas: Vec<f64> = flag(args, "--lambdas")
         .ok_or("sweep requires --lambdas")?
         .split(',')
-        .map(|t| t.trim().parse().map_err(|e| format!("bad lambda {t:?}: {e}")))
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|e| format!("bad lambda {t:?}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     if lambdas.is_empty() {
         return Err("--lambdas needs at least one value".into());
@@ -196,9 +245,16 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     let quick = has(args, "--quick");
     let s = stack();
     let lut = LutPredictor::build(&s.device, &s.space);
-    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    let config = if quick {
+        SearchConfig::fast()
+    } else {
+        SearchConfig::paper()
+    };
     let points = lambda_sweep(&s.space, &s.oracle, &lut, &s.device, &lambdas, config, 0);
-    println!("{:>10} {:>12} {:>14} {:>8}", "lambda", "latency(ms)", "top1@50ep(%)", "skips");
+    println!(
+        "{:>10} {:>12} {:>14} {:>8}",
+        "lambda", "latency(ms)", "top1@50ep(%)", "skips"
+    );
     for p in points {
         println!(
             "{:>10.4} {:>12.2} {:>14.2} {:>7.0}%",
@@ -215,7 +271,11 @@ fn cmd_frontier(args: &[String]) -> Result<(), String> {
     let targets: Vec<f64> = flag(args, "--targets")
         .ok_or("frontier requires --targets")?
         .split(',')
-        .map(|t| t.trim().parse().map_err(|e| format!("bad target {t:?}: {e}")))
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|e| format!("bad target {t:?}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     if targets.is_empty() {
         return Err("--targets needs at least one value".into());
@@ -223,9 +283,16 @@ fn cmd_frontier(args: &[String]) -> Result<(), String> {
     let quick = has(args, "--quick");
     let s = stack();
     let predictor = train_predictor(&s, Metric::LatencyMs, quick);
-    let config = if quick { SearchConfig::fast() } else { SearchConfig::paper() };
+    let config = if quick {
+        SearchConfig::fast()
+    } else {
+        SearchConfig::paper()
+    };
     let points = trace_frontier(&s.space, &s.oracle, &predictor, config, &targets, 0);
-    println!("{:>12} {:>12} {:>10}", "target(ms)", "measured(ms)", "top1(%)");
+    println!(
+        "{:>12} {:>12} {:>10}",
+        "target(ms)", "measured(ms)", "top1(%)"
+    );
     for p in points {
         println!(
             "{:>12.1} {:>12.2} {:>10.2}",

@@ -15,6 +15,9 @@
 //!   detection transfer.
 //! * [`search`] — the LightNAS engine (learned λ, single path) and the
 //!   FBNet / DARTS / random baselines (Sec. 3.3–3.4).
+//! * [`runtime`] — the concurrent search-job runtime: worker-pool
+//!   scheduler, shared predictor cache, versioned checkpoint/resume, JSONL
+//!   run telemetry.
 //!
 //! # Quickstart
 //!
@@ -36,6 +39,7 @@ pub use lightnas_eval as eval;
 pub use lightnas_hw as hw;
 pub use lightnas_nn as nn;
 pub use lightnas_predictor as predictor;
+pub use lightnas_runtime as runtime;
 pub use lightnas_space as space;
 pub use lightnas_tensor as tensor;
 
@@ -47,7 +51,12 @@ pub mod prelude {
     };
     pub use lightnas_eval::{AccuracyOracle, SsdLite, TrainingProtocol};
     pub use lightnas_hw::{Xavier, XavierConfig};
-    pub use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+    pub use lightnas_predictor::{
+        CachedPredictor, LutPredictor, Metric, MetricDataset, MlpPredictor, Predictor, TrainConfig,
+    };
+    pub use lightnas_runtime::{
+        run_sweep, Checkpoint, JobScheduler, SearchJob, SweepOptions, Telemetry,
+    };
     pub use lightnas_space::{
         mobilenet_v2, reference_architectures, Architecture, Operator, SearchSpace, SpaceConfig,
     };

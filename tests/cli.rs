@@ -10,18 +10,31 @@ fn cli() -> Command {
 #[test]
 fn measure_prints_all_metrics_for_a_valid_architecture() {
     let arch = vec!["K3E6"; 21].join("-");
-    let out = cli().args(["measure", "--arch", &arch]).output().expect("spawns");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .args(["measure", "--arch", &arch])
+        .output()
+        .expect("spawns");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     for field in ["latency", "energy", "top-1", "MAdds", "params", "depth"] {
         assert!(text.contains(field), "missing {field} in:\n{text}");
     }
-    assert!(text.contains("20.2"), "MobileNetV2 anchor latency missing:\n{text}");
+    assert!(
+        text.contains("20.2"),
+        "MobileNetV2 anchor latency missing:\n{text}"
+    );
 }
 
 #[test]
 fn measure_rejects_malformed_architectures() {
-    let out = cli().args(["measure", "--arch", "K3E6-bogus"]).output().expect("spawns");
+    let out = cli()
+        .args(["measure", "--arch", "K3E6-bogus"])
+        .output()
+        .expect("spawns");
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("error"), "unexpected stderr: {err}");

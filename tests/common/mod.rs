@@ -24,9 +24,20 @@ pub fn stack() -> &'static Stack {
         let (train, _) = data.split(0.9);
         let predictor = MlpPredictor::train(
             &train,
-            &TrainConfig { epochs: 60, batch_size: 128, lr: 2e-3, seed: 0 },
+            &TrainConfig {
+                epochs: 60,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            },
         );
         let lut = LutPredictor::build(&device, &space);
-        Stack { space, device, oracle, predictor, lut }
+        Stack {
+            space,
+            device,
+            oracle,
+            predictor,
+            lut,
+        }
     })
 }

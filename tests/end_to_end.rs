@@ -62,7 +62,10 @@ fn fixed_lambda_engine_needs_tuning_where_lightnas_does_not() {
         (ln_lat - 22.0).abs() < (fb_lat - 22.0).abs() + 0.5,
         "LightNAS ({ln_lat:.2} ms) should be closer to 22 ms than fixed-λ ({fb_lat:.2} ms)"
     );
-    assert!((ln_lat - 22.0).abs() < 2.0, "LightNAS missed the target: {ln_lat:.2} ms");
+    assert!(
+        (ln_lat - 22.0).abs() < 2.0,
+        "LightNAS missed the target: {ln_lat:.2} ms"
+    );
 }
 
 #[test]
@@ -72,9 +75,19 @@ fn energy_constrained_search_works_through_the_same_engine() {
     let (train, _) = data.split(0.9);
     let energy_predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 7 },
+        &TrainConfig {
+            epochs: 50,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 7,
+        },
     );
-    let engine = LightNas::new(&s.space, &s.oracle, &energy_predictor, SearchConfig::paper());
+    let engine = LightNas::new(
+        &s.space,
+        &s.oracle,
+        &energy_predictor,
+        SearchConfig::paper(),
+    );
     let outcome = engine.search(500.0, 3);
     let measured = s.device.true_energy_mj(&outcome.architecture, &s.space);
     assert!(
@@ -88,12 +101,16 @@ fn memory_constrained_search_works_through_the_same_engine() {
     // The third metric (peak inference memory): train a predictor on it,
     // plug it into the unchanged engine, hit the budget.
     let s = stack();
-    let data =
-        MetricDataset::sample_diverse(&s.device, &s.space, Metric::PeakMemoryMib, 1500, 17);
+    let data = MetricDataset::sample_diverse(&s.device, &s.space, Metric::PeakMemoryMib, 1500, 17);
     let (train, valid) = data.split(0.9);
     let predictor = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 17 },
+        &TrainConfig {
+            epochs: 50,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 17,
+        },
     );
     assert!(
         predictor.rmse(&valid) < valid.target_std() / 2.0,
@@ -118,14 +135,27 @@ fn multi_constraint_search_satisfies_both_budgets() {
     let (train, _) = data.split(0.9);
     let energy = MlpPredictor::train(
         &train,
-        &TrainConfig { epochs: 50, batch_size: 128, lr: 2e-3, seed: 23 },
+        &TrainConfig {
+            epochs: 50,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 23,
+        },
     );
     let engine = MultiConstraintSearch::new(
         &s.space,
         &s.oracle,
         vec![
-            Budget { predictor: &s.predictor, target: 25.0, label: "latency" },
-            Budget { predictor: &energy, target: 470.0, label: "energy" },
+            Budget {
+                predictor: &s.predictor,
+                target: 25.0,
+                label: "latency",
+            },
+            Budget {
+                predictor: &energy,
+                target: 470.0,
+                label: "energy",
+            },
         ],
         SearchConfig::paper(),
     );

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace benches use — [`Criterion`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] and
+//! [`black_box`] — backed by a plain wall-clock harness: each routine is
+//! warmed up, then timed over `sample_size` samples, and the per-iteration
+//! mean, minimum and maximum are printed. No statistics machinery, no
+//! reports on disk.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: 0,
+        };
+        // Warm-up plus auto-calibration of iterations per sample.
+        b.calibrate(&mut f);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter: Vec<f64> = b
+            .samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e9 / b.iters_per_sample.max(1) as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+        let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{id:<40} {:>12} /iter  (min {}, max {}, {} samples x {} iters)",
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            self.sample_size,
+            b.iters_per_sample
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs the routine once to pick an iteration count that makes one
+    /// sample last roughly a millisecond (so fast routines get averaged).
+    fn calibrate<F: FnMut(&mut Bencher)>(&mut self, f: &mut F) {
+        self.iters_per_sample = 1;
+        f(self);
+        let once = self.samples.last().copied().unwrap_or(Duration::ZERO);
+        let target = Duration::from_millis(1);
+        if once < target && !once.is_zero() {
+            self.iters_per_sample =
+                (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        }
+    }
+
+    /// Times `routine`, repeating it `iters_per_sample` times per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample.max(1) {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a group of benchmarks as a callable function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5);
+        targets = tiny
+    }
+
+    #[test]
+    fn harness_runs_and_times() {
+        benches();
+    }
+
+    #[test]
+    fn short_form_group_compiles() {
+        criterion_group!(quick, tiny);
+        quick();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be positive")]
+    fn zero_sample_size_rejected() {
+        let _ = Criterion::default().sample_size(0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the exact subset of the `rand` 0.10 API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a seedable, deterministic PRNG (xoshiro256++ here;
+//!   the real crate uses ChaCha12 — any fixed high-quality stream works, the
+//!   workspace only relies on determinism per seed),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`RngExt::random`] for `f32` / `f64` / `bool`,
+//! * [`RngExt::random_range`] over half-open and inclusive numeric ranges.
+//!
+//! One deliberate extension beyond the upstream API: [`rngs::StdRng::state`]
+//! and [`rngs::StdRng::from_state`] expose the generator state so search
+//! checkpoints can capture and restore the exact stream position
+//! (`lightnas-runtime` relies on this for bit-identical resume).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value-producing interface (merges upstream `RngCore` + `Rng`).
+pub trait RngExt {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of one 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniformly random value of a supported type (`f32`/`f64` in `[0, 1)`,
+    /// `bool` fair coin, integers over their full range).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform sample from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngExt + ?Sized> RngExt for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types [`RngExt::random`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniform value from the generator.
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngExt + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types [`RngExt::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). The bounds are already validated non-empty.
+    fn sample_between<R: RngExt + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngExt + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Width as u64 of the value count minus one.
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                let count = if inclusive { span.checked_add(1) } else { Some(span) };
+                match count {
+                    // Full 2^64 span (only reachable for 64-bit inclusive
+                    // ranges): every draw is valid.
+                    None => (lo as $wide).wrapping_add(rng.next_u64() as $wide) as $t,
+                    Some(n) => {
+                        // Debiased multiply-shift (Lemire); the retry loop
+                        // terminates with overwhelming probability.
+                        let threshold = n.wrapping_neg() % n;
+                        loop {
+                            let wide = rng.next_u64() as u128 * n as u128;
+                            if (wide as u64) >= threshold {
+                                let offset = (wide >> 64) as u64;
+                                return (lo as $wide).wrapping_add(offset as $wide) as $t;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    )*};
+}
+sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+macro_rules! sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngExt + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                // Standard scale-and-shift; for floats the inclusive and
+                // half-open variants are indistinguishable in practice.
+                let u: $t = rng.random();
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T: SampleUniform> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from an empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngExt + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngExt, SeedableRng};
+
+    /// The workspace's standard deterministic PRNG: xoshiro256++.
+    ///
+    /// Statistically strong, tiny state, and — unlike the upstream ChaCha12
+    /// `StdRng` — with an inspectable state ([`state`](Self::state) /
+    /// [`from_state`](Self::from_state)) so checkpoints can freeze and
+    /// restore the exact stream position.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The raw generator state (for checkpoint serialization).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator mid-stream from a captured state.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro cannot leave.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+            Self { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with splitmix64 (the xoshiro authors' method).
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range_and_cover_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (mut lo, mut hi) = (1.0f64, 0.0f64);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn integer_ranges_hit_every_value_without_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..7usize)] += 1;
+        }
+        for &c in &counts {
+            let expected = n / 7;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < (expected / 10) as u64,
+                "count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_reach_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw = [false; 3];
+        for _ in 0..1000 {
+            let v: i32 = rng.random_range(-1..=1);
+            saw[(v + 1) as usize] = true;
+        }
+        assert!(saw.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x: f32 = rng.random_range(0.7..1.3);
+            assert!((0.7..1.3).contains(&x));
+            let y: f64 = rng.random_range(f64::EPSILON..1.0);
+            assert!(y > 0.0 && y < 1.0);
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_exact_stream() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let saved = rng.state();
+        let tail: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let mut resumed = StdRng::from_state(saved);
+        let resumed_tail: Vec<u64> = (0..32).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw<R: RngExt + ?Sized>(rng: &mut R) -> (f32, bool, usize) {
+            (rng.random(), rng.random(), rng.random_range(0..10))
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let (f, _, i) = draw(&mut rng);
+        assert!((0.0..1.0).contains(&f));
+        assert!(i < 10);
+    }
+}
