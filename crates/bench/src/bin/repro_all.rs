@@ -38,6 +38,7 @@ const EXHIBITS: &[&str] = &[
     "pareto",
     "anatomy",
     "runtime_sweep",
+    "fault_sweep",
 ];
 
 enum Status {

@@ -128,6 +128,7 @@ fn main() -> ExitCode {
         checkpoint_dir: Some(ckpt_dir.clone()),
         checkpoint_every: 0,
         epoch_budget: Some(budget),
+        ..SweepOptions::default()
     };
     let killed = run_sweep(&h.oracle, &h.predictor, &jobs, &killed_opts, None);
     let interrupted = killed.statuses.len() - killed.completed().len();

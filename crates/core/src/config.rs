@@ -57,6 +57,26 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// What a [`SearchStepper`](crate::SearchStepper) does when one of its
+/// divergence guards trips (a non-finite λ, or a non-finite loss/metric
+/// value entering the update).
+///
+/// The policy is deliberately **not** part of [`SearchConfig`]: it never
+/// changes the trajectory of a healthy search (the guards are read-only on
+/// finite values), so it does not belong to the job's identity and stays out
+/// of the checkpoint format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DivergencePolicy {
+    /// Surface a typed [`SearchError`](crate::SearchError); the caller
+    /// decides whether to retry from a checkpoint or fail the job.
+    #[default]
+    Abort,
+    /// Reset λ to 0, skip the poisoned update, and continue the schedule.
+    /// Non-finite α is always fatal — there is nothing sound to continue
+    /// from once the architecture parameters themselves are corrupt.
+    ResetLambda,
+}
+
 /// Hyper-parameters of a search run (paper Sec. 4.1 defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SearchConfig {

@@ -121,7 +121,9 @@ pub mod multi;
 pub mod pareto;
 pub mod sweep;
 
-pub use config::{ConfigError, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+pub use config::{
+    ConfigError, DivergencePolicy, EpochRecord, SearchConfig, SearchOutcome, SearchTrace,
+};
 pub use darts::DartsSearch;
 pub use evolution::{EvolutionConfig, EvolutionSearch};
 pub use fbnet::FbnetSearch;
@@ -130,4 +132,4 @@ pub use optimizer::AdamState;
 pub use proxyless::ProxylessSearch;
 pub use random_search::RandomSearch;
 pub use relax::ArchParams;
-pub use stepper::{SearchState, SearchStepper};
+pub use stepper::{SearchError, SearchState, SearchStepper};

@@ -14,8 +14,64 @@ use lightnas_space::{NUM_OPS, SEARCHABLE_LAYERS};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::fmt;
+
 use crate::optimizer::{AdamState, AlphaAdam};
-use crate::{ArchParams, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+use crate::{ArchParams, DivergencePolicy, EpochRecord, SearchConfig, SearchOutcome, SearchTrace};
+
+/// A search trajectory left the finite numbers — the typed form of "this
+/// job diverged", surfaced by [`SearchStepper::try_step_epoch`].
+///
+/// A diverged stepper is **torn**: the failing epoch may have applied part
+/// of its updates, no trace record was pushed, and the epoch counter did not
+/// advance. Do not keep stepping it — rebuild from the last good checkpoint
+/// (what `lightnas-runtime`'s supervisor does) or restart the job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SearchError {
+    /// A loss/metric value entering the update was non-finite (a NaN/∞ from
+    /// the predictor or oracle).
+    NonFiniteLoss {
+        /// Epoch that hit the value.
+        epoch: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An architecture parameter went non-finite. Never recoverable: the
+    /// search direction itself is corrupt.
+    NonFiniteAlpha {
+        /// Epoch that detected the corruption.
+        epoch: usize,
+        /// Searchable-slot row of the bad entry.
+        layer: usize,
+        /// Operator column of the bad entry.
+        op: usize,
+    },
+    /// The trade-off multiplier λ went non-finite during the ascent.
+    NonFiniteLambda {
+        /// Epoch that detected the divergence.
+        epoch: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SearchError::NonFiniteLoss { epoch, value } => {
+                write!(f, "non-finite loss/metric {value} at epoch {epoch}")
+            }
+            SearchError::NonFiniteAlpha { epoch, layer, op } => {
+                write!(f, "non-finite alpha[{layer}][{op}] at epoch {epoch}")
+            }
+            SearchError::NonFiniteLambda { epoch, value } => {
+                write!(f, "non-finite lambda {value} at epoch {epoch}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// The complete, serializable state of a LightNAS search between epochs.
 ///
@@ -75,6 +131,8 @@ pub struct SearchStepper<'a, P> {
     epoch: usize,
     global_step: usize,
     trace: SearchTrace,
+    divergence: DivergencePolicy,
+    recoveries: u64,
 }
 
 impl<'a, P: Predictor> SearchStepper<'a, P> {
@@ -133,7 +191,30 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
             epoch: state.epoch,
             global_step: state.global_step,
             trace: state.trace,
+            divergence: DivergencePolicy::Abort,
+            recoveries: 0,
         }
+    }
+
+    /// Sets what [`try_step_epoch`](Self::try_step_epoch) does when a
+    /// divergence guard trips (default: [`DivergencePolicy::Abort`]). The
+    /// policy never affects a healthy trajectory — the guards are read-only
+    /// on finite values — so it is not part of the job's identity.
+    pub fn set_divergence_policy(&mut self, policy: DivergencePolicy) {
+        self.divergence = policy;
+    }
+
+    /// Builder form of [`set_divergence_policy`](Self::set_divergence_policy).
+    #[must_use]
+    pub fn with_divergence_policy(mut self, policy: DivergencePolicy) -> Self {
+        self.divergence = policy;
+        self
+    }
+
+    /// How many poisoned updates the [`DivergencePolicy::ResetLambda`]
+    /// policy absorbed so far (0 under `Abort`, which errors instead).
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
     }
 
     /// A snapshot of the complete mutable state (cheap relative to an epoch).
@@ -169,13 +250,42 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
         self.epoch >= self.config.epochs
     }
 
-    /// Runs one epoch of the bi-level loop (paper Sec. 3.3–3.4) and returns
-    /// its record, or `None` if the schedule is already complete.
-    pub fn step_epoch(&mut self) -> Option<EpochRecord> {
-        if self.is_complete() {
-            return None;
+    /// Handles a tripped divergence guard: under `ResetLambda` the poisoned
+    /// update is skipped and λ restarts from 0; under `Abort` the typed
+    /// error surfaces.
+    fn diverged(&mut self, error: SearchError) -> Result<(), SearchError> {
+        match self.divergence {
+            DivergencePolicy::Abort => Err(error),
+            DivergencePolicy::ResetLambda => {
+                self.lambda = 0.0;
+                self.recoveries += 1;
+                Ok(())
+            }
         }
-        let c = &self.config;
+    }
+
+    /// Runs one epoch of the bi-level loop (paper Sec. 3.3–3.4) and returns
+    /// its record, or `Ok(None)` if the schedule is already complete.
+    ///
+    /// Every epoch runs under divergence guards: λ is checked before it
+    /// feeds the α gradient and again after the ascent, predictor/oracle
+    /// values are checked before they enter an update, and the α matrix and
+    /// epoch record are checked at epoch end. On finite trajectories the
+    /// guards are read-only, so guarded and unguarded runs are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SearchError`] when a guard trips and the policy is
+    /// [`DivergencePolicy::Abort`] — and for non-finite α or a non-finite
+    /// epoch record under *any* policy (resetting λ cannot repair those).
+    /// The stepper is then torn mid-epoch: rebuild it from a checkpoint
+    /// instead of stepping further.
+    pub fn try_step_epoch(&mut self) -> Result<Option<EpochRecord>, SearchError> {
+        if self.is_complete() {
+            return Ok(None);
+        }
+        let c = self.config;
         let epoch = self.epoch;
         let t = self.target;
         let total_steps = c.total_steps().max(1) as f64;
@@ -192,6 +302,12 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
             if epoch < c.warmup_epochs {
                 continue;
             }
+            // Guard: λ feeds the α gradient below, so a non-finite value
+            // must be caught *before* it can poison the whole α matrix.
+            if !self.lambda.is_finite() {
+                let value = self.lambda;
+                self.diverged(SearchError::NonFiniteLambda { epoch, value })?;
+            }
             // Single-path sample (Eq. 7-9): one architecture active.
             let (arch, relaxed, probs) = self.params.sample(tau, &mut self.rng);
             // ∂L_valid/∂P̄ — the supernet's validation-loss marginals.
@@ -202,6 +318,18 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
             // constraint residual is evaluated on the derived architecture,
             // not the noisy sample.
             let metric = self.predictor.predict(&self.params.strongest());
+            // Guard: a NaN/∞ from the predictor or oracle would corrupt α
+            // and λ in one step; skip (or abort) before applying anything.
+            let inputs_finite = metric.is_finite()
+                && metric_grad.iter().all(|v| v.is_finite())
+                && acc_marginals.iter().flatten().all(|v| v.is_finite());
+            if !inputs_finite {
+                self.diverged(SearchError::NonFiniteLoss {
+                    epoch,
+                    value: metric,
+                })?;
+                continue;
+            }
             // Combine per Eq. 12: g = ∂L_valid/∂P̄ + (λ/T)·∂LAT/∂P̄.
             let mut g = vec![[0.0f64; NUM_OPS]; SEARCHABLE_LAYERS];
             for l in 0..SEARCHABLE_LAYERS {
@@ -217,9 +345,35 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
             // negative: when LAT < T the penalty becomes a reward for
             // latency, pushing the architecture up towards T.
             self.lambda += c.lambda_lr * (metric / t - 1.0);
-            sampled_sum += self.predictor.predict(&arch);
-            loss_sum += self.oracle.valid_loss(&arch, progress);
-            count += 1.0;
+            let sampled = self.predictor.predict(&arch);
+            let loss = self.oracle.valid_loss(&arch, progress);
+            if sampled.is_finite() && loss.is_finite() {
+                sampled_sum += sampled;
+                loss_sum += loss;
+                count += 1.0;
+            } else {
+                // A poisoned measurement must not reach the epoch means.
+                self.diverged(SearchError::NonFiniteLoss {
+                    epoch,
+                    value: if sampled.is_finite() { loss } else { sampled },
+                })?;
+            }
+        }
+        // Guard: α corruption is fatal under every policy — once the
+        // parameters themselves are non-finite there is no sound direction
+        // to continue in.
+        for (layer, row) in self.params.alpha().iter().enumerate() {
+            for (op, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(SearchError::NonFiniteAlpha { epoch, layer, op });
+                }
+            }
+        }
+        // Guard: λ again, so a divergence in the epoch's *last* step is
+        // caught here rather than one epoch late.
+        if !self.lambda.is_finite() {
+            let value = self.lambda;
+            self.diverged(SearchError::NonFiniteLambda { epoch, value })?;
         }
         let argmax_metric = self.predictor.predict(&self.params.strongest());
         let record = EpochRecord {
@@ -238,9 +392,32 @@ impl<'a, P: Predictor> SearchStepper<'a, P> {
                 self.oracle.valid_loss(&self.params.strongest(), 0.0)
             },
         };
+        // A non-finite record would poison the trace (and the checkpoint
+        // it is serialized into); persistent predictor failure cannot be
+        // repaired by resetting λ, so this is fatal under every policy.
+        if !(record.sampled_metric.is_finite()
+            && record.argmax_metric.is_finite()
+            && record.valid_loss.is_finite())
+        {
+            return Err(SearchError::NonFiniteLoss {
+                epoch,
+                value: record.argmax_metric,
+            });
+        }
         self.trace.push(record);
         self.epoch += 1;
-        Some(record)
+        Ok(Some(record))
+    }
+
+    /// [`try_step_epoch`](Self::try_step_epoch) for infallible call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search diverges (see [`SearchError`]); callers that
+    /// want to recover should use [`try_step_epoch`](Self::try_step_epoch).
+    pub fn step_epoch(&mut self) -> Option<EpochRecord> {
+        self.try_step_epoch()
+            .unwrap_or_else(|e| panic!("search diverged: {e}"))
     }
 
     /// Runs every remaining epoch.
@@ -332,6 +509,126 @@ mod tests {
             ..SearchConfig::fast()
         };
         let _ = SearchStepper::new(&f.oracle, &f.predictor, config, 24.0, 0);
+    }
+
+    /// A predictor whose every answer is NaN — the degenerate failure the
+    /// divergence guards exist for.
+    struct NanPredictor;
+    impl lightnas_predictor::Predictor for NanPredictor {
+        fn predict_encoding(&self, _encoding: &[f32]) -> f64 {
+            f64::NAN
+        }
+        fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+            vec![f32::NAN; encoding.len()]
+        }
+    }
+
+    #[test]
+    fn nan_predictor_aborts_with_typed_error() {
+        let f = fixture();
+        let mut s = SearchStepper::new(&f.oracle, &NanPredictor, SearchConfig::fast(), 24.0, 0);
+        let err = loop {
+            match s.try_step_epoch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("a NaN predictor must not complete"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SearchError::NonFiniteLoss { .. }), "{err}");
+    }
+
+    #[test]
+    fn nan_predictor_is_fatal_even_under_reset_lambda() {
+        // Persistent predictor failure poisons the epoch record itself;
+        // resetting λ cannot repair that, so the guard must still error.
+        let f = fixture();
+        let mut s = SearchStepper::new(&f.oracle, &NanPredictor, SearchConfig::fast(), 24.0, 0)
+            .with_divergence_policy(DivergencePolicy::ResetLambda);
+        let err = loop {
+            match s.try_step_epoch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("a NaN predictor must not complete"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SearchError::NonFiniteLoss { .. }), "{err}");
+    }
+
+    #[test]
+    fn non_finite_lambda_aborts_by_default() {
+        let f = fixture();
+        let mut state = SearchState::fresh(3);
+        state.lambda = f64::NAN;
+        let mut s =
+            SearchStepper::from_state(&f.oracle, &f.predictor, SearchConfig::fast(), 22.0, state);
+        let err = s.try_step_epoch().unwrap_err();
+        assert!(matches!(err, SearchError::NonFiniteLambda { .. }), "{err}");
+    }
+
+    #[test]
+    fn reset_lambda_policy_recovers_a_diverged_multiplier() {
+        let f = fixture();
+        let config = SearchConfig::fast();
+        // Take a healthy run past warmup, then poison λ — the recovery
+        // policy must absorb it and finish the schedule with finite state.
+        let mut healthy = SearchStepper::new(&f.oracle, &f.predictor, config, 22.0, 9);
+        for _ in 0..config.warmup_epochs + 2 {
+            healthy.step_epoch();
+        }
+        let mut poisoned = healthy.state();
+        poisoned.lambda = f64::INFINITY;
+        let mut s = SearchStepper::from_state(&f.oracle, &f.predictor, config, 22.0, poisoned)
+            .with_divergence_policy(DivergencePolicy::ResetLambda);
+        while let Ok(Some(_)) = s.try_step_epoch() {}
+        assert!(s.is_complete(), "recovery policy must finish the schedule");
+        assert!(s.recoveries() > 0, "the guard must have fired");
+        let outcome = s.outcome();
+        assert!(outcome.lambda.is_finite());
+        assert!(outcome.trace.records().iter().all(|r| r.lambda.is_finite()));
+    }
+
+    #[test]
+    fn non_finite_alpha_is_fatal_under_every_policy() {
+        let f = fixture();
+        for policy in [DivergencePolicy::Abort, DivergencePolicy::ResetLambda] {
+            let mut state = SearchState::fresh(0);
+            state.alpha[0][0] = f64::NAN;
+            let mut s = SearchStepper::from_state(
+                &f.oracle,
+                &f.predictor,
+                SearchConfig::fast(),
+                24.0,
+                state,
+            )
+            .with_divergence_policy(policy);
+            let err = s.try_step_epoch().unwrap_err();
+            assert_eq!(
+                err,
+                SearchError::NonFiniteAlpha {
+                    epoch: 0,
+                    layer: 0,
+                    op: 0
+                },
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guards_do_not_perturb_a_healthy_trajectory() {
+        let f = fixture();
+        let config = SearchConfig::fast();
+        let mut plain = SearchStepper::new(&f.oracle, &f.predictor, config, 20.0, 5);
+        plain.run();
+        let mut guarded = SearchStepper::new(&f.oracle, &f.predictor, config, 20.0, 5)
+            .with_divergence_policy(DivergencePolicy::ResetLambda);
+        while let Ok(Some(_)) = guarded.try_step_epoch() {}
+        assert_eq!(guarded.recoveries(), 0);
+        let a = plain.outcome();
+        let b = guarded.outcome();
+        assert_eq!(a.architecture, b.architecture);
+        assert_eq!(a.lambda.to_bits(), b.lambda.to_bits());
+        assert_eq!(a.trace, b.trace);
     }
 
     #[test]

@@ -142,6 +142,11 @@ impl CacheStats {
 /// simultaneous miss on two threads just computes the (deterministic) value
 /// twice. The wrapped predictor is borrowed, so one cache can front the same
 /// model for many search jobs at once.
+///
+/// Lock poisoning is recovered, not propagated: a search job that panics
+/// while holding a cache lock leaves the map in a valid state (every write
+/// is a single `insert` of an already-computed value), so surviving jobs in
+/// the same sweep keep the cache instead of cascading the panic.
 #[derive(Debug)]
 pub struct CachedPredictor<'a, P: Predictor> {
     inner: &'a P,
@@ -178,21 +183,30 @@ impl<'a, P: Predictor> CachedPredictor<'a, P> {
 
     /// Number of distinct architectures with a cached prediction.
     pub fn cached_predictions(&self) -> usize {
-        self.predictions.read().expect("cache lock poisoned").len()
+        self.predictions
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Number of distinct architectures with a cached gradient.
     pub fn cached_gradients(&self) -> usize {
-        self.gradients.read().expect("cache lock poisoned").len()
+        self.gradients
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Drops all cached values and resets the counters.
     pub fn clear(&self) {
         self.predictions
             .write()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
-        self.gradients.write().expect("cache lock poisoned").clear();
+        self.gradients
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -201,7 +215,7 @@ impl<'a, P: Predictor> CachedPredictor<'a, P> {
         if let Some(&v) = self
             .predictions
             .read()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -211,7 +225,7 @@ impl<'a, P: Predictor> CachedPredictor<'a, P> {
         let v = compute();
         self.predictions
             .write()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, v);
         v
     }
@@ -234,7 +248,7 @@ impl<P: Predictor> Predictor for CachedPredictor<'_, P> {
         if let Some(g) = self
             .gradients
             .read()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -244,7 +258,7 @@ impl<P: Predictor> Predictor for CachedPredictor<'_, P> {
         let g = self.inner.gradient(encoding);
         self.gradients
             .write()
-            .expect("cache lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key, g.clone());
         g
     }

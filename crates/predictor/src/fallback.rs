@@ -1,0 +1,188 @@
+//! Graceful predictor degradation: route around a failing primary model.
+//!
+//! Predictor-based NAS systems treat predictor failure as a first-class
+//! case (BRP-NAS falls back to cheaper estimators rather than aborting a
+//! search). [`FallbackPredictor`] reproduces that posture for this stack:
+//! it forwards every query to a primary model (typically the trained
+//! [`MlpPredictor`](crate::MlpPredictor)) and, whenever the answer is
+//! non-finite, transparently re-answers from a fallback (typically the
+//! [`LutPredictor`](crate::LutPredictor) baseline, which is closed-form and
+//! cannot produce NaN from finite tables), counting every degraded call.
+//!
+//! The wrapper is value-transparent while the primary is healthy — a
+//! search driven through it is byte-identical to one driven by the primary
+//! directly — and keeps a sweep *alive* (with honestly worse, LUT-grade
+//! estimates) when the primary is persistently broken.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lightnas_space::Architecture;
+
+use crate::Predictor;
+
+/// A [`Predictor`] that answers from `primary` and degrades to `fallback`
+/// whenever the primary returns a non-finite value (NaN/∞ prediction, or a
+/// gradient with any non-finite component).
+///
+/// Degraded calls are counted ([`degraded`](Self::degraded)), so a runtime
+/// can surface how much of a run actually rode on the fallback.
+#[derive(Debug)]
+pub struct FallbackPredictor<'a, P, F> {
+    primary: &'a P,
+    fallback: &'a F,
+    degraded: AtomicU64,
+}
+
+impl<'a, P: Predictor, F: Predictor> FallbackPredictor<'a, P, F> {
+    /// Wraps `primary` with `fallback` as the degradation target.
+    pub fn new(primary: &'a P, fallback: &'a F) -> Self {
+        Self {
+            primary,
+            fallback,
+            degraded: AtomicU64::new(0),
+        }
+    }
+
+    /// The primary model.
+    pub fn primary(&self) -> &'a P {
+        self.primary
+    }
+
+    /// The degradation target.
+    pub fn fallback(&self) -> &'a F {
+        self.fallback
+    }
+
+    /// How many queries the fallback had to answer so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn note_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl<P: Predictor, F: Predictor> Predictor for FallbackPredictor<'_, P, F> {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        let v = self.primary.predict_encoding(encoding);
+        if v.is_finite() {
+            v
+        } else {
+            self.note_degraded();
+            self.fallback.predict_encoding(encoding)
+        }
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        let g = self.primary.gradient(encoding);
+        if g.iter().all(|v| v.is_finite()) {
+            g
+        } else {
+            self.note_degraded();
+            self.fallback.gradient(encoding)
+        }
+    }
+
+    fn predict(&self, arch: &Architecture) -> f64 {
+        let v = self.primary.predict(arch);
+        if v.is_finite() {
+            v
+        } else {
+            self.note_degraded();
+            self.fallback.predict(arch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LutPredictor;
+    use lightnas_hw::Xavier;
+    use lightnas_space::SearchSpace;
+
+    /// A primary that is broken for every query.
+    struct BrokenPrimary;
+    impl Predictor for BrokenPrimary {
+        fn predict_encoding(&self, _encoding: &[f32]) -> f64 {
+            f64::NAN
+        }
+        fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+            let mut g = vec![0.0; encoding.len()];
+            g[0] = f32::INFINITY;
+            g
+        }
+    }
+
+    /// A primary that glitches on its first `n` predictions only.
+    struct Glitchy {
+        n: u64,
+        calls: AtomicU64,
+    }
+    impl Predictor for Glitchy {
+        fn predict_encoding(&self, _encoding: &[f32]) -> f64 {
+            if self.calls.fetch_add(1, Ordering::Relaxed) < self.n {
+                f64::NAN
+            } else {
+                21.5
+            }
+        }
+        fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+            vec![0.25; encoding.len()]
+        }
+    }
+
+    #[test]
+    fn healthy_primary_passes_through_unchanged() {
+        let space = SearchSpace::standard();
+        let lut = LutPredictor::build(&Xavier::maxn(), &space);
+        let glitchy = Glitchy {
+            n: 0,
+            calls: AtomicU64::new(0),
+        };
+        let fb = FallbackPredictor::new(&glitchy, &lut);
+        let arch = Architecture::random(&space, 1);
+        assert_eq!(fb.predict_encoding(&arch.encode()), 21.5);
+        assert_eq!(
+            fb.gradient(&arch.encode()),
+            glitchy.gradient(&arch.encode())
+        );
+        assert_eq!(fb.degraded(), 0);
+    }
+
+    #[test]
+    fn broken_primary_routes_to_the_lut_and_counts() {
+        let space = SearchSpace::standard();
+        let lut = LutPredictor::build(&Xavier::maxn(), &space);
+        let fb = FallbackPredictor::new(&BrokenPrimary, &lut);
+        let arch = Architecture::random(&space, 2);
+        let enc = arch.encode();
+        assert_eq!(fb.predict_encoding(&enc), lut.predict_encoding(&enc));
+        assert!((Predictor::predict(&fb, &arch) - LutPredictor::predict(&lut, &arch)).abs() == 0.0);
+        assert_eq!(fb.gradient(&enc), Predictor::gradient(&lut, &enc));
+        assert!(
+            fb.gradient(&enc).iter().all(|v| v.is_finite()),
+            "degraded gradients must be finite"
+        );
+        assert_eq!(fb.degraded(), 4, "predict_encoding + predict + gradient×2");
+    }
+
+    #[test]
+    fn transient_glitch_degrades_then_recovers() {
+        let space = SearchSpace::standard();
+        let lut = LutPredictor::build(&Xavier::maxn(), &space);
+        let glitchy = Glitchy {
+            n: 2,
+            calls: AtomicU64::new(0),
+        };
+        let fb = FallbackPredictor::new(&glitchy, &lut);
+        let arch = Architecture::random(&space, 3);
+        let enc = arch.encode();
+        let lut_v = lut.predict_encoding(&enc);
+        assert_eq!(fb.predict_encoding(&enc), lut_v);
+        assert_eq!(fb.predict_encoding(&enc), lut_v);
+        assert_eq!(fb.predict_encoding(&enc), 21.5, "primary healthy again");
+        assert_eq!(fb.degraded(), 2);
+    }
+}

@@ -37,11 +37,13 @@
 mod cache;
 mod dataset;
 mod ensemble;
+mod fallback;
 mod lut;
 mod mlp;
 
 pub use cache::{architecture_key, encoding_key, CacheStats, CachedPredictor, Predictor};
 pub use dataset::{Metric, MetricDataset};
 pub use ensemble::EnsemblePredictor;
+pub use fallback::FallbackPredictor;
 pub use lut::LutPredictor;
 pub use mlp::{MlpPredictor, TrainConfig};

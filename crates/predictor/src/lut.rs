@@ -14,7 +14,9 @@
 //! simulated device.
 
 use lightnas_hw::Xavier;
-use lightnas_space::{Architecture, Operator, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS};
+use lightnas_space::{
+    Architecture, Operator, SearchSpace, NUM_OPS, SEARCHABLE_LAYERS, TOTAL_LAYERS,
+};
 
 use crate::MetricDataset;
 
@@ -138,6 +140,54 @@ impl LutPredictor {
     }
 }
 
+/// The LUT as a [`Predictor`](crate::Predictor): the table sum is *linear*
+/// in the `ᾱ` encoding, so it has an exact, input-independent gradient —
+/// which is what makes it a drop-in degradation target for the MLP (see
+/// [`FallbackPredictor`](crate::FallbackPredictor)). On a one-hot encoding
+/// `predict_encoding` equals [`LutPredictor::predict`] of the decoded
+/// architecture.
+impl crate::Predictor for LutPredictor {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        assert_eq!(
+            encoding.len(),
+            TOTAL_LAYERS * NUM_OPS,
+            "encoding must have {} values",
+            TOTAL_LAYERS * NUM_OPS
+        );
+        // Accumulate the op terms first and add the constants last — the
+        // same float-summation order as the inherent `predict`, so one-hot
+        // encodings agree bit-for-bit.
+        let mut ops_sum = 0.0;
+        for (l, row) in self.table.iter().enumerate() {
+            for (k, &entry) in row.iter().enumerate() {
+                // Row l+1 of the encoding: row 0 is the fixed stem block.
+                ops_sum += encoding[(l + 1) * NUM_OPS + k] as f64 * entry;
+            }
+        }
+        ops_sum + self.fixed_ms + self.bias_ms
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            encoding.len(),
+            TOTAL_LAYERS * NUM_OPS,
+            "encoding must have {} values",
+            TOTAL_LAYERS * NUM_OPS
+        );
+        let mut g = vec![0.0f32; TOTAL_LAYERS * NUM_OPS];
+        for (l, row) in self.table.iter().enumerate() {
+            for (k, &entry) in row.iter().enumerate() {
+                g[(l + 1) * NUM_OPS + k] = entry as f32;
+            }
+        }
+        g
+    }
+
+    fn predict(&self, arch: &Architecture) -> f64 {
+        LutPredictor::predict(self, arch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +234,25 @@ mod tests {
             std < mean / 5.0,
             "gap std {std:.3} vs mean {mean:.3}: not consistent"
         );
+    }
+
+    #[test]
+    fn predictor_trait_agrees_with_inherent_predict() {
+        use crate::Predictor as _;
+        let (_, space, lut, _) = setup();
+        for seed in 0..16 {
+            let arch = Architecture::random(&space, seed);
+            let enc = arch.encode();
+            assert_eq!(
+                lut.predict_encoding(&enc),
+                LutPredictor::predict(&lut, &arch)
+            );
+            let g = crate::Predictor::gradient(&lut, &enc);
+            assert_eq!(g.len(), enc.len());
+            // Row 0 is the fixed block: no searchable entry, zero gradient.
+            assert!(g[..NUM_OPS].iter().all(|&v| v == 0.0));
+            assert_eq!(g[NUM_OPS], lut.entry(0, Operator::from_index(0)) as f32);
+        }
     }
 
     #[test]

@@ -6,17 +6,23 @@
 //! can both rebuild the stepper and *refuse* a checkpoint that was written
 //! by a different job.
 //!
-//! # Format (`lightnas-checkpoint v1`)
+//! # Format (`lightnas-checkpoint v2`)
 //!
-//! A line-oriented text format, one `key value...` record per line,
-//! terminated by an `end` line (which guards against truncated writes on
-//! top of the atomic temp-file + rename protocol used by [`Checkpoint::save`]).
+//! A line-oriented text format, one `key value...` record per line, closed
+//! by a `checksum` line and an `end` line. The `end` terminator guards
+//! against truncated writes (on top of the atomic temp-file + rename
+//! protocol used by [`Checkpoint::save`]); the mandatory `checksum` line —
+//! FNV-1a 64 over every record line between the version line and the
+//! checksum itself, each including its trailing newline — catches *silent*
+//! corruption: a flipped bit inside a hex word still parses as a valid
+//! `f64`, so without the checksum it would resurrect a subtly wrong state
+//! and break bit-identical resume undetectably.
 //! Every `f64` is serialized as the 16-hex-digit form of its IEEE-754 bits
 //! (`f64::to_bits`), **not** as a decimal — resume must be bit-identical,
 //! and decimal round-trips are where bit-identity goes to die.
 //!
 //! ```text
-//! lightnas-checkpoint v1
+//! lightnas-checkpoint v2
 //! target 4038000000000000
 //! seed 7
 //! config 30 30 3 3f68db8bac710cb3 3f50624dd2f1a9fc 3f70624dd2f1a9fc 4014000000000000 3fb999999999999a
@@ -28,6 +34,7 @@
 //! alpha 0 3fb32af5bcc91d11 ... (7 words; 21 rows)
 //! adam_m 0 ... / adam_v 0 ...
 //! trace 0 <sampled> <argmax> <lambda> <tau> <valid_loss>
+//! checksum 41bd4327cbd19d51
 //! end
 //! ```
 
@@ -39,7 +46,25 @@ use lightnas::{AdamState, EpochRecord, SearchConfig, SearchState, SearchTrace};
 use lightnas_space::{NUM_OPS, SEARCHABLE_LAYERS};
 
 /// The format identifier written as the first line of every checkpoint.
-pub const CHECKPOINT_VERSION: &str = "lightnas-checkpoint v1";
+pub const CHECKPOINT_VERSION: &str = "lightnas-checkpoint v2";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64 hash.
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Checksum of the record body: every line (with its trailing newline)
+/// between the version line and the `checksum` line.
+fn body_checksum<'a>(lines: impl IntoIterator<Item = &'a str>) -> u64 {
+    lines.into_iter().fold(FNV_OFFSET, |h, line| {
+        fnv1a(fnv1a(h, line.as_bytes()), b"\n")
+    })
+}
 
 /// Why a checkpoint could not be saved, loaded, or used.
 #[derive(Debug)]
@@ -54,6 +79,14 @@ pub enum CheckpointError {
         line: usize,
         /// What was wrong.
         reason: String,
+    },
+    /// The body hash does not match the stamped `checksum` line — the file
+    /// was silently corrupted after it was written.
+    ChecksumMismatch {
+        /// The checksum stamped in the file.
+        stamped: u64,
+        /// The checksum computed over the body as read.
+        computed: u64,
     },
     /// The checkpoint belongs to a different job (target/seed/config).
     Mismatch(String),
@@ -71,6 +104,12 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::Malformed { line, reason } => {
                 write!(f, "malformed checkpoint at line {line}: {reason}")
+            }
+            CheckpointError::ChecksumMismatch { stamped, computed } => {
+                write!(
+                    f,
+                    "checkpoint checksum mismatch: file says {stamped:016x}, body hashes to {computed:016x}"
+                )
             }
             CheckpointError::Mismatch(what) => {
                 write!(f, "checkpoint belongs to a different job: {what}")
@@ -183,8 +222,6 @@ impl Checkpoint {
         let c = &self.config;
         let s = &self.state;
         let mut out = String::with_capacity(8 * 1024);
-        out.push_str(CHECKPOINT_VERSION);
-        out.push('\n');
         out.push_str(&format!("target {}\n", hex(self.target)));
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!(
@@ -230,8 +267,10 @@ impl Checkpoint {
                 hex(r.valid_loss),
             ));
         }
-        out.push_str("end\n");
-        out
+        // `out` so far is exactly the hashed body: stamp it, then prepend
+        // the version line and close with `end`.
+        let stamp = body_checksum(out.lines());
+        format!("{CHECKPOINT_VERSION}\n{out}checksum {stamp:016x}\nend\n")
     }
 
     /// Parses the text form produced by [`render`](Self::render).
@@ -239,8 +278,10 @@ impl Checkpoint {
     /// # Errors
     ///
     /// Returns [`CheckpointError::UnsupportedVersion`] for a foreign first
-    /// line, or [`CheckpointError::Malformed`] for missing/duplicated/
-    /// unparsable records or a missing `end` terminator.
+    /// line, [`CheckpointError::ChecksumMismatch`] when the body does not
+    /// hash to the stamped checksum, or [`CheckpointError::Malformed`] for
+    /// missing/duplicated/unparsable records or a missing `checksum` /
+    /// `end` terminator.
     pub fn parse(text: &str) -> Result<Self, CheckpointError> {
         let bad = |line: usize, reason: String| CheckpointError::Malformed { line, reason };
         let mut lines = text.lines().enumerate();
@@ -263,6 +304,8 @@ impl Checkpoint {
         let mut rows_seen = [0usize; 3];
         let mut trace = SearchTrace::new();
         let mut terminated = false;
+        let mut stamped = None;
+        let mut running = FNV_OFFSET;
         for (i, line) in lines {
             let ln = i + 1;
             let toks: Vec<&str> = line.split_whitespace().collect();
@@ -270,6 +313,9 @@ impl Checkpoint {
                 Some(split) => split,
                 None => continue,
             };
+            if key != "checksum" && key != "end" {
+                running = fnv1a(fnv1a(running, line.as_bytes()), b"\n");
+            }
             let one = |rest: &[&str]| -> Result<String, CheckpointError> {
                 match rest {
                     [tok] => Ok(tok.to_string()),
@@ -341,6 +387,13 @@ impl Checkpoint {
                         valid_loss: parse_hex_f64(rest[5]).map_err(|r| bad(ln, r))?,
                     });
                 }
+                "checksum" => {
+                    let tok = one(rest)?;
+                    stamped = Some(
+                        u64::from_str_radix(&tok, 16)
+                            .map_err(|_| bad(ln, format!("bad checksum {tok:?}")))?,
+                    );
+                }
                 "end" => {
                     terminated = true;
                     break;
@@ -350,6 +403,16 @@ impl Checkpoint {
         }
         if !terminated {
             return Err(bad(0, "missing `end` terminator (truncated file?)".into()));
+        }
+        match stamped {
+            None => return Err(bad(0, "missing checksum record".into())),
+            Some(stamped) if stamped != running => {
+                return Err(CheckpointError::ChecksumMismatch {
+                    stamped,
+                    computed: running,
+                })
+            }
+            Some(_) => {}
         }
         for (name, &n) in ["alpha", "adam_m", "adam_v"].iter().zip(&rows_seen) {
             if n != SEARCHABLE_LAYERS {
@@ -380,9 +443,13 @@ impl Checkpoint {
         })
     }
 
-    /// Writes the checkpoint atomically: the text goes to `<path>.tmp`,
-    /// which is then renamed over `path`, so a crash mid-write leaves either
-    /// the previous checkpoint or none — never a torn one.
+    /// Writes the checkpoint atomically and durably: the text goes to
+    /// `<path>.tmp`, is fsynced, and is then renamed over `path`, so a
+    /// crash mid-write leaves either the previous checkpoint or none —
+    /// never a torn one. After the rename the parent directory is fsynced
+    /// (best-effort) so the *rename itself* survives a power cut; without
+    /// it, the directory entry can still point at the old inode after a
+    /// crash even though the data blocks were durable.
     ///
     /// # Errors
     ///
@@ -398,6 +465,11 @@ impl Checkpoint {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent() {
+            // Best-effort: some filesystems reject directory fsync, and a
+            // missed one only weakens crash durability, not correctness.
+            let _ = std::fs::File::open(dir).and_then(|d| d.sync_all());
+        }
         Ok(())
     }
 
@@ -493,20 +565,88 @@ mod tests {
         assert!(err.to_string().contains("end"), "{err}");
     }
 
+    /// Rewrites the `checksum` line to match a (tampered) body, so tests
+    /// can reach the record-level validation behind the checksum gate.
+    fn restamp(text: &str) -> String {
+        let body: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .filter(|l| !l.starts_with("checksum") && *l != "end")
+            .collect();
+        let stamp = body_checksum(body.iter().copied());
+        let mut out = format!("{CHECKPOINT_VERSION}\n");
+        for line in &body {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(&format!("checksum {stamp:016x}\nend\n"));
+        out
+    }
+
     #[test]
     fn missing_and_malformed_records_are_rejected() {
-        let no_seed: String = sample()
-            .render()
-            .lines()
-            .filter(|l| !l.starts_with("seed"))
-            .collect::<Vec<_>>()
-            .join("\n");
+        let no_seed = restamp(
+            &sample()
+                .render()
+                .lines()
+                .filter(|l| !l.starts_with("seed"))
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
         assert!(Checkpoint::parse(&no_seed)
             .unwrap_err()
             .to_string()
             .contains("seed"));
-        let garbled = sample().render().replace("lambda ", "lambda zz");
+        let garbled = restamp(&sample().render().replace("lambda ", "lambda zz"));
         assert!(Checkpoint::parse(&garbled).is_err());
+    }
+
+    #[test]
+    fn restamped_identity_round_trips() {
+        let ck = sample();
+        let text = ck.render();
+        assert_eq!(
+            restamp(&text),
+            text,
+            "restamp of an untouched file is a no-op"
+        );
+    }
+
+    #[test]
+    fn flipped_bit_inside_a_valid_hex_word_is_caught() {
+        let text = sample().render();
+        // Flip one hex digit of the lambda value: still perfectly parsable
+        // as an f64 bit pattern, so only the checksum can catch it.
+        let lambda_line = text
+            .lines()
+            .find(|l| l.starts_with("lambda "))
+            .expect("lambda record");
+        let value = lambda_line.strip_prefix("lambda ").unwrap();
+        let flipped_digit = if value.starts_with('b') { 'a' } else { 'b' };
+        let tampered_line = format!("lambda {flipped_digit}{}", &value[1..]);
+        let tampered = text.replace(lambda_line, &tampered_line);
+        assert!(
+            Checkpoint::parse(&restamp(&tampered)).is_ok(),
+            "the tampered body must still parse once restamped — otherwise \
+             this test is not exercising the checksum"
+        );
+        let err = Checkpoint::parse(&tampered).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ChecksumMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_checksum_line_is_rejected() {
+        let stripped: String = sample()
+            .render()
+            .lines()
+            .filter(|l| !l.starts_with("checksum"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = Checkpoint::parse(&stripped).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

@@ -16,8 +16,22 @@
 //!   [`SearchState`](lightnas::SearchState) (IEEE-754 bits, atomic writes),
 //!   so a killed sweep resumes **bit-identically**.
 //! * [`Telemetry`] — an append-only JSONL event sink (one file per run,
-//!   conventionally under `results/runs/`).
+//!   conventionally under `results/runs/`), counting rather than hiding
+//!   its own write failures.
 //! * [`run_sweep`] — the composition of all four over a [`SearchJob`] list.
+//!
+//! Sweeps are **supervised**: each job runs behind panic isolation with
+//! bounded, checkpoint-resuming retries ([`SweepOptions::max_retries`]),
+//! corrupt checkpoints are quarantined (`*.corrupt`) with fallback to a
+//! previous generation ([`CheckpointStore`]), non-finite search quantities
+//! trip typed divergence guards
+//! ([`DivergencePolicy`]), and non-finite predictor answers degrade a
+//! single query instead of a job. [`run_sweep_with_faults`] drives the
+//! same machinery under a deterministic [`FaultPlan`] — seeded schedules
+//! of panics, checkpoint corruption, and predictor NaNs — so the recovery
+//! paths are *tested*, not just present; the guarantee (proved by the
+//! `fault_sweep` exhibit) is that a faulted sweep's results are
+//! byte-identical to a fault-free run.
 //!
 //! # Example
 //!
@@ -50,12 +64,19 @@
 //! ```
 
 mod checkpoint;
+mod fault;
 mod scheduler;
+mod supervisor;
 mod sweep;
 mod telemetry;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
+pub use fault::{apply_corruption, CorruptionMode, Fault, FaultKind, FaultPlan};
+pub use lightnas::DivergencePolicy;
 pub use lightnas_predictor::{CacheStats, CachedPredictor};
-pub use scheduler::JobScheduler;
-pub use sweep::{run_sweep, JobResult, JobStatus, SearchJob, SweepOptions, SweepReport};
+pub use scheduler::{panic_message, JobPanic, JobScheduler};
+pub use supervisor::CheckpointStore;
+pub use sweep::{
+    run_sweep, run_sweep_with_faults, JobResult, JobStatus, SearchJob, SweepOptions, SweepReport,
+};
 pub use telemetry::{Field, Telemetry};

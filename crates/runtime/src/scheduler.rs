@@ -1,7 +1,39 @@
-//! A deterministic worker-pool scheduler over indexed jobs.
+//! A deterministic worker-pool scheduler over indexed jobs, with per-job
+//! panic isolation.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
+
+/// A job closure panicked; the payload is preserved as a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// The panic payload, stringified (`"<non-string panic payload>"` when
+    /// the payload was neither `&str` nor `String`).
+    pub message: String,
+}
+
+impl fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+/// Extracts a human-readable message from a panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A fixed-size pool of worker threads executing an indexed job list.
 ///
@@ -63,18 +95,59 @@ impl JobScheduler {
     ///
     /// # Panics
     ///
-    /// A panic inside `f` propagates to the caller once the pool has joined
-    /// (no result is silently dropped).
+    /// A panic inside `f` propagates to the caller once the pool has
+    /// joined, with the original payload message and the job index attached
+    /// (no result is silently dropped, and the remaining jobs still run —
+    /// see [`run_catching`](Self::run_catching)).
     pub fn run<T, F>(&self, items: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let mut first_panic = None;
+        let results: Vec<Option<T>> = self
+            .run_catching(items, f)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => Some(v),
+                Err(p) => {
+                    first_panic.get_or_insert(p);
+                    None
+                }
+            })
+            .collect();
+        if let Some(p) = first_panic {
+            panic!("{p}");
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Like [`run`](Self::run), but a panic inside `f(i)` is *isolated*: it
+    /// becomes `Err(`[`JobPanic`]`)` in slot `i` while every other job still
+    /// runs to completion — a worker that catches a panicking job goes back
+    /// to the queue for the next index instead of dying.
+    ///
+    /// The result mutex is poison-recovered: slots are written whole, so a
+    /// panic elsewhere can never leave a half-written entry.
+    pub fn run_catching<T, F>(&self, items: usize, f: F) -> Vec<Result<T, JobPanic>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let catching = |i: usize| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| JobPanic {
+                index: i,
+                message: panic_message(payload.as_ref()),
+            })
+        };
         if self.workers == 1 || items <= 1 {
-            return (0..items).map(f).collect();
+            return (0..items).map(catching).collect();
         }
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(items);
+        let mut slots: Vec<Option<Result<T, JobPanic>>> = Vec::with_capacity(items);
         slots.resize_with(items, || None);
         let slots = Mutex::new(slots);
         std::thread::scope(|scope| {
@@ -84,14 +157,14 @@ impl JobScheduler {
                     if i >= items {
                         break;
                     }
-                    let out = f(i);
-                    slots.lock().expect("result lock poisoned")[i] = Some(out);
+                    let out = catching(i);
+                    slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(out);
                 });
             }
         });
         slots
             .into_inner()
-            .expect("result lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
             .map(|slot| slot.expect("every index was claimed exactly once"))
             .collect()
@@ -137,6 +210,60 @@ mod tests {
     fn empty_job_list_is_fine() {
         let out: Vec<usize> = JobScheduler::new(4).run(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_take_down_its_neighbours() {
+        for workers in [1, 4] {
+            let out = JobScheduler::new(workers).run_catching(10, |i| {
+                assert!(i != 3 && i != 7, "injected failure in job {i}");
+                i * 2
+            });
+            assert_eq!(out.len(), 10, "{workers} workers");
+            for (i, r) in out.iter().enumerate() {
+                match r {
+                    Ok(v) if i != 3 && i != 7 => assert_eq!(*v, i * 2),
+                    Err(p) if i == 3 || i == 7 => {
+                        assert_eq!(p.index, i);
+                        assert!(p.message.contains(&format!("job {i}")), "{}", p.message);
+                    }
+                    other => panic!("job {i}: unexpected {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_propagates_the_panic_with_its_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            JobScheduler::new(2).run(6, |i| {
+                if i == 4 {
+                    panic!("boom from {i}");
+                }
+                i
+            })
+        })
+        .expect_err("run must re-panic");
+        let msg = panic_message(caught.as_ref());
+        assert!(
+            msg.contains("job 4") && msg.contains("boom from 4"),
+            "payload {msg:?} must name the job and carry the original message"
+        );
+    }
+
+    #[test]
+    fn non_string_payloads_are_survived() {
+        let out = JobScheduler::serial().run_catching(2, |i| {
+            if i == 1 {
+                std::panic::panic_any(42_i32);
+            }
+            i
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(
+            out[1].as_ref().unwrap_err().message,
+            "<non-string panic payload>"
+        );
     }
 
     #[test]

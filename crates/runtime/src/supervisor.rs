@@ -1,0 +1,455 @@
+//! Per-job supervision: checkpoint generations with quarantine, guarded
+//! predictors, and the bounded-retry loop around one search attempt.
+//!
+//! The supervisor owns everything between "the scheduler hands a job to a
+//! worker" and "the job reports a [`JobStatus`]":
+//!
+//! * [`CheckpointStore`] keeps **two generations** of a job's checkpoint
+//!   (current + previous) and falls back across them on load failure,
+//!   renaming any unreadable file to `<name>.corrupt` instead of deleting
+//!   the evidence.
+//! * [`GuardedPredictor`] sits between the stepper and the sweep-shared
+//!   predictor cache: injected (or genuine) non-finite answers are retried
+//!   against the cache once and counted, so a transient NaN degrades a
+//!   single query instead of the whole job — and never enters the cache.
+//! * [`supervise_job`] retries a crashed or diverged attempt up to
+//!   `max_retries` times with deterministic exponential backoff, resuming
+//!   from the newest loadable checkpoint each time.
+//!
+//! Determinism under faults: recovery only ever (a) re-runs epochs from a
+//! bit-exact snapshot, (b) falls back to an *older* bit-exact snapshot, or
+//! (c) restarts from epoch 0 — and a search epoch is a pure function of the
+//! resumed state, so a supervised job that eventually completes produces
+//! byte-for-byte the same outcome as an unfaulted run.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use lightnas::SearchStepper;
+use lightnas_eval::AccuracyOracle;
+use lightnas_predictor::{CachedPredictor, Predictor};
+use lightnas_space::Architecture;
+
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::fault::{apply_corruption, FaultPlan};
+use crate::scheduler::panic_message;
+use crate::sweep::{checkpoint_path, JobResult, JobStatus, SearchJob, SweepOptions};
+use crate::telemetry::{Field, Telemetry};
+
+/// Two generations of one job's on-disk checkpoint, with quarantine.
+///
+/// Every save rotates the current file to `<name>.prev` before writing, so
+/// a save that lands corrupted (torn storage, bit rot) still leaves one
+/// older loadable snapshot behind. [`recover`](Self::recover) walks the
+/// generations newest-first and *quarantines* — renames to `<name>.corrupt`
+/// — anything that fails to load or belongs to a different job, keeping
+/// the evidence for post-mortems instead of overwriting it.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    current: PathBuf,
+    previous: PathBuf,
+}
+
+fn quarantined(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".corrupt");
+    PathBuf::from(os)
+}
+
+impl CheckpointStore {
+    /// The store for job `index` under `dir`.
+    pub fn new(dir: &Path, index: usize) -> Self {
+        let current = checkpoint_path(dir, index);
+        let mut prev = current.as_os_str().to_os_string();
+        prev.push(".prev");
+        Self {
+            current,
+            previous: PathBuf::from(prev),
+        }
+    }
+
+    /// The newest-generation path (what [`save`](Self::save) writes).
+    pub fn current(&self) -> &Path {
+        &self.current
+    }
+
+    /// The previous-generation path.
+    pub fn previous(&self) -> &Path {
+        &self.previous
+    }
+
+    /// Rotates the current generation to `.prev` and writes `ck` as the new
+    /// current.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Checkpoint::save`] failures.
+    pub fn save(&self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        if self.current.exists() {
+            std::fs::rename(&self.current, &self.previous)?;
+        }
+        ck.save(&self.current)
+    }
+
+    /// Loads the newest checkpoint that parses *and* belongs to the job
+    /// `(target, seed, config)`. Generations that fail either test are
+    /// quarantined (renamed `<name>.corrupt`) and reported through
+    /// `on_quarantine`; `None` means no generation survived and the job
+    /// must start from scratch.
+    pub fn recover(
+        &self,
+        target: f64,
+        seed: u64,
+        config: &lightnas::SearchConfig,
+        mut on_quarantine: impl FnMut(&Path, &CheckpointError),
+    ) -> Option<Checkpoint> {
+        for path in [&self.current, &self.previous] {
+            if !path.exists() {
+                continue;
+            }
+            let loaded = Checkpoint::load(path).and_then(|ck| {
+                ck.verify_matches(target, seed, config)?;
+                Ok(ck)
+            });
+            match loaded {
+                Ok(ck) => return Some(ck),
+                Err(e) => {
+                    let jail = quarantined(path);
+                    let _ = std::fs::rename(path, &jail);
+                    on_quarantine(&jail, &e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes both generations (a completed job's snapshots are spent).
+    /// Quarantined files are deliberately left behind.
+    pub fn clear(&self) {
+        let _ = std::fs::remove_file(&self.current);
+        let _ = std::fs::remove_file(&self.previous);
+    }
+}
+
+/// A [`Predictor`] wrapper between one job's stepper and the sweep-shared
+/// cache: applies scheduled [`FaultKind::PredictorNan`](crate::FaultKind)
+/// injections *above* the cache (poison never gets memoized), and answers
+/// any non-finite result — injected or genuine — by re-querying the inner
+/// predictor once, counting and narrating the degradation.
+///
+/// For a transient fault the retry returns the inner predictor's (cached,
+/// deterministic) value, so the search trajectory is unchanged; a
+/// persistently broken predictor keeps returning NaN and is then the
+/// stepper's divergence guard's problem.
+pub(crate) struct GuardedPredictor<'a, P: Predictor> {
+    inner: &'a P,
+    job: usize,
+    faults: &'a FaultPlan,
+    telemetry: Option<&'a Telemetry>,
+    calls: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl<'a, P: Predictor> GuardedPredictor<'a, P> {
+    pub(crate) fn new(
+        inner: &'a P,
+        job: usize,
+        faults: &'a FaultPlan,
+        telemetry: Option<&'a Telemetry>,
+    ) -> Self {
+        Self {
+            inner,
+            job,
+            faults,
+            telemetry,
+            calls: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    fn next_call(&self) -> usize {
+        self.calls.fetch_add(1, Ordering::Relaxed) as usize
+    }
+
+    fn note_degraded(&self, call: usize, recovered: bool) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.telemetry {
+            t.emit(
+                "predictor_degraded",
+                &[
+                    ("job", Field::U(self.job as u64)),
+                    ("call", Field::U(call as u64)),
+                    ("recovered", Field::B(recovered)),
+                ],
+            );
+        }
+    }
+}
+
+impl<P: Predictor> Predictor for GuardedPredictor<'_, P> {
+    fn predict_encoding(&self, encoding: &[f32]) -> f64 {
+        let call = self.next_call();
+        let mut v = self.inner.predict_encoding(encoding);
+        if self.faults.take_predictor_nan(self.job, call).is_some() {
+            v = f64::NAN;
+        }
+        if v.is_finite() {
+            return v;
+        }
+        let retried = self.inner.predict_encoding(encoding);
+        self.note_degraded(call, retried.is_finite());
+        retried
+    }
+
+    fn predict(&self, arch: &Architecture) -> f64 {
+        let call = self.next_call();
+        let mut v = self.inner.predict(arch);
+        if self.faults.take_predictor_nan(self.job, call).is_some() {
+            v = f64::NAN;
+        }
+        if v.is_finite() {
+            return v;
+        }
+        let retried = self.inner.predict(arch);
+        self.note_degraded(call, retried.is_finite());
+        retried
+    }
+
+    fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
+        let call = self.next_call();
+        let mut g = self.inner.gradient(encoding);
+        if self.faults.take_predictor_nan(self.job, call).is_some() {
+            g = vec![f32::NAN; g.len()];
+        }
+        if g.iter().all(|v| v.is_finite()) {
+            return g;
+        }
+        let retried = self.inner.gradient(encoding);
+        self.note_degraded(call, retried.iter().all(|v| v.is_finite()));
+        retried
+    }
+}
+
+/// Everything one supervised job needs from its sweep.
+pub(crate) struct JobContext<'a, P: Predictor> {
+    pub(crate) oracle: &'a AccuracyOracle,
+    pub(crate) cached: &'a CachedPredictor<'a, P>,
+    pub(crate) index: usize,
+    pub(crate) job: SearchJob,
+    pub(crate) opts: &'a SweepOptions,
+    pub(crate) telemetry: Option<&'a Telemetry>,
+    pub(crate) faults: &'a FaultPlan,
+}
+
+impl<P: Predictor> JobContext<'_, P> {
+    fn emit(&self, event: &str, fields: &[(&str, Field)]) {
+        if let Some(t) = self.telemetry {
+            let mut all = vec![("job", Field::U(self.index as u64))];
+            all.extend_from_slice(fields);
+            t.emit(event, &all);
+        }
+    }
+}
+
+/// How one attempt of a job ended.
+enum AttemptOutcome {
+    /// Terminal for the supervisor: completed or (budget-)interrupted.
+    Finished(JobStatus),
+    /// The search hit a non-finite guard; retryable.
+    Diverged(lightnas::SearchError),
+}
+
+/// Runs one job under full supervision: panic isolation, bounded retry
+/// with deterministic exponential backoff, checkpoint recovery with
+/// quarantine, and guarded prediction. Never panics for job-level causes —
+/// a job that exhausts its retries reports [`JobStatus::Failed`].
+pub(crate) fn supervise_job<P, F>(ctx: &JobContext<'_, P>, take_epoch: &F) -> JobStatus
+where
+    P: Predictor,
+    F: Fn() -> bool,
+{
+    let mut attempt = 0usize;
+    loop {
+        let error = match catch_unwind(AssertUnwindSafe(|| run_attempt(ctx, take_epoch, attempt))) {
+            Ok(AttemptOutcome::Finished(status)) => return status,
+            Ok(AttemptOutcome::Diverged(e)) => format!("diverged: {e}"),
+            Err(payload) => format!("panicked: {}", panic_message(payload.as_ref())),
+        };
+        ctx.emit(
+            "job_failed",
+            &[
+                ("attempt", Field::U(attempt as u64)),
+                ("error", Field::S(error.clone())),
+            ],
+        );
+        if attempt >= ctx.opts.max_retries {
+            return JobStatus::Failed {
+                index: ctx.index,
+                attempts: attempt + 1,
+                error,
+            };
+        }
+        // Deterministic (jitter-free) exponential backoff: the schedule is
+        // part of the reproducible run, not a source of noise.
+        let backoff = ctx
+            .opts
+            .retry_backoff
+            .saturating_mul(1u32 << attempt.min(16));
+        ctx.emit(
+            "job_retried",
+            &[
+                ("attempt", Field::U(attempt as u64 + 1)),
+                ("backoff_ms", Field::F(backoff.as_secs_f64() * 1e3)),
+            ],
+        );
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        attempt += 1;
+    }
+}
+
+fn run_attempt<P, F>(ctx: &JobContext<'_, P>, take_epoch: &F, attempt: usize) -> AttemptOutcome
+where
+    P: Predictor,
+    F: Fn() -> bool,
+{
+    let job = ctx.job;
+    let index = ctx.index;
+    let started = Instant::now();
+    let store = ctx
+        .opts
+        .checkpoint_dir
+        .as_deref()
+        .map(|dir| CheckpointStore::new(dir, index));
+    let recovered = store.as_ref().and_then(|s| {
+        s.recover(job.target, job.seed, &job.config, |path, error| {
+            ctx.emit(
+                "checkpoint_quarantined",
+                &[
+                    ("path", Field::S(path.display().to_string())),
+                    ("error", Field::S(error.to_string())),
+                ],
+            );
+        })
+    });
+    let guarded = GuardedPredictor::new(ctx.cached, index, ctx.faults, ctx.telemetry);
+    let mut resumed_from = None;
+    let mut stepper = match recovered {
+        Some(ck) => {
+            resumed_from = Some(ck.state.epoch);
+            SearchStepper::from_state(ctx.oracle, &guarded, job.config, job.target, ck.state)
+        }
+        None => SearchStepper::new(ctx.oracle, &guarded, job.config, job.target, job.seed),
+    }
+    .with_divergence_policy(ctx.opts.divergence);
+    ctx.emit(
+        "job_start",
+        &[
+            ("target", Field::F(job.target)),
+            ("seed", Field::U(job.seed)),
+            ("from_epoch", Field::U(stepper.epoch() as u64)),
+            ("resumed", Field::B(resumed_from.is_some())),
+            ("attempt", Field::U(attempt as u64)),
+        ],
+    );
+    let save = |stepper: &SearchStepper<'_, _>, store: &CheckpointStore| {
+        let ck = Checkpoint::new(job.target, job.seed, job.config, stepper.state());
+        store
+            .save(&ck)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", store.current().display()));
+    };
+    while !stepper.is_complete() {
+        if let Some(fault) = ctx.faults.take_panic(index, stepper.epoch()) {
+            panic!("injected fault: {}", fault.kind);
+        }
+        if !take_epoch() {
+            let epoch = stepper.epoch();
+            if let Some(store) = store.as_ref() {
+                save(&stepper, store);
+            }
+            ctx.emit(
+                "job_interrupted",
+                &[
+                    ("epoch", Field::U(epoch as u64)),
+                    (
+                        "checkpoint",
+                        store.as_ref().map_or(Field::B(false), |s| {
+                            Field::S(s.current().display().to_string())
+                        }),
+                    ),
+                ],
+            );
+            return AttemptOutcome::Finished(JobStatus::Interrupted {
+                index,
+                epoch,
+                checkpoint: store.as_ref().map(|s| s.current().to_path_buf()),
+            });
+        }
+        let record = match stepper.try_step_epoch() {
+            Ok(r) => r.expect("not complete, so an epoch must run"),
+            Err(e) => return AttemptOutcome::Diverged(e),
+        };
+        ctx.emit(
+            "epoch",
+            &[
+                ("epoch", Field::U(record.epoch as u64)),
+                ("argmax_metric", Field::F(record.argmax_metric)),
+                ("lambda", Field::F(record.lambda)),
+                ("tau", Field::F(record.tau)),
+            ],
+        );
+        if let Some(store) = store.as_ref() {
+            let every = ctx.opts.checkpoint_every;
+            if every > 0 && stepper.epoch() % every == 0 && !stepper.is_complete() {
+                save(&stepper, store);
+                ctx.emit(
+                    "checkpoint",
+                    &[
+                        ("epoch", Field::U(stepper.epoch() as u64)),
+                        ("path", Field::S(store.current().display().to_string())),
+                    ],
+                );
+                if let Some((_, mode)) = ctx.faults.take_corruption(index, stepper.epoch()) {
+                    apply_corruption(store.current(), mode);
+                }
+            }
+        }
+    }
+    let outcome = stepper.outcome();
+    if let Some(store) = store.as_ref() {
+        store.clear();
+    }
+    ctx.emit(
+        "job_done",
+        &[
+            ("epochs", Field::U(job.config.epochs as u64)),
+            ("arch", Field::S(outcome.architecture.to_spec())),
+            ("lambda", Field::F(outcome.lambda)),
+            // Predicted via the shared cache, not the guard: the report
+            // value must never consume a fault slot or count as a call.
+            (
+                "predicted",
+                Field::F(ctx.cached.predict(&outcome.architecture)),
+            ),
+            ("wall_ms", Field::F(started.elapsed().as_secs_f64() * 1e3)),
+            ("resumed", Field::B(resumed_from.is_some())),
+            ("attempt", Field::U(attempt as u64)),
+            ("lambda_resets", Field::U(stepper.recoveries())),
+            ("degraded_calls", Field::U(guarded.degraded())),
+        ],
+    );
+    AttemptOutcome::Finished(JobStatus::Completed(JobResult {
+        index,
+        job,
+        outcome,
+        resumed_from,
+        wall: started.elapsed(),
+    }))
+}

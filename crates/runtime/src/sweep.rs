@@ -16,17 +16,26 @@
 //! jobs and checkpoint directory resumes each exactly where it stopped and
 //! — because [`SearchState`](lightnas::SearchState) snapshots are
 //! bit-exact — lands on results byte-identical to a never-interrupted run.
+//!
+//! Every job runs *supervised* (see [`crate::supervisor`]): a panicking or
+//! diverging job is isolated, retried up to [`SweepOptions::max_retries`]
+//! times from its newest loadable checkpoint (corrupt generations are
+//! quarantined), and only then reported as [`JobStatus::Failed`] — the
+//! rest of the sweep always runs to completion. [`run_sweep_with_faults`]
+//! additionally threads a deterministic [`FaultPlan`] through the run so
+//! tests and the `fault_sweep` exhibit can prove recovery is byte-exact.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::{Duration, Instant};
 
-use lightnas::{SearchConfig, SearchOutcome, SearchStepper};
+use lightnas::{DivergencePolicy, SearchConfig, SearchOutcome};
 use lightnas_eval::AccuracyOracle;
 use lightnas_predictor::{CacheStats, CachedPredictor, Predictor};
 
-use crate::checkpoint::Checkpoint;
+use crate::fault::FaultPlan;
 use crate::scheduler::JobScheduler;
+use crate::supervisor::{supervise_job, JobContext};
 use crate::telemetry::{Field, Telemetry};
 
 /// One unit of schedulable search work: "find the best architecture at
@@ -67,7 +76,7 @@ impl SearchJob {
 }
 
 /// Knobs of one [`run_sweep`] invocation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Worker threads (0 or 1 = serial).
     pub workers: usize,
@@ -79,6 +88,32 @@ pub struct SweepOptions {
     /// Total epochs the whole sweep may run before in-flight jobs are
     /// interrupted (simulated kill / preemption slot). `None` = unlimited.
     pub epoch_budget: Option<usize>,
+    /// How many times a crashed or diverged job is retried (resuming from
+    /// its newest loadable checkpoint) before it reports
+    /// [`JobStatus::Failed`]. Default: 2.
+    pub max_retries: usize,
+    /// Base delay of the deterministic exponential backoff between retries
+    /// (doubles per attempt, no jitter). Default: 25 ms.
+    pub retry_backoff: Duration,
+    /// What a [`SearchStepper`](lightnas::SearchStepper) does when a search
+    /// quantity turns non-finite. Deliberately *not* part of the job
+    /// identity ([`SearchJob`] / checkpoint format): it never alters a
+    /// healthy trajectory. Default: [`DivergencePolicy::Abort`].
+    pub divergence: DivergencePolicy,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            epoch_budget: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(25),
+            divergence: DivergencePolicy::default(),
+        }
+    }
 }
 
 impl SweepOptions {
@@ -126,6 +161,16 @@ pub enum JobStatus {
         /// the progress of this invocation is then lost).
         checkpoint: Option<PathBuf>,
     },
+    /// The job kept crashing or diverging until its retries ran out. The
+    /// rest of the sweep is unaffected.
+    Failed {
+        /// Position in the submitted job list.
+        index: usize,
+        /// Attempts consumed (1 + retries).
+        attempts: usize,
+        /// The last attempt's failure, human-readable.
+        error: String,
+    },
 }
 
 impl JobStatus {
@@ -133,7 +178,17 @@ impl JobStatus {
     pub fn completed(&self) -> Option<&JobResult> {
         match self {
             JobStatus::Completed(r) => Some(r),
-            JobStatus::Interrupted { .. } => None,
+            JobStatus::Interrupted { .. } | JobStatus::Failed { .. } => None,
+        }
+    }
+
+    /// `(attempts, error)`, when failed.
+    pub fn failed(&self) -> Option<(usize, &str)> {
+        match self {
+            JobStatus::Failed {
+                attempts, error, ..
+            } => Some((*attempts, error.as_str())),
+            _ => None,
         }
     }
 }
@@ -158,13 +213,21 @@ impl SweepReport {
             .collect()
     }
 
-    /// `true` when no job was interrupted.
+    /// The failed statuses, in submission order.
+    pub fn failed(&self) -> Vec<&JobStatus> {
+        self.statuses
+            .iter()
+            .filter(|s| s.failed().is_some())
+            .collect()
+    }
+
+    /// `true` when no job was interrupted or failed.
     pub fn all_completed(&self) -> bool {
         self.statuses.iter().all(|s| s.completed().is_some())
     }
 }
 
-fn checkpoint_path(dir: &Path, index: usize) -> PathBuf {
+pub(crate) fn checkpoint_path(dir: &Path, index: usize) -> PathBuf {
     dir.join(format!("job{index:03}.ckpt"))
 }
 
@@ -175,17 +238,36 @@ fn checkpoint_path(dir: &Path, index: usize) -> PathBuf {
 /// runs; neighbouring jobs (same target, different seed, or adjacent
 /// targets) re-visit overlapping architectures and compound the hit rate.
 ///
-/// # Panics
-///
-/// Panics if a checkpoint on disk fails to parse or belongs to a different
-/// job than the one it is named for — silently discarding or overwriting
-/// someone's search state would be worse than stopping.
+/// Every job is supervised: a panic or divergence inside one job never
+/// takes down the sweep, corrupt checkpoints are quarantined with fallback
+/// to the previous generation, and exhausted retries report
+/// [`JobStatus::Failed`] in that job's slot.
 pub fn run_sweep<P: Predictor + Sync>(
     oracle: &AccuracyOracle,
     predictor: &P,
     jobs: &[SearchJob],
     opts: &SweepOptions,
     telemetry: Option<&Telemetry>,
+) -> SweepReport {
+    run_sweep_with_faults(oracle, predictor, jobs, opts, telemetry, &FaultPlan::none())
+}
+
+/// [`run_sweep`] with a deterministic [`FaultPlan`] threaded through every
+/// job: scheduled panics fire at epoch boundaries, checkpoint corruptions
+/// right after saves, predictor NaNs on exact query indices. With
+/// [`FaultPlan::none`] this *is* [`run_sweep`].
+///
+/// The supervised recovery machinery only ever replays epochs from
+/// bit-exact snapshots, so a faulted sweep whose jobs all complete returns
+/// results byte-identical to the fault-free run — the property the
+/// `fault_sweep` exhibit and the fault-injection test suite pin down.
+pub fn run_sweep_with_faults<P: Predictor + Sync>(
+    oracle: &AccuracyOracle,
+    predictor: &P,
+    jobs: &[SearchJob],
+    opts: &SweepOptions,
+    telemetry: Option<&Telemetry>,
+    faults: &FaultPlan,
 ) -> SweepReport {
     let started = Instant::now();
     let scheduler = JobScheduler::new(opts.workers);
@@ -208,151 +290,70 @@ pub fn run_sweep<P: Predictor + Sync>(
                     opts.epoch_budget
                         .map_or(Field::B(false), |n| Field::U(n as u64)),
                 ),
+                ("max_retries", Field::U(opts.max_retries as u64)),
+                ("planned_faults", Field::U(faults.faults().len() as u64)),
             ],
         );
     }
 
-    let statuses = scheduler.run(jobs.len(), |index| {
-        let job = jobs[index];
-        let job_started = Instant::now();
-        let ckpt_path = opts
-            .checkpoint_dir
-            .as_deref()
-            .map(|d| checkpoint_path(d, index));
-        let mut resumed_from = None;
-        let mut stepper = match ckpt_path.as_deref().filter(|p| p.exists()) {
-            Some(path) => {
-                let ck = Checkpoint::load(path)
-                    .unwrap_or_else(|e| panic!("cannot load {}: {e}", path.display()));
-                ck.verify_matches(job.target, job.seed, &job.config)
-                    .unwrap_or_else(|e| panic!("refusing {}: {e}", path.display()));
-                resumed_from = Some(ck.state.epoch);
-                SearchStepper::from_state(oracle, &cached, job.config, job.target, ck.state)
-            }
-            None => SearchStepper::new(oracle, &cached, job.config, job.target, job.seed),
-        };
-        if let Some(t) = telemetry {
-            t.emit(
-                "job_start",
-                &[
-                    ("job", Field::U(index as u64)),
-                    ("target", Field::F(job.target)),
-                    ("seed", Field::U(job.seed)),
-                    ("from_epoch", Field::U(stepper.epoch() as u64)),
-                    ("resumed", Field::B(resumed_from.is_some())),
-                ],
-            );
-        }
-        let save = |stepper: &SearchStepper<'_, _>, path: &Path| {
-            Checkpoint::new(job.target, job.seed, job.config, stepper.state())
-                .save(path)
-                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-        };
-        while !stepper.is_complete() {
-            if !take_epoch() {
-                let epoch = stepper.epoch();
-                if let Some(path) = ckpt_path.as_deref() {
-                    save(&stepper, path);
-                }
+    let statuses: Vec<JobStatus> = scheduler
+        .run_catching(jobs.len(), |index| {
+            let ctx = JobContext {
+                oracle,
+                cached: &cached,
+                index,
+                job: jobs[index],
+                opts,
+                telemetry,
+                faults,
+            };
+            supervise_job(&ctx, &take_epoch)
+        })
+        .into_iter()
+        .map(|r| {
+            // The supervisor already catches per-attempt panics; anything
+            // escaping it is an infrastructure failure — still isolated to
+            // its own slot rather than aborting the sweep.
+            r.unwrap_or_else(|p| {
                 if let Some(t) = telemetry {
                     t.emit(
-                        "job_interrupted",
+                        "job_failed",
                         &[
-                            ("job", Field::U(index as u64)),
-                            ("epoch", Field::U(epoch as u64)),
-                            (
-                                "checkpoint",
-                                ckpt_path
-                                    .as_deref()
-                                    .map_or(Field::B(false), |p| Field::S(p.display().to_string())),
-                            ),
+                            ("job", Field::U(p.index as u64)),
+                            ("error", Field::S(p.message.clone())),
+                            ("escaped_supervision", Field::B(true)),
                         ],
                     );
                 }
-                return JobStatus::Interrupted {
-                    index,
-                    epoch,
-                    checkpoint: ckpt_path,
-                };
-            }
-            let record = stepper
-                .step_epoch()
-                .expect("not complete, so an epoch must run");
-            if let Some(t) = telemetry {
-                t.emit(
-                    "epoch",
-                    &[
-                        ("job", Field::U(index as u64)),
-                        ("epoch", Field::U(record.epoch as u64)),
-                        ("argmax_metric", Field::F(record.argmax_metric)),
-                        ("lambda", Field::F(record.lambda)),
-                        ("tau", Field::F(record.tau)),
-                    ],
-                );
-            }
-            if let Some(path) = ckpt_path.as_deref() {
-                let every = opts.checkpoint_every;
-                if every > 0 && stepper.epoch() % every == 0 && !stepper.is_complete() {
-                    save(&stepper, path);
-                    if let Some(t) = telemetry {
-                        t.emit(
-                            "checkpoint",
-                            &[
-                                ("job", Field::U(index as u64)),
-                                ("epoch", Field::U(stepper.epoch() as u64)),
-                                ("path", Field::S(path.display().to_string())),
-                            ],
-                        );
-                    }
+                JobStatus::Failed {
+                    index: p.index,
+                    attempts: 0,
+                    error: format!("escaped supervision: {}", p.message),
                 }
-            }
-        }
-        let outcome = stepper.outcome();
-        // A finished job's checkpoint is spent; removing it lets the next
-        // invocation of the same sweep start fresh instead of replaying a
-        // completed state.
-        if let Some(path) = ckpt_path.as_deref() {
-            let _ = std::fs::remove_file(path);
-        }
-        if let Some(t) = telemetry {
-            t.emit(
-                "job_done",
-                &[
-                    ("job", Field::U(index as u64)),
-                    ("epochs", Field::U(job.config.epochs as u64)),
-                    ("arch", Field::S(outcome.architecture.to_spec())),
-                    ("lambda", Field::F(outcome.lambda)),
-                    ("predicted", Field::F(cached.predict(&outcome.architecture))),
-                    (
-                        "wall_ms",
-                        Field::F(job_started.elapsed().as_secs_f64() * 1e3),
-                    ),
-                    ("resumed", Field::B(resumed_from.is_some())),
-                ],
-            );
-        }
-        JobStatus::Completed(JobResult {
-            index,
-            job,
-            outcome,
-            resumed_from,
-            wall: job_started.elapsed(),
+            })
         })
-    });
+        .collect();
 
     let cache = cached.stats();
     let wall = started.elapsed();
     if let Some(t) = telemetry {
         let done = statuses.iter().filter(|s| s.completed().is_some()).count();
+        let failed = statuses.iter().filter(|s| s.failed().is_some()).count();
         t.emit(
             "run_end",
             &[
                 ("completed", Field::U(done as u64)),
-                ("interrupted", Field::U((statuses.len() - done) as u64)),
+                (
+                    "interrupted",
+                    Field::U((statuses.len() - done - failed) as u64),
+                ),
+                ("failed", Field::U(failed as u64)),
+                ("faults_fired", Field::U(faults.fired() as u64)),
                 ("wall_ms", Field::F(wall.as_secs_f64() * 1e3)),
                 ("cache_hits", Field::U(cache.hits)),
                 ("cache_misses", Field::U(cache.misses)),
                 ("cache_hit_rate", Field::F(cache.hit_rate())),
+                ("telemetry_dropped", Field::U(t.dropped_events())),
             ],
         );
     }
@@ -407,11 +408,29 @@ mod tests {
                     epoch: 3,
                     checkpoint: None,
                 },
+                JobStatus::Failed {
+                    index: 2,
+                    attempts: 3,
+                    error: "diverged: non-finite loss".into(),
+                },
             ],
             cache: CacheStats::default(),
             wall: Duration::ZERO,
         };
         assert_eq!(report.completed().len(), 1);
+        assert_eq!(report.failed().len(), 1);
+        assert_eq!(
+            report.statuses[2].failed(),
+            Some((3, "diverged: non-finite loss"))
+        );
         assert!(!report.all_completed());
+    }
+
+    #[test]
+    fn default_options_supervise_with_bounded_retries() {
+        let opts = SweepOptions::default();
+        assert_eq!(opts.max_retries, 2);
+        assert!(!opts.retry_backoff.is_zero());
+        assert_eq!(opts.divergence, lightnas::DivergencePolicy::Abort);
     }
 }

@@ -15,7 +15,8 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// A telemetry field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,8 @@ pub struct Telemetry {
     run_id: String,
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    /// Events lost to I/O errors — see [`dropped_events`](Self::dropped_events).
+    dropped: AtomicU64,
 }
 
 impl Telemetry {
@@ -101,6 +104,7 @@ impl Telemetry {
             run_id: run_id.to_string(),
             path,
             writer,
+            dropped: AtomicU64::new(0),
         })
     }
 
@@ -114,13 +118,31 @@ impl Telemetry {
         &self.path
     }
 
+    /// How many events were lost to I/O errors so far.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Appends one event line and flushes it (crash-safe prefix property).
-    /// I/O failures are swallowed: telemetry must never take down a sweep.
+    ///
+    /// Telemetry must never take down a sweep, so I/O failures do not
+    /// propagate — but they are not silent either: every lost event is
+    /// counted ([`dropped_events`](Self::dropped_events), also reported in
+    /// the sweep's `run_end` line) and the *first* loss prints a one-time
+    /// warning to stderr. A panic on another thread holding the lock is
+    /// likewise survived: lines are written whole under the lock, so the
+    /// recovered writer is still line-aligned.
     pub fn emit(&self, event: &str, fields: &[(&str, Field)]) {
         let line = render_line(&self.run_id, event, fields);
-        let mut w = self.writer.lock().expect("telemetry lock poisoned");
-        let _ = writeln!(w, "{line}");
-        let _ = w.flush();
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+            if self.dropped.fetch_add(1, Ordering::Relaxed) == 0 {
+                eprintln!(
+                    "warning: telemetry write to {} failed ({e}); further losses are only counted",
+                    self.path.display()
+                );
+            }
+        }
     }
 }
 
@@ -156,6 +178,26 @@ mod tests {
     fn non_finite_floats_become_null() {
         let line = render_line("r", "e", &[("x", Field::F(f64::NAN))]);
         assert!(line.ends_with(r#""x":null}"#), "{line}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn io_failures_are_counted_not_swallowed() {
+        // /dev/full accepts opens but fails every write with ENOSPC —
+        // exactly the "disk filled up mid-sweep" failure mode.
+        let writer = Mutex::new(BufWriter::new(
+            File::create("/dev/full").expect("open /dev/full"),
+        ));
+        let t = Telemetry {
+            run_id: "unit".into(),
+            path: PathBuf::from("/dev/full"),
+            writer,
+            dropped: AtomicU64::new(0),
+        };
+        assert_eq!(t.dropped_events(), 0);
+        t.emit("a", &[]);
+        t.emit("b", &[("x", Field::U(1))]);
+        assert_eq!(t.dropped_events(), 2, "both events must be counted lost");
     }
 
     #[test]

@@ -127,6 +127,7 @@ fn killed_sweep_resumes_to_identical_results() {
         checkpoint_dir: Some(dir.clone()),
         checkpoint_every: 0,
         epoch_budget: Some(total_epochs / 2),
+        ..SweepOptions::default()
     };
     let first = run_sweep(&f.oracle, &f.predictor, &jobs, &killed, None);
     assert!(
@@ -200,6 +201,7 @@ fn periodic_checkpoints_appear_while_running() {
         checkpoint_dir: Some(dir.clone()),
         checkpoint_every: 2,
         epoch_budget: Some(7),
+        ..SweepOptions::default()
     };
     let report = run_sweep(&f.oracle, &f.predictor, &jobs, &opts, None);
     assert!(!report.all_completed());

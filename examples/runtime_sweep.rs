@@ -45,6 +45,7 @@ fn main() {
         checkpoint_dir: Some("results/runs/example_ckpt".into()),
         checkpoint_every: 10,
         epoch_budget: None,
+        ..SweepOptions::default()
     };
     println!(
         "running {} search jobs on {} workers ...\n",
