@@ -1,0 +1,99 @@
+//! Criterion benches for the tensor compute kernels (matmul / conv / MLP
+//! predict), fast paths against the retained naive references.
+//!
+//! The shapes mirror what the search loop actually runs: GEMM panels from
+//! im2col'd MBConv bodies, a stride-2 3×3 convolution at supernet
+//! resolution, and the 154→128→64→1 predictor MLP. The `*_ref` entries are
+//! the pre-rewrite naive loops, kept as the differential-test oracle — the
+//! spread between each pair is the speedup the blocked kernels buy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use lightnas_hw::Xavier;
+use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig};
+use lightnas_space::SearchSpace;
+use lightnas_tensor::{Conv2dSpec, Tensor};
+
+fn bench_kernels(c: &mut Criterion) {
+    // GEMM at an im2col-representative shape: 14×14 output positions by
+    // 8·3·3 patch width against 16 output channels.
+    let a = Tensor::uniform(&[196, 72], -1.0, 1.0, 1);
+    let b = Tensor::uniform(&[72, 16], -1.0, 1.0, 2);
+    c.bench_function("matmul_196x72x16", |bch| {
+        bch.iter(|| black_box(black_box(&a).matmul(black_box(&b))))
+    });
+    c.bench_function("matmul_196x72x16_ref", |bch| {
+        bch.iter(|| black_box(lightnas_tensor::matmul_ref(black_box(&a), black_box(&b))))
+    });
+
+    // MBConv-representative conv: batch 8, 16→32 channels, 3×3 stride 2 on
+    // a 28×28 map (a mid-network supernet block).
+    let spec = Conv2dSpec {
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let x = Tensor::uniform(&[8, 16, 28, 28], -1.0, 1.0, 3);
+    let w = Tensor::uniform(&[32, 16, 3, 3], -0.5, 0.5, 4);
+    c.bench_function("conv2d_8x16x28_s2", |bch| {
+        bch.iter(|| {
+            black_box(lightnas_tensor::conv2d_forward(
+                black_box(&x),
+                black_box(&w),
+                spec,
+            ))
+        })
+    });
+    c.bench_function("conv2d_8x16x28_s2_ref", |bch| {
+        bch.iter(|| {
+            black_box(lightnas_tensor::conv2d_forward_ref(
+                black_box(&x),
+                black_box(&w),
+                spec,
+            ))
+        })
+    });
+    let g = Tensor::uniform(&[8, 32, 14, 14], -1.0, 1.0, 5);
+    c.bench_function("conv2d_backward_8x16x28_s2", |bch| {
+        bch.iter(|| {
+            black_box(lightnas_tensor::conv2d_backward(
+                black_box(&x),
+                black_box(&w),
+                spec,
+                black_box(&g),
+            ))
+        })
+    });
+
+    // Predictor inference: one encoding vs a 256-row batch through one GEMM.
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 512, 6);
+    let predictor = MlpPredictor::train(
+        &data,
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 0,
+        },
+    );
+    let encodings: Vec<Vec<f32>> = data.encodings().iter().take(256).cloned().collect();
+    c.bench_function("mlp_predict_batch_256", |bch| {
+        bch.iter(|| black_box(predictor.predict_batch(black_box(&encodings))))
+    });
+    c.bench_function("mlp_predict_256_per_row", |bch| {
+        bch.iter(|| {
+            black_box(
+                black_box(&encodings)
+                    .iter()
+                    .map(|e| predictor.predict_encoding(e))
+                    .collect::<Vec<f64>>(),
+            )
+        })
+    });
+}
+
+criterion_group!(kernels, bench_kernels);
+criterion_main!(kernels);

@@ -1,0 +1,269 @@
+//! Kernel-throughput exhibit: the blocked/parallel compute kernels against
+//! the retained naive references, at MBConv-representative shapes.
+//!
+//! For each shape the fast path is timed serial and at 4 kernel threads,
+//! the naive reference is timed once, and every fast output is checked
+//! bit-for-bit against the reference before any number is reported — a
+//! speedup that broke the determinism invariant would be worthless. The
+//! table lands in `results/kernels.txt`, the raw numbers in
+//! `BENCH_kernels.json` at the repo root (schema: one record per row with
+//! median wall times in microseconds and the serial speedup factor).
+//!
+//! ```text
+//! cargo run --release -p lightnas-bench --bin kernels
+//! ```
+//!
+//! Timing is machine-dependent; the JSON is evidence from the machine that
+//! produced it, not a golden file. The acceptance bar (≥ 3× on conv2d
+//! forward vs the naive kernel) is asserted here so regressions fail loudly.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lightnas_bench::render_table;
+use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig};
+use lightnas_space::SearchSpace;
+use lightnas_tensor::{kernels, Conv2dSpec, Tensor};
+
+/// Median wall time of `f` over `reps` runs, in microseconds.
+fn time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn fnv(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+struct Row {
+    name: String,
+    naive_us: f64,
+    fast_us: f64,
+    fast4_us: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.naive_us / self.fast_us
+    }
+}
+
+/// Benchmarks one conv shape; panics if any path's bits diverge.
+fn conv_row(name: &str, x: &Tensor, w: &Tensor, spec: Conv2dSpec, reps: usize) -> Row {
+    let reference = lightnas_tensor::conv2d_forward_ref(x, w, spec);
+    for threads in [1usize, 4] {
+        kernels::set_num_threads(threads);
+        let fast = lightnas_tensor::conv2d_forward(x, w, spec);
+        assert_eq!(
+            fnv(fast.as_slice()),
+            fnv(reference.as_slice()),
+            "{name}: fast conv at {threads} threads diverged from the naive reference"
+        );
+    }
+    kernels::set_num_threads(1);
+    let naive_us = time_us(reps, || lightnas_tensor::conv2d_forward_ref(x, w, spec));
+    let fast_us = time_us(reps, || lightnas_tensor::conv2d_forward(x, w, spec));
+    kernels::set_num_threads(4);
+    let fast4_us = time_us(reps, || lightnas_tensor::conv2d_forward(x, w, spec));
+    kernels::set_num_threads(1);
+    Row {
+        name: name.to_string(),
+        naive_us,
+        fast_us,
+        fast4_us,
+    }
+}
+
+fn main() -> ExitCode {
+    let reps = 15;
+    let mut rows: Vec<Row> = Vec::new();
+
+    // MBConv-representative convs: stem / mid-network / late-network shapes
+    // of the paper's supernet at batch 8.
+    let cases = [
+        (
+            "conv 8x16x56x56 k3 s1 -> 16",
+            [8usize, 16, 56, 56],
+            [16usize, 16, 3, 3],
+            1usize,
+        ),
+        (
+            "conv 8x32x28x28 k3 s2 -> 64",
+            [8, 32, 28, 28],
+            [64, 32, 3, 3],
+            2,
+        ),
+        (
+            "conv 8x96x14x14 k3 s1 -> 96",
+            [8, 96, 14, 14],
+            [96, 96, 3, 3],
+            1,
+        ),
+    ];
+    for (i, (name, xs, ws, stride)) in cases.iter().enumerate() {
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: *stride,
+            padding: 1,
+        };
+        let x = Tensor::uniform(xs, -1.0, 1.0, 10 + i as u64);
+        let w = Tensor::uniform(ws, -0.5, 0.5, 20 + i as u64);
+        rows.push(conv_row(name, &x, &w, spec, reps));
+    }
+
+    // GEMM at a supernet-classifier-like shape.
+    {
+        let a = Tensor::uniform(&[512, 320], -1.0, 1.0, 30);
+        let b = Tensor::uniform(&[320, 256], -1.0, 1.0, 31);
+        let reference = lightnas_tensor::matmul_ref(&a, &b);
+        for threads in [1usize, 4] {
+            kernels::set_num_threads(threads);
+            assert_eq!(
+                fnv(a.matmul(&b).as_slice()),
+                fnv(reference.as_slice()),
+                "matmul at {threads} threads diverged from the naive reference"
+            );
+        }
+        kernels::set_num_threads(1);
+        let naive_us = time_us(reps, || lightnas_tensor::matmul_ref(&a, &b));
+        let fast_us = time_us(reps, || a.matmul(&b));
+        kernels::set_num_threads(4);
+        let fast4_us = time_us(reps, || a.matmul(&b));
+        kernels::set_num_threads(1);
+        rows.push(Row {
+            name: "matmul 512x320x256".into(),
+            naive_us,
+            fast_us,
+            fast4_us,
+        });
+    }
+
+    // Predictor inference: 256 rows per-query vs one batched GEMM. The
+    // "naive" column is the per-row path (the pre-change interface), so the
+    // speedup is what batching buys the sweep runner.
+    {
+        let space = SearchSpace::standard();
+        let device = lightnas_hw::Xavier::maxn();
+        let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 512, 6);
+        let predictor = MlpPredictor::train(
+            &data,
+            &TrainConfig {
+                epochs: 10,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            },
+        );
+        let encodings: Vec<Vec<f32>> = data.encodings().iter().take(256).cloned().collect();
+        let batched = predictor.predict_batch(&encodings);
+        for (enc, b) in encodings.iter().zip(&batched) {
+            assert_eq!(
+                b.to_bits(),
+                predictor.predict_encoding(enc).to_bits(),
+                "batched prediction diverged from the per-row path"
+            );
+        }
+        let naive_us = time_us(reps, || {
+            encodings
+                .iter()
+                .map(|e| predictor.predict_encoding(e))
+                .collect::<Vec<f64>>()
+        });
+        let fast_us = time_us(reps, || predictor.predict_batch(&encodings));
+        kernels::set_num_threads(4);
+        let fast4_us = time_us(reps, || predictor.predict_batch(&encodings));
+        kernels::set_num_threads(1);
+        rows.push(Row {
+            name: "mlp predict x256".into(),
+            naive_us,
+            fast_us,
+            fast4_us,
+        });
+    }
+
+    let table = render_table(
+        &[
+            "kernel",
+            "naive (us)",
+            "fast 1t (us)",
+            "fast 4t (us)",
+            "speedup 1t",
+            "speedup 4t",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    format!("{:.0}", r.naive_us),
+                    format!("{:.0}", r.fast_us),
+                    format!("{:.0}", r.fast4_us),
+                    format!("{:.1}x", r.speedup()),
+                    format!("{:.1}x", r.naive_us / r.fast4_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!("Kernel throughput: blocked/parallel vs naive reference\n(bit-identity of every fast output verified before timing)\n");
+    println!("{table}");
+
+    let conv_rows: Vec<&Row> = rows.iter().filter(|r| r.name.starts_with("conv")).collect();
+    let min_conv = conv_rows
+        .iter()
+        .map(|r| r.speedup())
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum serial conv2d forward speedup: {min_conv:.1}x (bar: 3.0x)");
+
+    let mut json = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"naive_us\": {:.1}, \"fast_1t_us\": {:.1}, \"fast_4t_us\": {:.1}, \"speedup_1t\": {:.2}, \"speedup_4t\": {:.2}}}{}",
+            r.name,
+            r.naive_us,
+            r.fast_us,
+            r.fast4_us,
+            r.speedup(),
+            r.naive_us / r.fast4_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"min_conv_forward_speedup_1t\": {min_conv:.2},\n  \"bit_identity_verified\": true\n}}\n"
+    );
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("[kernels] cannot create results/: {e}");
+    }
+    match std::fs::write(
+        "results/kernels.txt",
+        format!("{table}\nminimum serial conv2d forward speedup: {min_conv:.1}x\n"),
+    ) {
+        Ok(()) => eprintln!("[kernels] wrote results/kernels.txt"),
+        Err(e) => eprintln!("[kernels] failed to write results/kernels.txt: {e}"),
+    }
+    match std::fs::write("BENCH_kernels.json", &json) {
+        Ok(()) => eprintln!("[kernels] wrote BENCH_kernels.json"),
+        Err(e) => eprintln!("[kernels] failed to write BENCH_kernels.json: {e}"),
+    }
+
+    if min_conv < 3.0 {
+        eprintln!("error: conv2d forward speedup {min_conv:.1}x is below the 3x acceptance bar");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -67,6 +67,10 @@ impl Harness {
     /// predictor on the 80% fold and builds the LUT.
     pub fn standard() -> Self {
         let quick = quick_mode();
+        let threads = lightnas_tensor::kernels::init_threads_from_env();
+        if threads > 1 {
+            eprintln!("[harness] tensor kernels on {threads} threads (bit-identical to serial)");
+        }
         let space = SearchSpace::standard();
         let device = Xavier::maxn();
         let oracle = AccuracyOracle::imagenet();

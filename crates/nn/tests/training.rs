@@ -121,6 +121,57 @@ fn small_convnet_reaches_high_accuracy() {
 }
 
 #[test]
+fn training_is_bit_identical_across_kernel_thread_counts() {
+    // An end-to-end training loop (MbConv stack, SGD + momentum) must land
+    // on bit-identical weights whether the tensor kernels run serial or on
+    // 4 scoped threads — the layer-level face of the deterministic-reduction
+    // rule the tensor crate guarantees.
+    fn train_and_hash(threads: usize) -> u64 {
+        lightnas_tensor::set_num_threads(threads);
+        let data = ShapesDataset::generate(96, 8, 0.2, 5);
+        let mut store = ParamStore::new();
+        let stem = Conv2d::new(&mut store, "stem", 1, 8, 3, 1, 0);
+        let block = MbConv::new(&mut store, "block", 8, 8, 3, 1, 3, false, 1);
+        let head = ClassifierHead::new(&mut store, "head", 8, NUM_CLASSES, 2);
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        for epoch in 0..3 {
+            for idx in data.epoch_batches(32, epoch) {
+                let (x, y) = data.batch(&idx);
+                let mut g = Graph::new();
+                let mut bind = Bindings::new();
+                let xv = g.input(x);
+                let h = stem.forward(&mut g, &mut bind, &store, xv);
+                let h = g.relu6(h);
+                let h = block.forward(&mut g, &mut bind, &store, h);
+                let logits = head.forward(&mut g, &mut bind, &store, h);
+                let loss = g.softmax_cross_entropy(logits, &y);
+                g.backward(loss);
+                opt.step(&mut store, &g, &bind);
+            }
+        }
+        // FNV-1a over every parameter's bits, in registration order.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (_, _, t) in store.iter() {
+            for v in t.as_slice() {
+                for b in v.to_bits().to_le_bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    let before = lightnas_tensor::kernels::num_threads();
+    let serial = train_and_hash(1);
+    let threaded = train_and_hash(4);
+    lightnas_tensor::set_num_threads(before);
+    assert_eq!(
+        serial, threaded,
+        "4-thread training diverged from serial ({serial:016x} vs {threaded:016x})"
+    );
+}
+
+#[test]
 fn se_block_still_trains() {
     // Squeeze-and-Excitation in the loop must not break gradient flow.
     let data = ShapesDataset::generate(240, 8, 0.2, 2);

@@ -126,6 +126,41 @@ impl MlpPredictor {
         self.predict_encoding(&arch.encode())
     }
 
+    /// Predicts the metric for every encoding in one batched GEMM pass.
+    ///
+    /// Bit-identical to calling [`MlpPredictor::predict_encoding`] per row:
+    /// rows of a matmul are independent and each output element keeps its
+    /// per-row accumulation order regardless of the batch size, so batching
+    /// changes throughput, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any encoding's length differs from 154.
+    pub fn predict_batch(&self, encodings: &[Vec<f32>]) -> Vec<f64> {
+        if encodings.is_empty() {
+            return Vec::new();
+        }
+        let b = encodings.len();
+        let mut x = Vec::with_capacity(b * INPUT_WIDTH);
+        for enc in encodings {
+            assert_eq!(
+                enc.len(),
+                INPUT_WIDTH,
+                "encoding must have {INPUT_WIDTH} values"
+            );
+            x.extend_from_slice(enc);
+        }
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
+        let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
+        let out = self.mlp.forward(&mut g, &mut bind, &self.store, xv);
+        g.value(out)
+            .as_slice()
+            .iter()
+            .map(|&v| v as f64 * self.std + self.mean)
+            .collect()
+    }
+
     /// Gradient of the prediction w.r.t. the encoding — the `∂LAT/∂ᾱ` term
     /// of Eq. 12, obtained "through a one-time backward propagation".
     ///
@@ -161,20 +196,20 @@ impl MlpPredictor {
     /// Panics if `data` is empty.
     pub fn rmse(&self, data: &MetricDataset) -> f64 {
         assert!(!data.is_empty(), "rmse over empty dataset");
-        let mut se = 0.0;
-        for (enc, &y) in data.encodings().iter().zip(data.targets()) {
-            let p = self.predict_encoding(enc);
-            se += (p - y) * (p - y);
-        }
+        let se: f64 = self
+            .predict_batch(data.encodings())
+            .iter()
+            .zip(data.targets())
+            .map(|(p, &y)| (p - y) * (p - y))
+            .sum();
         (se / data.len() as f64).sqrt()
     }
 
     /// Predictions for every row of a dataset (for scatter plots, Fig. 5).
+    ///
+    /// Runs as one batched GEMM; see [`MlpPredictor::predict_batch`].
     pub fn predict_all(&self, data: &MetricDataset) -> Vec<f64> {
-        data.encodings()
-            .iter()
-            .map(|e| self.predict_encoding(e))
-            .collect()
+        self.predict_batch(data.encodings())
     }
 }
 
@@ -273,5 +308,20 @@ mod tests {
     fn wrong_input_width_rejected() {
         let (p, _, _) = train_small();
         let _ = p.predict_encoding(&[0.0; 10]);
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_row() {
+        let (p, _, valid) = train_small();
+        let batched = p.predict_batch(valid.encodings());
+        assert_eq!(batched.len(), valid.len());
+        for (enc, b) in valid.encodings().iter().zip(&batched) {
+            assert_eq!(
+                b.to_bits(),
+                p.predict_encoding(enc).to_bits(),
+                "batched prediction diverged from the per-row path"
+            );
+        }
+        assert!(p.predict_batch(&[]).is_empty());
     }
 }

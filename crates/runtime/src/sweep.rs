@@ -100,6 +100,13 @@ pub struct SweepOptions {
     /// identity ([`SearchJob`] / checkpoint format): it never alters a
     /// healthy trajectory. Default: [`DivergencePolicy::Abort`].
     pub divergence: DivergencePolicy,
+    /// Threads the tensor kernels may use *inside* each job
+    /// ([`lightnas_tensor::kernels::set_num_threads`]); composes with
+    /// `workers` (total ≈ `workers × kernel_threads`). `0` leaves the
+    /// process-wide setting untouched. Like `divergence`, deliberately not
+    /// part of the job identity: the kernels are bit-identical at every
+    /// thread count, so this only changes throughput. Default: 0.
+    pub kernel_threads: usize,
 }
 
 impl Default for SweepOptions {
@@ -112,6 +119,7 @@ impl Default for SweepOptions {
             max_retries: 2,
             retry_backoff: Duration::from_millis(25),
             divergence: DivergencePolicy::default(),
+            kernel_threads: 0,
         }
     }
 }
@@ -270,6 +278,9 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
     faults: &FaultPlan,
 ) -> SweepReport {
     let started = Instant::now();
+    if opts.kernel_threads > 0 {
+        lightnas_tensor::set_num_threads(opts.kernel_threads);
+    }
     let scheduler = JobScheduler::new(opts.workers);
     let cached = CachedPredictor::new(predictor);
     // A signed counter so concurrent over-draining (several workers passing
@@ -291,6 +302,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
                         .map_or(Field::B(false), |n| Field::U(n as u64)),
                 ),
                 ("max_retries", Field::U(opts.max_retries as u64)),
+                ("kernel_threads", Field::U(opts.kernel_threads as u64)),
                 ("planned_faults", Field::U(faults.faults().len() as u64)),
             ],
         );

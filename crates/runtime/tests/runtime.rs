@@ -106,6 +106,46 @@ fn sweep_matches_serial_engine_under_any_worker_count() {
 }
 
 #[test]
+fn sweep_with_kernel_threads_is_byte_identical_to_serial() {
+    // The in-job tensor-kernel parallelism knob must change throughput only:
+    // a sweep at 4 kernel threads lands on the same architectures and the
+    // same λ bits as the plain serial engine.
+    let f = fixture();
+    let config = tiny_config();
+    let jobs = SearchJob::grid(&[19.0, 25.0], &[0, 3], config);
+
+    let engine = LightNas::new(&f.space, &f.oracle, &f.predictor, config);
+    let expected: Vec<(String, u64)> = jobs
+        .iter()
+        .map(|j| {
+            let o = engine.search(j.target, j.seed);
+            (o.architecture.to_spec(), o.lambda.to_bits())
+        })
+        .collect();
+
+    let before = lightnas_tensor::kernels::num_threads();
+    let report = run_sweep(
+        &f.oracle,
+        &f.predictor,
+        &jobs,
+        &SweepOptions {
+            workers: 2,
+            kernel_threads: 4,
+            ..SweepOptions::default()
+        },
+        None,
+    );
+    assert_eq!(lightnas_tensor::kernels::num_threads(), 4);
+    lightnas_tensor::set_num_threads(before);
+    assert!(report.all_completed());
+    assert_eq!(
+        fingerprints(&report),
+        expected,
+        "kernel-parallel sweep must be byte-identical to serial searches"
+    );
+}
+
+#[test]
 fn killed_sweep_resumes_to_identical_results() {
     let f = fixture();
     let config = tiny_config();
@@ -270,4 +310,101 @@ fn telemetry_narrates_a_sweep_as_valid_jsonl() {
         );
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-determinism goldens.
+//
+// The two fixtures under `tests/golden/` were generated by
+// `regenerate_kernel_goldens` (below) against the *reference* compute
+// kernels, before the blocked/parallel rewrite of `lightnas-tensor`
+// landed. They pin the exact bits a search trajectory produces, so any
+// future kernel change that reorders floating-point accumulation — and
+// would therefore silently break bit-identical checkpoint resume — fails
+// here instead of in a weeks-old sweep.
+// ---------------------------------------------------------------------------
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The run the stepper golden captures: the shared MLP predictor (matmul
+/// training + per-step gradient queries) driving a full tiny schedule.
+fn golden_stepper_checkpoint() -> lightnas_runtime::Checkpoint {
+    let f = fixture();
+    let config = tiny_config();
+    let mut stepper = lightnas::SearchStepper::new(&f.oracle, &f.predictor, config, 22.0, 11);
+    stepper.run();
+    lightnas_runtime::Checkpoint::new(22.0, 11, config, stepper.state())
+}
+
+/// FNV-1a 64 fingerprint of a real conv-kernel training trajectory: the
+/// micro supernet (im2col conv + depthwise conv + GEMM head, SGD) searched
+/// end-to-end on the shapes dataset.
+fn golden_micro_fingerprint() -> String {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let fold = |h: u64, bytes: &[u8]| {
+        bytes
+            .iter()
+            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+    };
+    let out = lightnas::micro::bilevel_search(2, 8, 8, 0);
+    let mut h = FNV_OFFSET;
+    for row in &out.alpha {
+        for v in row {
+            h = fold(h, &v.to_bits().to_le_bytes());
+        }
+    }
+    for &c in &out.chosen {
+        h = fold(h, &(c as u64).to_le_bytes());
+    }
+    h = fold(h, &out.valid_accuracy.to_bits().to_le_bytes());
+    for v in &out.valid_losses {
+        h = fold(h, &v.to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+#[test]
+fn stepper_over_current_kernels_matches_golden_checkpoint() {
+    let golden = std::fs::read_to_string(golden_path("stepper.ckpt"))
+        .expect("golden stepper checkpoint (run `regenerate_kernel_goldens` if missing)");
+    let current = golden_stepper_checkpoint().render();
+    assert_eq!(
+        current, golden,
+        "SearchStepper trajectory drifted from the pre-change golden \
+         checkpoint: the tensor kernels are no longer bit-identical"
+    );
+}
+
+#[test]
+fn micro_supernet_training_matches_golden_fingerprint() {
+    let golden = std::fs::read_to_string(golden_path("micro.fnv"))
+        .expect("golden micro fingerprint (run `regenerate_kernel_goldens` if missing)");
+    let current = golden_micro_fingerprint();
+    assert_eq!(
+        current,
+        golden.trim(),
+        "micro-supernet (conv kernel) trajectory drifted from the golden fingerprint"
+    );
+}
+
+#[test]
+#[ignore = "rewrites the golden kernel fixtures; only run when a kernel-bit change is intended"]
+fn regenerate_kernel_goldens() {
+    let dir = golden_path("");
+    std::fs::create_dir_all(&dir).expect("golden dir");
+    std::fs::write(
+        golden_path("stepper.ckpt"),
+        golden_stepper_checkpoint().render(),
+    )
+    .expect("write stepper golden");
+    std::fs::write(
+        golden_path("micro.fnv"),
+        format!("{}\n", golden_micro_fingerprint()),
+    )
+    .expect("write micro golden");
 }

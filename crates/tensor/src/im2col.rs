@@ -1,13 +1,117 @@
 //! im2col-based convolution: the fast path used by the autograd engine.
 //!
-//! The naive loops in [`crate::tensor`] are the *reference* implementation;
-//! these functions compute the same convolutions by materializing the
-//! patch matrix and reducing to [`Tensor::matmul`], which is substantially
-//! faster at training scale. Equality against the reference is enforced by
-//! unit tests here and property tests in `tests/proptests.rs`.
+//! The naive loops in [`crate::tensor`] (`*_ref`) are the *reference*
+//! implementation; these functions compute the same convolutions by
+//! materializing the patch matrix and reducing to the blocked GEMM in
+//! [`crate::kernels`], which is substantially faster at training scale.
+//! All scratch matrices (patch matrix, transposed weight, GEMM product)
+//! come from the thread-local [`crate::kernels::TensorPool`], and the
+//! lowering/scatter passes are distributed over batch entries with
+//! [`crate::kernels::par_chunks`] — each batch entry is written by exactly
+//! one thread in a fixed order, so results are byte-identical to the
+//! reference kernels (for finite inputs) at any thread count. Equality is
+//! enforced by unit tests here and bit-exact property tests in
+//! `tests/proptests.rs`.
 
+use crate::kernels::{self, transpose_into, with_pool};
 use crate::tensor::Conv2dSpec;
 use crate::Tensor;
+
+/// Elements below which the memory-bound lowering passes stay serial.
+const LOWER_PAR_MIN: usize = 1 << 16;
+
+fn lower_threads(total: usize) -> usize {
+    if total < LOWER_PAR_MIN {
+        1
+    } else {
+        kernels::num_threads()
+    }
+}
+
+/// Fills the patch-matrix rows of batch entry `b` into `chunk`
+/// (`[ho·wo, c·k·k]`, already zeroed — padding positions stay zero).
+fn im2col_fill(
+    x: &[f32],
+    chunk: &mut [f32],
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+) {
+    let k = spec.kernel;
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let cols = c * k * k;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = (oy * wo + ox) * cols;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let x_base = ((b * c + ci) * h + iy as usize) * w;
+                    let o_base = row + (ci * k + ky) * k;
+                    for kx in 0..k {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        chunk[o_base + kx] = x[x_base + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters batch entry `b`'s patch-matrix gradient rows (`rows`, laid out
+/// `[ho·wo, c·k·k]`) into that entry's input-gradient plane `chunk`
+/// (`[c, h, w]`), accumulating in the serial reference order.
+fn col2im_fill(rows: &[f32], chunk: &mut [f32], c: usize, h: usize, w: usize, spec: Conv2dSpec) {
+    let k = spec.kernel;
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let cols = c * k * k;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let row = (oy * wo + ox) * cols;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let o_base = (ci * h + iy as usize) * w;
+                    let g_base = row + (ci * k + ky) * k;
+                    for kx in 0..k {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        chunk[o_base + ix as usize] += rows[g_base + kx];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lowers `input` (`[n, c, h, w]`) into `out` — the patch matrix of shape
+/// `[n·h_out·w_out, c·k·k]` (rows are output positions, columns are the
+/// receptive-field elements, zero-padded out of bounds). `out` must be
+/// zeroed and exactly that long.
+fn im2col_into(input: &Tensor, spec: Conv2dSpec, out: &mut [f32]) {
+    let (n, c, h, w) = dims4(input);
+    let k = spec.kernel;
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let per_batch = ho * wo * c * k * k;
+    assert_eq!(out.len(), n * per_batch, "im2col output length mismatch");
+    let x = input.as_slice();
+    kernels::par_chunks(out, per_batch, lower_threads(n * per_batch), |b, chunk| {
+        im2col_fill(x, chunk, b, c, h, w, spec);
+    });
+}
 
 /// Lowers `input` (`[n, c, h, w]`) to the patch matrix of shape
 /// `[n·h_out·w_out, c·k·k]` (rows are output positions, columns are the
@@ -16,35 +120,9 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c, h, w) = dims4(input);
     let k = spec.kernel;
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
-    let rows = n * ho * wo;
-    let cols = c * k * k;
-    let mut out = vec![0.0f32; rows * cols];
-    let x = input.as_slice();
-    for b in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = ((b * ho + oy) * wo + ox) * cols;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let x_base = ((b * c + ci) * h + iy as usize) * w;
-                        let o_base = row + (ci * k + ky) * k;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            out[o_base + kx] = x[x_base + ix as usize];
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, &[rows, cols])
+    let mut out = Tensor::zeros(&[n * ho * wo, c * k * k]);
+    im2col_into(input, spec, out.as_mut_slice());
+    out
 }
 
 /// Inverse scatter of [`im2col`]: accumulates a patch-matrix gradient back
@@ -67,36 +145,21 @@ pub fn col2im(
     );
     let mut out = Tensor::zeros(&[n, c, h, w]);
     let g = cols_grad.as_slice();
-    let o = out.as_mut_slice();
-    for b in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = ((b * ho + oy) * wo + ox) * cols;
-                for ci in 0..c {
-                    for ky in 0..k {
-                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let o_base = ((b * c + ci) * h + iy as usize) * w;
-                        let g_base = row + (ci * k + ky) * k;
-                        for kx in 0..k {
-                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            o[o_base + ix as usize] += g[g_base + kx];
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let per_in = c * h * w;
+    let per_rows = ho * wo * cols;
+    kernels::par_chunks(
+        out.as_mut_slice(),
+        per_in,
+        lower_threads(n * per_rows),
+        |b, chunk| {
+            col2im_fill(&g[b * per_rows..(b + 1) * per_rows], chunk, c, h, w, spec);
+        },
+    );
     out
 }
 
-/// im2col-backed full convolution; numerically identical to
-/// [`crate::conv2d_forward`].
+/// im2col-backed full convolution; byte-identical to
+/// [`crate::conv2d_forward_ref`] for finite inputs.
 pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c_in, h, w) = dims4(input);
     let (c_out, c_in_w, kh, kw) = dims4(weight);
@@ -115,30 +178,43 @@ pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) ->
         spec.kernel
     );
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
-    // [n·ho·wo, cin·k·k] x [cin·k·k, cout] = [n·ho·wo, cout]
-    let cols = im2col(input, spec);
-    let w_mat = weight.reshape(&[c_out, c_in * kh * kw]).transpose();
-    let prod = cols.matmul(&w_mat);
-    // Transpose the channel axis into NCHW order.
+    let (hw, ck2) = (ho * wo, c_in * kh * kw);
+    let rows = n * hw;
     let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
-    {
-        let p = prod.as_slice();
-        let o = out.as_mut_slice();
-        let hw = ho * wo;
-        for b in 0..n {
+    // [n·ho·wo, cin·k·k] x [cin·k·k, cout] = [n·ho·wo, cout]. Pool borrows
+    // are short-lived — the GEMM takes its own scratch from the same pool.
+    let mut cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
+    im2col_into(input, spec, &mut cols);
+    let mut w_t = with_pool(|pool| pool.take_zeroed(ck2 * c_out));
+    transpose_into(weight.as_slice(), c_out, ck2, &mut w_t);
+    let mut prod = with_pool(|pool| pool.take_zeroed(rows * c_out));
+    kernels::matmul_into(&cols, &w_t, rows, ck2, c_out, &mut prod);
+    // Transpose the channel axis into NCHW order, one batch entry per chunk.
+    let p = &prod;
+    kernels::par_chunks(
+        out.as_mut_slice(),
+        c_out * hw,
+        lower_threads(rows * c_out),
+        |b, chunk| {
             for pos in 0..hw {
                 let row = (b * hw + pos) * c_out;
                 for co in 0..c_out {
-                    o[(b * c_out + co) * hw + pos] = p[row + co];
+                    chunk[co * hw + pos] = p[row + co];
                 }
             }
-        }
-    }
+        },
+    );
+    with_pool(|pool| {
+        pool.recycle(cols);
+        pool.recycle(w_t);
+        pool.recycle(prod);
+    });
     out
 }
 
-/// im2col-backed backward pass; numerically identical to
-/// [`crate::conv2d_backward`]. Returns `(grad_input, grad_weight)`.
+/// im2col-backed backward pass; byte-identical to
+/// [`crate::conv2d_backward_ref`] for finite inputs. Returns
+/// `(grad_input, grad_weight)`.
 pub fn conv2d_backward_fast(
     input: &Tensor,
     weight: &Tensor,
@@ -153,30 +229,62 @@ pub fn conv2d_backward_fast(
         (n, c_out),
         "conv2d grad_out batch/channel mismatch"
     );
-    let hw = ho * wo;
-    // grad_out in [n·ho·wo, cout] layout.
-    let mut g_mat = Tensor::zeros(&[n * hw, c_out]);
+    let (hw, ck2) = (ho * wo, c_in * kh * kw);
+    let rows = n * hw;
+    let mut gx = Tensor::zeros(&[n, c_in, h, w]);
+    let mut gw = Tensor::zeros(&[c_out, c_in, kh, kw]);
+    // grad_out in [n·ho·wo, cout] layout, one batch entry per chunk. Pool
+    // borrows are short-lived — the GEMMs take their own scratch.
+    let mut g_mat = with_pool(|pool| pool.take_zeroed(rows * c_out));
     {
         let g = grad_out.as_slice();
-        let o = g_mat.as_mut_slice();
-        for b in 0..n {
-            for co in 0..c_out {
-                for pos in 0..hw {
-                    o[(b * hw + pos) * c_out + co] = g[(b * c_out + co) * hw + pos];
+        kernels::par_chunks(
+            &mut g_mat,
+            hw * c_out,
+            lower_threads(rows * c_out),
+            |b, chunk| {
+                for co in 0..c_out {
+                    for pos in 0..hw {
+                        chunk[pos * c_out + co] = g[(b * c_out + co) * hw + pos];
+                    }
                 }
-            }
-        }
+            },
+        );
     }
-    let cols = im2col(input, spec);
+    let mut cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
+    im2col_into(input, spec, &mut cols);
     // grad_weight = g_mat^T · cols  -> [cout, cin·k·k]
-    let gw = g_mat
-        .transpose()
-        .matmul(&cols)
-        .reshape(&[c_out, c_in, kh, kw]);
-    // grad_cols = g_mat · w_mat    -> [n·ho·wo, cin·k·k]
-    let w_mat = weight.reshape(&[c_out, c_in * kh * kw]);
-    let g_cols = g_mat.matmul(&w_mat);
-    let gx = col2im(&g_cols, n, c_in, h, w, spec);
+    let mut g_mat_t = with_pool(|pool| pool.take_zeroed(rows * c_out));
+    transpose_into(&g_mat, rows, c_out, &mut g_mat_t);
+    kernels::matmul_into(&g_mat_t, &cols, c_out, rows, ck2, gw.as_mut_slice());
+    // grad_cols = g_mat · w_mat    -> [n·ho·wo, cin·k·k]; the weight is
+    // already laid out as the [cout, cin·k·k] matrix.
+    let mut g_cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
+    kernels::matmul_into(&g_mat, weight.as_slice(), rows, c_out, ck2, &mut g_cols);
+    let per_in = c_in * h * w;
+    let per_rows = hw * ck2;
+    let gc_ref = &g_cols;
+    kernels::par_chunks(
+        gx.as_mut_slice(),
+        per_in,
+        lower_threads(rows * ck2),
+        |b, chunk| {
+            col2im_fill(
+                &gc_ref[b * per_rows..(b + 1) * per_rows],
+                chunk,
+                c_in,
+                h,
+                w,
+                spec,
+            );
+        },
+    );
+    with_pool(|pool| {
+        pool.recycle(g_mat);
+        pool.recycle(cols);
+        pool.recycle(g_mat_t);
+        pool.recycle(g_cols);
+    });
     (gx, gw)
 }
 
@@ -198,14 +306,14 @@ fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{conv2d_backward, conv2d_forward};
+    use crate::{conv2d_backward_ref, conv2d_forward_ref};
 
-    fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
         a.shape() == b.shape()
             && a.as_slice()
                 .iter()
                 .zip(b.as_slice())
-                .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+                .all(|(x, y)| x.to_bits() == y.to_bits())
     }
 
     #[test]
@@ -225,16 +333,16 @@ mod tests {
             let x = Tensor::uniform(&[n, c_in, h, h], -1.0, 1.0, seed);
             let w = Tensor::uniform(&[c_out, c_in, k, k], -0.5, 0.5, seed + 100);
             let fast = conv2d_forward_fast(&x, &w, spec);
-            let reference = conv2d_forward(&x, &w, spec);
+            let reference = conv2d_forward_ref(&x, &w, spec);
             assert!(
-                close(&fast, &reference, 1e-5),
-                "mismatch at k={k} s={stride} p={padding}"
+                bits_eq(&fast, &reference),
+                "bit mismatch at k={k} s={stride} p={padding}"
             );
         }
     }
 
     #[test]
-    fn backward_matches_reference() {
+    fn backward_matches_reference_bits() {
         let spec = Conv2dSpec {
             kernel: 3,
             stride: 2,
@@ -242,12 +350,12 @@ mod tests {
         };
         let x = Tensor::uniform(&[2, 3, 8, 8], -1.0, 1.0, 7);
         let w = Tensor::uniform(&[4, 3, 3, 3], -0.5, 0.5, 8);
-        let y = conv2d_forward(&x, &w, spec);
+        let y = conv2d_forward_ref(&x, &w, spec);
         let g = Tensor::uniform(y.shape().dims(), -1.0, 1.0, 9);
         let (gx_fast, gw_fast) = conv2d_backward_fast(&x, &w, spec, &g);
-        let (gx_ref, gw_ref) = conv2d_backward(&x, &w, spec, &g);
-        assert!(close(&gx_fast, &gx_ref, 1e-4), "grad_input mismatch");
-        assert!(close(&gw_fast, &gw_ref, 1e-4), "grad_weight mismatch");
+        let (gx_ref, gw_ref) = conv2d_backward_ref(&x, &w, spec, &g);
+        assert!(bits_eq(&gx_fast, &gx_ref), "grad_input bit mismatch");
+        assert!(bits_eq(&gw_fast, &gw_ref), "grad_weight bit mismatch");
     }
 
     #[test]

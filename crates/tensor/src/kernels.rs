@@ -1,0 +1,488 @@
+//! Blocked, optionally multi-threaded compute kernels with a bit-exact
+//! determinism contract.
+//!
+//! Everything in this module obeys one rule, the **deterministic-reduction
+//! rule**: every output element is produced by a *single* `f32` accumulator
+//! that consumes its terms in one fixed, ascending order of the reduction
+//! index, and each element is written by exactly one thread. Loop *blocking*
+//! (tiling over output rows/columns, packing the right-hand side) and thread
+//! *partitioning* (contiguous output chunks handed to scoped threads) both
+//! leave that per-element accumulation chain untouched, so the results are
+//! byte-identical to the naive reference loops and independent of the thread
+//! count. What is deliberately **not** done: multi-accumulator unrolling of
+//! the reduction dimension, pairwise/tree reductions, or FMA contraction —
+//! each of those changes rounding and would break the repo-wide
+//! byte-identical checkpoint invariant.
+//!
+//! The thread count is a process-wide knob ([`set_num_threads`], default 1 =
+//! serial). It is intentionally *not* part of
+//! [`SearchConfig`](../../lightnas/struct.SearchConfig.html) or any
+//! checkpoint format: like `DivergencePolicy`, it can never alter a result,
+//! so it does not belong to a job's identity.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::Tensor;
+
+/// Process-wide kernel thread count (1 = serial). Never affects results.
+static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Environment variable read by [`init_threads_from_env`].
+pub const THREADS_ENV: &str = "LIGHTNAS_KERNEL_THREADS";
+
+/// Sets the number of threads the kernels may use (clamped to at least 1).
+///
+/// Output bits are identical for every thread count; the knob only trades
+/// wall-clock for cores. Small operations stay serial regardless.
+pub fn set_num_threads(n: usize) {
+    KERNEL_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current kernel thread count.
+pub fn num_threads() -> usize {
+    KERNEL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Applies `LIGHTNAS_KERNEL_THREADS` from the environment, if set and valid.
+/// Returns the resulting thread count.
+pub fn init_threads_from_env() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            set_num_threads(n);
+        }
+    }
+    num_threads()
+}
+
+/// A thread-local free-list of `f32` scratch buffers.
+///
+/// The training loop calls the conv/GEMM kernels thousands of times with a
+/// handful of distinct workspace sizes; recycling the backing allocations
+/// removes that churn. Access it through [`with_pool`].
+#[derive(Default)]
+pub struct TensorPool {
+    free: Vec<Vec<f32>>,
+}
+
+/// Buffers kept per thread; beyond this the smallest is dropped.
+const POOL_SLOTS: usize = 8;
+
+impl TensorPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with at least `capacity` spare room (contents are
+    /// appended by the caller, e.g. a packing routine).
+    pub fn take(&mut self, capacity: usize) -> Vec<f32> {
+        let mut buf = self.take_best(capacity);
+        buf.clear();
+        buf.reserve(capacity);
+        buf
+    }
+
+    /// A buffer of exactly `len` zeros.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_best(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.push(buf);
+        if self.free.len() > POOL_SLOTS {
+            let smallest = self
+                .free
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)
+                .expect("pool is non-empty");
+            self.free.swap_remove(smallest);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+
+    fn take_best(&mut self, want: usize) -> Vec<f32> {
+        // Prefer the smallest buffer that already fits to keep big buffers
+        // available for big requests.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            if b.capacity() >= want && best.is_none_or(|(_, c)| b.capacity() < c) {
+                best = Some((i, b.capacity()));
+            }
+        }
+        match best {
+            Some((i, _)) => self.free.swap_remove(i),
+            None => self.free.pop().unwrap_or_default(),
+        }
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<TensorPool> = RefCell::new(TensorPool::new());
+}
+
+/// Runs `f` with this thread's scratch-buffer pool.
+pub fn with_pool<R>(f: impl FnOnce(&mut TensorPool) -> R) -> R {
+    POOL.with(|p| f(&mut p.borrow_mut()))
+}
+
+/// Runs `f(chunk_index, chunk)` over disjoint contiguous `chunk_len`-element
+/// chunks of `out` (the last chunk may be shorter), using up to `threads`
+/// scoped threads.
+///
+/// Each chunk's contents must be a function of its index alone; the helper
+/// only decides *which thread* computes a chunk, never *how*, so the output
+/// is byte-identical for every thread count.
+pub fn par_chunks(
+    out: &mut [f32],
+    chunk_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = out.len().div_ceil(chunk_len);
+    let t = threads.clamp(1, n_chunks.max(1));
+    if t <= 1 {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let per_group = n_chunks.div_ceil(t);
+    std::thread::scope(|s| {
+        for (gi, group) in out.chunks_mut(per_group * chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (ci, chunk) in group.chunks_mut(chunk_len).enumerate() {
+                    f(gi * per_group + ci, chunk);
+                }
+            });
+        }
+    });
+}
+
+/// Output rows per micro-tile.
+const MR: usize = 4;
+/// Columns per packed B panel (one vector register of `f32`s).
+const JR: usize = 8;
+/// Below this many multiply-adds the packed path loses to the axpy loop.
+const PACK_MIN_FLOPS: usize = 1 << 12;
+/// Below this many multiply-adds threading costs more than it saves.
+const PAR_MIN_FLOPS: usize = 1 << 21;
+
+/// `out = a · b` for row-major `a` (`[m, k]`) and `b` (`[k, n]`).
+///
+/// Byte-identical to the naive triple loop for finite inputs — each output
+/// element accumulates `a[i][p] * b[p][j]` in ascending `p` with a single
+/// `f32` accumulator — and byte-identical across thread counts. Empty
+/// operands (`m`, `k` or `n` of 0) produce a well-formed all-zero / empty
+/// result instead of panicking.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `k`, `n`.
+pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "matmul lhs length mismatch");
+    assert_eq!(b.len(), k * n, "matmul rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let flops = m * k * n;
+    if m < MR || flops < PACK_MIN_FLOPS {
+        gemm_axpy(a, b, k, n, 0, out);
+        return;
+    }
+    let threads = if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        num_threads()
+    };
+    // Short-lived pool borrows: the pool must never stay borrowed across a
+    // kernel call, which may itself take scratch buffers.
+    let mut packed = with_pool(|pool| pool.take(k * n));
+    pack_panels(b, k, n, &mut packed);
+    let rows_per = m.div_ceil(threads.clamp(1, m));
+    par_chunks(out, rows_per * n, threads, |gi, chunk| {
+        gemm_packed(a, &packed, k, n, gi * rows_per, chunk);
+    });
+    with_pool(|pool| pool.recycle(packed));
+}
+
+/// Packs `b` (`[k, n]`) into column panels of width ≤ [`JR`]; each panel is
+/// row-major `[k, width]` so the micro-kernel reads one contiguous vector of
+/// B per reduction step.
+fn pack_panels(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = JR.min(n - j0);
+        for p in 0..k {
+            packed.extend_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+        j0 += w;
+    }
+}
+
+/// The packed-panel GEMM over output rows `first_row ..` covered by `out`.
+fn gemm_packed(a: &[f32], packed: &[f32], k: usize, n: usize, first_row: usize, out: &mut [f32]) {
+    let rows = out.len() / n;
+    let mut r = 0;
+    while r < rows {
+        let h = MR.min(rows - r);
+        let a_base = (first_row + r) * k;
+        let mut j0 = 0;
+        let mut panel_off = 0;
+        while j0 < n {
+            let w = JR.min(n - j0);
+            let panel = &packed[panel_off..panel_off + k * w];
+            if h == MR && w == JR {
+                micro_tile_4x8(a, a_base, k, panel, out, r, n, j0);
+            } else {
+                micro_tile_edge(a, a_base, k, panel, h, w, out, r, n, j0);
+            }
+            panel_off += k * w;
+            j0 += w;
+        }
+        r += h;
+    }
+}
+
+/// The full 4×8 micro-tile. Fixed-size arrays keep the 32 accumulators in
+/// vector registers; the accumulation order (single accumulator per output
+/// element, ascending `p`) is exactly the edge path's and the reference's.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_tile_4x8(
+    a: &[f32],
+    a_base: usize,
+    k: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    r: usize,
+    n: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; JR]; MR];
+    for (p, brow) in panel.chunks_exact(JR).enumerate() {
+        let brow: &[f32; JR] = brow.try_into().expect("panel row width");
+        for (ir, accr) in acc.iter_mut().enumerate() {
+            let av = a[a_base + ir * k + p];
+            for (slot, &bv) in accr.iter_mut().zip(brow) {
+                *slot += av * bv;
+            }
+        }
+    }
+    for (ir, accr) in acc.iter().enumerate() {
+        out[(r + ir) * n + j0..(r + ir) * n + j0 + JR].copy_from_slice(accr);
+    }
+}
+
+/// Edge tiles (short rows at the bottom, narrow panel at the right).
+#[allow(clippy::too_many_arguments)]
+fn micro_tile_edge(
+    a: &[f32],
+    a_base: usize,
+    k: usize,
+    panel: &[f32],
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+    r: usize,
+    n: usize,
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; JR]; MR];
+    for p in 0..k {
+        let brow = &panel[p * w..(p + 1) * w];
+        for (ir, accr) in acc.iter_mut().enumerate().take(h) {
+            let av = a[a_base + ir * k + p];
+            for (slot, &bv) in accr.iter_mut().zip(brow) {
+                *slot += av * bv;
+            }
+        }
+    }
+    for (ir, accr) in acc.iter().enumerate().take(h) {
+        out[(r + ir) * n + j0..(r + ir) * n + j0 + w].copy_from_slice(&accr[..w]);
+    }
+}
+
+/// The unpacked row-streaming (axpy) GEMM used for skinny / tiny products,
+/// e.g. the `[1, 154]` predictor queries. Same accumulation order as the
+/// packed kernel: ascending `p` per output element.
+fn gemm_axpy(a: &[f32], b: &[f32], k: usize, n: usize, first_row: usize, out: &mut [f32]) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let arow = &a[(first_row + r) * k..(first_row + r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        orow.fill(0.0);
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                // Adding `±0.0 * b` never changes an accumulator that started
+                // at +0.0 (it can never have become -0.0), so the skip is a
+                // pure speedup for the sparse one-hot rows the search emits.
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Reference matmul: the pre-optimization naive triple loop, kept verbatim
+/// as the oracle for the differential property tests.
+pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_ref lhs must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_ref rhs must be rank-2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_ref inner dimension mismatch");
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposes row-major `src` (`[m, n]`) into `dst` (`[n, m]`).
+pub(crate) fn transpose_into(src: &[f32], m: usize, n: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), m * n);
+    assert_eq!(dst.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            dst[j * m + i] = src[i * n + j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: bit mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference_bits() {
+        for (m, k, n, seed) in [
+            (4, 7, 9, 1u64),
+            (8, 16, 8, 2),
+            (13, 31, 17, 3),
+            (64, 40, 24, 4),
+        ] {
+            let a = Tensor::uniform(&[m, k], -1.0, 1.0, seed);
+            let b = Tensor::uniform(&[k, n], -1.0, 1.0, seed + 50);
+            let mut out = vec![0.0f32; m * n];
+            matmul_into(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+            let reference = matmul_ref(&a, &b);
+            assert_bits_eq(&out, reference.as_slice(), &format!("{m}x{k}x{n}"));
+        }
+    }
+
+    #[test]
+    fn axpy_path_matches_reference_bits() {
+        let a = Tensor::uniform(&[1, 154], -1.0, 1.0, 9);
+        let b = Tensor::uniform(&[154, 128], -1.0, 1.0, 10);
+        let mut out = vec![0.0f32; 128];
+        matmul_into(a.as_slice(), b.as_slice(), 1, 154, 128, &mut out);
+        assert_bits_eq(&out, matmul_ref(&a, &b).as_slice(), "axpy 1x154x128");
+    }
+
+    #[test]
+    fn empty_operands_are_well_formed() {
+        matmul_into(&[], &[0.0; 15], 0, 5, 3, &mut []);
+        matmul_into(&[0.0; 20], &[], 4, 5, 0, &mut []);
+        let mut out = vec![1.0f32; 6];
+        matmul_into(&[], &[], 2, 0, 3, &mut out);
+        assert!(out.iter().all(|v| v.to_bits() == 0), "k=0 must yield +0.0");
+    }
+
+    #[test]
+    fn pool_recycles_capacity() {
+        let mut pool = TensorPool::new();
+        let mut buf = pool.take_zeroed(1024);
+        buf[0] = 3.0;
+        let ptr = buf.as_ptr();
+        pool.recycle(buf);
+        assert_eq!(pool.pooled(), 1);
+        let again = pool.take_zeroed(512);
+        assert_eq!(again.as_ptr(), ptr, "buffer should be reused");
+        assert!(
+            again.iter().all(|&v| v == 0.0),
+            "reused buffer must be zeroed"
+        );
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = TensorPool::new();
+        for i in 0..(POOL_SLOTS + 4) {
+            pool.recycle(vec![0.0; 16 + i]);
+        }
+        assert!(pool.pooled() <= POOL_SLOTS);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_chunk_once() {
+        let mut out = vec![0.0f32; 103];
+        par_chunks(&mut out, 10, 4, |i, chunk| {
+            for v in chunk.iter_mut() {
+                *v += (i + 1) as f32;
+            }
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i / 10 + 1) as f32, "element {i}");
+        }
+    }
+
+    #[test]
+    fn thread_knob_clamps_to_one() {
+        let before = num_threads();
+        set_num_threads(0);
+        assert_eq!(num_threads(), 1);
+        set_num_threads(before);
+    }
+
+    #[test]
+    fn transpose_into_round_trips() {
+        let t = Tensor::uniform(&[5, 3], -1.0, 1.0, 77);
+        let mut once = vec![0.0; 15];
+        let mut twice = vec![0.0; 15];
+        transpose_into(t.as_slice(), 5, 3, &mut once);
+        transpose_into(&once, 3, 5, &mut twice);
+        assert_eq!(t.as_slice(), &twice[..]);
+    }
+}

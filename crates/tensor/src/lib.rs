@@ -12,11 +12,16 @@
 //! * [`init`] — weight initializers (Kaiming / Xavier / constant) driven by an
 //!   explicit seed so every experiment in the reproduction is deterministic.
 //!
-//! The engine is deliberately single-threaded and loop-based: at the scale of
-//! the proxy tasks used in this reproduction (the MLP latency predictor and
-//! the small shape-classification supernet) clarity and verifiability beat
-//! throughput. Gradient correctness is established by finite-difference tests
-//! in `tests/gradcheck.rs`.
+//! The compute core is built for speed *without* giving up bit-for-bit
+//! reproducibility: matrix products go through the cache-blocked GEMM in
+//! [`kernels`], convolutions lower to im2col + GEMM, and large operations
+//! spread over scoped threads ([`kernels::set_num_threads`], default 1) —
+//! all under the deterministic-reduction rule (one sequential `f32`
+//! accumulator per output element, fixed term order), so results are
+//! byte-identical to the retained naive reference kernels (`*_ref`) and
+//! independent of the thread count. Gradient correctness is established by
+//! finite-difference tests in `tests/gradcheck.rs`; kernel equivalence by
+//! bit-exact differential property tests in `tests/proptests.rs`.
 //!
 //! # Example
 //!
@@ -38,12 +43,15 @@ mod shape;
 mod tensor;
 
 pub mod init;
+pub mod kernels;
 
 pub use autograd::{Graph, Var};
 pub use im2col::{col2im, conv2d_backward_fast, conv2d_forward_fast, im2col};
+pub use kernels::{matmul_ref, set_num_threads, TensorPool};
 pub use shape::Shape;
 pub use tensor::{
-    conv2d_backward, conv2d_forward, dwconv2d_backward, dwconv2d_forward, Conv2dSpec, Tensor,
+    conv2d_backward, conv2d_backward_ref, conv2d_forward, conv2d_forward_ref, dwconv2d_backward,
+    dwconv2d_backward_ref, dwconv2d_forward, dwconv2d_forward_ref, Conv2dSpec, Tensor,
 };
 
 /// Numerical tolerance used throughout the test-suite when comparing floats.

@@ -258,6 +258,11 @@ impl Tensor {
 
     /// Matrix multiplication of 2-D tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
+    /// Computed by the blocked GEMM in [`crate::kernels`]; byte-identical to
+    /// the naive triple loop ([`crate::kernels::matmul_ref`]) for finite
+    /// inputs and across thread counts. Operands with an empty dimension
+    /// (`m`, `k` or `n` of 0) yield a well-formed empty or all-zero result.
+    ///
     /// # Panics
     ///
     /// Panics if either operand is not rank-2 or the inner dimensions differ.
@@ -282,19 +287,7 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            for (p, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_into(&self.data, &other.data, m, k, n, &mut out);
         Self::from_vec(out, &[m, n])
     }
 
@@ -402,10 +395,37 @@ impl Conv2dSpec {
 /// `input` is `[n, c_in, h, w]`, `weight` is `[c_out, c_in, k, k]`; the result
 /// is `[n, c_out, h_out, w_out]`.
 ///
+/// Computed through the im2col + GEMM path ([`crate::im2col`]); byte-identical
+/// to the naive reference loops in [`conv2d_forward_ref`] for finite inputs.
+///
 /// # Panics
 ///
 /// Panics on any rank or channel mismatch.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
+    crate::im2col::conv2d_forward_fast(input, weight, spec)
+}
+
+/// Backward pass of [`conv2d_forward`]: returns `(grad_input, grad_weight)`.
+///
+/// Computed through the im2col + GEMM path; byte-identical to
+/// [`conv2d_backward_ref`] for finite inputs.
+///
+/// # Panics
+///
+/// Panics on any rank or shape mismatch between the stored forward operands
+/// and the incoming gradient.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor) {
+    crate::im2col::conv2d_backward_fast(input, weight, spec, grad_out)
+}
+
+/// Reference convolution forward pass: the naive 7-deep loop, kept as the
+/// oracle for the differential property tests. Serial, no blocking.
+pub fn conv2d_forward_ref(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c_in, h, w) = dims4(input, "conv2d input");
     let (c_out, c_in_w, kh, kw) = dims4(weight, "conv2d weight");
     assert_eq!(
@@ -457,13 +477,16 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tens
     out
 }
 
-/// Backward pass of [`conv2d_forward`]: returns `(grad_input, grad_weight)`.
+/// Reference convolution backward pass: naive loops arranged to accumulate
+/// in the *same per-element order* as the im2col path, so the differential
+/// tests can demand bit equality rather than a tolerance.
 ///
-/// # Panics
-///
-/// Panics on any rank or shape mismatch between the stored forward operands
-/// and the incoming gradient.
-pub fn conv2d_backward(
+/// `grad_weight[co, ci, ky, kx]` sums `g · x` over output positions in
+/// ascending `(b, oy, ox)` order (matching the `g_matᵀ · cols` GEMM), and
+/// `grad_input` receives, per output position in ascending `(b, oy, ox)`
+/// order, the kernel-window contribution whose inner reduction over `co` is
+/// itself ascending (matching `g_mat · w_mat` followed by col2im).
+pub fn conv2d_backward_ref(
     input: &Tensor,
     weight: &Tensor,
     spec: Conv2dSpec,
@@ -505,9 +528,36 @@ pub fn conv2d_backward(
                                 }
                                 let xi = ((b * c_in + ci) * h + iy as usize) * w + ix as usize;
                                 let wi = ((co * c_in + ci) * kh + ky) * kw + kx;
-                                gxd[xi] += g * k[wi];
                                 gwd[wi] += g * x[xi];
                             }
+                        }
+                    }
+                }
+            }
+        }
+        // grad_input: one pass per output position, reducing over `co`
+        // first — the order col2im applies the `g_mat · w_mat` rows in.
+        for oy in 0..ho {
+            for ox in 0..wo {
+                for ci in 0..c_in {
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let mut acc = 0.0f32;
+                            for co in 0..c_out {
+                                let g = go[((b * c_out + co) * ho + oy) * wo + ox];
+                                let wi = ((co * c_in + ci) * kh + ky) * kw + kx;
+                                acc += g * k[wi];
+                            }
+                            let xi = ((b * c_in + ci) * h + iy as usize) * w + ix as usize;
+                            gxd[xi] += acc;
                         }
                     }
                 }
@@ -517,15 +567,150 @@ pub fn conv2d_backward(
     (gx, gw)
 }
 
+/// Work (in multiply-adds) below which depthwise kernels stay serial.
+const DW_PAR_MIN_FLOPS: usize = 1 << 18;
+
 /// Depthwise 2-D convolution forward pass (groups = channels).
 ///
 /// `input` is `[n, c, h, w]`, `weight` is `[c, 1, k, k]`; the result keeps the
 /// channel count: `[n, c, h_out, w_out]`.
 ///
+/// Channel planes are independent, so they are distributed over scoped
+/// threads ([`crate::kernels::par_chunks`]) when the work is large enough;
+/// each plane keeps the serial loop order, so the output is byte-identical
+/// to [`dwconv2d_forward_ref`] at any thread count.
+///
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
 pub fn dwconv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, c, h, w) = dims4(input, "dwconv input");
+    let (cw, one, kh, kw) = dims4(weight, "dwconv weight");
+    assert_eq!(c, cw, "dwconv channel mismatch: input {c} vs weight {cw}");
+    assert_eq!(one, 1, "dwconv weight must be [c, 1, k, k]");
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    let x = input.as_slice();
+    let k = weight.as_slice();
+    let threads = if n * c * ho * wo * kh * kw < DW_PAR_MIN_FLOPS {
+        1
+    } else {
+        crate::kernels::num_threads()
+    };
+    // One chunk per (batch, channel) output plane.
+    crate::kernels::par_chunks(out.as_mut_slice(), ho * wo, threads, |plane, o| {
+        let (b, ch) = (plane / c, plane % c);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0f32;
+                for ky in 0..kh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                        let wi = (ch * kh + ky) * kw + kx;
+                        acc += x[xi] * k[wi];
+                    }
+                }
+                o[oy * wo + ox] = acc;
+            }
+        }
+    });
+    out
+}
+
+/// Backward pass of [`dwconv2d_forward`]: returns `(grad_input, grad_weight)`.
+///
+/// `grad_input` planes are distributed over `(batch, channel)`;
+/// `grad_weight` blocks over `channel` (each thread owns whole channels and
+/// walks the batch in ascending order, preserving the serial accumulation
+/// order). Byte-identical to [`dwconv2d_backward_ref`] at any thread count.
+///
+/// # Panics
+///
+/// Panics on rank or shape mismatches.
+pub fn dwconv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor) {
+    let (n, c, h, w) = dims4(input, "dwconv input");
+    let (_, _, kh, kw) = dims4(weight, "dwconv weight");
+    let (gn, gc, ho, wo) = dims4(grad_out, "dwconv grad_out");
+    assert_eq!((gn, gc), (n, c), "dwconv grad_out shape mismatch");
+    let mut gx = Tensor::zeros(&[n, c, h, w]);
+    let mut gw = Tensor::zeros(&[c, 1, kh, kw]);
+    let x = input.as_slice();
+    let k = weight.as_slice();
+    let go = grad_out.as_slice();
+    let threads = if n * c * ho * wo * kh * kw < DW_PAR_MIN_FLOPS {
+        1
+    } else {
+        crate::kernels::num_threads()
+    };
+    crate::kernels::par_chunks(gx.as_mut_slice(), h * w, threads, |plane, gxp| {
+        let (b, ch) = (plane / c, plane % c);
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let g = go[((b * c + ch) * ho + oy) * wo + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                for ky in 0..kh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..kw {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        gxp[iy as usize * w + ix as usize] += g * k[(ch * kh + ky) * kw + kx];
+                    }
+                }
+            }
+        }
+    });
+    crate::kernels::par_chunks(gw.as_mut_slice(), kh * kw, threads, |ch, gwp| {
+        for b in 0..n {
+            for oy in 0..ho {
+                for ox in 0..wo {
+                    let g = go[((b * c + ch) * ho + oy) * wo + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let xi = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                            gwp[ky * kw + kx] += g * x[xi];
+                        }
+                    }
+                }
+            }
+        }
+    });
+    (gx, gw)
+}
+
+/// Reference depthwise forward pass: the naive serial loops, kept as the
+/// oracle for the differential property tests.
+pub fn dwconv2d_forward_ref(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c, h, w) = dims4(input, "dwconv input");
     let (cw, one, kh, kw) = dims4(weight, "dwconv weight");
     assert_eq!(c, cw, "dwconv channel mismatch: input {c} vs weight {cw}");
@@ -563,12 +748,8 @@ pub fn dwconv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Te
     out
 }
 
-/// Backward pass of [`dwconv2d_forward`]: returns `(grad_input, grad_weight)`.
-///
-/// # Panics
-///
-/// Panics on rank or shape mismatches.
-pub fn dwconv2d_backward(
+/// Reference depthwise backward pass: the naive serial loops.
+pub fn dwconv2d_backward_ref(
     input: &Tensor,
     weight: &Tensor,
     spec: Conv2dSpec,

@@ -1,0 +1,214 @@
+//! Bit-level determinism locks for the compute kernels.
+//!
+//! Two layers of defence:
+//!
+//! 1. **Pre-change fingerprints** — FNV-1a 64 hashes of kernel outputs
+//!    captured from the *original* naive loops before the blocked/parallel
+//!    rewrite. The optimized kernels must reproduce them bit-for-bit,
+//!    forever. A mismatch means the byte-identical checkpoint invariant is
+//!    broken, not that the constants are stale.
+//! 2. **Thread-count invariance** — the same operations at 1, 2 and 4
+//!    threads must agree to the bit. Tests that mutate the process-wide
+//!    thread knob serialize through a mutex so they never observe each
+//!    other's setting.
+
+use std::sync::{Mutex, OnceLock};
+
+use lightnas_tensor::{
+    conv2d_backward, conv2d_forward, dwconv2d_backward, dwconv2d_forward, kernels, Conv2dSpec,
+    Tensor,
+};
+
+/// Serializes tests that touch the global thread knob.
+fn knob_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn fnv(data: &[f32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in data {
+        for b in v.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn spec311() -> Conv2dSpec {
+    Conv2dSpec {
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    }
+}
+
+fn conv_operands() -> (Tensor, Tensor) {
+    (
+        Tensor::uniform(&[2, 8, 14, 14], -1.0, 1.0, 105),
+        Tensor::uniform(&[16, 8, 3, 3], -0.5, 0.5, 106),
+    )
+}
+
+#[test]
+fn matmul_reproduces_pre_rewrite_bits() {
+    let a = Tensor::uniform(&[37, 53], -1.0, 1.0, 101);
+    let b = Tensor::uniform(&[53, 29], -1.0, 1.0, 102);
+    assert_eq!(fnv(a.matmul(&b).as_slice()), 0xc0cf_2e2b_448b_1ec1);
+    let big_a = Tensor::uniform(&[128, 300], -1.0, 1.0, 103);
+    let big_b = Tensor::uniform(&[300, 96], -1.0, 1.0, 104);
+    assert_eq!(fnv(big_a.matmul(&big_b).as_slice()), 0x53a3_ef67_a98e_84bf);
+}
+
+#[test]
+fn conv_forward_reproduces_pre_rewrite_bits() {
+    let (x, w) = conv_operands();
+    // The naive reference and the im2col path produced identical bits even
+    // before the rewrite; both entry points must still land on them.
+    assert_eq!(
+        fnv(conv2d_forward(&x, &w, spec311()).as_slice()),
+        0x21a2_36d8_09fb_1940
+    );
+    assert_eq!(
+        fnv(lightnas_tensor::conv2d_forward_ref(&x, &w, spec311()).as_slice()),
+        0x21a2_36d8_09fb_1940
+    );
+}
+
+#[test]
+fn dwconv_forward_reproduces_pre_rewrite_bits() {
+    let (x, _) = conv_operands();
+    let dw = Tensor::uniform(&[8, 1, 3, 3], -0.5, 0.5, 107);
+    assert_eq!(
+        fnv(dwconv2d_forward(&x, &dw, spec311()).as_slice()),
+        0x2d10_aa1b_a6db_d799
+    );
+}
+
+#[test]
+fn conv_backward_reproduces_pre_rewrite_bits() {
+    let (x, w) = conv_operands();
+    let g = Tensor::uniform(&[2, 16, 14, 14], -1.0, 1.0, 108);
+    let (gx, gw) = conv2d_backward(&x, &w, spec311(), &g);
+    assert_eq!(fnv(gx.as_slice()), 0x7dca_411b_ae6b_79d9);
+    assert_eq!(fnv(gw.as_slice()), 0xdca2_cfa1_8283_5af3);
+}
+
+/// Runs `f` at 1, 2 and 4 kernel threads and asserts all three outputs hash
+/// identically; returns the hash.
+fn hash_across_thread_counts(f: impl Fn() -> u64) -> u64 {
+    let _guard = knob_lock().lock().unwrap();
+    let before = kernels::num_threads();
+    let mut hashes = Vec::new();
+    for t in [1usize, 2, 4] {
+        kernels::set_num_threads(t);
+        hashes.push((t, f()));
+    }
+    kernels::set_num_threads(before);
+    let serial = hashes[0].1;
+    for (t, h) in &hashes {
+        assert_eq!(
+            *h, serial,
+            "thread count {t} changed output bits ({h:016x} vs serial {serial:016x})"
+        );
+    }
+    serial
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    // Big enough to clear the parallel threshold.
+    let a = Tensor::uniform(&[256, 192], -1.0, 1.0, 201);
+    let b = Tensor::uniform(&[192, 160], -1.0, 1.0, 202);
+    hash_across_thread_counts(|| fnv(a.matmul(&b).as_slice()));
+}
+
+#[test]
+fn conv_forward_and_backward_are_bit_identical_across_thread_counts() {
+    let spec = Conv2dSpec {
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let x = Tensor::uniform(&[4, 16, 28, 28], -1.0, 1.0, 203);
+    let w = Tensor::uniform(&[32, 16, 3, 3], -0.5, 0.5, 204);
+    let g = Tensor::uniform(&[4, 32, 14, 14], -1.0, 1.0, 205);
+    hash_across_thread_counts(|| {
+        let y = conv2d_forward(&x, &w, spec);
+        let (gx, gw) = conv2d_backward(&x, &w, spec, &g);
+        fnv(y.as_slice()) ^ fnv(gx.as_slice()).rotate_left(1) ^ fnv(gw.as_slice()).rotate_left(2)
+    });
+}
+
+#[test]
+fn dwconv_is_bit_identical_across_thread_counts() {
+    let spec = spec311();
+    let x = Tensor::uniform(&[4, 32, 28, 28], -1.0, 1.0, 206);
+    let w = Tensor::uniform(&[32, 1, 3, 3], -0.5, 0.5, 207);
+    let g = Tensor::uniform(&[4, 32, 28, 28], -1.0, 1.0, 208);
+    hash_across_thread_counts(|| {
+        let y = dwconv2d_forward(&x, &w, spec);
+        let (gx, gw) = dwconv2d_backward(&x, &w, spec, &g);
+        fnv(y.as_slice()) ^ fnv(gx.as_slice()).rotate_left(1) ^ fnv(gw.as_slice()).rotate_left(2)
+    });
+}
+
+#[test]
+fn training_step_is_bit_identical_across_thread_counts() {
+    // A miniature conv→GEMM→loss→backward step, the composition the search
+    // loop actually runs.
+    use lightnas_tensor::Graph;
+    let x = Tensor::uniform(&[8, 4, 12, 12], -1.0, 1.0, 209);
+    let w = Tensor::uniform(&[6, 4, 3, 3], -0.5, 0.5, 210);
+    let head = Tensor::uniform(&[6, 3], -0.5, 0.5, 211);
+    hash_across_thread_counts(|| {
+        let mut g = Graph::new();
+        let xv = g.input(x.clone());
+        let wv = g.parameter(w.clone());
+        let hv = g.parameter(head.clone());
+        let y = g.conv2d(xv, wv, spec311());
+        let pooled = g.global_avg_pool(y);
+        let logits = g.matmul(pooled, hv);
+        let loss = g.softmax_cross_entropy(logits, &[0, 1, 2, 0, 1, 2, 0, 1]);
+        g.backward(loss);
+        fnv(g.value(loss).as_slice())
+            ^ fnv(g.grad(wv).as_slice()).rotate_left(1)
+            ^ fnv(g.grad(hv).as_slice()).rotate_left(2)
+    });
+}
+
+#[test]
+fn env_knob_parses_and_applies() {
+    let _guard = knob_lock().lock().unwrap();
+    let before = kernels::num_threads();
+    std::env::set_var(kernels::THREADS_ENV, "3");
+    assert_eq!(kernels::init_threads_from_env(), 3);
+    assert_eq!(kernels::num_threads(), 3);
+    std::env::set_var(kernels::THREADS_ENV, "not-a-number");
+    assert_eq!(kernels::init_threads_from_env(), 3, "junk must be ignored");
+    std::env::remove_var(kernels::THREADS_ENV);
+    kernels::set_num_threads(before);
+}
+
+#[test]
+fn matmul_empty_operands_are_well_formed() {
+    // Regression: empty dimensions must produce well-formed empty / zero
+    // tensors through the public API, not a panic deep in the kernel.
+    let a = Tensor::zeros(&[0, 5]);
+    let b = Tensor::zeros(&[5, 3]);
+    let c = a.matmul(&b);
+    assert_eq!(c.shape().dims(), &[0, 3]);
+    assert!(c.is_empty());
+
+    let a = Tensor::zeros(&[4, 0]);
+    let b = Tensor::zeros(&[0, 3]);
+    let c = a.matmul(&b);
+    assert_eq!(c.shape().dims(), &[4, 3]);
+    assert!(c.as_slice().iter().all(|v| v.to_bits() == 0));
+
+    let a = Tensor::zeros(&[2, 5]);
+    let b = Tensor::zeros(&[5, 0]);
+    let c = a.matmul(&b);
+    assert_eq!(c.shape().dims(), &[2, 0]);
+    assert!(c.is_empty());
+}

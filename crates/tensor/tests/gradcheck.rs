@@ -176,6 +176,103 @@ fn gradcheck_conv2d_input() {
 }
 
 #[test]
+fn gradcheck_conv2d_weight_strided_no_padding() {
+    // stride > 1 with zero padding: output grid no longer aligns 1:1 with
+    // the input, exercising the strided col2im/grad-weight paths.
+    let theta = Tensor::uniform(&[3, 2, 3, 3], -0.5, 0.5, 50);
+    check("conv2d_w_s2p0", theta, |g, t| {
+        let w = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[2, 2, 7, 7], -1.0, 1.0, 51));
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        };
+        let y = g.conv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (w, loss)
+    });
+}
+
+#[test]
+fn gradcheck_conv2d_input_oversized_padding() {
+    // padding > (k-1)/2: the output is larger than the input, so many output
+    // positions read only zero-padding — grad_input must stay exact there.
+    let theta = Tensor::uniform(&[1, 2, 4, 4], -1.0, 1.0, 52);
+    check("conv2d_x_p2", theta, |g, t| {
+        let x = g.parameter(t);
+        let w = g.input(Tensor::uniform(&[2, 2, 3, 3], -0.5, 0.5, 53));
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 2,
+        };
+        let y = g.conv2d(x, w, spec);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (x, loss)
+    });
+}
+
+#[test]
+fn gradcheck_conv2d_even_kernel() {
+    // Even kernel with padding: the receptive field is asymmetric about the
+    // output position (no centre tap), a layout the pad-arithmetic must get
+    // right in both grad passes.
+    for (name, theta_shape, seed) in [
+        ("conv2d_w_k2", [2usize, 3, 2, 2], 54u64),
+        ("conv2d_x_k2", [1, 3, 5, 5], 56),
+    ] {
+        let theta = Tensor::uniform(&theta_shape, -0.5, 0.5, seed);
+        let weight_is_param = name.contains("_w_");
+        check(name, theta, move |g, t| {
+            let spec = Conv2dSpec {
+                kernel: 2,
+                stride: 2,
+                padding: 1,
+            };
+            let (x, w, param);
+            if weight_is_param {
+                param = g.parameter(t);
+                w = param;
+                x = g.input(Tensor::uniform(&[1, 3, 5, 5], -1.0, 1.0, 55));
+            } else {
+                param = g.parameter(t);
+                x = param;
+                w = g.input(Tensor::uniform(&[2, 3, 2, 2], -0.5, 0.5, 57));
+            }
+            let y = g.conv2d(x, w, spec);
+            let z = g.mul(y, y);
+            let loss = g.mean(z);
+            (param, loss)
+        });
+    }
+}
+
+#[test]
+fn gradcheck_conv2d_bias() {
+    // Bias gradient through the conv + per-channel bias composition the nn
+    // layers actually use.
+    let theta = Tensor::uniform(&[4], -1.0, 1.0, 58);
+    check("conv2d_bias", theta, |g, t| {
+        let b = g.parameter(t);
+        let x = g.input(Tensor::uniform(&[2, 3, 5, 5], -1.0, 1.0, 59));
+        let w = g.input(Tensor::uniform(&[4, 3, 3, 3], -0.5, 0.5, 60));
+        let spec = Conv2dSpec {
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let y = g.conv2d(x, w, spec);
+        let y = g.add_channel_bias(y, b);
+        let z = g.mul(y, y);
+        let loss = g.mean(z);
+        (b, loss)
+    });
+}
+
+#[test]
 fn gradcheck_dwconv2d_weight() {
     let theta = Tensor::uniform(&[4, 1, 3, 3], -0.5, 0.5, 25);
     check("dwconv_w", theta, |g, t| {

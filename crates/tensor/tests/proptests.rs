@@ -135,3 +135,120 @@ proptest! {
         prop_assert_eq!(t.argmax(), r.argmax());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential kernel equivalence: the optimized compute kernels must agree
+// with the retained naive reference kernels within 0 ULP — i.e. bit-for-bit.
+// Shapes (batch, channels, spatial size, kernel, stride, padding) are all
+// randomized; data comes from seeded uniform init so failures replay exactly.
+// ---------------------------------------------------------------------------
+
+/// Asserts two tensors are bit-identical (0 ULP), reporting the first diff.
+fn assert_bits_eq(fast: &Tensor, reference: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.shape().dims(), reference.shape().dims());
+    for (i, (f, r)) in fast.as_slice().iter().zip(reference.as_slice()).enumerate() {
+        prop_assert_eq!(
+            f.to_bits(),
+            r.to_bits(),
+            "bit mismatch at flat index {}: fast {} vs reference {}",
+            i,
+            f,
+            r
+        );
+    }
+    Ok(())
+}
+
+fn conv_out_dim(size: usize, spec: Conv2dSpec) -> usize {
+    (size + 2 * spec.padding - spec.kernel) / spec.stride + 1
+}
+
+/// Random conv problem built from independently drawn parameters; `dh`/`dw`
+/// pad the spatial size above the kernel so the output is non-empty for any
+/// padding. Returns `(x, weight, grad_out, spec)`.
+fn conv_case(
+    (n, ci, co): (usize, usize, usize),
+    (k, s, p): (usize, usize, usize),
+    (dh, dw): (usize, usize),
+    seed: u64,
+) -> (Tensor, Tensor, Tensor, Conv2dSpec) {
+    let spec = Conv2dSpec {
+        kernel: k,
+        stride: s,
+        padding: p,
+    };
+    let (h, w) = (k + dh, k + dw);
+    let x = Tensor::uniform(&[n, ci, h, w], -1.0, 1.0, seed);
+    let wt = Tensor::uniform(&[co, ci, k, k], -0.5, 0.5, seed.wrapping_add(1));
+    let g = Tensor::uniform(
+        &[n, co, conv_out_dim(h, spec), conv_out_dim(w, spec)],
+        -1.0,
+        1.0,
+        seed.wrapping_add(2),
+    );
+    (x, wt, g, spec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_matches_reference_bits(m in 1usize..40, k in 1usize..48, n in 1usize..40, seed in 1u64..1_000_000) {
+        let a = Tensor::uniform(&[m, k], -2.0, 2.0, seed);
+        let b = Tensor::uniform(&[k, n], -2.0, 2.0, seed.wrapping_add(1));
+        assert_bits_eq(&a.matmul(&b), &lightnas_tensor::matmul_ref(&a, &b))?;
+    }
+
+    #[test]
+    fn conv_forward_matches_reference_bits(
+        n in 1usize..=3, ci in 1usize..=5, co in 1usize..=6,
+        k in 1usize..=4, s in 1usize..=2, p in 0usize..=2,
+        dh in 0usize..8, dw in 0usize..8, seed in 1u64..1_000_000,
+    ) {
+        let (x, wt, _, spec) = conv_case((n, ci, co), (k, s, p), (dh, dw), seed);
+        assert_bits_eq(
+            &lightnas_tensor::conv2d_forward(&x, &wt, spec),
+            &lightnas_tensor::conv2d_forward_ref(&x, &wt, spec),
+        )?;
+    }
+
+    #[test]
+    fn conv_backward_matches_reference_bits(
+        n in 1usize..=3, ci in 1usize..=5, co in 1usize..=6,
+        k in 1usize..=4, s in 1usize..=2, p in 0usize..=2,
+        dh in 0usize..8, dw in 0usize..8, seed in 1u64..1_000_000,
+    ) {
+        let (x, wt, g, spec) = conv_case((n, ci, co), (k, s, p), (dh, dw), seed);
+        let (gx, gw) = lightnas_tensor::conv2d_backward(&x, &wt, spec, &g);
+        let (gx_ref, gw_ref) = lightnas_tensor::conv2d_backward_ref(&x, &wt, spec, &g);
+        assert_bits_eq(&gx, &gx_ref)?;
+        assert_bits_eq(&gw, &gw_ref)?;
+    }
+
+    #[test]
+    fn dwconv_matches_reference_bits(
+        n in 1usize..=3, c in 1usize..=6,
+        k in 1usize..=4, s in 1usize..=2, p in 0usize..=2,
+        dh in 0usize..8, dw in 0usize..8, seed in 1u64..1_000_000,
+    ) {
+        // Depthwise: one [1, k, k] filter per channel.
+        let spec = Conv2dSpec { kernel: k, stride: s, padding: p };
+        let (h, w) = (k + dh, k + dw);
+        let x = Tensor::uniform(&[n, c, h, w], -1.0, 1.0, seed);
+        let wt = Tensor::uniform(&[c, 1, k, k], -0.5, 0.5, seed.wrapping_add(1));
+        let g = Tensor::uniform(
+            &[n, c, conv_out_dim(h, spec), conv_out_dim(w, spec)],
+            -1.0,
+            1.0,
+            seed.wrapping_add(2),
+        );
+        assert_bits_eq(
+            &lightnas_tensor::dwconv2d_forward(&x, &wt, spec),
+            &lightnas_tensor::dwconv2d_forward_ref(&x, &wt, spec),
+        )?;
+        let (gx, gw) = lightnas_tensor::dwconv2d_backward(&x, &wt, spec, &g);
+        let (gx_ref, gw_ref) = lightnas_tensor::dwconv2d_backward_ref(&x, &wt, spec, &g);
+        assert_bits_eq(&gx, &gx_ref)?;
+        assert_bits_eq(&gw, &gw_ref)?;
+    }
+}
