@@ -39,6 +39,7 @@ const EXHIBITS: &[&str] = &[
     "anatomy",
     "runtime_sweep",
     "fault_sweep",
+    "serve_overload",
 ];
 
 enum Status {

@@ -1,0 +1,220 @@
+//! The serving-layer acceptance exhibit: the trained MLP predictor behind
+//! [`PredictorService`], driven through a scripted incident on a virtual
+//! clock — a healthy warm-up, a NaN burst long enough to trip the circuit
+//! breaker (answers degrade to the LUT while it is open), a cool-down probe
+//! that recovers the primary, and an admission burst past the queue's
+//! watermarks. The exhibit passes when the breaker's full
+//! trip → probe → recover arc is narrated in telemetry, every refusal is
+//! typed, nothing is lost across the drain, and the service's degraded
+//! count equals the [`FallbackPredictor`]'s own counters.
+//!
+//! ```text
+//! cargo run --release -p lightnas-bench --bin serve_overload
+//! ```
+//!
+//! Honors `LIGHTNAS_QUICK=1` like every other harness (it only shrinks the
+//! predictor-training corpus; the incident script is identical).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lightnas_bench::{render_table, Harness};
+use lightnas_runtime::Telemetry;
+use lightnas_serve::{
+    AdmissionPolicy, BreakerConfig, BreakerState, ChaosPlan, ChaosPredictor, PredictorService,
+    Request, ServeError, ServeFault, ServeFaultKind, ServiceConfig, VirtualClock,
+};
+
+/// Requests per coalesced batch (and per incident-phase pump).
+const BATCH: usize = 8;
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        admission: AdmissionPolicy {
+            capacity: 32,
+            normal_mark: 24,
+            low_mark: 16,
+        },
+        breaker: BreakerConfig {
+            trip_after: 3,
+            open_for: Duration::from_millis(10),
+            trial_successes: 2,
+        },
+        max_batch: BATCH,
+        retry_budget: 1,
+        default_deadline: None,
+    }
+}
+
+fn main() -> ExitCode {
+    let h = Harness::standard();
+    let clock = VirtualClock::new();
+
+    // The scripted incident: calls 0..23 are the healthy warm-up; calls
+    // 24..40 are a solid NaN burst. The first burst batch consumes exactly
+    // 16 calls (8 batch rows + 8 scalar retries under retry_budget = 1), so
+    // the burst ends precisely when the breaker is open — the recovery
+    // probes at call 40+ hit a healthy primary again.
+    let plan = ChaosPlan::new(
+        (24..40)
+            .map(|call| ServeFault {
+                call,
+                kind: ServeFaultKind::Nan,
+            })
+            .collect(),
+    );
+    let chaos = ChaosPredictor::new(&h.predictor, &plan, &clock);
+    let telemetry = Telemetry::create("results/runs", "serve_overload").ok();
+    let mut svc = PredictorService::new(&chaos, &h.lut, &clock, service_config());
+    if let Some(t) = &telemetry {
+        svc = svc.with_telemetry(t);
+    }
+
+    let encodings = h.valid.encodings();
+    let mut next = 0usize;
+    let mut submit_pump = |svc: &PredictorService<_, _>, n: usize| {
+        for _ in 0..n {
+            svc.submit(Request::new(encodings[next % encodings.len()].clone()))
+                .expect("incident script stays below the watermarks");
+            next += 1;
+        }
+        while svc.pump() > 0 {}
+    };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut snap = |svc: &PredictorService<_, _>, phase: &str| {
+        let health = svc.health();
+        rows.push(vec![
+            phase.to_string(),
+            format!("{}", health.submitted),
+            format!("{}", health.served),
+            format!("{}", health.degraded),
+            format!("{}", health.rejected_overloaded),
+            format!("{}", health.breaker),
+        ]);
+        health
+    };
+
+    // Phase 1 — healthy warm-up: three clean batches, pure primary.
+    submit_pump(&svc, 3 * BATCH);
+    let warm = snap(&svc, "warm-up");
+
+    // Phase 2 — NaN burst: the first batch burns its retry budget and trips
+    // the breaker; the second is routed straight to the LUT, untouched by
+    // the (still poisoned) primary.
+    submit_pump(&svc, BATCH);
+    clock.advance(Duration::from_millis(1));
+    submit_pump(&svc, BATCH);
+    let burst = snap(&svc, "NaN burst");
+    let calls_during_open = chaos.calls();
+
+    // Phase 3 — recovery: after the cool-down the next batch rides the
+    // half-open trial; two finite rows close the breaker again.
+    clock.advance(Duration::from_millis(10));
+    submit_pump(&svc, 2 * BATCH);
+    let recovered = snap(&svc, "recovery");
+
+    // Phase 4 — admission burst: twice the queue capacity offered at once;
+    // everything past the Normal watermark is refused with a typed
+    // `Overloaded`, then the drain answers every admitted request.
+    let mut overloaded = 0u64;
+    for _ in 0..2 * service_config().admission.capacity {
+        match svc.submit(Request::new(encodings[next % encodings.len()].clone())) {
+            Ok(_) => next += 1,
+            Err(ServeError::Overloaded { .. }) => overloaded += 1,
+            Err(e) => {
+                eprintln!("[serve_overload] untyped refusal under overload: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = svc.drain();
+    snap(&svc, "burst+drain");
+
+    println!("Serving incident on the virtual clock (batch = {BATCH}):\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "phase",
+                "submitted",
+                "served",
+                "degraded",
+                "rej-overload",
+                "breaker"
+            ],
+            &rows
+        )
+    );
+    println!("final accounting: {report:?}");
+    println!(
+        "fallback counters: degraded {} (nonfinite {}, panic {}, routed {})",
+        svc.fallback().degraded(),
+        svc.fallback().degraded_nonfinite(),
+        svc.fallback().degraded_panics(),
+        svc.fallback().degraded_routed(),
+    );
+
+    // The verdicts.
+    let tripped = burst.breaker == BreakerState::Open && burst.degraded == 2 * BATCH as u64;
+    let routed_without_primary =
+        calls_during_open == 40 && svc.fallback().degraded_routed() == BATCH as u64;
+    let closed_again =
+        recovered.breaker == BreakerState::Closed && recovered.degraded == burst.degraded;
+    let counters_agree = report.degraded == svc.fallback().degraded();
+    let accounted = report.fully_accounted()
+        && report.rejected_overloaded == overloaded
+        && overloaded > 0
+        && warm.degraded == 0;
+
+    let mut narrated = false;
+    if let Some(t) = &telemetry {
+        let text = std::fs::read_to_string(t.path()).unwrap_or_default();
+        let arc: Vec<&str> = ["tripped", "probing", "recovered"]
+            .into_iter()
+            .filter(|r| {
+                text.lines().any(|l| {
+                    l.contains("\"event\":\"breaker_transition\"")
+                        && l.contains(&format!("\"reason\":\"{r}\""))
+                })
+            })
+            .collect();
+        narrated = arc.len() == 3;
+        println!(
+            "telemetry ({}): breaker arc {} | degraded rows {}",
+            t.path().display(),
+            arc.join(" -> "),
+            text.lines()
+                .filter(
+                    |l| l.contains("\"event\":\"serve_done\"") && l.contains("\"degraded\":true")
+                )
+                .count()
+        );
+    }
+
+    for (name, ok) in [
+        ("breaker tripped by the NaN burst", tripped),
+        (
+            "open breaker served from LUT, primary untouched",
+            routed_without_primary,
+        ),
+        ("breaker recovered after cool-down", closed_again),
+        (
+            "degraded telemetry equals fallback counters",
+            counters_agree,
+        ),
+        ("typed rejections, nothing lost on drain", accounted),
+        ("trip -> probe -> recover narrated in telemetry", narrated),
+    ] {
+        println!("{}: {}", name, if ok { "YES" } else { "NO" });
+    }
+
+    if tripped && routed_without_primary && closed_again && counters_agree && accounted && narrated
+    {
+        println!("\nthe serving layer degraded, recovered and refused exactly as contracted.");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("[serve_overload] serving-contract check FAILED");
+        ExitCode::FAILURE
+    }
+}

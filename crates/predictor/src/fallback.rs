@@ -5,32 +5,65 @@
 //! search). [`FallbackPredictor`] reproduces that posture for this stack:
 //! it forwards every query to a primary model (typically the trained
 //! [`MlpPredictor`](crate::MlpPredictor)) and, whenever the answer is
-//! non-finite, transparently re-answers from a fallback (typically the
-//! [`LutPredictor`](crate::LutPredictor) baseline, which is closed-form and
-//! cannot produce NaN from finite tables), counting every degraded call.
+//! non-finite **or the primary panics mid-query**, transparently re-answers
+//! from a fallback (typically the [`LutPredictor`](crate::LutPredictor)
+//! baseline, which is closed-form and cannot produce NaN from finite
+//! tables), counting every degraded call by its cause.
 //!
 //! The wrapper is value-transparent while the primary is healthy — a
 //! search driven through it is byte-identical to one driven by the primary
 //! directly — and keeps a sweep *alive* (with honestly worse, LUT-grade
 //! estimates) when the primary is persistently broken.
+//!
+//! The serving layer (`lightnas-serve`) additionally routes entire request
+//! batches around an open circuit breaker via
+//! [`degrade_encoding`](FallbackPredictor::degrade_encoding), so its
+//! telemetry counters and [`degraded`](FallbackPredictor::degraded) agree
+//! by construction.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lightnas_space::Architecture;
 
 use crate::Predictor;
 
+/// Why a query was answered by the fallback instead of the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeCause {
+    /// The primary answered NaN/∞ (or a gradient with a non-finite lane).
+    NonFinite,
+    /// The primary panicked mid-query.
+    Panic,
+    /// A caller routed the query straight to the fallback (e.g. a serving
+    /// layer whose circuit breaker is open) without consulting the primary.
+    Routed,
+}
+
 /// A [`Predictor`] that answers from `primary` and degrades to `fallback`
 /// whenever the primary returns a non-finite value (NaN/∞ prediction, or a
-/// gradient with any non-finite component).
+/// gradient with any non-finite component) **or panics**.
 ///
-/// Degraded calls are counted ([`degraded`](Self::degraded)), so a runtime
-/// can surface how much of a run actually rode on the fallback.
+/// Degraded calls are counted per cause ([`degraded_nonfinite`],
+/// [`degraded_panics`], [`degraded_routed`], and their sum [`degraded`]),
+/// so a runtime can surface how much of a run actually rode on the
+/// fallback — and why.
+///
+/// Panic recovery uses [`catch_unwind`]; the primary is only read, never
+/// mutated, by `Predictor` queries (trained predictors are frozen), so a
+/// caught panic cannot leave it in a broken state.
+///
+/// [`degraded_nonfinite`]: Self::degraded_nonfinite
+/// [`degraded_panics`]: Self::degraded_panics
+/// [`degraded_routed`]: Self::degraded_routed
+/// [`degraded`]: Self::degraded
 #[derive(Debug)]
 pub struct FallbackPredictor<'a, P, F> {
     primary: &'a P,
     fallback: &'a F,
-    degraded: AtomicU64,
+    nonfinite: AtomicU64,
+    panics: AtomicU64,
+    routed: AtomicU64,
 }
 
 impl<'a, P: Predictor, F: Predictor> FallbackPredictor<'a, P, F> {
@@ -39,7 +72,9 @@ impl<'a, P: Predictor, F: Predictor> FallbackPredictor<'a, P, F> {
         Self {
             primary,
             fallback,
-            degraded: AtomicU64::new(0),
+            nonfinite: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            routed: AtomicU64::new(0),
         }
     }
 
@@ -53,44 +88,94 @@ impl<'a, P: Predictor, F: Predictor> FallbackPredictor<'a, P, F> {
         self.fallback
     }
 
-    /// How many queries the fallback had to answer so far.
+    /// How many queries the fallback had to answer so far (all causes).
     pub fn degraded(&self) -> u64 {
-        self.degraded.load(Ordering::Relaxed)
+        self.degraded_nonfinite() + self.degraded_panics() + self.degraded_routed()
     }
 
-    fn note_degraded(&self) {
-        self.degraded.fetch_add(1, Ordering::Relaxed);
+    /// Degraded calls caused by a non-finite primary answer.
+    pub fn degraded_nonfinite(&self) -> u64 {
+        self.nonfinite.load(Ordering::Relaxed)
+    }
+
+    /// Degraded calls caused by a primary panic.
+    pub fn degraded_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Degraded calls a caller routed directly to the fallback.
+    pub fn degraded_routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    fn note_degraded(&self, cause: DegradeCause) {
+        let counter = match cause {
+            DegradeCause::NonFinite => &self.nonfinite,
+            DegradeCause::Panic => &self.panics,
+            DegradeCause::Routed => &self.routed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Answers `encoding` from the fallback *without* consulting the
+    /// primary, counting the call under `cause`.
+    ///
+    /// This is the degradation path a serving layer takes when its circuit
+    /// breaker is open (`cause` = [`DegradeCause::Routed`]) or when it has
+    /// already observed the primary fault itself and exhausted its retry
+    /// budget ([`DegradeCause::NonFinite`] / [`DegradeCause::Panic`]).
+    pub fn degrade_encoding(&self, encoding: &[f32], cause: DegradeCause) -> f64 {
+        self.note_degraded(cause);
+        self.fallback.predict_encoding(encoding)
+    }
+
+    /// Runs one primary query under [`catch_unwind`], folding a panic into
+    /// `None` so every caller treats it exactly like a bad value.
+    fn primary_query<T>(&self, query: impl FnOnce() -> T) -> Option<T> {
+        catch_unwind(AssertUnwindSafe(query)).ok()
     }
 }
 
 impl<P: Predictor, F: Predictor> Predictor for FallbackPredictor<'_, P, F> {
     fn predict_encoding(&self, encoding: &[f32]) -> f64 {
-        let v = self.primary.predict_encoding(encoding);
-        if v.is_finite() {
-            v
-        } else {
-            self.note_degraded();
-            self.fallback.predict_encoding(encoding)
+        match self.primary_query(|| self.primary.predict_encoding(encoding)) {
+            Some(v) if v.is_finite() => v,
+            Some(_) => {
+                self.note_degraded(DegradeCause::NonFinite);
+                self.fallback.predict_encoding(encoding)
+            }
+            None => {
+                self.note_degraded(DegradeCause::Panic);
+                self.fallback.predict_encoding(encoding)
+            }
         }
     }
 
     fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
-        let g = self.primary.gradient(encoding);
-        if g.iter().all(|v| v.is_finite()) {
-            g
-        } else {
-            self.note_degraded();
-            self.fallback.gradient(encoding)
+        match self.primary_query(|| self.primary.gradient(encoding)) {
+            Some(g) if g.iter().all(|v| v.is_finite()) => g,
+            Some(_) => {
+                self.note_degraded(DegradeCause::NonFinite);
+                self.fallback.gradient(encoding)
+            }
+            None => {
+                self.note_degraded(DegradeCause::Panic);
+                self.fallback.gradient(encoding)
+            }
         }
     }
 
     fn predict(&self, arch: &Architecture) -> f64 {
-        let v = self.primary.predict(arch);
-        if v.is_finite() {
-            v
-        } else {
-            self.note_degraded();
-            self.fallback.predict(arch)
+        match self.primary_query(|| self.primary.predict(arch)) {
+            Some(v) if v.is_finite() => v,
+            Some(_) => {
+                self.note_degraded(DegradeCause::NonFinite);
+                self.fallback.predict(arch)
+            }
+            None => {
+                self.note_degraded(DegradeCause::Panic);
+                self.fallback.predict(arch)
+            }
         }
     }
 }
@@ -115,6 +200,17 @@ mod tests {
         }
     }
 
+    /// A primary that panics on every query.
+    struct PanickyPrimary;
+    impl Predictor for PanickyPrimary {
+        fn predict_encoding(&self, _encoding: &[f32]) -> f64 {
+            panic!("predictor weights corrupted")
+        }
+        fn gradient(&self, _encoding: &[f32]) -> Vec<f32> {
+            panic!("predictor weights corrupted")
+        }
+    }
+
     /// A primary that glitches on its first `n` predictions only.
     struct Glitchy {
         n: u64,
@@ -131,6 +227,16 @@ mod tests {
         fn gradient(&self, encoding: &[f32]) -> Vec<f32> {
             vec![0.25; encoding.len()]
         }
+    }
+
+    /// Silences the default panic hook around `f` so injected-panic tests
+    /// don't spray backtraces; restores the hook afterwards.
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
     }
 
     #[test]
@@ -166,6 +272,28 @@ mod tests {
             "degraded gradients must be finite"
         );
         assert_eq!(fb.degraded(), 4, "predict_encoding + predict + gradient×2");
+        assert_eq!(fb.degraded_nonfinite(), 4, "all four were NaN/∞, no panics");
+        assert_eq!(fb.degraded_panics(), 0);
+    }
+
+    #[test]
+    fn panicking_primary_degrades_and_counts_separately() {
+        let space = SearchSpace::standard();
+        let lut = LutPredictor::build(&Xavier::maxn(), &space);
+        let fb = FallbackPredictor::new(&PanickyPrimary, &lut);
+        let arch = Architecture::random(&space, 4);
+        let enc = arch.encode();
+        quiet_panics(|| {
+            assert_eq!(fb.predict_encoding(&enc), lut.predict_encoding(&enc));
+            assert_eq!(fb.gradient(&enc), Predictor::gradient(&lut, &enc));
+            assert_eq!(
+                Predictor::predict(&fb, &arch),
+                LutPredictor::predict(&lut, &arch)
+            );
+        });
+        assert_eq!(fb.degraded_panics(), 3, "every query panicked");
+        assert_eq!(fb.degraded_nonfinite(), 0);
+        assert_eq!(fb.degraded(), 3);
     }
 
     #[test]
@@ -184,5 +312,20 @@ mod tests {
         assert_eq!(fb.predict_encoding(&enc), lut_v);
         assert_eq!(fb.predict_encoding(&enc), 21.5, "primary healthy again");
         assert_eq!(fb.degraded(), 2);
+        assert_eq!(fb.degraded_nonfinite(), 2);
+    }
+
+    #[test]
+    fn routed_degradation_never_touches_the_primary() {
+        let space = SearchSpace::standard();
+        let lut = LutPredictor::build(&Xavier::maxn(), &space);
+        // A panicking primary proves `degrade_encoding` skips it entirely.
+        let fb = FallbackPredictor::new(&PanickyPrimary, &lut);
+        let enc = Architecture::random(&space, 5).encode();
+        let v = fb.degrade_encoding(&enc, DegradeCause::Routed);
+        assert_eq!(v.to_bits(), lut.predict_encoding(&enc).to_bits());
+        assert_eq!(fb.degraded_routed(), 1);
+        assert_eq!(fb.degraded_panics(), 0);
+        assert_eq!(fb.degraded(), 1);
     }
 }

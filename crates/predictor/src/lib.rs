@@ -34,6 +34,7 @@
 //! println!("validation RMSE: {:.3} ms", predictor.rmse(&valid));
 //! ```
 
+mod batch;
 mod cache;
 mod dataset;
 mod ensemble;
@@ -41,9 +42,10 @@ mod fallback;
 mod lut;
 mod mlp;
 
+pub use batch::BatchPredictor;
 pub use cache::{architecture_key, encoding_key, CacheStats, CachedPredictor, Predictor};
 pub use dataset::{Metric, MetricDataset};
 pub use ensemble::EnsemblePredictor;
-pub use fallback::FallbackPredictor;
+pub use fallback::{DegradeCause, FallbackPredictor};
 pub use lut::LutPredictor;
 pub use mlp::{MlpPredictor, TrainConfig};

@@ -150,10 +150,22 @@ fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
+/// Parses a full 16-hex-digit `u64` word. The length check is load-bearing:
+/// `from_str_radix` happily accepts `"3f"` (a *truncated* `lambda`/`rng`
+/// record would silently resurrect a garbage value), so anything shorter or
+/// longer than the canonical `{:016x}` form is typed corruption, not data.
+fn parse_hex_u64(tok: &str) -> Result<u64, String> {
+    if tok.len() != 16 {
+        return Err(format!(
+            "bad hex word {tok:?}: want exactly 16 hex digits, got {} (truncated record?)",
+            tok.len()
+        ));
+    }
+    u64::from_str_radix(tok, 16).map_err(|_| format!("bad hex word {tok:?}"))
+}
+
 fn parse_hex_f64(tok: &str) -> Result<f64, String> {
-    u64::from_str_radix(tok, 16)
-        .map(f64::from_bits)
-        .map_err(|_| format!("bad f64 bit pattern {tok:?}"))
+    parse_hex_u64(tok).map(f64::from_bits)
 }
 
 fn parse_int<T: std::str::FromStr>(tok: &str, what: &str) -> Result<T, String> {
@@ -354,8 +366,8 @@ impl Checkpoint {
                     }
                     let mut words = [0u64; 4];
                     for (w, tok) in words.iter_mut().zip(rest) {
-                        *w = u64::from_str_radix(tok, 16)
-                            .map_err(|_| bad(ln, format!("bad rng word {tok:?}")))?;
+                        *w = parse_hex_u64(tok)
+                            .map_err(|r| bad(ln, format!("bad rng word: {r}")))?;
                     }
                     rng = Some(words);
                 }
@@ -390,8 +402,7 @@ impl Checkpoint {
                 "checksum" => {
                     let tok = one(rest)?;
                     stamped = Some(
-                        u64::from_str_radix(&tok, 16)
-                            .map_err(|_| bad(ln, format!("bad checksum {tok:?}")))?,
+                        parse_hex_u64(&tok).map_err(|r| bad(ln, format!("bad checksum: {r}")))?,
                     );
                 }
                 "end" => {
@@ -583,6 +594,59 @@ mod tests {
         out
     }
 
+    /// Regression: a `lambda` record whose hex word was cut short (torn
+    /// write, interrupted copy) must surface as the *typed* corrupt-
+    /// checkpoint error — never panic, and never silently parse the prefix
+    /// as a tiny subnormal (which `from_str_radix` would happily do).
+    #[test]
+    fn truncated_lambda_value_is_typed_corruption_not_a_panic() {
+        let text = sample().render();
+        let lambda_line = text
+            .lines()
+            .find(|l| l.starts_with("lambda "))
+            .expect("lambda record");
+        let value = lambda_line
+            .strip_prefix("lambda ")
+            .expect("prefix just matched");
+        for keep in [0, 1, 8, 15] {
+            let truncated_line = format!("lambda {}", &value[..keep]).trim_end().to_string();
+            // Restamped so the checksum gate passes and the record-level
+            // validation is what actually rejects the truncation.
+            let tampered = restamp(&text.replace(lambda_line, &truncated_line));
+            let err = Checkpoint::parse(&tampered).unwrap_err();
+            match err {
+                CheckpointError::Malformed { line, ref reason } => {
+                    assert!(line > 0, "truncation points at its line: {err}");
+                    assert!(
+                        reason.contains("16 hex digits") || reason.contains("exactly one value"),
+                        "reason must name the truncation: {reason}"
+                    );
+                }
+                other => panic!("want Malformed, got {other}"),
+            }
+        }
+        // Without restamping it is still typed: the single-pass parser
+        // rejects the record before ever reaching the (now stale) checksum.
+        let half = format!("lambda {}", &value[..8]);
+        let err = Checkpoint::parse(&text.replace(lambda_line, &half)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_rng_word_is_typed_corruption() {
+        let text = sample().render();
+        let rng_line = text
+            .lines()
+            .find(|l| l.starts_with("rng "))
+            .expect("rng record");
+        let cut = rng_line[..rng_line.len() - 6].to_string();
+        let err = Checkpoint::parse(&restamp(&text.replace(rng_line, &cut))).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Malformed { .. }),
+            "truncated rng word must be typed: {err}"
+        );
+    }
+
     #[test]
     fn missing_and_malformed_records_are_rejected() {
         let no_seed = restamp(
@@ -621,7 +685,9 @@ mod tests {
             .lines()
             .find(|l| l.starts_with("lambda "))
             .expect("lambda record");
-        let value = lambda_line.strip_prefix("lambda ").unwrap();
+        let value = lambda_line
+            .strip_prefix("lambda ")
+            .expect("prefix just matched");
         let flipped_digit = if value.starts_with('b') { 'a' } else { 'b' };
         let tampered_line = format!("lambda {flipped_digit}{}", &value[1..]);
         let tampered = text.replace(lambda_line, &tampered_line);

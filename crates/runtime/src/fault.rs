@@ -90,7 +90,8 @@ pub struct FaultPlan {
 
 /// splitmix64 — the standard seeding PRNG; enough structure to scatter
 /// faults over a grid without pulling a rand dependency into the runtime.
-fn splitmix64(state: &mut u64) -> u64 {
+/// Public because the serving layer's chaos plans seed from it too.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -248,7 +249,8 @@ pub fn apply_corruption(path: &Path, mode: CorruptionMode) {
                 .unwrap_or_else(|| panic!("{} has no lambda record", path.display()));
             let value = lambda.strip_prefix("lambda ").expect("prefix just matched");
             let flipped = if value.starts_with('0') { '1' } else { '0' };
-            text.replace(lambda, &format!("lambda {flipped}{}", &value[1..]))
+            let rest = value.get(1..).unwrap_or("");
+            text.replace(lambda, &format!("lambda {flipped}{rest}"))
         }
         CorruptionMode::WrongVersion => {
             let version = text.lines().next().unwrap_or_default().to_string();

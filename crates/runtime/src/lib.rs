@@ -71,7 +71,7 @@ mod sweep;
 mod telemetry;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
-pub use fault::{apply_corruption, CorruptionMode, Fault, FaultKind, FaultPlan};
+pub use fault::{apply_corruption, splitmix64, CorruptionMode, Fault, FaultKind, FaultPlan};
 pub use lightnas::DivergencePolicy;
 pub use lightnas_predictor::{CacheStats, CachedPredictor};
 pub use scheduler::{panic_message, JobPanic, JobScheduler};
@@ -79,4 +79,4 @@ pub use supervisor::CheckpointStore;
 pub use sweep::{
     run_sweep, run_sweep_with_faults, JobResult, JobStatus, SearchJob, SweepOptions, SweepReport,
 };
-pub use telemetry::{Field, Telemetry};
+pub use telemetry::{events, Field, Telemetry};

@@ -4,10 +4,11 @@
 //! The supervisor owns everything between "the scheduler hands a job to a
 //! worker" and "the job reports a [`JobStatus`]":
 //!
-//! * [`CheckpointStore`] keeps **two generations** of a job's checkpoint
-//!   (current + previous) and falls back across them on load failure,
-//!   renaming any unreadable file to `<name>.corrupt` instead of deleting
-//!   the evidence.
+//! * [`CheckpointStore`] keeps a **bounded set of generations** of a job's
+//!   checkpoint (default two: current + previous) and falls back across
+//!   them on load failure, renaming any unreadable file to `<name>.corrupt`
+//!   instead of deleting the evidence; [`CheckpointStore::prune`] keeps the
+//!   directory from growing when the retention is lowered.
 //! * [`GuardedPredictor`] sits between the stepper and the sweep-shared
 //!   predictor cache: injected (or genuine) non-finite answers are retried
 //!   against the cache once and counted, so a transient NaN degrades a
@@ -36,20 +37,28 @@ use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::fault::{apply_corruption, FaultPlan};
 use crate::scheduler::panic_message;
 use crate::sweep::{checkpoint_path, JobResult, JobStatus, SearchJob, SweepOptions};
-use crate::telemetry::{Field, Telemetry};
+use crate::telemetry::{events, Field, Telemetry};
 
-/// Two generations of one job's on-disk checkpoint, with quarantine.
+/// Bounded generations of one job's on-disk checkpoint, with quarantine.
 ///
-/// Every save rotates the current file to `<name>.prev` before writing, so
-/// a save that lands corrupted (torn storage, bit rot) still leaves one
-/// older loadable snapshot behind. [`recover`](Self::recover) walks the
-/// generations newest-first and *quarantines* — renames to `<name>.corrupt`
-/// — anything that fails to load or belongs to a different job, keeping
-/// the evidence for post-mortems instead of overwriting it.
+/// Every save rotates the existing generations one slot older (`<name>` →
+/// `<name>.prev` → `<name>.prev2` → …, up to [`keep`](Self::keep) files)
+/// before writing, so a save that lands corrupted (torn storage, bit rot)
+/// still leaves older loadable snapshots behind. [`recover`](Self::recover)
+/// walks the generations newest-first and *quarantines* — renames to
+/// `<generation>.corrupt` — anything that fails to load or belongs to a
+/// different job, keeping the evidence for post-mortems instead of
+/// overwriting it.
+///
+/// Rotation is bounded: the oldest retained generation is overwritten in
+/// place, so a long-running service never grows its checkpoint directory —
+/// and [`prune`](Self::prune) removes generations left behind by an earlier
+/// run with a larger `keep`, while **never** touching quarantined
+/// `*.corrupt` evidence.
 #[derive(Debug, Clone)]
 pub struct CheckpointStore {
-    current: PathBuf,
-    previous: PathBuf,
+    /// Generation paths, newest first (`generations[0]` is current).
+    generations: Vec<PathBuf>,
 }
 
 fn quarantined(path: &Path) -> PathBuf {
@@ -58,39 +67,89 @@ fn quarantined(path: &Path) -> PathBuf {
     PathBuf::from(os)
 }
 
+/// The on-disk suffix of generation `k` (empty for the current file).
+fn generation_suffix(k: usize) -> String {
+    match k {
+        0 => String::new(),
+        1 => ".prev".to_string(),
+        k => format!(".prev{k}"),
+    }
+}
+
+/// The generation index a file-name suffix denotes, if it is one.
+/// `""` → 0, `".prev"` → 1, `".prevN"` → N; anything else — including the
+/// `".corrupt"`-suffixed quarantine names — is not a generation.
+fn suffix_generation(suffix: &str) -> Option<usize> {
+    if suffix.is_empty() {
+        return Some(0);
+    }
+    let rest = suffix.strip_prefix(".prev")?;
+    if rest.is_empty() {
+        Some(1)
+    } else if rest.bytes().all(|b| b.is_ascii_digit()) {
+        rest.parse().ok().filter(|&k| k >= 2)
+    } else {
+        None
+    }
+}
+
 impl CheckpointStore {
-    /// The store for job `index` under `dir`.
+    /// The store for job `index` under `dir`, keeping the default two
+    /// generations (current + previous).
     pub fn new(dir: &Path, index: usize) -> Self {
-        let current = checkpoint_path(dir, index);
-        let mut prev = current.as_os_str().to_os_string();
-        prev.push(".prev");
-        Self {
-            current,
-            previous: PathBuf::from(prev),
-        }
+        Self::with_keep(dir, index, 2)
+    }
+
+    /// The store for job `index` under `dir`, keeping `keep` generations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep == 0` — a store that retains nothing cannot recover.
+    pub fn with_keep(dir: &Path, index: usize, keep: usize) -> Self {
+        assert!(keep >= 1, "a checkpoint store must keep >= 1 generation");
+        let base = checkpoint_path(dir, index);
+        let generations = (0..keep)
+            .map(|k| {
+                let mut os = base.as_os_str().to_os_string();
+                os.push(generation_suffix(k));
+                PathBuf::from(os)
+            })
+            .collect();
+        Self { generations }
+    }
+
+    /// How many generations this store retains.
+    pub fn keep(&self) -> usize {
+        self.generations.len()
     }
 
     /// The newest-generation path (what [`save`](Self::save) writes).
     pub fn current(&self) -> &Path {
-        &self.current
+        &self.generations[0]
     }
 
     /// The previous-generation path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store keeps only one generation.
     pub fn previous(&self) -> &Path {
-        &self.previous
+        &self.generations[1]
     }
 
-    /// Rotates the current generation to `.prev` and writes `ck` as the new
-    /// current.
+    /// Rotates every generation one slot older (the oldest retained one is
+    /// overwritten) and writes `ck` as the new current.
     ///
     /// # Errors
     ///
     /// Propagates [`Checkpoint::save`] failures.
     pub fn save(&self, ck: &Checkpoint) -> Result<(), CheckpointError> {
-        if self.current.exists() {
-            std::fs::rename(&self.current, &self.previous)?;
+        for k in (0..self.generations.len() - 1).rev() {
+            if self.generations[k].exists() {
+                std::fs::rename(&self.generations[k], &self.generations[k + 1])?;
+            }
         }
-        ck.save(&self.current)
+        ck.save(self.current())
     }
 
     /// Loads the newest checkpoint that parses *and* belongs to the job
@@ -105,7 +164,7 @@ impl CheckpointStore {
         config: &lightnas::SearchConfig,
         mut on_quarantine: impl FnMut(&Path, &CheckpointError),
     ) -> Option<Checkpoint> {
-        for path in [&self.current, &self.previous] {
+        for path in &self.generations {
             if !path.exists() {
                 continue;
             }
@@ -125,11 +184,46 @@ impl CheckpointStore {
         None
     }
 
-    /// Removes both generations (a completed job's snapshots are spent).
-    /// Quarantined files are deliberately left behind.
+    /// Removes every on-disk generation of this job whose index is
+    /// `>= keep_last`, returning how many files were deleted. The scan is
+    /// directory-based, so generations written by an earlier run with a
+    /// *larger* retention than this store's are found too. Quarantined
+    /// `*.corrupt` files are never touched — they are evidence, not
+    /// inventory.
+    pub fn prune(&self, keep_last: usize) -> usize {
+        let base = self.current();
+        let (Some(dir), Some(base_name)) = (base.parent(), base.file_name()) else {
+            return 0;
+        };
+        let Some(base_name) = base_name.to_str() else {
+            return 0;
+        };
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(suffix) = name.strip_prefix(base_name) else {
+                continue;
+            };
+            match suffix_generation(suffix) {
+                Some(k) if k >= keep_last.max(1) && std::fs::remove_file(entry.path()).is_ok() => {
+                    removed += 1;
+                }
+                _ => {}
+            }
+        }
+        removed
+    }
+
+    /// Removes every retained generation (a completed job's snapshots are
+    /// spent). Quarantined files are deliberately left behind.
     pub fn clear(&self) {
-        let _ = std::fs::remove_file(&self.current);
-        let _ = std::fs::remove_file(&self.previous);
+        for path in &self.generations {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -181,7 +275,7 @@ impl<'a, P: Predictor> GuardedPredictor<'a, P> {
         self.degraded.fetch_add(1, Ordering::Relaxed);
         if let Some(t) = self.telemetry {
             t.emit(
-                "predictor_degraded",
+                events::PREDICTOR_DEGRADED,
                 &[
                     ("job", Field::U(self.job as u64)),
                     ("call", Field::U(call as u64)),
@@ -282,7 +376,7 @@ where
             Err(payload) => format!("panicked: {}", panic_message(payload.as_ref())),
         };
         ctx.emit(
-            "job_failed",
+            events::JOB_FAILED,
             &[
                 ("attempt", Field::U(attempt as u64)),
                 ("error", Field::S(error.clone())),
@@ -302,7 +396,7 @@ where
             .retry_backoff
             .saturating_mul(1u32 << attempt.min(16));
         ctx.emit(
-            "job_retried",
+            events::JOB_RETRIED,
             &[
                 ("attempt", Field::U(attempt as u64 + 1)),
                 ("backoff_ms", Field::F(backoff.as_secs_f64() * 1e3)),
@@ -327,11 +421,11 @@ where
         .opts
         .checkpoint_dir
         .as_deref()
-        .map(|dir| CheckpointStore::new(dir, index));
+        .map(|dir| CheckpointStore::with_keep(dir, index, ctx.opts.checkpoint_keep.max(1)));
     let recovered = store.as_ref().and_then(|s| {
         s.recover(job.target, job.seed, &job.config, |path, error| {
             ctx.emit(
-                "checkpoint_quarantined",
+                events::CHECKPOINT_QUARANTINED,
                 &[
                     ("path", Field::S(path.display().to_string())),
                     ("error", Field::S(error.to_string())),
@@ -350,7 +444,7 @@ where
     }
     .with_divergence_policy(ctx.opts.divergence);
     ctx.emit(
-        "job_start",
+        events::JOB_START,
         &[
             ("target", Field::F(job.target)),
             ("seed", Field::U(job.seed)),
@@ -364,6 +458,7 @@ where
         store
             .save(&ck)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", store.current().display()));
+        store.prune(store.keep());
     };
     while !stepper.is_complete() {
         if let Some(fault) = ctx.faults.take_panic(index, stepper.epoch()) {
@@ -375,7 +470,7 @@ where
                 save(&stepper, store);
             }
             ctx.emit(
-                "job_interrupted",
+                events::JOB_INTERRUPTED,
                 &[
                     ("epoch", Field::U(epoch as u64)),
                     (
@@ -397,7 +492,7 @@ where
             Err(e) => return AttemptOutcome::Diverged(e),
         };
         ctx.emit(
-            "epoch",
+            events::EPOCH,
             &[
                 ("epoch", Field::U(record.epoch as u64)),
                 ("argmax_metric", Field::F(record.argmax_metric)),
@@ -410,7 +505,7 @@ where
             if every > 0 && stepper.epoch() % every == 0 && !stepper.is_complete() {
                 save(&stepper, store);
                 ctx.emit(
-                    "checkpoint",
+                    events::CHECKPOINT,
                     &[
                         ("epoch", Field::U(stepper.epoch() as u64)),
                         ("path", Field::S(store.current().display().to_string())),
@@ -427,7 +522,7 @@ where
         store.clear();
     }
     ctx.emit(
-        "job_done",
+        events::JOB_DONE,
         &[
             ("epochs", Field::U(job.config.epochs as u64)),
             ("arch", Field::S(outcome.architecture.to_spec())),

@@ -36,7 +36,7 @@ use lightnas_predictor::{CacheStats, CachedPredictor, Predictor};
 use crate::fault::FaultPlan;
 use crate::scheduler::JobScheduler;
 use crate::supervisor::{supervise_job, JobContext};
-use crate::telemetry::{Field, Telemetry};
+use crate::telemetry::{events, Field, Telemetry};
 
 /// One unit of schedulable search work: "find the best architecture at
 /// `target` with `seed` under `config`". A job is a pure function of this
@@ -85,6 +85,13 @@ pub struct SweepOptions {
     /// Write a checkpoint every N completed epochs (0 = only when
     /// interrupted). Requires `checkpoint_dir`.
     pub checkpoint_every: usize,
+    /// How many checkpoint generations each job retains on disk (newest
+    /// first: `jobNNN.ckpt`, `.prev`, `.prev2`, …). Every save rotates
+    /// within this bound and prunes anything older, so long-running
+    /// services never grow their checkpoint directory; quarantined
+    /// `*.corrupt` evidence is never pruned. Values below 1 are treated
+    /// as 1. Default: 2 (current + previous).
+    pub checkpoint_keep: usize,
     /// Total epochs the whole sweep may run before in-flight jobs are
     /// interrupted (simulated kill / preemption slot). `None` = unlimited.
     pub epoch_budget: Option<usize>,
@@ -115,6 +122,7 @@ impl Default for SweepOptions {
             workers: 0,
             checkpoint_dir: None,
             checkpoint_every: 0,
+            checkpoint_keep: 2,
             epoch_budget: None,
             max_retries: 2,
             retry_backoff: Duration::from_millis(25),
@@ -292,7 +300,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
     };
     if let Some(t) = telemetry {
         t.emit(
-            "run_start",
+            events::RUN_START,
             &[
                 ("jobs", Field::U(jobs.len() as u64)),
                 ("workers", Field::U(scheduler.workers() as u64)),
@@ -329,7 +337,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
             r.unwrap_or_else(|p| {
                 if let Some(t) = telemetry {
                     t.emit(
-                        "job_failed",
+                        events::JOB_FAILED,
                         &[
                             ("job", Field::U(p.index as u64)),
                             ("error", Field::S(p.message.clone())),
@@ -352,7 +360,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
         let done = statuses.iter().filter(|s| s.completed().is_some()).count();
         let failed = statuses.iter().filter(|s| s.failed().is_some()).count();
         t.emit(
-            "run_end",
+            events::RUN_END,
             &[
                 ("completed", Field::U(done as u64)),
                 (

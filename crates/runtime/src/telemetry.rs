@@ -18,6 +18,56 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// The event-name catalogue: every `"event"` value the workspace emits.
+///
+/// Event names are load-bearing — downstream `jq`/grep pipelines and the
+/// byte-identity tests key on them — so they live here as constants rather
+/// than as scattered string literals. The runtime's sweep/supervisor events
+/// come first; the serving layer (`lightnas-serve`) shares this catalogue
+/// for its admission/breaker events so one file stays the schema's single
+/// source of truth (see DESIGN.md for per-event fields).
+pub mod events {
+    /// Sweep begins: job count, worker count, kernel threads.
+    pub const RUN_START: &str = "run_start";
+    /// Sweep ends: completed/failed counts, dropped telemetry events.
+    pub const RUN_END: &str = "run_end";
+    /// A job (re)starts: target, seed, starting epoch, attempt.
+    pub const JOB_START: &str = "job_start";
+    /// A job converged: final architecture and metrics.
+    pub const JOB_DONE: &str = "job_done";
+    /// A job exhausted its retries (or could not be scheduled).
+    pub const JOB_FAILED: &str = "job_failed";
+    /// A crashed or diverged job is about to re-run.
+    pub const JOB_RETRIED: &str = "job_retried";
+    /// The epoch budget interrupted a job mid-run.
+    pub const JOB_INTERRUPTED: &str = "job_interrupted";
+    /// One completed search epoch: λ, τ, argmax metric.
+    pub const EPOCH: &str = "epoch";
+    /// A checkpoint generation was written.
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// An unloadable/foreign checkpoint was renamed `*.corrupt`.
+    pub const CHECKPOINT_QUARANTINED: &str = "checkpoint_quarantined";
+    /// The guarded predictor answered from its fallback.
+    pub const PREDICTOR_DEGRADED: &str = "predictor_degraded";
+
+    // --- serving layer (lightnas-serve) ---
+
+    /// The service accepted a request into its queue.
+    pub const SERVE_ADMITTED: &str = "serve_admitted";
+    /// Admission control turned a request away (typed `Overloaded`).
+    pub const SERVE_REJECTED: &str = "serve_rejected";
+    /// A request was answered (primary or degraded path).
+    pub const SERVE_DONE: &str = "serve_done";
+    /// A request's deadline expired before it could be served.
+    pub const SERVE_DEADLINE: &str = "serve_deadline";
+    /// The circuit breaker changed state (`from`/`to`/reason).
+    pub const BREAKER_TRANSITION: &str = "breaker_transition";
+    /// A coalesced batch went through the predictor.
+    pub const SERVE_BATCH: &str = "serve_batch";
+    /// Graceful drain finished: served/rejected/in-flight accounting.
+    pub const SERVE_DRAINED: &str = "serve_drained";
+}
+
 /// A telemetry field value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Field {

@@ -385,6 +385,66 @@ fn corruption_matrix_yields_typed_errors_and_quarantine() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Retention is bounded — saves rotate within `keep` generations — and
+/// `prune` removes stale generations while **never** touching quarantined
+/// `*.corrupt` evidence.
+#[test]
+fn prune_bounds_generations_and_never_touches_quarantine() {
+    let f = fixture();
+    let dir = test_dir("prune");
+    let job = SearchJob::new(22.0, 3, tiny_config());
+    let opts = SweepOptions {
+        workers: 1,
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 2,
+        checkpoint_keep: 3,
+        epoch_budget: Some(5),
+        ..SweepOptions::default()
+    };
+    let report = run_sweep(&f.oracle, &f.predictor, &[job], &opts, None);
+    assert!(!report.all_completed(), "budget must leave checkpoints");
+    let ck = Checkpoint::load(&dir.join("job000.ckpt")).expect("loadable checkpoint");
+
+    // Drive the store well past its retention: generations stay bounded.
+    let store = CheckpointStore::with_keep(&dir, 0, 3);
+    for _ in 0..6 {
+        store.save(&ck).expect("save");
+    }
+    for suffix in ["", ".prev", ".prev2"] {
+        assert!(
+            dir.join(format!("job000.ckpt{suffix}")).exists(),
+            "generation {suffix:?} must exist"
+        );
+    }
+    assert!(
+        !dir.join("job000.ckpt.prev3").exists(),
+        "rotation must stay within keep=3"
+    );
+
+    // Corrupt the current generation: recovery quarantines it and falls
+    // back to `.prev`.
+    apply_corruption(store.current(), CorruptionMode::Truncate);
+    let mut jails = Vec::new();
+    let recovered = store.recover(job.target, job.seed, &job.config, |jail, _| {
+        jails.push(jail.to_path_buf());
+    });
+    assert!(recovered.is_some(), "previous generation is still healthy");
+    assert_eq!(jails.len(), 1);
+    assert!(jails[0].ends_with("job000.ckpt.corrupt"));
+
+    // prune(1) sweeps every older generation — but quarantined evidence
+    // is never inventory.
+    let removed = store.prune(1);
+    assert_eq!(removed, 2, ".prev and .prev2 go; .corrupt stays");
+    assert!(!store.previous().exists());
+    assert!(!dir.join("job000.ckpt.prev2").exists());
+    assert!(
+        jails[0].exists(),
+        "pruning must never delete quarantined evidence"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn seeded_plan_drives_a_full_recovery_story() {
     let f = fixture();

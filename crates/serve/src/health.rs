@@ -1,0 +1,59 @@
+//! Health and readiness as plain data.
+//!
+//! A load balancer (or a test) asks two different questions: *liveness* —
+//! is the process answering at all — and *readiness* — should new traffic
+//! be sent here. [`HealthSnapshot`] answers both from the service's own
+//! counters, with the breaker state riding along so "up but degraded to
+//! the LUT" is visible instead of masquerading as healthy.
+
+use crate::breaker::BreakerState;
+
+/// One consistent-enough view of the service's state. Counters are read
+/// individually (relaxed), so a snapshot taken mid-flight may be off by the
+/// requests currently being processed — fine for health checks, which is
+/// all this is for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Should new traffic come here? False once draining begins.
+    pub ready: bool,
+    /// Graceful shutdown in progress (queued work still being served).
+    pub draining: bool,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Circuit-breaker state as of the snapshot.
+    pub breaker: BreakerState,
+    /// Requests ever submitted (admitted or not).
+    pub submitted: u64,
+    /// Requests answered with a value.
+    pub served: u64,
+    /// Served answers that came from the fallback (any cause).
+    pub degraded: u64,
+    /// Requests rejected by admission control.
+    pub rejected_overloaded: u64,
+    /// Requests rejected because the service was draining.
+    pub rejected_draining: u64,
+    /// Requests whose deadline expired (at admission or in the queue).
+    pub deadline_expired: u64,
+    /// Coalesced batches processed.
+    pub batches: u64,
+}
+
+impl HealthSnapshot {
+    /// Whether the service is answering from the fallback path (breaker
+    /// not closed).
+    pub fn is_degraded(&self) -> bool {
+        self.breaker != BreakerState::Closed
+    }
+
+    /// Every submitted request is accounted for: answered, expired, or
+    /// typed-rejected — the "nothing is ever silently dropped" invariant
+    /// the chaos soak asserts. Only meaningful when nothing is in flight
+    /// (queue empty, no worker mid-batch).
+    pub fn fully_accounted(&self) -> bool {
+        self.submitted
+            == self.served
+                + self.deadline_expired
+                + self.rejected_overloaded
+                + self.rejected_draining
+    }
+}

@@ -1,0 +1,60 @@
+//! Overload-safe serving for the latency predictor (the production face of
+//! paper Sec. 3.2's MLP).
+//!
+//! A trained [`MlpPredictor`](lightnas_predictor::MlpPredictor) answering
+//! one caller in a loop is easy; answering *many* callers under bursty
+//! load, with the model occasionally misbehaving, without ever dropping a
+//! request on the floor — that is a serving problem, and this crate is the
+//! serving layer:
+//!
+//! * [`PredictorService`] — bounded admission queue with per-priority
+//!   watermarks ([`AdmissionPolicy`]), deadline awareness, batch
+//!   coalescing onto the predictor's one-GEMM batched path, and graceful
+//!   drain. Every refusal is a typed [`ServeError`].
+//! * [`CircuitBreaker`] — Closed → Open → HalfOpen guarding of the
+//!   primary; while open, requests are answered from the LUT fallback via
+//!   [`FallbackPredictor::degrade_encoding`](lightnas_predictor::FallbackPredictor::degrade_encoding),
+//!   and deterministic trial scheduling probes for recovery.
+//! * [`Clock`] — all time is injected; with a [`VirtualClock`] the whole
+//!   service is a pure function of the request sequence, which is how the
+//!   chaos soak asserts byte-identical telemetry across same-seed runs.
+//! * [`ChaosPlan`] / [`ChaosPredictor`] — seeded, one-shot fault schedules
+//!   (NaN bursts, panics, slow responses) in the same idiom as the
+//!   runtime's `FaultPlan`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use lightnas_hw::Xavier;
+//! use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+//! use lightnas_serve::{PredictorService, Request, ServiceConfig, SystemClock};
+//! use lightnas_space::SearchSpace;
+//!
+//! let space = SearchSpace::standard();
+//! let device = Xavier::maxn();
+//! let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 1000, 0);
+//! let mlp = MlpPredictor::train(&data, &TrainConfig::default());
+//! let lut = LutPredictor::build(&device, &space);
+//! let clock = SystemClock::new();
+//! let service = PredictorService::new(&mlp, &lut, &clock, ServiceConfig::default());
+//! let id = service.submit(Request::new(data.encodings()[0].clone())).unwrap();
+//! service.pump();
+//! println!("{:?}", service.take_responses());
+//! # let _ = id;
+//! ```
+
+mod breaker;
+mod chaos;
+mod clock;
+mod error;
+mod health;
+mod queue;
+mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use chaos::{ChaosPlan, ChaosPredictor, ServeFault, ServeFaultKind};
+pub use clock::{Clock, SystemClock, VirtualClock};
+pub use error::ServeError;
+pub use health::HealthSnapshot;
+pub use queue::{AdmissionPolicy, AdmissionQueue, Priority};
+pub use service::{DrainReport, PredictorService, Request, Response, Served, ServiceConfig};

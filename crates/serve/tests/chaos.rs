@@ -1,0 +1,250 @@
+//! The chaos soak: thousands of requests against a misbehaving primary
+//! under genuine overload, on a virtual clock — asserting the three
+//! headline guarantees of the serving layer:
+//!
+//! 1. **Nothing escapes, nothing is lost.** Injected primary panics never
+//!    cross the service boundary; every admitted request is answered
+//!    exactly once (value or typed deadline expiry); every submission is
+//!    accounted for in exactly one bucket.
+//! 2. **All refusals are typed.** Under overload and fault bursts, the only
+//!    errors a client ever sees are `Overloaded` / `Deadline` (and
+//!    `Draining` after shutdown begins).
+//! 3. **The run is reproducible to the byte.** Two soaks with the same seed
+//!    produce byte-identical telemetry files.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use lightnas_hw::Xavier;
+use lightnas_predictor::{LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig};
+use lightnas_runtime::{splitmix64, Telemetry};
+use lightnas_serve::{
+    AdmissionPolicy, BreakerConfig, ChaosPlan, ChaosPredictor, DrainReport, PredictorService,
+    Priority, Request, ServeError, ServiceConfig, SystemClock, VirtualClock,
+};
+use lightnas_space::SearchSpace;
+
+/// Requests the soak pushes through the service (acceptance floor: 5,000).
+const SOAK_REQUESTS: usize = 5_500;
+
+struct Fixture {
+    encodings: Vec<Vec<f32>>,
+    mlp: MlpPredictor,
+    lut: LutPredictor,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let space = SearchSpace::standard();
+        let device = Xavier::maxn();
+        let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 400, 3);
+        let mlp = MlpPredictor::train(
+            &data,
+            &TrainConfig {
+                epochs: 5,
+                batch_size: 128,
+                lr: 2e-3,
+                seed: 0,
+            },
+        );
+        let lut = LutPredictor::build(&device, &space);
+        Fixture {
+            encodings: data.encodings().to_vec(),
+            mlp,
+            lut,
+        }
+    })
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lightnas-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Silences the default panic hook around `f` (injected primary panics are
+/// *expected* here); serialized so parallel tests don't race on the global
+/// hook.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    static GATE: Mutex<()> = Mutex::new(());
+    let _gate = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+fn soak_config() -> ServiceConfig {
+    ServiceConfig {
+        admission: AdmissionPolicy {
+            capacity: 32,
+            normal_mark: 24,
+            low_mark: 16,
+        },
+        breaker: BreakerConfig {
+            trip_after: 3,
+            open_for: Duration::from_millis(8),
+            trial_successes: 2,
+        },
+        max_batch: 8,
+        retry_budget: 1,
+        default_deadline: Some(Duration::from_millis(12)),
+    }
+}
+
+/// One full deterministic soak: returns the telemetry bytes and the final
+/// accounting.
+fn run_soak(seed: u64, tag: &str) -> (Vec<u8>, DrainReport) {
+    let f = fixture();
+    let clock = VirtualClock::new();
+    let plan = ChaosPlan::seeded(seed, 8_000);
+    let chaos = ChaosPredictor::new(&f.mlp, &plan, &clock);
+    let dir = test_dir(tag);
+    let telemetry = Telemetry::create(&dir, "soak").expect("telemetry sink");
+    let svc =
+        PredictorService::new(&chaos, &f.lut, &clock, soak_config()).with_telemetry(&telemetry);
+
+    let mut s = seed ^ 0x5eed_50ab_a5a5_1dea;
+    let mut admitted = Vec::new();
+    for i in 0..SOAK_REQUESTS {
+        let enc = f.encodings[(splitmix64(&mut s) as usize) % f.encodings.len()].clone();
+        let priority = match splitmix64(&mut s) % 3 {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        match svc.submit(Request::new(enc).with_priority(priority)) {
+            Ok(id) => admitted.push(id),
+            Err(e) => assert!(
+                matches!(
+                    e,
+                    ServeError::Overloaded { .. } | ServeError::Deadline { .. }
+                ),
+                "pre-drain rejections must be typed overload/deadline, got {e}"
+            ),
+        }
+        // Submit faster than we serve (overload), tick time forward, and
+        // stall hard every ~300 requests so queued deadlines genuinely
+        // expire.
+        if i % 12 == 11 {
+            svc.pump();
+        }
+        if i % 5 == 0 {
+            clock.advance(Duration::from_millis(1));
+        }
+        if i % 301 == 300 {
+            clock.advance(Duration::from_millis(15));
+        }
+    }
+    let report = svc.drain();
+
+    // Exactly-once answering: every admitted id, no extras, no dupes.
+    let responses = svc.take_responses();
+    assert_eq!(
+        responses.len(),
+        admitted.len(),
+        "every admitted request is answered exactly once"
+    );
+    let mut answered: Vec<u64> = responses.iter().map(|r| r.id).collect();
+    answered.sort_unstable();
+    let mut expected = admitted.clone();
+    expected.sort_unstable();
+    assert_eq!(answered, expected);
+    for r in &responses {
+        if let Err(e) = &r.outcome {
+            assert!(
+                matches!(e, ServeError::Deadline { .. }),
+                "post-admission failure must be a typed deadline, got {e}"
+            );
+        }
+    }
+
+    assert!(report.fully_accounted(), "lost requests: {report:?}");
+    assert!(report.submitted >= 5_000, "soak floor: {report:?}");
+    assert!(report.rejected_overloaded > 0, "soak never overloaded");
+    assert!(report.deadline_expired > 0, "soak never missed a deadline");
+    assert!(report.degraded > 0, "chaos never degraded a request");
+    assert!(plan.fired() > 0, "no scheduled fault fired");
+    assert_eq!(
+        report.degraded,
+        svc.fallback().degraded(),
+        "telemetry degraded count must equal the fallback's own counters"
+    );
+
+    let bytes = std::fs::read(telemetry.path()).expect("read telemetry");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Visible with --nocapture; the numbers quoted in EXPERIMENTS.md.
+    eprintln!(
+        "[soak seed {seed}] {report:?} | faults fired {} | telemetry {} bytes",
+        plan.fired(),
+        bytes.len()
+    );
+    (bytes, report)
+}
+
+#[test]
+fn chaos_soak_is_byte_reproducible_and_loses_nothing() {
+    quiet_panics(|| {
+        let (a_bytes, a_report) = run_soak(7, "soak-a");
+        let (b_bytes, b_report) = run_soak(7, "soak-b");
+        assert_eq!(a_report, b_report, "same seed, same accounting");
+        assert!(
+            a_bytes == b_bytes,
+            "same-seed soaks must produce byte-identical telemetry \
+             ({} vs {} bytes)",
+            a_bytes.len(),
+            b_bytes.len()
+        );
+        let (c_bytes, _) = run_soak(8, "soak-c");
+        assert!(a_bytes != c_bytes, "different seed, different history");
+    });
+}
+
+#[test]
+fn threaded_chaos_drain_contains_panics_and_loses_nothing() {
+    let f = fixture();
+    quiet_panics(|| {
+        let clock = SystemClock::new();
+        let plan = ChaosPlan::seeded(3, 2_000);
+        let chaos = ChaosPredictor::new(&f.mlp, &plan, &clock);
+        let config = ServiceConfig {
+            admission: AdmissionPolicy {
+                capacity: 4096,
+                normal_mark: 4096,
+                low_mark: 4096,
+            },
+            default_deadline: None,
+            ..soak_config()
+        };
+        let svc = PredictorService::new(&chaos, &f.lut, &clock, config);
+        let (admitted, report) = svc.run_threaded(4, |svc| {
+            std::thread::scope(|scope| {
+                let producers: Vec<_> = (0..4)
+                    .map(|p| {
+                        scope.spawn(move || {
+                            (0..250)
+                                .filter(|k| {
+                                    let enc =
+                                        f.encodings[(p * 250 + k) % f.encodings.len()].clone();
+                                    svc.submit(Request::new(enc)).is_ok()
+                                })
+                                .count() as u64
+                        })
+                    })
+                    .collect();
+                producers
+                    .into_iter()
+                    .map(|h| h.join().expect("producer thread"))
+                    .sum::<u64>()
+            })
+        });
+        assert_eq!(admitted, 1000, "queue was sized to admit everything");
+        assert_eq!(report.served, 1000, "zero dropped in flight across drain");
+        assert!(report.fully_accounted(), "{report:?}");
+        assert_eq!(svc.take_responses().len(), 1000);
+        assert!(plan.fired() > 0, "chaos actually exercised the pool");
+    });
+}

@@ -1,0 +1,127 @@
+//! Property-based invariants of the circuit breaker (proptest).
+//!
+//! The three contract clauses a serving layer leans on, hammered with
+//! arbitrary operation sequences on arbitrary (monotone) timelines:
+//!
+//! * the breaker API never deadlocks or panics, in any state;
+//! * an Open breaker *never* grants the primary before its cool-down;
+//! * after `open_for` elapses, the very next acquire always re-probes.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use lightnas_serve::{BreakerConfig, BreakerState, CircuitBreaker};
+
+fn cfg() -> BreakerConfig {
+    BreakerConfig {
+        trip_after: 3,
+        open_for: Duration::from_millis(40),
+        trial_successes: 2,
+    }
+}
+
+/// Drives `ops` (0 = try_acquire, 1 = success, 2 = failure, 3 = state read)
+/// over a monotone clock built from `dts`, checking the open-means-no-
+/// primary invariant before every step.
+fn drive(breaker: &CircuitBreaker, ops: &[u8], dts: &[u64]) -> Result<Duration, TestCaseError> {
+    let mut now = Duration::ZERO;
+    for (op, dt) in ops.iter().zip(dts) {
+        now += Duration::from_millis(*dt);
+        if breaker.state(now) == BreakerState::Open {
+            // `state` just settled any due lazy transition, so Open here
+            // means the cool-down is genuinely unexpired.
+            prop_assert!(
+                !breaker.try_acquire(now),
+                "an Open breaker must never grant the primary"
+            );
+        }
+        match op % 4 {
+            0 => {
+                breaker.try_acquire(now);
+            }
+            1 => breaker.record_success(now),
+            2 => breaker.record_failure(now),
+            _ => {
+                breaker.state(now);
+            }
+        }
+    }
+    Ok(now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn never_deadlocks_and_never_serves_from_open(
+        ops in proptest::collection::vec(0u8..4, 64),
+        dts in proptest::collection::vec(0u64..25, 64),
+    ) {
+        let breaker = CircuitBreaker::new(cfg());
+        // Returning at all is the no-deadlock claim; the open-means-no-
+        // primary invariant is checked at every step inside.
+        drive(&breaker, &ops, &dts)?;
+        breaker.take_transitions();
+    }
+
+    #[test]
+    fn always_reprobes_after_open_for(
+        ops in proptest::collection::vec(0u8..4, 48),
+        dts in proptest::collection::vec(0u64..25, 48),
+        extra in 0u64..100,
+    ) {
+        let breaker = CircuitBreaker::new(cfg());
+        let now = drive(&breaker, &ops, &dts)?;
+        // Force a trip from wherever the sequence left the breaker, then
+        // assert the cool-down boundary exactly.
+        for _ in 0..cfg().trip_after {
+            breaker.record_failure(now);
+        }
+        // (If the sequence left it HalfOpen, one failure already reopens;
+        // Closed needs the full streak; Open ignores extras. All paths end
+        // Open with `opened_at <= now`.)
+        prop_assert_eq!(breaker.state(now), BreakerState::Open);
+        let reopened_at = breaker
+            .take_transitions()
+            .iter()
+            .rev()
+            .find(|t| t.to == BreakerState::Open)
+            .map(|t| t.at)
+            .unwrap_or(now);
+        let due = reopened_at + cfg().open_for;
+        prop_assert!(
+            !breaker.try_acquire(due - Duration::from_millis(1)),
+            "one tick early must still refuse"
+        );
+        prop_assert!(
+            breaker.try_acquire(due + Duration::from_millis(extra)),
+            "at/after the cool-down, the next acquire must re-probe"
+        );
+        prop_assert_eq!(
+            breaker.state(due + Duration::from_millis(extra)),
+            BreakerState::HalfOpen
+        );
+    }
+
+    #[test]
+    fn trial_grants_are_exclusive_in_half_open(
+        dt in 0u64..50,
+    ) {
+        let breaker = CircuitBreaker::new(cfg());
+        let t0 = Duration::from_millis(dt);
+        for _ in 0..cfg().trip_after {
+            breaker.record_failure(t0);
+        }
+        let probe_at = t0 + cfg().open_for;
+        prop_assert!(breaker.try_acquire(probe_at), "first probe granted");
+        for k in 0..5u64 {
+            prop_assert!(
+                !breaker.try_acquire(probe_at + Duration::from_millis(k)),
+                "no second trial while one is in flight"
+            );
+        }
+        breaker.record_success(probe_at);
+        prop_assert!(breaker.try_acquire(probe_at), "next trial after a result");
+    }
+}

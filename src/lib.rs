@@ -18,6 +18,9 @@
 //! * [`runtime`] — the concurrent search-job runtime: worker-pool
 //!   scheduler, shared predictor cache, versioned checkpoint/resume, JSONL
 //!   run telemetry.
+//! * [`serve`] — the overload-safe predictor serving layer: admission
+//!   control, circuit breaking onto the LUT fallback, batch coalescing,
+//!   graceful drain, deterministic chaos testing.
 //!
 //! # Quickstart
 //!
@@ -40,6 +43,7 @@ pub use lightnas_hw as hw;
 pub use lightnas_nn as nn;
 pub use lightnas_predictor as predictor;
 pub use lightnas_runtime as runtime;
+pub use lightnas_serve as serve;
 pub use lightnas_space as space;
 pub use lightnas_tensor as tensor;
 
@@ -57,6 +61,7 @@ pub mod prelude {
     pub use lightnas_runtime::{
         run_sweep, Checkpoint, JobScheduler, SearchJob, SweepOptions, Telemetry,
     };
+    pub use lightnas_serve::{PredictorService, Request, ServeError, ServiceConfig, SystemClock};
     pub use lightnas_space::{
         mobilenet_v2, reference_architectures, Architecture, Operator, SearchSpace, SpaceConfig,
     };
