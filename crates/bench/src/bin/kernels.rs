@@ -227,6 +227,15 @@ fn main() -> ExitCode {
         .map(|r| r.speedup())
         .fold(f64::INFINITY, f64::min);
     println!("minimum serial conv2d forward speedup: {min_conv:.1}x (bar: 3.0x)");
+    // Persistent-pool dividend: dispatching to 4 workers must never cost
+    // real throughput, even on a single hardware core (where the old
+    // spawn-per-call path paid thread-creation on every conv). Parity is
+    // speedup_4t / speedup_1t == fast_1t / fast_4t.
+    let min_parity = conv_rows
+        .iter()
+        .map(|r| r.fast_us / r.fast4_us)
+        .fold(f64::INFINITY, f64::min);
+    println!("minimum conv2d 4-thread/serial parity: {min_parity:.2} (bar: 0.95)");
 
     let mut json = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -244,14 +253,16 @@ fn main() -> ExitCode {
     }
     let _ = write!(
         json,
-        "  ],\n  \"min_conv_forward_speedup_1t\": {min_conv:.2},\n  \"bit_identity_verified\": true\n}}\n"
+        "  ],\n  \"min_conv_forward_speedup_1t\": {min_conv:.2},\n  \"min_conv_parallel_parity\": {min_parity:.3},\n  \"bit_identity_verified\": true\n}}\n"
     );
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("[kernels] cannot create results/: {e}");
     }
     match std::fs::write(
         "results/kernels.txt",
-        format!("{table}\nminimum serial conv2d forward speedup: {min_conv:.1}x\n"),
+        format!(
+            "{table}\nminimum serial conv2d forward speedup: {min_conv:.1}x\nminimum conv2d 4-thread/serial parity: {min_parity:.2}\n"
+        ),
     ) {
         Ok(()) => eprintln!("[kernels] wrote results/kernels.txt"),
         Err(e) => eprintln!("[kernels] failed to write results/kernels.txt: {e}"),
@@ -263,6 +274,13 @@ fn main() -> ExitCode {
 
     if min_conv < 3.0 {
         eprintln!("error: conv2d forward speedup {min_conv:.1}x is below the 3x acceptance bar");
+        return ExitCode::FAILURE;
+    }
+    if min_parity < 0.95 {
+        eprintln!(
+            "error: conv2d 4-thread parity {min_parity:.2} is below the 0.95 acceptance bar \
+             (the persistent pool must make parallel dispatch at worst free)"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -191,6 +191,10 @@ pub fn bilevel_search(
     let alpha_lr = 0.2;
     let warmup = epochs / 4;
     let mut valid_losses = Vec::with_capacity(epochs);
+    // One tape serves every phase of the search: `reset` between steps keeps
+    // node and buffer capacity, so steady-state steps allocate nothing.
+    let mut g = Graph::new();
+    let mut b = Bindings::new();
 
     for epoch in 0..epochs {
         let tau = (3.0 * 0.93f64.powi(epoch as i32)).max(0.3);
@@ -198,8 +202,8 @@ pub fn bilevel_search(
         for batch_idx in train.epoch_batches(32, seed + epoch as u64) {
             let (ops, _) = sample_ops(&alpha, tau, &mut rng);
             let (x, y) = train.batch(&batch_idx);
-            let mut g = Graph::new();
-            let mut b = Bindings::new();
+            g.reset();
+            b.clear();
             let xv = g.input(x);
             let logits = net.forward_single(&mut g, &mut b, &store, xv, &ops);
             let loss = g.softmax_cross_entropy(logits, &y);
@@ -217,7 +221,7 @@ pub fn bilevel_search(
         if let Some(idx) = batch_idx.first() {
             let (x, y) = valid.batch(idx);
             let (ops, probs) = sample_ops(&alpha, tau, &mut rng);
-            let base_loss = eval_loss(&net, &store, &x, &y, &ops);
+            let base_loss = eval_loss(&mut g, &mut b, &net, &store, &x, &y, &ops);
             valid_losses.push(base_loss);
             // One-coordinate perturbations: estimate ∂L/∂P̄[l][k] for the
             // sampled op and a random alternative per slot.
@@ -228,7 +232,7 @@ pub fn bilevel_search(
                 }
                 let mut swapped = ops.clone();
                 swapped[l] = alt;
-                let alt_loss = eval_loss(&net, &store, &x, &y, &swapped);
+                let alt_loss = eval_loss(&mut g, &mut b, &net, &store, &x, &y, &swapped);
                 // Straight-through: push α towards the better operator.
                 let delta = base_loss - alt_loss;
                 let mut grad = [0.0f64; NUM_OPS];
@@ -263,8 +267,8 @@ pub fn bilevel_search(
     for epoch in 0..15 {
         for batch_idx in train.epoch_batches(32, seed ^ (0xbeef + epoch as u64)) {
             let (x, y) = train.batch(&batch_idx);
-            let mut g = Graph::new();
-            let mut b = Bindings::new();
+            g.reset();
+            b.clear();
             let xv = g.input(x);
             let logits = net.forward_single(&mut g, &mut b, &store, xv, &chosen);
             let loss = g.softmax_cross_entropy(logits, &y);
@@ -278,8 +282,8 @@ pub fn bilevel_search(
     let mut total = 0usize;
     for idx in valid.epoch_batches(48, 7) {
         let (x, y) = valid.batch(&idx);
-        let mut g = Graph::new();
-        let mut b = Bindings::new();
+        g.reset();
+        b.clear();
         let xv = g.input(x);
         let logits = net.forward_single(&mut g, &mut b, &store, xv, &chosen);
         let lv = g.value(logits);
@@ -328,16 +332,18 @@ fn sample_ops(
 }
 
 fn eval_loss(
+    g: &mut Graph,
+    b: &mut Bindings,
     net: &MicroSupernet,
     store: &ParamStore,
     x: &Tensor,
     y: &[usize],
     ops: &[usize],
 ) -> f64 {
-    let mut g = Graph::new();
-    let mut b = Bindings::new();
-    let xv = g.input(x.clone());
-    let logits = net.forward_single(&mut g, &mut b, store, xv, ops);
+    g.reset();
+    b.clear();
+    let xv = g.input_ref(x);
+    let logits = net.forward_single(g, b, store, xv, ops);
     let loss = g.softmax_cross_entropy(logits, y);
     g.value(loss).item() as f64
 }

@@ -47,28 +47,45 @@ impl Sgd {
     /// Applies one update for every parameter bound in `bindings` that
     /// received a gradient.
     pub fn step(&mut self, store: &mut ParamStore, g: &Graph, bindings: &Bindings) {
-        for (id, grad) in bindings.gradients(g) {
-            self.apply(store, id, &grad);
-        }
+        bindings.for_each_gradient(g, |id, grad| self.apply(store, id, grad));
     }
 
     /// Applies one update to a single parameter given its gradient.
+    ///
+    /// Fully in-place: no temporaries are allocated, and every element runs
+    /// the exact rounding sequence of the original materialized formulation
+    /// (`gd = g + w·wd`, `v = v·μ + gd`, `w += v·(−lr)`), so results are
+    /// byte-identical to it.
     pub fn apply(&mut self, store: &mut ParamStore, id: ParamId, grad: &Tensor) {
-        let mut grad = grad.clone();
-        if self.weight_decay != 0.0 {
-            grad.add_scaled_assign(store.get(id), self.weight_decay);
-        }
+        let (wd, mom, lr) = (self.weight_decay, self.momentum, self.lr);
         let v = self
             .velocity
             .entry(id)
             .or_insert_with(|| Tensor::zeros(grad.shape().dims()));
-        // v = momentum * v + grad
-        let mut new_v = v.scale(self.momentum);
-        new_v.add_scaled_assign(&grad, 1.0);
-        *v = new_v;
-        let lr = self.lr;
-        store.get_mut(id).add_scaled_assign(v, -lr);
+        let w = store.get_mut(id);
+        assert_eq!(
+            w.shape(),
+            grad.shape(),
+            "sgd gradient shape mismatch: {} vs {}",
+            w.shape(),
+            grad.shape()
+        );
+        let ws = w.as_mut_slice();
+        let vs = v.as_mut_slice();
+        let gs = grad.as_slice();
+        for i in 0..gs.len() {
+            let gd = if wd != 0.0 { gs[i] + ws[i] * wd } else { gs[i] };
+            vs[i] = vs[i] * mom + gd;
+            ws[i] += vs[i] * -lr;
+        }
     }
+}
+
+/// First and second moment estimates of one parameter (Adam state).
+#[derive(Debug)]
+struct AdamState {
+    m: Tensor,
+    v: Tensor,
 }
 
 /// Adam optimizer (Kingma & Ba, 2015) with L2 weight decay.
@@ -80,8 +97,7 @@ pub struct Adam {
     eps: f32,
     weight_decay: f32,
     t: u64,
-    m: HashMap<ParamId, Tensor>,
-    v: HashMap<ParamId, Tensor>,
+    state: HashMap<ParamId, AdamState>,
 }
 
 impl Adam {
@@ -99,8 +115,7 @@ impl Adam {
             eps,
             weight_decay,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            state: HashMap::new(),
         }
     }
 
@@ -124,9 +139,8 @@ impl Adam {
     /// All parameters in one `step` call share a single time increment.
     pub fn step(&mut self, store: &mut ParamStore, g: &Graph, bindings: &Bindings) {
         self.t += 1;
-        for (id, grad) in bindings.gradients(g) {
-            self.apply_at(store, id, &grad, self.t);
-        }
+        let t = self.t;
+        bindings.for_each_gradient(g, |id, grad| self.apply_at(store, id, grad, t));
     }
 
     /// Applies one update to a single parameter, advancing the step counter.
@@ -135,35 +149,43 @@ impl Adam {
         self.apply_at(store, id, grad, self.t);
     }
 
+    /// Fully in-place Adam update. Each element runs the exact rounding
+    /// sequence of the original materialized formulation — `gd = g + w·wd`,
+    /// `m = m·β₁ + gd·(1−β₁)`, `v = v·β₂ + gd²·(1−β₂)`,
+    /// `w += (m/bc₁) / (√(v/bc₂) + ε) · (−lr)` — so results are
+    /// byte-identical to it, without allocating any temporaries. The
+    /// elementwise traffic runs through
+    /// [`lightnas_tensor::kernels::adam_update`], which vectorizes the
+    /// update when the SIMD kernels are active (identical bits either way).
     fn apply_at(&mut self, store: &mut ParamStore, id: ParamId, grad: &Tensor, t: u64) {
-        let mut grad = grad.clone();
-        if self.weight_decay != 0.0 {
-            grad.add_scaled_assign(store.get(id), self.weight_decay);
-        }
-        let m = self
-            .m
-            .entry(id)
-            .or_insert_with(|| Tensor::zeros(grad.shape().dims()));
-        let mut new_m = m.scale(self.beta1);
-        new_m.add_scaled_assign(&grad, 1.0 - self.beta1);
-        *m = new_m;
-        let v = self
-            .v
-            .entry(id)
-            .or_insert_with(|| Tensor::zeros(grad.shape().dims()));
-        let g2 = grad.mul(&grad);
-        let mut new_v = v.scale(self.beta2);
-        new_v.add_scaled_assign(&g2, 1.0 - self.beta2);
-        *v = new_v;
-        let bc1 = 1.0 - self.beta1.powi(t as i32);
-        let bc2 = 1.0 - self.beta2.powi(t as i32);
-        let m_hat = self.m[&id].scale(1.0 / bc1);
-        let v_hat = self.v[&id].scale(1.0 / bc2);
-        let eps = self.eps;
-        let denom = v_hat.map(|x| x.sqrt() + eps);
-        let update = m_hat.div(&denom);
-        let lr = self.lr;
-        store.get_mut(id).add_scaled_assign(&update, -lr);
+        let h = lightnas_tensor::kernels::AdamUpdate {
+            weight_decay: self.weight_decay,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            lr: self.lr,
+            s1: 1.0 / (1.0 - self.beta1.powi(t as i32)),
+            s2: 1.0 / (1.0 - self.beta2.powi(t as i32)),
+        };
+        let st = self.state.entry(id).or_insert_with(|| AdamState {
+            m: Tensor::zeros(grad.shape().dims()),
+            v: Tensor::zeros(grad.shape().dims()),
+        });
+        let w = store.get_mut(id);
+        assert_eq!(
+            w.shape(),
+            grad.shape(),
+            "adam gradient shape mismatch: {} vs {}",
+            w.shape(),
+            grad.shape()
+        );
+        lightnas_tensor::kernels::adam_update(
+            w.as_mut_slice(),
+            grad.as_slice(),
+            st.m.as_mut_slice(),
+            st.v.as_mut_slice(),
+            &h,
+        );
     }
 }
 

@@ -141,11 +141,20 @@ impl Bindings {
     }
 
     /// Copies the parameter's current value into `g` as a trainable leaf and
-    /// records the association.
+    /// records the association. The copy lands in the graph's tape pool
+    /// ([`Graph::parameter_ref`]), so step-loop rebinding allocates nothing
+    /// in steady state.
     pub fn bind(&mut self, g: &mut Graph, store: &ParamStore, id: ParamId) -> Var {
-        let var = g.parameter(store.get(id).clone());
+        let var = g.parameter_ref(store.get(id));
         self.pairs.push((id, var));
         var
+    }
+
+    /// Forgets the recorded pairs while keeping their capacity, so one
+    /// `Bindings` value can accompany a reused graph ([`Graph::reset`])
+    /// across training steps.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
     }
 
     /// The recorded `(parameter, graph-node)` pairs.
@@ -153,23 +162,52 @@ impl Bindings {
         &self.pairs
     }
 
+    /// Visits each bound parameter's gradient in ascending [`ParamId`]
+    /// order, summing over occurrences for shared parameters.
+    ///
+    /// Parameters bound exactly once (the common case) borrow their gradient
+    /// straight from the graph without materializing a copy; parameters
+    /// whose graph nodes received no gradient are skipped.
+    pub fn for_each_gradient(&self, g: &Graph, mut f: impl FnMut(ParamId, &Tensor)) {
+        let mut order: Vec<usize> = (0..self.pairs.len()).collect();
+        // Stable sort: occurrences of a shared parameter keep binding order,
+        // so the accumulation sequence matches the pre-sorted walk.
+        order.sort_by_key(|&i| self.pairs[i].0);
+        let mut i = 0;
+        while i < order.len() {
+            let (id, var) = self.pairs[order[i]];
+            let mut j = i + 1;
+            while j < order.len() && self.pairs[order[j]].0 == id {
+                j += 1;
+            }
+            if j == i + 1 {
+                if let Some(grad) = g.grad_opt(var) {
+                    f(id, grad);
+                }
+            } else {
+                let mut acc: Option<Tensor> = None;
+                for &k in &order[i..j] {
+                    if let Some(grad) = g.grad_opt(self.pairs[k].1) {
+                        match &mut acc {
+                            Some(t) => t.add_scaled_assign(grad, 1.0),
+                            None => acc = Some(grad.clone()),
+                        }
+                    }
+                }
+                if let Some(t) = acc {
+                    f(id, &t);
+                }
+            }
+            i = j;
+        }
+    }
+
     /// Sums the gradients of every occurrence of each bound parameter.
     ///
     /// Parameters whose graph nodes received no gradient are omitted.
     pub fn gradients(&self, g: &Graph) -> Vec<(ParamId, Tensor)> {
-        let mut acc: HashMap<ParamId, Tensor> = HashMap::new();
-        for &(id, var) in &self.pairs {
-            if let Some(grad) = g.grad_opt(var) {
-                match acc.get_mut(&id) {
-                    Some(t) => t.add_scaled_assign(grad, 1.0),
-                    None => {
-                        acc.insert(id, grad.clone());
-                    }
-                }
-            }
-        }
-        let mut out: Vec<_> = acc.into_iter().collect();
-        out.sort_by_key(|(id, _)| *id);
+        let mut out = Vec::new();
+        self.for_each_gradient(g, |id, t| out.push((id, t.clone())));
         out
     }
 }

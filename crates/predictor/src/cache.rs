@@ -231,6 +231,65 @@ impl<'a, P: Predictor> CachedPredictor<'a, P> {
     }
 }
 
+impl<P: crate::BatchPredictor> crate::BatchPredictor for CachedPredictor<'_, P> {
+    /// Batched lookup: cached rows are answered from the map, the remaining
+    /// *distinct* keys go to the wrapped predictor in **one**
+    /// `predict_encodings` call, and every result lands in the cache.
+    ///
+    /// Counter semantics match the sequential per-row loop exactly: the
+    /// first occurrence of an uncached key counts as a miss, repeats of the
+    /// same key inside the batch count as hits (the sequential loop would
+    /// have filled the cache by then). Values are bit-identical to per-row
+    /// queries because the inner batched path guarantees the same.
+    fn predict_encodings(&self, encodings: &[Vec<f32>]) -> Vec<f64> {
+        let mut out = vec![0.0f64; encodings.len()];
+        // Rows not answered from the cache, and the first occurrence of each
+        // distinct uncached key (the rows actually sent downstream).
+        let mut unresolved: Vec<(usize, u64)> = Vec::new();
+        let mut pending: Vec<(u64, usize)> = Vec::new();
+        {
+            let map = self
+                .predictions
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut seen = std::collections::HashSet::new();
+            for (i, enc) in encodings.iter().enumerate() {
+                let key = encoding_key(enc);
+                if let Some(&v) = map.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    out[i] = v;
+                    continue;
+                }
+                unresolved.push((i, key));
+                if seen.insert(key) {
+                    pending.push((key, i));
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !pending.is_empty() {
+            let miss_rows: Vec<Vec<f32>> =
+                pending.iter().map(|&(_, i)| encodings[i].clone()).collect();
+            let computed = self.inner.predict_encodings(&miss_rows);
+            let by_key: HashMap<u64, f64> = pending
+                .iter()
+                .zip(&computed)
+                .map(|(&(key, _), &v)| (key, v))
+                .collect();
+            self.predictions
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend(by_key.iter().map(|(&k, &v)| (k, v)));
+            for &(i, key) in &unresolved {
+                out[i] = by_key[&key];
+            }
+        }
+        out
+    }
+}
+
 impl<P: Predictor> Predictor for CachedPredictor<'_, P> {
     fn predict_encoding(&self, encoding: &[f32]) -> f64 {
         let key = encoding_key(encoding);
@@ -325,6 +384,35 @@ mod tests {
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(cached.cached_predictions(), 10);
         assert_eq!(cached.cached_gradients(), 10);
+    }
+
+    #[test]
+    fn batched_queries_coalesce_misses_and_serve_hits() {
+        use crate::BatchPredictor;
+        let p = small_predictor();
+        let cached = CachedPredictor::new(&p);
+        let space = SearchSpace::standard();
+        // 16 rows over 6 distinct architectures, with repeats inside the
+        // batch: rows 6.. cycle through the first six again.
+        let uniques: Vec<Vec<f32>> = (0..6)
+            .map(|s| Architecture::random(&space, s).encode())
+            .collect();
+        let batch: Vec<Vec<f32>> = (0..16).map(|i| uniques[i % 6].clone()).collect();
+        let got = cached.predict_encodings(&batch);
+        let want: Vec<f64> = batch.iter().map(|e| p.predict_encoding(e)).collect();
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "batched value diverged");
+        }
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 6, "one miss per distinct architecture");
+        assert_eq!(stats.hits, 10, "in-batch repeats count as hits");
+        assert_eq!(cached.cached_predictions(), 6);
+        // A second identical batch is answered entirely from the cache.
+        let again = cached.predict_encodings(&batch);
+        assert_eq!(again, got);
+        let stats = cached.stats();
+        assert_eq!(stats.misses, 6);
+        assert_eq!(stats.hits, 26);
     }
 
     #[test]

@@ -13,6 +13,24 @@ use crate::MetricDataset;
 /// Input width of the predictor: the flattened `ᾱ` encoding.
 pub const INPUT_WIDTH: usize = TOTAL_LAYERS * NUM_OPS;
 
+thread_local! {
+    /// Scratch tape reused by the frozen-network query paths (predict /
+    /// gradient). [`Graph::reset`] keeps the node and pool storage warm, so
+    /// repeated queries allocate nothing in steady state.
+    static SCRATCH: std::cell::RefCell<(Graph, Bindings)> =
+        std::cell::RefCell::new((Graph::new(), Bindings::new()));
+}
+
+/// Runs `f` with the thread-local scratch graph, reset and ready to record.
+fn with_scratch<R>(f: impl FnOnce(&mut Graph, &mut Bindings) -> R) -> R {
+    SCRATCH.with(|cell| {
+        let (g, bind) = &mut *cell.borrow_mut();
+        g.reset();
+        bind.clear();
+        f(g, bind)
+    })
+}
+
 /// Training hyper-parameters of the predictor.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -72,6 +90,10 @@ impl MlpPredictor {
         let mut opt = Adam::new(config.lr, 1e-5);
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
         let mut order: Vec<usize> = (0..n).collect();
+        // One tape for the whole run: `reset` between steps keeps node and
+        // buffer capacity, so steady-state steps allocate nothing.
+        let mut g = Graph::new();
+        let mut bind = Bindings::new();
         for _ in 0..config.epochs {
             // Fisher-Yates shuffle per epoch.
             for i in (1..n).rev() {
@@ -86,8 +108,8 @@ impl MlpPredictor {
                     x.extend_from_slice(&train.encodings()[i]);
                     y.push(((train.targets()[i] - mean) / std) as f32);
                 }
-                let mut g = Graph::new();
-                let mut bind = Bindings::new();
+                g.reset();
+                bind.clear();
                 let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
                 let pred = mlp.forward(&mut g, &mut bind, &store, xv);
                 let loss = g.mse_loss(pred, Tensor::from_vec(y, &[b, 1]));
@@ -114,11 +136,11 @@ impl MlpPredictor {
             INPUT_WIDTH,
             "encoding must have {INPUT_WIDTH} values"
         );
-        let mut g = Graph::new();
-        let mut bind = Bindings::new();
-        let x = g.input(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
-        let out = self.mlp.forward(&mut g, &mut bind, &self.store, x);
-        g.value(out).as_slice()[0] as f64 * self.std + self.mean
+        with_scratch(|g, bind| {
+            let x = g.input(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
+            let out = self.mlp.forward(g, bind, &self.store, x);
+            g.value(out).as_slice()[0] as f64 * self.std + self.mean
+        })
     }
 
     /// Predicts the metric for an architecture.
@@ -150,15 +172,15 @@ impl MlpPredictor {
             );
             x.extend_from_slice(enc);
         }
-        let mut g = Graph::new();
-        let mut bind = Bindings::new();
-        let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
-        let out = self.mlp.forward(&mut g, &mut bind, &self.store, xv);
-        g.value(out)
-            .as_slice()
-            .iter()
-            .map(|&v| v as f64 * self.std + self.mean)
-            .collect()
+        with_scratch(|g, bind| {
+            let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
+            let out = self.mlp.forward(g, bind, &self.store, xv);
+            g.value(out)
+                .as_slice()
+                .iter()
+                .map(|&v| v as f64 * self.std + self.mean)
+                .collect()
+        })
     }
 
     /// Gradient of the prediction w.r.t. the encoding — the `∂LAT/∂ᾱ` term
@@ -175,18 +197,18 @@ impl MlpPredictor {
             INPUT_WIDTH,
             "encoding must have {INPUT_WIDTH} values"
         );
-        let mut g = Graph::new();
-        let mut bind = Bindings::new();
-        // The input is registered as a parameter so backward reaches it.
-        let x = g.parameter(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
-        let out = self.mlp.forward(&mut g, &mut bind, &self.store, x);
-        let scalar = g.sum(out);
-        g.backward(scalar);
-        g.grad(x)
-            .as_slice()
-            .iter()
-            .map(|&v| v * self.std as f32)
-            .collect()
+        with_scratch(|g, bind| {
+            // The input is registered as a parameter so backward reaches it.
+            let x = g.parameter(Tensor::from_vec(encoding.to_vec(), &[1, INPUT_WIDTH]));
+            let out = self.mlp.forward(g, bind, &self.store, x);
+            let scalar = g.sum(out);
+            g.backward(scalar);
+            g.grad(x)
+                .as_slice()
+                .iter()
+                .map(|&v| v * self.std as f32)
+                .collect()
+        })
     }
 
     /// Root-mean-square error over a dataset, in the metric's unit.

@@ -312,6 +312,48 @@ fn telemetry_narrates_a_sweep_as_valid_jsonl() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Serving-style coalescing against the sweep predictor: a batch with
+/// repeated architectures must hit the shared cache for every repeat, go
+/// downstream once per distinct key, and stay bit-identical to the scalar
+/// query path.
+#[test]
+fn cached_batch_path_coalesces_and_matches_scalar_queries() {
+    use lightnas_predictor::{BatchPredictor, CachedPredictor, Predictor};
+    let f = fixture();
+    let cached = CachedPredictor::new(&f.predictor);
+    // 16 rows over 6 distinct architectures (rows 6.. repeat the first six).
+    let uniques: Vec<Vec<f32>> = (0..6)
+        .map(|s| lightnas_space::Architecture::random(&f.space, 100 + s).encode())
+        .collect();
+    let batch: Vec<Vec<f32>> = (0..16).map(|i| uniques[i % 6].clone()).collect();
+    let got = cached.predict_encodings(&batch);
+    for (enc, got) in batch.iter().zip(&got) {
+        assert_eq!(
+            got.to_bits(),
+            f.predictor.predict_encoding(enc).to_bits(),
+            "cached batch diverged from the scalar path"
+        );
+    }
+    let stats = cached.stats();
+    assert_eq!(stats.misses, 6, "one downstream call per distinct key");
+    assert_eq!(stats.hits, 10, "in-batch repeats served from the cache");
+    // A follow-up batch is answered without touching the inner predictor,
+    // and scalar queries agree with what the batch cached.
+    let again = cached.predict_encodings(&batch);
+    assert_eq!(again, got);
+    assert_eq!(cached.stats().misses, 6);
+    assert_eq!(cached.stats().hits, 26);
+    for (enc, want) in batch.iter().zip(&got) {
+        assert_eq!(cached.predict_encoding(enc).to_bits(), want.to_bits());
+    }
+    let total = cached.stats();
+    assert!(
+        total.hit_rate() > 0.85,
+        "hit rate regressed: {:.3}",
+        total.hit_rate()
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Kernel-determinism goldens.
 //

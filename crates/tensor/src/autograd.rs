@@ -10,13 +10,27 @@
 //! parameter values outside the graph (see `lightnas-nn`): after `backward`
 //! the trainer reads [`Graph::grad`] for each parameter [`Var`] and applies
 //! its optimizer update to the external store.
+//!
+//! # Tape reuse
+//!
+//! Rebuilding the tape every step is cheap in nodes but expensive in
+//! allocations: every node value, every gradient and every backward
+//! intermediate is a fresh `Vec<f32>`. Each `Graph` therefore owns a
+//! [`TensorPool`] and draws **all** tape storage from it; calling
+//! [`Graph::reset`] between steps returns every buffer to the pool (and
+//! keeps the `nodes`/`grads` vector capacity), so a steady-state training
+//! step performs near-zero heap allocation. Pooling only changes where the
+//! backing memory comes from — every kernel still writes the same bits in
+//! the same order, so a reused graph produces byte-identical values and
+//! gradients to a freshly constructed one.
 
 // Index-based loops over channel/spatial blocks mirror the math and keep
 // offset arithmetic visible; iterator-chain rewrites obscure it.
 #![allow(clippy::needless_range_loop)]
 
-use crate::im2col::{conv2d_backward_fast, conv2d_forward_fast};
-use crate::tensor::{dwconv2d_backward, dwconv2d_forward, Conv2dSpec};
+use crate::im2col::{conv2d_backward_into, conv2d_forward_into};
+use crate::kernels::{matmul_into, matmul_nt_into, matmul_tn_into, PoolStats, TensorPool};
+use crate::tensor::{dwconv2d_backward_into, dwconv2d_forward_into, Conv2dSpec};
 use crate::Tensor;
 
 /// Handle to a node in a [`Graph`].
@@ -93,13 +107,118 @@ struct Node {
     requires_grad: bool,
 }
 
+fn node_value(nodes: &[Node], v: Var) -> &Tensor {
+    &nodes[v.0].value
+}
+
+// ---------------------------------------------------------------------------
+// Pool-backed tensor constructors.
+//
+// Free functions rather than `Graph` methods so callers can hold `&mut pool`
+// while node values stay immutably borrowed (the two are disjoint fields of
+// `Graph`, which the borrow checker only sees after destructuring).
+// ---------------------------------------------------------------------------
+
+fn pooled_zeros(pool: &mut TensorPool, dims: &[usize]) -> Tensor {
+    let len = dims.iter().product();
+    Tensor::from_vec(pool.take_zeroed(len), dims)
+}
+
+/// Pooled tensor with unspecified contents, for kernels that overwrite
+/// every output element (`*_into` with full-coverage writes).
+fn pooled_filled(pool: &mut TensorPool, dims: &[usize]) -> Tensor {
+    let len = dims.iter().product();
+    Tensor::from_vec(pool.take_filled(len), dims)
+}
+
+fn pooled_full(pool: &mut TensorPool, dims: &[usize], value: f32) -> Tensor {
+    let len = dims.iter().product();
+    let mut buf = pool.take(len);
+    buf.resize(len, value);
+    Tensor::from_vec(buf, dims)
+}
+
+fn pooled_copy(pool: &mut TensorPool, src: &Tensor) -> Tensor {
+    pooled_reshaped_copy(pool, src, src.shape().dims())
+}
+
+fn pooled_reshaped_copy(pool: &mut TensorPool, src: &Tensor, dims: &[usize]) -> Tensor {
+    let mut buf = pool.take(src.len());
+    buf.extend_from_slice(src.as_slice());
+    Tensor::from_vec(buf, dims)
+}
+
+fn pooled_map(pool: &mut TensorPool, src: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut buf = pool.take(src.len());
+    buf.extend(src.as_slice().iter().map(|&x| f(x)));
+    Tensor::from_vec(buf, src.shape().dims())
+}
+
+fn pooled_zip(
+    pool: &mut TensorPool,
+    a: &Tensor,
+    b: &Tensor,
+    op: &str,
+    f: impl Fn(f32, f32) -> f32,
+) -> Tensor {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "shape mismatch in {op}: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    let mut buf = pool.take(a.len());
+    buf.extend(
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(&x, &y)| f(x, y)),
+    );
+    Tensor::from_vec(buf, a.shape().dims())
+}
+
+/// `a · b` through the blocked GEMM into a pooled buffer; bit-identical to
+/// [`Tensor::matmul`].
+fn pooled_matmul(pool: &mut TensorPool, a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(
+        a.shape().rank(),
+        2,
+        "matmul lhs must be rank-2, got {}",
+        a.shape()
+    );
+    assert_eq!(
+        b.shape().rank(),
+        2,
+        "matmul rhs must be rank-2, got {}",
+        b.shape()
+    );
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(
+        k,
+        k2,
+        "matmul inner dimension mismatch: {} vs {}",
+        a.shape(),
+        b.shape()
+    );
+    // `take_filled`: the GEMM overwrites every output element on all of its
+    // dispatch paths, so the buffer needs no zeroing.
+    let mut out = pool.take_filled(m * n);
+    matmul_into(a.as_slice(), b.as_slice(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
 /// A reverse-mode autodiff tape.
 ///
-/// See the [crate-level documentation](crate) for an end-to-end example.
+/// See the [crate-level documentation](crate) for an end-to-end example, and
+/// the [module documentation](self) for the tape-reuse contract around
+/// [`Graph::reset`].
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Tensor>>,
+    pool: TensorPool,
 }
 
 impl Graph {
@@ -116,6 +235,34 @@ impl Graph {
     /// `true` if no nodes have been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears the tape for the next step while retaining its storage.
+    ///
+    /// Every node value, cached backward tensor and gradient is recycled
+    /// into the graph's [`TensorPool`], and the node/grad vectors keep their
+    /// capacity. Rebuilding the same computation afterwards draws all of its
+    /// tensors from the pool and produces byte-identical values and
+    /// gradients to a fresh graph. All previously issued [`Var`] handles
+    /// are invalidated.
+    pub fn reset(&mut self) {
+        let Self { nodes, grads, pool } = self;
+        for node in nodes.drain(..) {
+            match node.op {
+                Op::SoftmaxCrossEntropy { probs, .. } => pool.recycle(probs.into_vec()),
+                Op::MseLoss { target, .. } => pool.recycle(target.into_vec()),
+                _ => {}
+            }
+            pool.recycle(node.value.into_vec());
+        }
+        for t in grads.drain(..).flatten() {
+            pool.recycle(t.into_vec());
+        }
+    }
+
+    /// Hit/miss counters and occupancy of the graph's tape pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     fn push(&mut self, op: Op, value: Tensor, requires_grad: bool) -> Var {
@@ -137,11 +284,26 @@ impl Graph {
         self.push(Op::Input, value, false)
     }
 
+    /// Registers a non-trainable leaf by copying `value` into pooled tape
+    /// storage, avoiding a caller-side clone.
+    pub fn input_ref(&mut self, value: &Tensor) -> Var {
+        let copied = pooled_copy(&mut self.pool, value);
+        self.push(Op::Input, copied, false)
+    }
+
     /// Registers a trainable leaf whose gradient is computed by [`backward`].
     ///
     /// [`backward`]: Graph::backward
     pub fn parameter(&mut self, value: Tensor) -> Var {
         self.push(Op::Parameter, value, true)
+    }
+
+    /// Registers a trainable leaf by copying `value` into pooled tape
+    /// storage, avoiding a caller-side clone. Training loops that rebuild
+    /// the tape every step should prefer this over `parameter(t.clone())`.
+    pub fn parameter_ref(&mut self, value: &Tensor) -> Var {
+        let copied = pooled_copy(&mut self.pool, value);
+        self.push(Op::Parameter, copied, true)
     }
 
     /// The forward value of `v`.
@@ -170,63 +332,90 @@ impl Graph {
 
     /// Elementwise sum. Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_zip(
+            pool,
+            node_value(nodes, a),
+            node_value(nodes, b),
+            "add",
+            |x, y| x + y,
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(Op::Add(a, b), value, rg)
     }
 
     /// Elementwise difference. Panics on shape mismatch.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_zip(
+            pool,
+            node_value(nodes, a),
+            node_value(nodes, b),
+            "sub",
+            |x, y| x - y,
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(Op::Sub(a, b), value, rg)
     }
 
     /// Elementwise product. Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).mul(self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_zip(
+            pool,
+            node_value(nodes, a),
+            node_value(nodes, b),
+            "mul",
+            |x, y| x * y,
+        );
         let rg = self.rg(a) || self.rg(b);
         self.push(Op::Mul(a, b), value, rg)
     }
 
     /// Multiplies every element by the constant `s`.
     pub fn scale(&mut self, a: Var, s: f32) -> Var {
-        let value = self.value(a).scale(s);
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_map(pool, node_value(nodes, a), |x| x * s);
         let rg = self.rg(a);
         self.push(Op::Scale(a, s), value, rg)
     }
 
     /// Adds the constant `s` to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
-        let value = self.value(a).map(|x| x + s);
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_map(pool, node_value(nodes, a), |x| x + s);
         let rg = self.rg(a);
         self.push(Op::AddScalar(a), value, rg)
     }
 
     /// Matrix product of rank-2 tensors. Panics on shape mismatch.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_matmul(pool, node_value(nodes, a), node_value(nodes, b));
         let rg = self.rg(a) || self.rg(b);
         self.push(Op::Matmul(a, b), value, rg)
     }
 
     /// Rectified linear unit `max(x, 0)`.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| x.max(0.0));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_map(pool, node_value(nodes, a), |x| x.max(0.0));
         let rg = self.rg(a);
         self.push(Op::Relu(a), value, rg)
     }
 
     /// `min(max(x, 0), 6)` — the activation used by MobileNetV2.
     pub fn relu6(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| x.clamp(0.0, 6.0));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_map(pool, node_value(nodes, a), |x| x.clamp(0.0, 6.0));
         let rg = self.rg(a);
         self.push(Op::Relu6(a), value, rg)
     }
 
     /// Logistic sigmoid, used by the Squeeze-and-Excitation gate.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_map(pool, node_value(nodes, a), |x| 1.0 / (1.0 + (-x).exp()));
         let rg = self.rg(a);
         self.push(Op::Sigmoid(a), value, rg)
     }
@@ -237,7 +426,8 @@ impl Graph {
     ///
     /// Panics if the shapes are not `[m, n]` and `[n]`.
     pub fn add_row_bias(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let (av, bv) = (node_value(nodes, a), node_value(nodes, b));
         assert_eq!(
             av.shape().rank(),
             2,
@@ -258,7 +448,7 @@ impl Graph {
             av.shape(),
             bv.shape()
         );
-        let mut out = av.clone();
+        let mut out = pooled_copy(pool, av);
         {
             let o = out.as_mut_slice();
             let bs = bv.as_slice();
@@ -279,7 +469,8 @@ impl Graph {
     ///
     /// Panics on rank or channel mismatch.
     pub fn add_channel_bias(&mut self, a: Var, b: Var) -> Var {
-        let (av, bv) = (self.value(a), self.value(b));
+        let Self { nodes, pool, .. } = self;
+        let (av, bv) = (node_value(nodes, a), node_value(nodes, b));
         assert_eq!(
             av.shape().rank(),
             4,
@@ -295,7 +486,7 @@ impl Graph {
         );
         let hw = av.shape().dim(2) * av.shape().dim(3);
         let n = av.shape().dim(0);
-        let mut out = av.clone();
+        let mut out = pooled_copy(pool, av);
         {
             let o = out.as_mut_slice();
             let bs = bv.as_slice();
@@ -319,7 +510,8 @@ impl Graph {
     ///
     /// Panics on rank or dimension mismatch.
     pub fn mul_channel_gate(&mut self, a: Var, gate: Var) -> Var {
-        let (av, gv) = (self.value(a), self.value(gate));
+        let Self { nodes, pool, .. } = self;
+        let (av, gv) = (node_value(nodes, a), node_value(nodes, gate));
         assert_eq!(
             av.shape().rank(),
             4,
@@ -340,7 +532,7 @@ impl Graph {
             gv.shape()
         );
         let hw = av.shape().dim(2) * av.shape().dim(3);
-        let mut out = av.clone();
+        let mut out = pooled_copy(pool, av);
         {
             let o = out.as_mut_slice();
             let gs = gv.as_slice();
@@ -361,14 +553,46 @@ impl Graph {
     /// Full 2-D convolution (see [`crate::conv2d_forward`] for shape
     /// conventions); computed through the im2col fast path.
     pub fn conv2d(&mut self, x: Var, w: Var, spec: Conv2dSpec) -> Var {
-        let value = conv2d_forward_fast(self.value(x), self.value(w), spec);
+        let Self { nodes, pool, .. } = self;
+        let (xv, wv) = (node_value(nodes, x), node_value(nodes, w));
+        assert_eq!(
+            xv.shape().rank(),
+            4,
+            "conv2d input must be rank-4, got {}",
+            xv.shape()
+        );
+        assert_eq!(
+            wv.shape().rank(),
+            4,
+            "conv2d weight must be rank-4, got {}",
+            wv.shape()
+        );
+        let (n, h, wd) = (xv.shape().dim(0), xv.shape().dim(2), xv.shape().dim(3));
+        let c_out = wv.shape().dim(0);
+        let mut value = pooled_filled(pool, &[n, c_out, spec.out_size(h), spec.out_size(wd)]);
+        conv2d_forward_into(xv, wv, spec, value.as_mut_slice());
         let rg = self.rg(x) || self.rg(w);
         self.push(Op::Conv2d { x, w, spec }, value, rg)
     }
 
-    /// Depthwise 2-D convolution (see [`dwconv2d_forward`]).
+    /// Depthwise 2-D convolution (see [`crate::dwconv2d_forward`]).
     pub fn dwconv2d(&mut self, x: Var, w: Var, spec: Conv2dSpec) -> Var {
-        let value = dwconv2d_forward(self.value(x), self.value(w), spec);
+        let Self { nodes, pool, .. } = self;
+        let (xv, wv) = (node_value(nodes, x), node_value(nodes, w));
+        assert_eq!(
+            xv.shape().rank(),
+            4,
+            "dwconv input must be rank-4, got {}",
+            xv.shape()
+        );
+        let (n, c, h, wd) = (
+            xv.shape().dim(0),
+            xv.shape().dim(1),
+            xv.shape().dim(2),
+            xv.shape().dim(3),
+        );
+        let mut value = pooled_filled(pool, &[n, c, spec.out_size(h), spec.out_size(wd)]);
+        dwconv2d_forward_into(xv, wv, spec, value.as_mut_slice());
         let rg = self.rg(x) || self.rg(w);
         self.push(Op::DwConv2d { x, w, spec }, value, rg)
     }
@@ -379,7 +603,8 @@ impl Graph {
     ///
     /// Panics if `a` is not rank-4.
     pub fn global_avg_pool(&mut self, a: Var) -> Var {
-        let av = self.value(a);
+        let Self { nodes, pool, .. } = self;
+        let av = node_value(nodes, a);
         assert_eq!(
             av.shape().rank(),
             4,
@@ -393,7 +618,7 @@ impl Graph {
             av.shape().dim(3),
         );
         let hw = (h * w) as f32;
-        let mut out = Tensor::zeros(&[n, c]);
+        let mut out = pooled_zeros(pool, &[n, c]);
         {
             let o = out.as_mut_slice();
             let x = av.as_slice();
@@ -411,7 +636,8 @@ impl Graph {
 
     /// Reinterprets `a` with a new shape of equal element count.
     pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
-        let value = self.value(a).reshape(shape);
+        let Self { nodes, pool, .. } = self;
+        let value = pooled_reshaped_copy(pool, node_value(nodes, a), shape);
         let rg = self.rg(a);
         self.push(Op::Reshape(a), value, rg)
     }
@@ -442,7 +668,8 @@ impl Graph {
     /// is empty, or if the input shapes differ.
     pub fn mix(&mut self, coeffs: Var, inputs: &[Var]) -> Var {
         assert!(!inputs.is_empty(), "mix requires at least one input");
-        let cv = self.value(coeffs);
+        let Self { nodes, pool, .. } = self;
+        let cv = node_value(nodes, coeffs);
         assert_eq!(
             cv.shape().dims(),
             [inputs.len()],
@@ -450,12 +677,12 @@ impl Graph {
             inputs.len(),
             cv.shape()
         );
-        let shape = self.value(inputs[0]).shape().clone();
-        let mut out = Tensor::zeros(shape.dims());
+        let shape = node_value(nodes, inputs[0]).shape().clone();
+        let mut out = pooled_zeros(pool, shape.dims());
         for (k, &v) in inputs.iter().enumerate() {
-            let xv = self.value(v);
+            let xv = node_value(nodes, v);
             assert_eq!(xv.shape(), &shape, "mix input {k} shape mismatch");
-            let c = self.value(coeffs).as_slice()[k];
+            let c = node_value(nodes, coeffs).as_slice()[k];
             out.add_scaled_assign(xv, c);
         }
         let rg = self.rg(coeffs) || inputs.iter().any(|&v| self.rg(v));
@@ -477,7 +704,8 @@ impl Graph {
     /// Panics if `logits` is not rank-2, `targets.len()` differs from the
     /// batch size, or any target is out of range.
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
-        let lv = self.value(logits);
+        let Self { nodes, pool, .. } = self;
+        let lv = node_value(nodes, logits);
         assert_eq!(
             lv.shape().rank(),
             2,
@@ -492,7 +720,7 @@ impl Graph {
             targets.len(),
             n
         );
-        let mut probs = Tensor::zeros(&[n, classes]);
+        let mut probs = pooled_zeros(pool, &[n, classes]);
         let mut loss = 0.0f64;
         {
             let x = lv.as_slice();
@@ -541,16 +769,26 @@ impl Graph {
             pv.shape(),
             target.shape()
         );
-        let diff = pv.sub(&target);
-        let value =
-            Tensor::scalar(diff.as_slice().iter().map(|d| d * d).sum::<f32>() / pv.len() as f32);
+        // Same per-element sequence as materializing `pred - target` and
+        // summing the squares, without the temporary.
+        let sse: f32 = pv
+            .as_slice()
+            .iter()
+            .zip(target.as_slice())
+            .map(|(&p, &t)| {
+                let d = p - t;
+                d * d
+            })
+            .sum();
+        let value = Tensor::scalar(sse / pv.len() as f32);
         let rg = self.rg(pred);
         self.push(Op::MseLoss { pred, target }, value, rg)
     }
 
     /// Runs reverse-mode differentiation from the scalar `loss`.
     ///
-    /// Gradients of earlier `backward` calls on the same graph are cleared.
+    /// Gradients of earlier `backward` calls on the same graph are cleared
+    /// (their storage returns to the tape pool).
     ///
     /// # Panics
     ///
@@ -562,234 +800,317 @@ impl Graph {
             "backward target must be scalar, got {}",
             self.nodes[loss.0].value.shape()
         );
-        for g in &mut self.grads {
-            *g = None;
+        {
+            let Self { grads, pool, .. } = self;
+            for g in grads.iter_mut() {
+                if let Some(t) = g.take() {
+                    pool.recycle(t.into_vec());
+                }
+            }
         }
-        self.grads[loss.0] = Some(Tensor::full(self.nodes[loss.0].value.shape().dims(), 1.0));
+        let seed = {
+            let Self { nodes, pool, .. } = self;
+            pooled_full(pool, nodes[loss.0].value.shape().dims(), 1.0)
+        };
+        self.grads[loss.0] = Some(seed);
         for i in (0..self.nodes.len()).rev() {
-            if self.grads[i].is_none() || !self.nodes[i].requires_grad {
+            if !self.nodes[i].requires_grad || self.grads[i].is_none() {
                 continue;
             }
-            let g = self.grads[i].clone().expect("checked above");
+            // Take the gradient out of its slot for the duration of the
+            // propagation instead of cloning it: an op's inputs always
+            // precede it on the tape, so `propagate` never touches slot `i`.
+            let g = self.grads[i].take().expect("checked above");
             self.propagate(i, &g);
+            self.grads[i] = Some(g);
         }
     }
 
-    fn accumulate(&mut self, v: Var, delta: Tensor) {
-        if !self.nodes[v.0].requires_grad {
+    /// Adds `g` (the propagating node's own gradient) into input `v`'s slot.
+    fn accumulate_ref(&mut self, v: Var, g: &Tensor) {
+        let Self {
+            nodes, grads, pool, ..
+        } = self;
+        if !nodes[v.0].requires_grad {
             return;
         }
-        match &mut self.grads[v.0] {
-            Some(g) => g.add_scaled_assign(&delta, 1.0),
+        match &mut grads[v.0] {
+            Some(acc) => acc.add_scaled_assign(g, 1.0),
+            slot @ None => *slot = Some(pooled_copy(pool, g)),
+        }
+    }
+
+    /// Adds an owned delta into input `v`'s slot, recycling it when it is
+    /// consumed by in-place accumulation (or dropped for a no-grad input).
+    fn accumulate_owned(&mut self, v: Var, delta: Tensor) {
+        let Self {
+            nodes, grads, pool, ..
+        } = self;
+        if !nodes[v.0].requires_grad {
+            pool.recycle(delta.into_vec());
+            return;
+        }
+        match &mut grads[v.0] {
+            Some(acc) => {
+                acc.add_scaled_assign(&delta, 1.0);
+                pool.recycle(delta.into_vec());
+            }
             slot @ None => *slot = Some(delta),
         }
     }
 
     fn propagate(&mut self, i: usize, g: &Tensor) {
-        // `Op` is only borrowed immutably here; accumulation happens after the
-        // local gradient tensors are materialized.
+        // Which inputs receive which delta. `Ref*` variants mean "the delta
+        // is exactly `g`" — accumulated straight from the borrow with no
+        // intermediate tensor; owned deltas are built in pooled storage.
         enum Delta {
             None,
+            Ref(Var),
+            RefBoth(Var, Var),
+            RefPlusOwned(Var, Var, Tensor),
             One(Var, Tensor),
             Two(Var, Tensor, Var, Tensor),
             Many(Vec<(Var, Tensor)>),
         }
-        let delta = match &self.nodes[i].op {
-            Op::Input | Op::Parameter => Delta::None,
-            Op::Add(a, b) => Delta::Two(*a, g.clone(), *b, g.clone()),
-            Op::Sub(a, b) => Delta::Two(*a, g.clone(), *b, g.scale(-1.0)),
-            Op::Mul(a, b) => {
-                let ga = g.mul(self.value(*b));
-                let gb = g.mul(self.value(*a));
-                Delta::Two(*a, ga, *b, gb)
-            }
-            Op::Scale(a, s) => Delta::One(*a, g.scale(*s)),
-            Op::AddScalar(a) => Delta::One(*a, g.clone()),
-            Op::Matmul(a, b) => {
-                let ga = g.matmul(&self.value(*b).transpose());
-                let gb = self.value(*a).transpose().matmul(g);
-                Delta::Two(*a, ga, *b, gb)
-            }
-            Op::Relu(a) => {
-                let mask = self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                Delta::One(*a, g.mul(&mask))
-            }
-            Op::Relu6(a) => {
-                let mask = self
-                    .value(*a)
-                    .map(|x| if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 });
-                Delta::One(*a, g.mul(&mask))
-            }
-            Op::Sigmoid(a) => {
-                let y = &self.nodes[i].value;
-                let dy = y.map(|s| s * (1.0 - s));
-                Delta::One(*a, g.mul(&dy))
-            }
-            Op::AddRowBias(a, b) => {
-                let (m, n) = (g.shape().dim(0), g.shape().dim(1));
-                let mut gb = Tensor::zeros(&[n]);
-                {
-                    let gs = g.as_slice();
-                    let o = gb.as_mut_slice();
-                    for r in 0..m {
-                        for c in 0..n {
-                            o[c] += gs[r * n + c];
-                        }
-                    }
+        let delta = {
+            let Self { nodes, pool, .. } = self;
+            match &nodes[i].op {
+                Op::Input | Op::Parameter => Delta::None,
+                Op::Add(a, b) => Delta::RefBoth(*a, *b),
+                Op::Sub(a, b) => Delta::RefPlusOwned(*a, *b, pooled_map(pool, g, |x| -x)),
+                Op::Mul(a, b) => {
+                    let ga = pooled_zip(pool, g, node_value(nodes, *b), "mul", |x, y| x * y);
+                    let gb = pooled_zip(pool, g, node_value(nodes, *a), "mul", |x, y| x * y);
+                    Delta::Two(*a, ga, *b, gb)
                 }
-                Delta::Two(*a, g.clone(), *b, gb)
-            }
-            Op::AddChannelBias(a, b) => {
-                let (n, c, h, w) = (
-                    g.shape().dim(0),
-                    g.shape().dim(1),
-                    g.shape().dim(2),
-                    g.shape().dim(3),
-                );
-                let mut gb = Tensor::zeros(&[c]);
-                {
-                    let gs = g.as_slice();
-                    let o = gb.as_mut_slice();
-                    for bi in 0..n {
-                        for ch in 0..c {
-                            let base = (bi * c + ch) * h * w;
-                            o[ch] += gs[base..base + h * w].iter().sum::<f32>();
-                        }
-                    }
+                Op::Scale(a, s) => {
+                    let s = *s;
+                    Delta::One(*a, pooled_map(pool, g, |x| x * s))
                 }
-                Delta::Two(*a, g.clone(), *b, gb)
-            }
-            Op::MulChannelGate(a, gate) => {
-                let av = self.value(*a);
-                let gv = self.value(*gate);
-                let (n, c, h, w) = (
-                    av.shape().dim(0),
-                    av.shape().dim(1),
-                    av.shape().dim(2),
-                    av.shape().dim(3),
-                );
-                let hw = h * w;
-                let mut ga = Tensor::zeros(av.shape().dims());
-                let mut ggate = Tensor::zeros(&[n, c]);
-                {
-                    let gs = g.as_slice();
-                    let xs = av.as_slice();
-                    let gates = gv.as_slice();
-                    let gad = ga.as_mut_slice();
-                    let ggd = ggate.as_mut_slice();
-                    for bi in 0..n {
-                        for ch in 0..c {
-                            let gk = gates[bi * c + ch];
-                            let base = (bi * c + ch) * hw;
-                            let mut acc = 0.0f32;
-                            for k in 0..hw {
-                                gad[base + k] = gs[base + k] * gk;
-                                acc += gs[base + k] * xs[base + k];
-                            }
-                            ggd[bi * c + ch] = acc;
-                        }
-                    }
+                Op::AddScalar(a) => Delta::Ref(*a),
+                Op::Matmul(a, b) => {
+                    let (av, bv) = (node_value(nodes, *a), node_value(nodes, *b));
+                    let (m, k) = (av.shape().dim(0), av.shape().dim(1));
+                    let n = bv.shape().dim(1);
+                    // ga = g · bᵀ and gb = aᵀ · g through the transpose-free
+                    // GEMM variants (the transpose folds into packing /
+                    // row-tile gathering); bit-identical to
+                    // `matmul(transpose())`. Both buffers are fully
+                    // overwritten, so neither needs zeroing.
+                    let mut ga = pool.take_filled(m * k);
+                    matmul_nt_into(g.as_slice(), bv.as_slice(), m, n, k, &mut ga);
+                    let mut gb = pool.take_filled(k * n);
+                    matmul_tn_into(av.as_slice(), g.as_slice(), m, k, n, &mut gb);
+                    Delta::Two(
+                        *a,
+                        Tensor::from_vec(ga, &[m, k]),
+                        *b,
+                        Tensor::from_vec(gb, &[k, n]),
+                    )
                 }
-                Delta::Two(*a, ga, *gate, ggate)
-            }
-            Op::Conv2d { x, w, spec } => {
-                let (gx, gw) = conv2d_backward_fast(self.value(*x), self.value(*w), *spec, g);
-                Delta::Two(*x, gx, *w, gw)
-            }
-            Op::DwConv2d { x, w, spec } => {
-                let (gx, gw) = dwconv2d_backward(self.value(*x), self.value(*w), *spec, g);
-                Delta::Two(*x, gx, *w, gw)
-            }
-            Op::GlobalAvgPool(a) => {
-                let av = self.value(*a);
-                let (n, c, h, w) = (
-                    av.shape().dim(0),
-                    av.shape().dim(1),
-                    av.shape().dim(2),
-                    av.shape().dim(3),
-                );
-                let hw = (h * w) as f32;
-                let mut ga = Tensor::zeros(av.shape().dims());
-                {
-                    let gs = g.as_slice();
-                    let o = ga.as_mut_slice();
-                    for bi in 0..n {
-                        for ch in 0..c {
-                            let v = gs[bi * c + ch] / hw;
-                            let base = (bi * c + ch) * h * w;
-                            for k in 0..(h * w) {
-                                o[base + k] = v;
+                Op::Relu(a) => {
+                    let ga = pooled_zip(pool, g, node_value(nodes, *a), "mul", |gi, x| {
+                        gi * if x > 0.0 { 1.0 } else { 0.0 }
+                    });
+                    Delta::One(*a, ga)
+                }
+                Op::Relu6(a) => {
+                    let ga = pooled_zip(pool, g, node_value(nodes, *a), "mul", |gi, x| {
+                        gi * if x > 0.0 && x < 6.0 { 1.0 } else { 0.0 }
+                    });
+                    Delta::One(*a, ga)
+                }
+                Op::Sigmoid(a) => {
+                    let y = &nodes[i].value;
+                    let ga = pooled_zip(pool, g, y, "mul", |gi, s| gi * (s * (1.0 - s)));
+                    Delta::One(*a, ga)
+                }
+                Op::AddRowBias(a, b) => {
+                    let (m, n) = (g.shape().dim(0), g.shape().dim(1));
+                    let mut gb = pooled_zeros(pool, &[n]);
+                    {
+                        let gs = g.as_slice();
+                        let o = gb.as_mut_slice();
+                        for r in 0..m {
+                            for c in 0..n {
+                                o[c] += gs[r * n + c];
                             }
                         }
                     }
+                    Delta::RefPlusOwned(*a, *b, gb)
                 }
-                Delta::One(*a, ga)
-            }
-            Op::Reshape(a) => {
-                let orig = self.value(*a).shape().clone();
-                Delta::One(*a, g.reshape(orig.dims()))
-            }
-            Op::Sum(a) => {
-                let shape = self.value(*a).shape().clone();
-                Delta::One(*a, Tensor::full(shape.dims(), g.item()))
-            }
-            Op::Mean(a) => {
-                let shape = self.value(*a).shape().clone();
-                let n = shape.len() as f32;
-                Delta::One(*a, Tensor::full(shape.dims(), g.item() / n))
-            }
-            Op::Mix { coeffs, inputs } => {
-                let gscalar = g;
-                let cv = self.value(*coeffs).clone();
-                let mut out = Vec::with_capacity(inputs.len() + 1);
-                let mut gc = Tensor::zeros(&[inputs.len()]);
-                for (k, &v) in inputs.iter().enumerate() {
-                    let xv = self.value(v);
-                    let dot: f32 = gscalar
-                        .as_slice()
-                        .iter()
-                        .zip(xv.as_slice())
-                        .map(|(a, b)| a * b)
-                        .sum();
-                    gc.as_mut_slice()[k] = dot;
-                    out.push((v, gscalar.scale(cv.as_slice()[k])));
-                }
-                out.push((*coeffs, gc));
-                Delta::Many(out)
-            }
-            Op::SoftmaxCrossEntropy {
-                logits,
-                targets,
-                probs,
-            } => {
-                let (n, classes) = (probs.shape().dim(0), probs.shape().dim(1));
-                let mut gl = probs.clone();
-                {
-                    let o = gl.as_mut_slice();
-                    for (i, &t) in targets.iter().enumerate() {
-                        o[i * classes + t] -= 1.0;
+                Op::AddChannelBias(a, b) => {
+                    let (n, c, h, w) = (
+                        g.shape().dim(0),
+                        g.shape().dim(1),
+                        g.shape().dim(2),
+                        g.shape().dim(3),
+                    );
+                    let mut gb = pooled_zeros(pool, &[c]);
+                    {
+                        let gs = g.as_slice();
+                        let o = gb.as_mut_slice();
+                        for bi in 0..n {
+                            for ch in 0..c {
+                                let base = (bi * c + ch) * h * w;
+                                o[ch] += gs[base..base + h * w].iter().sum::<f32>();
+                            }
+                        }
                     }
+                    Delta::RefPlusOwned(*a, *b, gb)
                 }
-                let gl = gl.scale(g.item() / n as f32);
-                Delta::One(*logits, gl)
-            }
-            Op::MseLoss { pred, target } => {
-                let pv = self.value(*pred);
-                let n = pv.len() as f32;
-                let gp = pv.sub(target).scale(2.0 * g.item() / n);
-                Delta::One(*pred, gp)
+                Op::MulChannelGate(a, gate) => {
+                    let av = node_value(nodes, *a);
+                    let gv = node_value(nodes, *gate);
+                    let (n, c, h, w) = (
+                        av.shape().dim(0),
+                        av.shape().dim(1),
+                        av.shape().dim(2),
+                        av.shape().dim(3),
+                    );
+                    let hw = h * w;
+                    let mut ga = pooled_zeros(pool, av.shape().dims());
+                    let mut ggate = pooled_zeros(pool, &[n, c]);
+                    {
+                        let gs = g.as_slice();
+                        let xs = av.as_slice();
+                        let gates = gv.as_slice();
+                        let gad = ga.as_mut_slice();
+                        let ggd = ggate.as_mut_slice();
+                        for bi in 0..n {
+                            for ch in 0..c {
+                                let gk = gates[bi * c + ch];
+                                let base = (bi * c + ch) * hw;
+                                let mut acc = 0.0f32;
+                                for k in 0..hw {
+                                    gad[base + k] = gs[base + k] * gk;
+                                    acc += gs[base + k] * xs[base + k];
+                                }
+                                ggd[bi * c + ch] = acc;
+                            }
+                        }
+                    }
+                    Delta::Two(*a, ga, *gate, ggate)
+                }
+                Op::Conv2d { x, w, spec } => {
+                    let (xv, wv) = (node_value(nodes, *x), node_value(nodes, *w));
+                    let mut gx = pooled_zeros(pool, xv.shape().dims());
+                    let mut gw = pooled_zeros(pool, wv.shape().dims());
+                    conv2d_backward_into(xv, wv, *spec, g, gx.as_mut_slice(), gw.as_mut_slice());
+                    Delta::Two(*x, gx, *w, gw)
+                }
+                Op::DwConv2d { x, w, spec } => {
+                    let (xv, wv) = (node_value(nodes, *x), node_value(nodes, *w));
+                    let mut gx = pooled_zeros(pool, xv.shape().dims());
+                    let mut gw = pooled_zeros(pool, wv.shape().dims());
+                    dwconv2d_backward_into(xv, wv, *spec, g, gx.as_mut_slice(), gw.as_mut_slice());
+                    Delta::Two(*x, gx, *w, gw)
+                }
+                Op::GlobalAvgPool(a) => {
+                    let av = node_value(nodes, *a);
+                    let (n, c, h, w) = (
+                        av.shape().dim(0),
+                        av.shape().dim(1),
+                        av.shape().dim(2),
+                        av.shape().dim(3),
+                    );
+                    let hw = (h * w) as f32;
+                    let mut ga = pooled_zeros(pool, av.shape().dims());
+                    {
+                        let gs = g.as_slice();
+                        let o = ga.as_mut_slice();
+                        for bi in 0..n {
+                            for ch in 0..c {
+                                let v = gs[bi * c + ch] / hw;
+                                let base = (bi * c + ch) * h * w;
+                                for k in 0..(h * w) {
+                                    o[base + k] = v;
+                                }
+                            }
+                        }
+                    }
+                    Delta::One(*a, ga)
+                }
+                Op::Reshape(a) => {
+                    let dims = node_value(nodes, *a).shape().dims();
+                    Delta::One(*a, pooled_reshaped_copy(pool, g, dims))
+                }
+                Op::Sum(a) => {
+                    let dims = node_value(nodes, *a).shape().dims();
+                    Delta::One(*a, pooled_full(pool, dims, g.item()))
+                }
+                Op::Mean(a) => {
+                    let shape = node_value(nodes, *a).shape();
+                    let n = shape.len() as f32;
+                    Delta::One(*a, pooled_full(pool, shape.dims(), g.item() / n))
+                }
+                Op::Mix { coeffs, inputs } => {
+                    let mut out = Vec::with_capacity(inputs.len() + 1);
+                    let mut gc = pooled_zeros(pool, &[inputs.len()]);
+                    for (k, &v) in inputs.iter().enumerate() {
+                        let xv = node_value(nodes, v);
+                        let dot: f32 = g
+                            .as_slice()
+                            .iter()
+                            .zip(xv.as_slice())
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        gc.as_mut_slice()[k] = dot;
+                        let ck = node_value(nodes, *coeffs).as_slice()[k];
+                        out.push((v, pooled_map(pool, g, |x| x * ck)));
+                    }
+                    out.push((*coeffs, gc));
+                    Delta::Many(out)
+                }
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let (n, classes) = (probs.shape().dim(0), probs.shape().dim(1));
+                    let mut gl = pooled_copy(pool, probs);
+                    let s = g.item() / n as f32;
+                    {
+                        let o = gl.as_mut_slice();
+                        for (i, &t) in targets.iter().enumerate() {
+                            o[i * classes + t] -= 1.0;
+                        }
+                        for v in o.iter_mut() {
+                            *v *= s;
+                        }
+                    }
+                    Delta::One(*logits, gl)
+                }
+                Op::MseLoss { pred, target } => {
+                    let pv = node_value(nodes, *pred);
+                    let n = pv.len() as f32;
+                    let s = 2.0 * g.item() / n;
+                    // `(p - t) * s` keeps the subtract-then-scale rounding
+                    // order of the materialized `sub().scale()` formulation.
+                    let gp = pooled_zip(pool, pv, target, "sub", |p, t| (p - t) * s);
+                    Delta::One(*pred, gp)
+                }
             }
         };
         match delta {
             Delta::None => {}
-            Delta::One(a, ga) => self.accumulate(a, ga),
+            Delta::Ref(a) => self.accumulate_ref(a, g),
+            Delta::RefBoth(a, b) => {
+                self.accumulate_ref(a, g);
+                self.accumulate_ref(b, g);
+            }
+            Delta::RefPlusOwned(a, b, gb) => {
+                self.accumulate_ref(a, g);
+                self.accumulate_owned(b, gb);
+            }
+            Delta::One(a, ga) => self.accumulate_owned(a, ga),
             Delta::Two(a, ga, b, gb) => {
-                self.accumulate(a, ga);
-                self.accumulate(b, gb);
+                self.accumulate_owned(a, ga);
+                self.accumulate_owned(b, gb);
             }
             Delta::Many(items) => {
                 for (v, gv) in items {
-                    self.accumulate(v, gv);
+                    self.accumulate_owned(v, gv);
                 }
             }
         }
@@ -955,5 +1276,67 @@ mod tests {
         for &v in g.grad(x).as_slice() {
             assert!((v - 0.25).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn parameter_ref_matches_parameter() {
+        let w = Tensor::uniform(&[4, 3], -1.0, 1.0, 9);
+        let mut g1 = Graph::new();
+        let p1 = g1.parameter(w.clone());
+        let mut g2 = Graph::new();
+        let p2 = g2.parameter_ref(&w);
+        assert_eq!(g1.value(p1), g2.value(p2));
+        assert!(g2.rg(p2));
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_preserves_bits() {
+        let run = |g: &mut Graph| -> (Vec<f32>, Vec<f32>) {
+            let x = g.input_ref(&Tensor::uniform(&[5, 4], -1.0, 1.0, 11));
+            let w = g.parameter_ref(&Tensor::uniform(&[4, 3], -1.0, 1.0, 12));
+            let h = g.matmul(x, w);
+            let r = g.relu(h);
+            let loss = g.mse_loss(r, Tensor::zeros(&[5, 3]));
+            g.backward(loss);
+            (
+                g.value(r).as_slice().to_vec(),
+                g.grad(w).as_slice().to_vec(),
+            )
+        };
+        let mut fresh = Graph::new();
+        let (v0, g0) = run(&mut fresh);
+
+        let mut reused = Graph::new();
+        let _ = run(&mut reused);
+        let before = reused.pool_stats();
+        reused.reset();
+        assert!(reused.is_empty(), "reset must clear the tape");
+        let (v1, g1) = run(&mut reused);
+        let after = reused.pool_stats();
+
+        assert_eq!(v0, v1, "reused tape must reproduce values bit-for-bit");
+        assert_eq!(g0, g1, "reused tape must reproduce gradients bit-for-bit");
+        assert!(
+            after.hits > before.hits,
+            "second step must be served from the tape pool (hits {} -> {})",
+            before.hits,
+            after.hits
+        );
+    }
+
+    #[test]
+    fn reset_recycles_loss_auxiliaries() {
+        let mut g = Graph::new();
+        let logits = g.parameter(Tensor::uniform(&[3, 4], -1.0, 1.0, 5));
+        let ce = g.softmax_cross_entropy(logits, &[0, 1, 2]);
+        g.backward(ce);
+        g.reset();
+        // probs, node values and gradients all returned to the pool.
+        assert!(g.pool_stats().buffers > 0);
+        // The graph is fully usable after reset.
+        let p = g.parameter(Tensor::from_vec(vec![1.0, 3.0], &[2]));
+        let loss = g.mse_loss(p, Tensor::zeros(&[2]));
+        g.backward(loss);
+        assert_eq!(g.grad(p).as_slice(), &[1.0, 3.0]);
     }
 }

@@ -13,7 +13,7 @@
 //! enforced by unit tests here and bit-exact property tests in
 //! `tests/proptests.rs`.
 
-use crate::kernels::{self, transpose_into, with_pool};
+use crate::kernels::{self, with_pool};
 use crate::tensor::Conv2dSpec;
 use crate::Tensor;
 
@@ -161,6 +161,23 @@ pub fn col2im(
 /// im2col-backed full convolution; byte-identical to
 /// [`crate::conv2d_forward_ref`] for finite inputs.
 pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
+    let (n, _, h, w) = dims4(input);
+    let (c_out, _, _, _) = dims4(weight);
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
+    conv2d_forward_into(input, weight, spec, out.as_mut_slice());
+    out
+}
+
+/// [`conv2d_forward_fast`] writing into a caller-provided buffer of exactly
+/// `n · c_out · h_out · w_out` elements (every element is overwritten). Used
+/// by the autograd tape to target pooled storage.
+pub(crate) fn conv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) {
     let (n, c_in, h, w) = dims4(input);
     let (c_out, c_in_w, kh, kw) = dims4(weight);
     assert_eq!(
@@ -180,36 +197,30 @@ pub fn conv2d_forward_fast(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) ->
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
     let (hw, ck2) = (ho * wo, c_in * kh * kw);
     let rows = n * hw;
-    let mut out = Tensor::zeros(&[n, c_out, ho, wo]);
+    assert_eq!(out.len(), n * c_out * hw, "conv2d output length mismatch");
     // [n·ho·wo, cin·k·k] x [cin·k·k, cout] = [n·ho·wo, cout]. Pool borrows
     // are short-lived — the GEMM takes its own scratch from the same pool.
     let mut cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
     im2col_into(input, spec, &mut cols);
-    let mut w_t = with_pool(|pool| pool.take_zeroed(ck2 * c_out));
-    transpose_into(weight.as_slice(), c_out, ck2, &mut w_t);
-    let mut prod = with_pool(|pool| pool.take_zeroed(rows * c_out));
-    kernels::matmul_into(&cols, &w_t, rows, ck2, c_out, &mut prod);
+    // prod = cols · weightᵀ; the weight is already the [cout, cin·k·k]
+    // matrix, and the NT variant folds its transpose into panel packing.
+    // The GEMM overwrites every element of `prod`: no zeroing needed.
+    let mut prod = with_pool(|pool| pool.take_filled(rows * c_out));
+    kernels::matmul_nt_into(&cols, weight.as_slice(), rows, ck2, c_out, &mut prod);
     // Transpose the channel axis into NCHW order, one batch entry per chunk.
     let p = &prod;
-    kernels::par_chunks(
-        out.as_mut_slice(),
-        c_out * hw,
-        lower_threads(rows * c_out),
-        |b, chunk| {
-            for pos in 0..hw {
-                let row = (b * hw + pos) * c_out;
-                for co in 0..c_out {
-                    chunk[co * hw + pos] = p[row + co];
-                }
+    kernels::par_chunks(out, c_out * hw, lower_threads(rows * c_out), |b, chunk| {
+        for pos in 0..hw {
+            let row = (b * hw + pos) * c_out;
+            for co in 0..c_out {
+                chunk[co * hw + pos] = p[row + co];
             }
-        },
-    );
+        }
+    });
     with_pool(|pool| {
         pool.recycle(cols);
-        pool.recycle(w_t);
         pool.recycle(prod);
     });
-    out
 }
 
 /// im2col-backed backward pass; byte-identical to
@@ -223,6 +234,32 @@ pub fn conv2d_backward_fast(
 ) -> (Tensor, Tensor) {
     let (n, c_in, h, w) = dims4(input);
     let (c_out, _, kh, kw) = dims4(weight);
+    let mut gx = Tensor::zeros(&[n, c_in, h, w]);
+    let mut gw = Tensor::zeros(&[c_out, c_in, kh, kw]);
+    conv2d_backward_into(
+        input,
+        weight,
+        spec,
+        grad_out,
+        gx.as_mut_slice(),
+        gw.as_mut_slice(),
+    );
+    (gx, gw)
+}
+
+/// [`conv2d_backward_fast`] writing into caller-provided **zeroed** buffers
+/// (`gx` accumulates scattered contributions; `gw` is fully overwritten by
+/// the GEMM). Used by the autograd tape to target pooled storage.
+pub(crate) fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    grad_out: &Tensor,
+    gx: &mut [f32],
+    gw: &mut [f32],
+) {
+    let (n, c_in, h, w) = dims4(input);
+    let (c_out, _, kh, kw) = dims4(weight);
     let (gn, gc, ho, wo) = dims4(grad_out);
     assert_eq!(
         (gn, gc),
@@ -231,11 +268,12 @@ pub fn conv2d_backward_fast(
     );
     let (hw, ck2) = (ho * wo, c_in * kh * kw);
     let rows = n * hw;
-    let mut gx = Tensor::zeros(&[n, c_in, h, w]);
-    let mut gw = Tensor::zeros(&[c_out, c_in, kh, kw]);
+    assert_eq!(gx.len(), n * c_in * h * w, "grad_input length mismatch");
+    assert_eq!(gw.len(), c_out * ck2, "grad_weight length mismatch");
     // grad_out in [n·ho·wo, cout] layout, one batch entry per chunk. Pool
     // borrows are short-lived — the GEMMs take their own scratch.
-    let mut g_mat = with_pool(|pool| pool.take_zeroed(rows * c_out));
+    // Fully overwritten by the scatter below: no zeroing needed.
+    let mut g_mat = with_pool(|pool| pool.take_filled(rows * c_out));
     {
         let g = grad_out.as_slice();
         kernels::par_chunks(
@@ -253,39 +291,31 @@ pub fn conv2d_backward_fast(
     }
     let mut cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
     im2col_into(input, spec, &mut cols);
-    // grad_weight = g_mat^T · cols  -> [cout, cin·k·k]
-    let mut g_mat_t = with_pool(|pool| pool.take_zeroed(rows * c_out));
-    transpose_into(&g_mat, rows, c_out, &mut g_mat_t);
-    kernels::matmul_into(&g_mat_t, &cols, c_out, rows, ck2, gw.as_mut_slice());
+    // grad_weight = g_mat^T · cols  -> [cout, cin·k·k]; the TN variant
+    // gathers g_mat's columns tile-by-tile, so no transpose materializes.
+    kernels::matmul_tn_into(&g_mat, &cols, rows, c_out, ck2, gw);
     // grad_cols = g_mat · w_mat    -> [n·ho·wo, cin·k·k]; the weight is
     // already laid out as the [cout, cin·k·k] matrix.
-    let mut g_cols = with_pool(|pool| pool.take_zeroed(rows * ck2));
+    let mut g_cols = with_pool(|pool| pool.take_filled(rows * ck2));
     kernels::matmul_into(&g_mat, weight.as_slice(), rows, c_out, ck2, &mut g_cols);
     let per_in = c_in * h * w;
     let per_rows = hw * ck2;
     let gc_ref = &g_cols;
-    kernels::par_chunks(
-        gx.as_mut_slice(),
-        per_in,
-        lower_threads(rows * ck2),
-        |b, chunk| {
-            col2im_fill(
-                &gc_ref[b * per_rows..(b + 1) * per_rows],
-                chunk,
-                c_in,
-                h,
-                w,
-                spec,
-            );
-        },
-    );
+    kernels::par_chunks(gx, per_in, lower_threads(rows * ck2), |b, chunk| {
+        col2im_fill(
+            &gc_ref[b * per_rows..(b + 1) * per_rows],
+            chunk,
+            c_in,
+            h,
+            w,
+            spec,
+        );
+    });
     with_pool(|pool| {
         pool.recycle(g_mat);
         pool.recycle(cols);
-        pool.recycle(g_mat_t);
         pool.recycle(g_cols);
     });
-    (gx, gw)
 }
 
 fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {

@@ -5,14 +5,16 @@
 //! rule**: every output element is produced by a *single* `f32` accumulator
 //! that consumes its terms in one fixed, ascending order of the reduction
 //! index, and each element is written by exactly one thread. Loop *blocking*
-//! (tiling over output rows/columns, packing the right-hand side) and thread
-//! *partitioning* (contiguous output chunks handed to scoped threads) both
-//! leave that per-element accumulation chain untouched, so the results are
+//! (tiling over output rows/columns, packing the right-hand side), thread
+//! *partitioning* (contiguous output chunks handed to the persistent worker
+//! pool in [`crate::workers`]) and column-wise SIMD *widening* (the runtime-
+//! dispatched AVX2 micro-kernels in [`crate::simd`]) all leave that
+//! per-element accumulation chain untouched, so the results are
 //! byte-identical to the naive reference loops and independent of the thread
-//! count. What is deliberately **not** done: multi-accumulator unrolling of
-//! the reduction dimension, pairwise/tree reductions, or FMA contraction —
-//! each of those changes rounding and would break the repo-wide
-//! byte-identical checkpoint invariant.
+//! count and the instruction set. What is deliberately **not** done:
+//! multi-accumulator unrolling of the reduction dimension, pairwise/tree
+//! reductions, or FMA contraction — each of those changes rounding and would
+//! break the repo-wide byte-identical checkpoint invariant.
 //!
 //! The thread count is a process-wide knob ([`set_num_threads`], default 1 =
 //! serial). It is intentionally *not* part of
@@ -24,6 +26,8 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::Tensor;
+
+pub use crate::simd::{set_simd_enabled, simd_enabled, SIMD_ENV};
 
 /// Process-wide kernel thread count (1 = serial). Never affects results.
 static KERNEL_THREADS: AtomicUsize = AtomicUsize::new(1);
@@ -55,23 +59,75 @@ pub fn init_threads_from_env() -> usize {
     num_threads()
 }
 
-/// A thread-local free-list of `f32` scratch buffers.
+/// A free-list of `f32` scratch buffers with a retained-bytes cap.
 ///
 /// The training loop calls the conv/GEMM kernels thousands of times with a
 /// handful of distinct workspace sizes; recycling the backing allocations
-/// removes that churn. Access it through [`with_pool`].
-#[derive(Default)]
+/// removes that churn. Each kernel thread has one behind [`with_pool`], and
+/// every [`crate::Graph`] owns one for its tape storage.
+///
+/// Retention is bounded in **bytes**, not buffer count: recycling past the
+/// cap evicts the smallest buffers first (the cheapest to re-allocate),
+/// and a single buffer larger than the cap is dropped outright. The cap
+/// defaults to 64 MiB and can be tuned with `LIGHTNAS_POOL_CAP_BYTES`
+/// ([`POOL_CAP_ENV`]).
 pub struct TensorPool {
     free: Vec<Vec<f32>>,
+    cap_bytes: usize,
+    retained_bytes: usize,
+    hits: u64,
+    misses: u64,
 }
 
-/// Buffers kept per thread; beyond this the smallest is dropped.
-const POOL_SLOTS: usize = 8;
+/// Environment variable overriding the default retained-bytes cap of every
+/// pool created after the change (existing pools keep their cap).
+pub const POOL_CAP_ENV: &str = "LIGHTNAS_POOL_CAP_BYTES";
+
+/// Default retained-bytes cap: 64 MiB, comfortably above the steady-state
+/// footprint of a supernet training step, far below memory pressure.
+const DEFAULT_POOL_CAP_BYTES: usize = 64 << 20;
+
+/// Counters and occupancy of a [`TensorPool`] (see [`TensorPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take*` calls served by a buffer that already had enough capacity.
+    pub hits: u64,
+    /// `take*` calls that had to allocate or grow.
+    pub misses: u64,
+    /// Bytes currently retained across all free buffers.
+    pub retained_bytes: usize,
+    /// Number of free buffers currently retained.
+    pub buffers: usize,
+    /// The retained-bytes cap this pool enforces.
+    pub cap_bytes: usize,
+}
+
+impl Default for TensorPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl TensorPool {
-    /// An empty pool.
+    /// An empty pool with the cap from `LIGHTNAS_POOL_CAP_BYTES` (default
+    /// 64 MiB).
     pub fn new() -> Self {
-        Self::default()
+        let cap = std::env::var(POOL_CAP_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_POOL_CAP_BYTES);
+        Self::with_cap(cap)
+    }
+
+    /// An empty pool with an explicit retained-bytes cap.
+    pub fn with_cap(cap_bytes: usize) -> Self {
+        Self {
+            free: Vec::new(),
+            cap_bytes,
+            retained_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// An empty buffer with at least `capacity` spare room (contents are
@@ -91,27 +147,58 @@ impl TensorPool {
         buf
     }
 
-    /// Returns a buffer to the pool for reuse.
+    /// A buffer of exactly `len` `f32`s with **unspecified** (but
+    /// initialized) contents — for consumers that overwrite every element,
+    /// such as transposes and the packed GEMM output. Skips the memset
+    /// [`Self::take_zeroed`] pays: a recycled buffer is truncated or
+    /// zero-extended to `len`, so in the steady state (same shapes every
+    /// step) no element is written twice.
+    pub fn take_filled(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_best(len);
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse, evicting the smallest
+    /// buffers while the retained bytes exceed the cap.
     pub fn recycle(&mut self, buf: Vec<f32>) {
-        if buf.capacity() == 0 {
+        let bytes = buf.capacity() * std::mem::size_of::<f32>();
+        if bytes == 0 || bytes > self.cap_bytes {
             return;
         }
+        self.retained_bytes += bytes;
         self.free.push(buf);
-        if self.free.len() > POOL_SLOTS {
+        while self.retained_bytes > self.cap_bytes {
             let smallest = self
                 .free
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, b)| b.capacity())
                 .map(|(i, _)| i)
-                .expect("pool is non-empty");
-            self.free.swap_remove(smallest);
+                .expect("retained bytes > 0 implies a buffer");
+            let evicted = self.free.swap_remove(smallest);
+            self.retained_bytes -= evicted.capacity() * std::mem::size_of::<f32>();
         }
     }
 
     /// Number of buffers currently pooled.
     pub fn pooled(&self) -> usize {
         self.free.len()
+    }
+
+    /// Hit/miss counters and current occupancy.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+            retained_bytes: self.retained_bytes,
+            buffers: self.free.len(),
+            cap_bytes: self.cap_bytes,
+        }
     }
 
     fn take_best(&mut self, want: usize) -> Vec<f32> {
@@ -123,10 +210,20 @@ impl TensorPool {
                 best = Some((i, b.capacity()));
             }
         }
-        match best {
-            Some((i, _)) => self.free.swap_remove(i),
-            None => self.free.pop().unwrap_or_default(),
-        }
+        let taken = match best {
+            Some((i, _)) => {
+                self.hits += 1;
+                self.free.swap_remove(i)
+            }
+            None => {
+                self.misses += 1;
+                // Growing an existing (too-small) buffer still saves a
+                // fresh zero-page fault for part of the request.
+                self.free.pop().unwrap_or_default()
+            }
+        };
+        self.retained_bytes -= taken.capacity() * std::mem::size_of::<f32>();
+        taken
     }
 }
 
@@ -141,11 +238,14 @@ pub fn with_pool<R>(f: impl FnOnce(&mut TensorPool) -> R) -> R {
 
 /// Runs `f(chunk_index, chunk)` over disjoint contiguous `chunk_len`-element
 /// chunks of `out` (the last chunk may be shorter), using up to `threads`
-/// scoped threads.
+/// participants from the persistent worker pool ([`crate::workers`]).
 ///
 /// Each chunk's contents must be a function of its index alone; the helper
 /// only decides *which thread* computes a chunk, never *how*, so the output
-/// is byte-identical for every thread count.
+/// is byte-identical for every thread count. The chunk→thread mapping is the
+/// same static partition the scoped-thread implementation used (contiguous
+/// groups of `ceil(n_chunks / t)` chunks), but the threads are parked
+/// between calls instead of being spawned per call.
 pub fn par_chunks(
     out: &mut [f32],
     chunk_len: usize,
@@ -155,29 +255,32 @@ pub fn par_chunks(
     let chunk_len = chunk_len.max(1);
     let n_chunks = out.len().div_ceil(chunk_len);
     let t = threads.clamp(1, n_chunks.max(1));
-    if t <= 1 {
+    let per_group = n_chunks.div_ceil(t.max(1));
+    let groups = if per_group == 0 {
+        1
+    } else {
+        n_chunks.div_ceil(per_group)
+    };
+    if t <= 1 || groups <= 1 {
         for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
             f(i, chunk);
         }
         return;
     }
-    let per_group = n_chunks.div_ceil(t);
-    std::thread::scope(|s| {
-        for (gi, group) in out.chunks_mut(per_group * chunk_len).enumerate() {
-            let f = &f;
-            s.spawn(move || {
-                for (ci, chunk) in group.chunks_mut(chunk_len).enumerate() {
-                    f(gi * per_group + ci, chunk);
-                }
-            });
-        }
-    });
+    crate::workers::run_chunked(out, chunk_len, per_group, groups, &f);
 }
 
 /// Output rows per micro-tile.
 const MR: usize = 4;
-/// Columns per packed B panel (one vector register of `f32`s).
+/// Columns per packed B panel (one vector register of `f32`s) on the
+/// portable path.
 const JR: usize = 8;
+/// Panel width on the AVX2 path: two `f32x8` registers per row. The wider
+/// tile exists purely for instruction-level parallelism — eight independent
+/// accumulator chains hide the vector-add latency a single chain per row
+/// cannot. Panel width never touches the per-element accumulation order, so
+/// both widths produce identical bits.
+const JR_SIMD: usize = 16;
 /// Below this many multiply-adds the packed path loses to the axpy loop.
 const PACK_MIN_FLOPS: usize = 1 << 12;
 /// Below this many multiply-adds threading costs more than it saves.
@@ -206,8 +309,9 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
         return;
     }
     let flops = m * k * n;
+    let use_simd = crate::simd::simd_enabled();
     if m < MR || flops < PACK_MIN_FLOPS {
-        gemm_axpy(a, b, k, n, 0, out);
+        gemm_axpy(a, b, k, n, 0, use_simd, out);
         return;
     }
     let threads = if flops < PAR_MIN_FLOPS {
@@ -217,31 +321,197 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
     };
     // Short-lived pool borrows: the pool must never stay borrowed across a
     // kernel call, which may itself take scratch buffers.
-    let mut packed = with_pool(|pool| pool.take(k * n));
-    pack_panels(b, k, n, &mut packed);
+    let width = if use_simd { JR_SIMD } else { JR };
+    let mut packed = with_pool(|pool| pool.take(k * n.next_multiple_of(width)));
+    pack_panels(b, k, n, width, use_simd, &mut packed);
     let rows_per = m.div_ceil(threads.clamp(1, m));
     par_chunks(out, rows_per * n, threads, |gi, chunk| {
-        gemm_packed(a, &packed, k, n, gi * rows_per, chunk);
+        gemm_packed(a, &packed, k, n, gi * rows_per, width, use_simd, chunk);
     });
     with_pool(|pool| pool.recycle(packed));
 }
 
-/// Packs `b` (`[k, n]`) into column panels of width ≤ [`JR`]; each panel is
-/// row-major `[k, width]` so the micro-kernel reads one contiguous vector of
-/// B per reduction step.
-fn pack_panels(b: &[f32], k: usize, n: usize, packed: &mut Vec<f32>) {
+/// `out = a · bᵀ` for row-major `a` (`[m, d]`) and `b` (`[n, d]`) — the
+/// B operand is read transposed **during packing**, so the `Matmul`
+/// backward needs no materialized transpose buffer. Per output element the
+/// accumulation is `a[i][p] · b[j][p]` in ascending `p` with one `f32`
+/// accumulator: exactly the chain `matmul_into(a, transpose(b))` runs, so
+/// the bits are identical to it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `m`, `d`, `n`.
+pub fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, d: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * d, "matmul_nt lhs length mismatch");
+    assert_eq!(b.len(), n * d, "matmul_nt rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_nt output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let flops = m * d * n;
+    if m < MR || flops < PACK_MIN_FLOPS {
+        // Tiny product: materialize the transpose (cheap at this size) and
+        // run the standard kernel, keeping the historical bit sequence.
+        let mut bt = with_pool(|pool| pool.take_filled(d * n));
+        transpose_into(b, n, d, &mut bt);
+        matmul_into(a, &bt, m, d, n, out);
+        with_pool(|pool| pool.recycle(bt));
+        return;
+    }
+    let use_simd = crate::simd::simd_enabled();
+    let threads = if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        num_threads()
+    };
+    let width = if use_simd { JR_SIMD } else { JR };
+    let mut packed = with_pool(|pool| pool.take(d * n.next_multiple_of(width)));
+    pack_panels_t(b, d, n, width, use_simd, &mut packed);
+    let rows_per = m.div_ceil(threads.clamp(1, m));
+    par_chunks(out, rows_per * n, threads, |gi, chunk| {
+        gemm_packed(a, &packed, d, n, gi * rows_per, width, use_simd, chunk);
+    });
+    with_pool(|pool| pool.recycle(packed));
+}
+
+/// `out = aᵀ · b` for `a` stored row-major `[d, m]` and `b` (`[d, n]`) —
+/// the A operand is gathered transposed one row-tile at a time (a 4×`d`
+/// scratch strip), so the `Matmul` backward needs no materialized
+/// transpose. Per output element the accumulation is `a[p][i] · b[p][j]`
+/// in ascending `p` with one `f32` accumulator: exactly the chain
+/// `matmul_into(transpose(a), b)` runs, so the bits are identical to it.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `d`, `m`, `n`.
+pub fn matmul_tn_into(a: &[f32], b: &[f32], d: usize, m: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), d * m, "matmul_tn lhs length mismatch");
+    assert_eq!(b.len(), d * n, "matmul_tn rhs length mismatch");
+    assert_eq!(out.len(), m * n, "matmul_tn output length mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let flops = m * d * n;
+    if m < MR || flops < PACK_MIN_FLOPS {
+        let mut at = with_pool(|pool| pool.take_filled(d * m));
+        transpose_into(a, d, m, &mut at);
+        matmul_into(&at, b, m, d, n, out);
+        with_pool(|pool| pool.recycle(at));
+        return;
+    }
+    let use_simd = crate::simd::simd_enabled();
+    let threads = if flops < PAR_MIN_FLOPS {
+        1
+    } else {
+        num_threads()
+    };
+    let width = if use_simd { JR_SIMD } else { JR };
+    let mut packed = with_pool(|pool| pool.take(d * n.next_multiple_of(width)));
+    pack_panels(b, d, n, width, use_simd, &mut packed);
+    let rows_per = m.div_ceil(threads.clamp(1, m));
+    let (packed_ref, a_ref) = (&packed, a);
+    par_chunks(out, rows_per * n, threads, |gi, chunk| {
+        // Gather the MR columns of `a` that feed this row-tile into a
+        // contiguous strip (rows of aᵀ), then run the standard packed
+        // kernel on the strip. One pass over `a` total — the same traffic
+        // as a full transpose, without the intermediate buffer.
+        let first = gi * rows_per;
+        let rows = chunk.len() / n;
+        let mut strip = with_pool(|pool| pool.take_filled(MR * d));
+        let mut r = 0;
+        while r < rows {
+            let h = MR.min(rows - r);
+            for p in 0..d {
+                let base = p * m + first + r;
+                for ir in 0..h {
+                    strip[ir * d + p] = a_ref[base + ir];
+                }
+            }
+            gemm_packed(
+                &strip[..h * d],
+                packed_ref,
+                d,
+                n,
+                0,
+                width,
+                use_simd,
+                &mut chunk[r * n..(r + h) * n],
+            );
+            r += h;
+        }
+        with_pool(|pool| pool.recycle(strip));
+    });
+    with_pool(|pool| pool.recycle(packed));
+}
+
+/// Packs `b` (`[k, n]`) into column panels of width ≤ `width`; each panel is
+/// row-major `[k, panel width]` so the micro-kernel reads one contiguous
+/// vector of B per reduction step.
+///
+/// With `pad` set (the SIMD path) a trailing narrow panel is zero-padded to
+/// the full `width`, so the vector micro-tile can run on every panel: the
+/// padded lanes multiply against zeros into a scratch tile and are never
+/// stored, leaving the live lanes' accumulation chains untouched.
+fn pack_panels(b: &[f32], k: usize, n: usize, width: usize, pad: bool, packed: &mut Vec<f32>) {
     let mut j0 = 0;
     while j0 < n {
-        let w = JR.min(n - j0);
+        let w = width.min(n - j0);
         for p in 0..k {
             packed.extend_from_slice(&b[p * n + j0..p * n + j0 + w]);
+            if pad && w < width {
+                packed.resize(packed.len() + (width - w), 0.0);
+            }
+        }
+        j0 += w;
+    }
+}
+
+/// Like [`pack_panels`], but reads the source transposed: `src` is stored
+/// row-major `[n, k]` and is packed as if it were the `[k, n]` B operand.
+/// Fuses the transpose into the packing pass so `a · bᵀ` products never
+/// materialize `bᵀ`.
+fn pack_panels_t(src: &[f32], k: usize, n: usize, width: usize, pad: bool, packed: &mut Vec<f32>) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = width.min(n - j0);
+        for p in 0..k {
+            for jj in 0..w {
+                packed.push(src[(j0 + jj) * k + p]);
+            }
+            if pad && w < width {
+                packed.resize(packed.len() + (width - w), 0.0);
+            }
         }
         j0 += w;
     }
 }
 
 /// The packed-panel GEMM over output rows `first_row ..` covered by `out`.
-fn gemm_packed(a: &[f32], packed: &[f32], k: usize, n: usize, first_row: usize, out: &mut [f32]) {
+///
+/// Full-width tiles dispatch to the AVX2 micro-kernels when `use_simd` is
+/// set ([`crate::simd`]: 4×16 panels, 4×8 for a trailing half panel); edge
+/// tiles always take the portable path. Every variant keeps one sequential
+/// `k`-accumulator per output element, so the choice never changes the
+/// stored bits.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed(
+    a: &[f32],
+    packed: &[f32],
+    k: usize,
+    n: usize,
+    first_row: usize,
+    width: usize,
+    use_simd: bool,
+    out: &mut [f32],
+) {
     let rows = out.len() / n;
     let mut r = 0;
     while r < rows {
@@ -250,14 +520,40 @@ fn gemm_packed(a: &[f32], packed: &[f32], k: usize, n: usize, first_row: usize, 
         let mut j0 = 0;
         let mut panel_off = 0;
         while j0 < n {
-            let w = JR.min(n - j0);
-            let panel = &packed[panel_off..panel_off + k * w];
-            if h == MR && w == JR {
+            let w = width.min(n - j0);
+            // SIMD panels are zero-padded to full width ([`pack_panels`]),
+            // so the panel stride is always `width` there.
+            let pw = if use_simd { width } else { w };
+            let panel = &packed[panel_off..panel_off + k * pw];
+            let done = if h < MR {
+                false
+            } else if use_simd && w == JR_SIMD {
+                crate::simd::tile_4x16(true, a, a_base, k, panel, out, r, n, j0)
+            } else if use_simd {
+                // Narrow trailing panel: run the full-width tile into a
+                // scratch tile (the padded lanes hit the packed zeros) and
+                // store only the `w` live columns. Each live lane's
+                // accumulator chain is exactly the full-width tile's.
+                let mut scratch = [0.0f32; MR * JR_SIMD];
+                let ok =
+                    crate::simd::tile_4x16(true, a, a_base, k, panel, &mut scratch, 0, JR_SIMD, 0);
+                if ok {
+                    for ir in 0..MR {
+                        out[(r + ir) * n + j0..(r + ir) * n + j0 + w]
+                            .copy_from_slice(&scratch[ir * JR_SIMD..ir * JR_SIMD + w]);
+                    }
+                }
+                ok
+            } else if w == JR {
                 micro_tile_4x8(a, a_base, k, panel, out, r, n, j0);
+                true
             } else {
-                micro_tile_edge(a, a_base, k, panel, h, w, out, r, n, j0);
+                false
+            };
+            if !done {
+                micro_tile_edge(a, a_base, k, panel, pw, h, w, out, r, n, j0);
             }
-            panel_off += k * w;
+            panel_off += k * pw;
             j0 += w;
         }
         r += h;
@@ -294,13 +590,17 @@ fn micro_tile_4x8(
     }
 }
 
-/// Edge tiles (short rows at the bottom, narrow panel at the right).
+/// Edge tiles (short rows at the bottom, narrow panel at the right; panel
+/// width up to [`JR_SIMD`] − 1 on the SIMD path, [`JR`] on the portable
+/// one). `stride` is the packed panel row stride, which exceeds `w` when
+/// the panel is zero-padded.
 #[allow(clippy::too_many_arguments)]
 fn micro_tile_edge(
     a: &[f32],
     a_base: usize,
     k: usize,
     panel: &[f32],
+    stride: usize,
     h: usize,
     w: usize,
     out: &mut [f32],
@@ -308,9 +608,9 @@ fn micro_tile_edge(
     n: usize,
     j0: usize,
 ) {
-    let mut acc = [[0.0f32; JR]; MR];
+    let mut acc = [[0.0f32; JR_SIMD]; MR];
     for p in 0..k {
-        let brow = &panel[p * w..(p + 1) * w];
+        let brow = &panel[p * stride..p * stride + w];
         for (ir, accr) in acc.iter_mut().enumerate().take(h) {
             let av = a[a_base + ir * k + p];
             for (slot, &bv) in accr.iter_mut().zip(brow) {
@@ -325,8 +625,18 @@ fn micro_tile_edge(
 
 /// The unpacked row-streaming (axpy) GEMM used for skinny / tiny products,
 /// e.g. the `[1, 154]` predictor queries. Same accumulation order as the
-/// packed kernel: ascending `p` per output element.
-fn gemm_axpy(a: &[f32], b: &[f32], k: usize, n: usize, first_row: usize, out: &mut [f32]) {
+/// packed kernel: ascending `p` per output element. The row update
+/// vectorizes across columns when `use_simd` is set — identical bits, see
+/// [`crate::simd`].
+fn gemm_axpy(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    first_row: usize,
+    use_simd: bool,
+    out: &mut [f32],
+) {
     let rows = out.len() / n;
     for r in 0..rows {
         let arow = &a[(first_row + r) * k..(first_row + r + 1) * k];
@@ -340,10 +650,68 @@ fn gemm_axpy(a: &[f32], b: &[f32], k: usize, n: usize, first_row: usize, out: &m
                 continue;
             }
             let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+            if !crate::simd::axpy_row(use_simd, orow, brow, av) {
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
             }
         }
+    }
+}
+
+/// Hyper-parameters for one [`adam_update`] call. `s1`/`s2` are the
+/// reciprocal bias corrections `1 / (1 − βᵢᵗ)` for the current step.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamUpdate {
+    /// Weight decay (L2 added to the raw gradient).
+    pub weight_decay: f32,
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// Denominator stabilizer ε.
+    pub eps: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// `1 / (1 − β₁ᵗ)`.
+    pub s1: f32,
+    /// `1 / (1 − β₂ᵗ)`.
+    pub s2: f32,
+}
+
+/// In-place Adam update over parameter/gradient/moment slices.
+///
+/// Every element runs the exact rounding sequence of the scalar loop —
+/// `gd = g + w·wd`, `m = m·β₁ + gd·(1−β₁)`, `v = v·β₂ + gd²·(1−β₂)`,
+/// `w += (m·s1) / (√(v·s2) + ε) · (−lr)` — and every operation in the AVX2
+/// path (`mul`, `add`, `sqrt`, `div`) is IEEE-754 correctly rounded per
+/// lane, so the vector and scalar paths produce identical bits. The
+/// optimizer is pure elementwise traffic; on wide layers the memory-bound
+/// scalar loop is worth vectorizing anyway because of the serial `sqrt` and
+/// `div` in every iteration.
+///
+/// # Panics
+///
+/// Panics if the four slices differ in length.
+pub fn adam_update(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], h: &AdamUpdate) {
+    assert_eq!(w.len(), g.len(), "adam slices must match");
+    assert_eq!(w.len(), m.len(), "adam slices must match");
+    assert_eq!(w.len(), v.len(), "adam slices must match");
+    let done = crate::simd::adam_rows(crate::simd::simd_enabled(), w, g, m, v, h);
+    let start = if done { w.len() - w.len() % 8 } else { 0 };
+    let (c1, c2) = (1.0 - h.beta1, 1.0 - h.beta2);
+    for i in start..w.len() {
+        let gd = if h.weight_decay != 0.0 {
+            g[i] + w[i] * h.weight_decay
+        } else {
+            g[i]
+        };
+        m[i] = m[i] * h.beta1 + gd * c1;
+        v[i] = v[i] * h.beta2 + (gd * gd) * c2;
+        let m_hat = m[i] * h.s1;
+        let v_hat = v[i] * h.s2;
+        let denom = v_hat.sqrt() + h.eps;
+        w[i] += m_hat / denom * -h.lr;
     }
 }
 
@@ -374,12 +742,24 @@ pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// Transposes row-major `src` (`[m, n]`) into `dst` (`[n, m]`).
+///
+/// Blocked over 32×32 tiles so both the reads and the strided writes stay
+/// within a few cache lines per tile — the backward pass of every `matmul`
+/// transposes both operands, so this is warm-loop code. A pure permutation:
+/// no arithmetic, so blocking cannot change bits.
 pub(crate) fn transpose_into(src: &[f32], m: usize, n: usize, dst: &mut [f32]) {
     assert_eq!(src.len(), m * n);
     assert_eq!(dst.len(), m * n);
-    for i in 0..m {
-        for j in 0..n {
-            dst[j * m + i] = src[i * n + j];
+    const TB: usize = 32;
+    for i0 in (0..m).step_by(TB) {
+        let i1 = (i0 + TB).min(m);
+        for j0 in (0..n).step_by(TB) {
+            let j1 = (j0 + TB).min(n);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
         }
     }
 }
@@ -447,12 +827,36 @@ mod tests {
     }
 
     #[test]
-    fn pool_is_bounded() {
-        let mut pool = TensorPool::new();
-        for i in 0..(POOL_SLOTS + 4) {
-            pool.recycle(vec![0.0; 16 + i]);
+    fn pool_cap_is_respected_under_churn() {
+        // Cap of 1024 bytes = 256 f32 of retained capacity.
+        let mut pool = TensorPool::with_cap(1024);
+        for i in 0..50 {
+            let buf = pool.take_zeroed(32 + (i % 7) * 16);
+            pool.recycle(buf);
+            assert!(
+                pool.stats().retained_bytes <= 1024,
+                "retained {} bytes over the 1024-byte cap",
+                pool.stats().retained_bytes
+            );
         }
-        assert!(pool.pooled() <= POOL_SLOTS);
+        // A buffer larger than the whole cap is dropped, not retained.
+        pool.recycle(vec![0.0; 4096]);
+        assert!(pool.stats().retained_bytes <= 1024);
+    }
+
+    #[test]
+    fn pool_stats_count_hits_and_misses() {
+        let mut pool = TensorPool::with_cap(1 << 20);
+        let first = pool.take_zeroed(128); // nothing pooled yet: miss
+        pool.recycle(first);
+        let second = pool.take_zeroed(64); // fits in the recycled buffer: hit
+        let stats = pool.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.buffers, 0, "the only buffer is checked out");
+        let cap_bytes = second.capacity() * std::mem::size_of::<f32>();
+        pool.recycle(second);
+        assert_eq!(pool.stats().buffers, 1);
+        assert_eq!(pool.stats().retained_bytes, cap_bytes);
     }
 
     #[test]
@@ -474,6 +878,85 @@ mod tests {
         set_num_threads(0);
         assert_eq!(num_threads(), 1);
         set_num_threads(before);
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose_then_matmul_bits() {
+        // Shapes chosen to hit the small fallback, full SIMD panels, and
+        // zero-padded edge panels; the NT variant must reproduce the exact
+        // bits of materializing bᵀ first.
+        for (m, d, n, seed) in [
+            (3usize, 5usize, 4usize, 1u64), // small fallback
+            (64, 154, 128, 2),              // full panels
+            (37, 61, 29, 3),                // odd everything: edge tiles + edge panel
+            (512, 128, 154, 4),             // MLP backward shape
+        ] {
+            let a = Tensor::uniform(&[m, d], -1.0, 1.0, seed);
+            let b = Tensor::uniform(&[n, d], -1.0, 1.0, seed + 50);
+            let mut bt = vec![0.0f32; d * n];
+            transpose_into(b.as_slice(), n, d, &mut bt);
+            let mut want = vec![0.0f32; m * n];
+            matmul_into(a.as_slice(), &bt, m, d, n, &mut want);
+            let mut got = vec![1.0f32; m * n];
+            matmul_nt_into(a.as_slice(), b.as_slice(), m, d, n, &mut got);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "nt bit mismatch at {m}x{d}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_then_matmul_bits() {
+        for (d, m, n, seed) in [
+            (5usize, 3usize, 4usize, 11u64), // small fallback
+            (154, 64, 128, 12),              // full panels
+            (61, 37, 29, 13),                // odd everything
+            (512, 154, 128, 14),             // MLP backward shape (gb = aᵀ·g)
+        ] {
+            let a = Tensor::uniform(&[d, m], -1.0, 1.0, seed);
+            let b = Tensor::uniform(&[d, n], -1.0, 1.0, seed + 50);
+            let mut at = vec![0.0f32; m * d];
+            transpose_into(a.as_slice(), d, m, &mut at);
+            let mut want = vec![0.0f32; m * n];
+            matmul_into(&at, b.as_slice(), m, d, n, &mut want);
+            let mut got = vec![1.0f32; m * n];
+            matmul_tn_into(a.as_slice(), b.as_slice(), d, m, n, &mut got);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "tn bit mismatch at {d}x{m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_nt_tn_thread_count_invariance() {
+        // Shapes above PAR_MIN_FLOPS so the 4-thread run actually splits.
+        let (d, m, n) = (300usize, 110usize, 90usize);
+        assert!(m * d * n >= PAR_MIN_FLOPS);
+        let a_t = Tensor::uniform(&[d, m], -1.0, 1.0, 21); // aᵀ storage for TN
+        let a = Tensor::uniform(&[m, d], -1.0, 1.0, 23);
+        let b_t = Tensor::uniform(&[n, d], -1.0, 1.0, 22); // bᵀ storage for NT
+        let b = Tensor::uniform(&[d, n], -1.0, 1.0, 24);
+        let before = num_threads();
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            set_num_threads(threads);
+            let mut tn = vec![0.0f32; m * n];
+            matmul_tn_into(a_t.as_slice(), b.as_slice(), d, m, n, &mut tn);
+            let mut nt = vec![0.0f32; m * n];
+            matmul_nt_into(a.as_slice(), b_t.as_slice(), m, d, n, &mut nt);
+            runs.push((tn, nt));
+        }
+        set_num_threads(before);
+        let (tn1, nt1) = &runs[0];
+        let (tn4, nt4) = &runs[1];
+        assert!(tn1.iter().zip(tn4).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert!(nt1.iter().zip(nt4).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //!
 //! The compute core is built for speed *without* giving up bit-for-bit
 //! reproducibility: matrix products go through the cache-blocked GEMM in
-//! [`kernels`], convolutions lower to im2col + GEMM, and large operations
-//! spread over scoped threads ([`kernels::set_num_threads`], default 1) —
-//! all under the deterministic-reduction rule (one sequential `f32`
+//! [`kernels`] (with runtime-dispatched AVX2 micro-tiles), convolutions
+//! lower to im2col + GEMM, and large operations spread over a persistent
+//! worker pool ([`kernels::set_num_threads`], default 1) — all under the
+//! deterministic-reduction rule (one sequential `f32`
 //! accumulator per output element, fixed term order), so results are
 //! byte-identical to the retained naive reference kernels (`*_ref`) and
 //! independent of the thread count. Gradient correctness is established by
@@ -40,14 +41,18 @@
 mod autograd;
 mod im2col;
 mod shape;
+mod simd;
 mod tensor;
+mod workers;
 
 pub mod init;
 pub mod kernels;
 
 pub use autograd::{Graph, Var};
 pub use im2col::{col2im, conv2d_backward_fast, conv2d_forward_fast, im2col};
-pub use kernels::{matmul_ref, set_num_threads, TensorPool};
+pub use kernels::{
+    matmul_ref, set_num_threads, set_simd_enabled, simd_enabled, PoolStats, TensorPool,
+};
 pub use shape::Shape;
 pub use tensor::{
     conv2d_backward, conv2d_backward_ref, conv2d_forward, conv2d_forward_ref, dwconv2d_backward,

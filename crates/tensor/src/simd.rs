@@ -1,0 +1,327 @@
+//! Runtime-dispatched SIMD micro-kernels (AVX2 on x86-64).
+//!
+//! Vectorization here widens across **output columns** only. Each output
+//! element still owns a single accumulator that consumes its `a[i][p]·b[p][j]`
+//! terms in ascending `p` — lane `j` of one
+//! `_mm256_add_ps(acc, _mm256_mul_ps(a, b))` performs exactly the scalar
+//! kernel's `acc + a*b`: the multiply rounds, then the add rounds, per IEEE
+//! 754 single precision. FMA is deliberately **never** emitted (the
+//! `target_feature` here enables only `avx2`, and the intrinsics used are
+//! plain mul/add): contracting the two roundings into one would change bits
+//! and break the repo-wide determinism contract.
+//!
+//! Because the compile baseline is SSE2 (no `-C target-cpu` anywhere in the
+//! workspace), AVX2 availability is detected at runtime and cached in an
+//! atomic; the portable scalar kernels in [`crate::kernels`] remain the
+//! fallback and the oracle. `LIGHTNAS_KERNEL_SIMD=off` (or `0` / `portable`)
+//! forces the fallback, and [`set_simd_enabled`] flips the path in-process so
+//! the byte-identity suite can diff the two implementations directly.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable: set to `0`, `off` or `portable` to force the
+/// portable scalar kernels even when AVX2 is available.
+pub const SIMD_ENV: &str = "LIGHTNAS_KERNEL_SIMD";
+
+const UNKNOWN: u8 = 0;
+const ENABLED: u8 = 1;
+const DISABLED: u8 = 2;
+
+/// Cached dispatch decision; `UNKNOWN` until the first kernel call.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(UNKNOWN);
+
+fn detect() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn env_forces_portable() -> bool {
+    std::env::var(SIMD_ENV).is_ok_and(|v| {
+        matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "off" | "portable"
+        )
+    })
+}
+
+/// Whether the SIMD micro-kernels are active. The first call resolves the
+/// env knob and CPU feature detection; later calls are one relaxed load.
+pub fn simd_enabled() -> bool {
+    match SIMD_STATE.load(Ordering::Relaxed) {
+        ENABLED => true,
+        DISABLED => false,
+        _ => {
+            let on = !env_forces_portable() && detect();
+            SIMD_STATE.store(if on { ENABLED } else { DISABLED }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the SIMD kernels on or off. `true` is a no-op on CPUs without
+/// AVX2. Either setting computes identical bits — the knob exists so tests
+/// and benchmarks can compare the two paths, not to change results.
+pub fn set_simd_enabled(on: bool) {
+    let state = if on && detect() { ENABLED } else { DISABLED };
+    SIMD_STATE.store(state, Ordering::Relaxed);
+}
+
+/// AVX2 4×16 GEMM micro-tile over a packed B panel (two `f32x8` registers
+/// per output row — eight independent accumulator chains, enough to hide
+/// the vector-add latency a 4×8 tile cannot). Returns `false` when the SIMD
+/// path is off, in which case the caller must run the portable kernel.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn tile_4x16(
+    use_simd: bool,
+    a: &[f32],
+    a_base: usize,
+    k: usize,
+    panel: &[f32],
+    out: &mut [f32],
+    r: usize,
+    n: usize,
+    j0: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        debug_assert!(panel.len() >= k * 16, "panel must hold k rows of 16");
+        debug_assert!(a.len() >= a_base + 4 * k, "lhs rows out of bounds");
+        debug_assert!(out.len() >= (r + 3) * n + j0 + 16, "output tile oob");
+        // SAFETY: AVX2 availability is established by `use_simd` (set only
+        // after `detect()`), and the bounds above cover every access.
+        unsafe { avx2::micro_tile_4x16(a, a_base, k, panel, out, r, n, j0) };
+        return true;
+    }
+    let _ = (use_simd, a, a_base, k, panel, out, r, n, j0);
+    false
+}
+
+/// AVX2 Adam update over the 8-lane-aligned prefix of the slices. Returns
+/// `false` when the SIMD path is off (caller runs the scalar loop over the
+/// whole range); on `true` the caller handles the `len % 8` tail.
+pub(crate) fn adam_rows(
+    use_simd: bool,
+    w: &mut [f32],
+    g: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    h: &crate::kernels::AdamUpdate,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        // SAFETY: AVX2 availability is established by `use_simd`; the
+        // caller asserts equal slice lengths.
+        unsafe { avx2::adam_rows(w, g, m, v, h) };
+        return true;
+    }
+    let _ = (use_simd, w, g, m, v, h);
+    false
+}
+
+/// AVX2 `o[j] += av * b[j]` row update (the axpy GEMM inner loop). Returns
+/// `false` when the SIMD path is off; the caller runs the scalar loop.
+#[inline]
+pub(crate) fn axpy_row(use_simd: bool, o: &mut [f32], b: &[f32], av: f32) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if use_simd {
+        debug_assert_eq!(o.len(), b.len(), "axpy rows must match");
+        // SAFETY: AVX2 availability is established by `use_simd`; lengths
+        // are equal so every lane load/store is in bounds.
+        unsafe { avx2::axpy_row(o, b, av) };
+        return true;
+    }
+    let _ = (use_simd, o, b, av);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256, _mm256_add_ps, _mm256_div_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps,
+        _mm256_setzero_ps, _mm256_sqrt_ps, _mm256_storeu_ps,
+    };
+
+    /// Vectorized Adam over the 8-aligned prefix; the caller finishes the
+    /// tail with the scalar loop. `vmulps`/`vaddps`/`vsqrtps`/`vdivps` are
+    /// all IEEE-754 correctly rounded per lane, and the operation sequence
+    /// mirrors the scalar update exactly, so the bits match it.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available and all four slices must share one length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn adam_rows(
+        w: &mut [f32],
+        g: &[f32],
+        m: &mut [f32],
+        v: &mut [f32],
+        h: &crate::kernels::AdamUpdate,
+    ) {
+        unsafe {
+            let (vb1, vb2) = (_mm256_set1_ps(h.beta1), _mm256_set1_ps(h.beta2));
+            let (vc1, vc2) = (_mm256_set1_ps(1.0 - h.beta1), _mm256_set1_ps(1.0 - h.beta2));
+            let (vs1, vs2) = (_mm256_set1_ps(h.s1), _mm256_set1_ps(h.s2));
+            let veps = _mm256_set1_ps(h.eps);
+            let vnlr = _mm256_set1_ps(-h.lr);
+            let vwd = _mm256_set1_ps(h.weight_decay);
+            let wd = h.weight_decay != 0.0;
+            let (wp, gp) = (w.as_mut_ptr(), g.as_ptr());
+            let (mp, vp) = (m.as_mut_ptr(), v.as_mut_ptr());
+            let mut i = 0;
+            while i + 8 <= w.len() {
+                let wv = _mm256_loadu_ps(wp.add(i));
+                let gv = _mm256_loadu_ps(gp.add(i));
+                let gd = if wd {
+                    _mm256_add_ps(gv, _mm256_mul_ps(wv, vwd))
+                } else {
+                    gv
+                };
+                let mv = _mm256_add_ps(
+                    _mm256_mul_ps(_mm256_loadu_ps(mp.add(i)), vb1),
+                    _mm256_mul_ps(gd, vc1),
+                );
+                let vv = _mm256_add_ps(
+                    _mm256_mul_ps(_mm256_loadu_ps(vp.add(i)), vb2),
+                    _mm256_mul_ps(_mm256_mul_ps(gd, gd), vc2),
+                );
+                _mm256_storeu_ps(mp.add(i), mv);
+                _mm256_storeu_ps(vp.add(i), vv);
+                let m_hat = _mm256_mul_ps(mv, vs1);
+                let v_hat = _mm256_mul_ps(vv, vs2);
+                let denom = _mm256_add_ps(_mm256_sqrt_ps(v_hat), veps);
+                let step = _mm256_mul_ps(_mm256_div_ps(m_hat, denom), vnlr);
+                _mm256_storeu_ps(wp.add(i), _mm256_add_ps(wv, step));
+                i += 8;
+            }
+        }
+    }
+
+    /// The 4×16 micro-tile: eight `__m256` accumulators, two per output row.
+    /// The doubled width buys instruction-level parallelism only — each
+    /// lane still owns one accumulator consuming its terms in ascending
+    /// `p` with separate mul and add roundings, so the stored bits match
+    /// the 4×8 tile and the portable path exactly.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available; `panel` must hold `k` rows of 16; `a` must
+    /// cover rows `a_base .. a_base + 4k`; `out` must cover the 4×16 tile at
+    /// `(r, j0)` with row stride `n`.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn micro_tile_4x16(
+        a: &[f32],
+        a_base: usize,
+        k: usize,
+        panel: &[f32],
+        out: &mut [f32],
+        r: usize,
+        n: usize,
+        j0: usize,
+    ) {
+        let mut acc0l = _mm256_setzero_ps();
+        let mut acc0h = _mm256_setzero_ps();
+        let mut acc1l = _mm256_setzero_ps();
+        let mut acc1h = _mm256_setzero_ps();
+        let mut acc2l = _mm256_setzero_ps();
+        let mut acc2h = _mm256_setzero_ps();
+        let mut acc3l = _mm256_setzero_ps();
+        let mut acc3h = _mm256_setzero_ps();
+        let ap = a.as_ptr();
+        let pp = panel.as_ptr();
+        for p in 0..k {
+            let bl = _mm256_loadu_ps(pp.add(p * 16));
+            let bh = _mm256_loadu_ps(pp.add(p * 16 + 8));
+            let a0 = _mm256_set1_ps(*ap.add(a_base + p));
+            let a1 = _mm256_set1_ps(*ap.add(a_base + k + p));
+            let a2 = _mm256_set1_ps(*ap.add(a_base + 2 * k + p));
+            let a3 = _mm256_set1_ps(*ap.add(a_base + 3 * k + p));
+            acc0l = madd(acc0l, a0, bl);
+            acc0h = madd(acc0h, a0, bh);
+            acc1l = madd(acc1l, a1, bl);
+            acc1h = madd(acc1h, a1, bh);
+            acc2l = madd(acc2l, a2, bl);
+            acc2h = madd(acc2h, a2, bh);
+            acc3l = madd(acc3l, a3, bl);
+            acc3h = madd(acc3h, a3, bh);
+        }
+        let op = out.as_mut_ptr();
+        _mm256_storeu_ps(op.add(r * n + j0), acc0l);
+        _mm256_storeu_ps(op.add(r * n + j0 + 8), acc0h);
+        _mm256_storeu_ps(op.add((r + 1) * n + j0), acc1l);
+        _mm256_storeu_ps(op.add((r + 1) * n + j0 + 8), acc1h);
+        _mm256_storeu_ps(op.add((r + 2) * n + j0), acc2l);
+        _mm256_storeu_ps(op.add((r + 2) * n + j0 + 8), acc2h);
+        _mm256_storeu_ps(op.add((r + 3) * n + j0), acc3l);
+        _mm256_storeu_ps(op.add((r + 3) * n + j0 + 8), acc3h);
+    }
+
+    /// Separately rounded multiply-then-add; never an FMA contraction
+    /// (intrinsics are not subject to `fast-math`-style fusion).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd(acc: __m256, a: __m256, b: __m256) -> __m256 {
+        _mm256_add_ps(acc, _mm256_mul_ps(a, b))
+    }
+
+    /// `o[j] += av * b[j]`, eight lanes at a time with a scalar tail. Lane
+    /// and tail both round multiply-then-add, matching the scalar loop.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available and `o.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_row(o: &mut [f32], b: &[f32], av: f32) {
+        let n = o.len();
+        let va = _mm256_set1_ps(av);
+        let op = o.as_mut_ptr();
+        let bp = b.as_ptr();
+        let mut j = 0;
+        while j + 8 <= n {
+            let cur = _mm256_loadu_ps(op.add(j));
+            let bv = _mm256_loadu_ps(bp.add(j));
+            _mm256_storeu_ps(op.add(j), _mm256_add_ps(cur, _mm256_mul_ps(va, bv)));
+            j += 8;
+        }
+        while j < n {
+            *op.add(j) += av * *bp.add(j);
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_spelling_variants_force_portable() {
+        for v in ["0", "off", "OFF", " portable "] {
+            assert!(
+                matches!(
+                    v.trim().to_ascii_lowercase().as_str(),
+                    "0" | "off" | "portable"
+                ),
+                "{v:?} should force the portable path"
+            );
+        }
+    }
+
+    #[test]
+    fn forcing_simd_respects_hardware() {
+        let before = simd_enabled();
+        set_simd_enabled(true);
+        // `true` only sticks when the CPU actually has AVX2.
+        assert_eq!(simd_enabled(), detect());
+        set_simd_enabled(false);
+        assert!(!simd_enabled());
+        set_simd_enabled(before);
+    }
+}

@@ -585,11 +585,26 @@ const DW_PAR_MIN_FLOPS: usize = 1 << 18;
 /// Panics on rank or channel mismatches.
 pub fn dwconv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Tensor {
     let (n, c, h, w) = dims4(input, "dwconv input");
+    let (ho, wo) = (spec.out_size(h), spec.out_size(w));
+    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    dwconv2d_forward_into(input, weight, spec, out.as_mut_slice());
+    out
+}
+
+/// [`dwconv2d_forward`] writing into a caller-provided buffer (every element
+/// is overwritten), so the autograd tape can reuse pooled storage.
+pub(crate) fn dwconv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    out: &mut [f32],
+) {
+    let (n, c, h, w) = dims4(input, "dwconv input");
     let (cw, one, kh, kw) = dims4(weight, "dwconv weight");
     assert_eq!(c, cw, "dwconv channel mismatch: input {c} vs weight {cw}");
     assert_eq!(one, 1, "dwconv weight must be [c, 1, k, k]");
     let (ho, wo) = (spec.out_size(h), spec.out_size(w));
-    let mut out = Tensor::zeros(&[n, c, ho, wo]);
+    assert_eq!(out.len(), n * c * ho * wo, "dwconv output length mismatch");
     let x = input.as_slice();
     let k = weight.as_slice();
     let threads = if n * c * ho * wo * kh * kw < DW_PAR_MIN_FLOPS {
@@ -597,9 +612,45 @@ pub fn dwconv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Te
     } else {
         crate::kernels::num_threads()
     };
+    let use_simd = spec.stride == 1 && crate::simd::simd_enabled();
     // One chunk per (batch, channel) output plane.
-    crate::kernels::par_chunks(out.as_mut_slice(), ho * wo, threads, |plane, o| {
+    crate::kernels::par_chunks(out, ho * wo, threads, |plane, o| {
         let (b, ch) = (plane / c, plane % c);
+        if use_simd {
+            // Row-accumulate form (stride 1): the output row is the
+            // accumulator buffer and each valid tap does one contiguous
+            // `o[lo..hi] += w * x_row[..]` update. Lane `ox` consumes the
+            // same taps in the same ascending `(ky, kx)` order as the
+            // gather loop below, with one accumulator per element, so the
+            // bits are identical — only the loop nesting changed.
+            let pad = spec.padding;
+            for oy in 0..ho {
+                let orow = &mut o[oy * wo..(oy + 1) * wo];
+                orow.fill(0.0);
+                for ky in 0..kh {
+                    let iy = (oy + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let xrow = ((b * c + ch) * h + iy as usize) * w;
+                    for kx in 0..kw {
+                        let lo = pad.saturating_sub(kx);
+                        let hi = (w + pad).saturating_sub(kx).min(wo);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let wgt = k[(ch * kh + ky) * kw + kx];
+                        let xs = &x[xrow + lo + kx - pad..xrow + hi + kx - pad];
+                        if !crate::simd::axpy_row(true, &mut orow[lo..hi], xs, wgt) {
+                            for (oo, &xv) in orow[lo..hi].iter_mut().zip(xs) {
+                                *oo += wgt * xv;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
         for oy in 0..ho {
             for ox in 0..wo {
                 let mut acc = 0.0f32;
@@ -622,7 +673,6 @@ pub fn dwconv2d_forward(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Te
             }
         }
     });
-    out
 }
 
 /// Backward pass of [`dwconv2d_forward`]: returns `(grad_input, grad_weight)`.
@@ -643,10 +693,35 @@ pub fn dwconv2d_backward(
 ) -> (Tensor, Tensor) {
     let (n, c, h, w) = dims4(input, "dwconv input");
     let (_, _, kh, kw) = dims4(weight, "dwconv weight");
-    let (gn, gc, ho, wo) = dims4(grad_out, "dwconv grad_out");
-    assert_eq!((gn, gc), (n, c), "dwconv grad_out shape mismatch");
     let mut gx = Tensor::zeros(&[n, c, h, w]);
     let mut gw = Tensor::zeros(&[c, 1, kh, kw]);
+    dwconv2d_backward_into(
+        input,
+        weight,
+        spec,
+        grad_out,
+        gx.as_mut_slice(),
+        gw.as_mut_slice(),
+    );
+    (gx, gw)
+}
+
+/// [`dwconv2d_backward`] writing into caller-provided buffers. Both `gx` and
+/// `gw` must be zero-filled on entry (the kernels accumulate into them).
+pub(crate) fn dwconv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+    grad_out: &Tensor,
+    gx: &mut [f32],
+    gw: &mut [f32],
+) {
+    let (n, c, h, w) = dims4(input, "dwconv input");
+    let (_, _, kh, kw) = dims4(weight, "dwconv weight");
+    let (gn, gc, ho, wo) = dims4(grad_out, "dwconv grad_out");
+    assert_eq!((gn, gc), (n, c), "dwconv grad_out shape mismatch");
+    assert_eq!(gx.len(), n * c * h * w, "dwconv grad_input length mismatch");
+    assert_eq!(gw.len(), c * kh * kw, "dwconv grad_weight length mismatch");
     let x = input.as_slice();
     let k = weight.as_slice();
     let go = grad_out.as_slice();
@@ -655,8 +730,47 @@ pub fn dwconv2d_backward(
     } else {
         crate::kernels::num_threads()
     };
-    crate::kernels::par_chunks(gx.as_mut_slice(), h * w, threads, |plane, gxp| {
+    let use_simd = spec.stride == 1 && crate::simd::simd_enabled();
+    crate::kernels::par_chunks(gx, h * w, threads, |plane, gxp| {
         let (b, ch) = (plane / c, plane % c);
+        if use_simd {
+            // Row-scatter form (stride 1). The scalar loop below delivers
+            // contributions to a given `gx[iy][ix]` in ascending `(oy, ox)`
+            // order (one `(ky, kx)` pair per output element). Here `oy`
+            // stays outermost; for a fixed `(oy, ky)` the lane `ix = ox +
+            // kx - pad` receives from ascending `ox` iff `kx` descends, so
+            // the tap loop runs in reverse to keep every per-element chain
+            // in the scalar order. Skipping `g == 0` rows is dropped: a
+            // `±0` contribution never changes an accumulator that starts
+            // at `+0.0` (and finite sums never produce `-0.0`).
+            let pad = spec.padding;
+            for oy in 0..ho {
+                let grow = ((b * c + ch) * ho + oy) * wo;
+                for ky in 0..kh {
+                    let iy = (oy + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let xrow = iy as usize * w;
+                    for kx in (0..kw).rev() {
+                        let lo = pad.saturating_sub(kx);
+                        let hi = (w + pad).saturating_sub(kx).min(wo);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let wgt = k[(ch * kh + ky) * kw + kx];
+                        let gs = &go[grow + lo..grow + hi];
+                        let dst = &mut gxp[xrow + lo + kx - pad..xrow + hi + kx - pad];
+                        if !crate::simd::axpy_row(true, dst, gs, wgt) {
+                            for (d, &gv) in dst.iter_mut().zip(gs) {
+                                *d += wgt * gv;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
         for oy in 0..ho {
             for ox in 0..wo {
                 let g = go[((b * c + ch) * ho + oy) * wo + ox];
@@ -679,7 +793,7 @@ pub fn dwconv2d_backward(
             }
         }
     });
-    crate::kernels::par_chunks(gw.as_mut_slice(), kh * kw, threads, |ch, gwp| {
+    crate::kernels::par_chunks(gw, kh * kw, threads, |ch, gwp| {
         for b in 0..n {
             for oy in 0..ho {
                 for ox in 0..wo {
@@ -705,7 +819,6 @@ pub fn dwconv2d_backward(
             }
         }
     });
-    (gx, gw)
 }
 
 /// Reference depthwise forward pass: the naive serial loops, kept as the

@@ -178,6 +178,104 @@ fn training_step_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn thread_knob_cycle_preserves_bits_through_pool_resizes() {
+    // Resizing the persistent worker pool (4 → 1 → 4) tears workers down and
+    // respawns them; every configuration must produce the same bytes, and
+    // returning to a previous size must too (the pool holds no stale state).
+    let _guard = knob_lock().lock().unwrap();
+    let before = kernels::num_threads();
+    let x = Tensor::uniform(&[4, 16, 28, 28], -1.0, 1.0, 301);
+    let w = Tensor::uniform(&[32, 16, 3, 3], -0.5, 0.5, 302);
+    let g = Tensor::uniform(&[4, 32, 28, 28], -1.0, 1.0, 303);
+    let run = || {
+        let y = conv2d_forward(&x, &w, spec311());
+        let (gx, gw) = conv2d_backward(&x, &w, spec311(), &g);
+        fnv(y.as_slice()) ^ fnv(gx.as_slice()).rotate_left(1) ^ fnv(gw.as_slice()).rotate_left(2)
+    };
+    let mut hashes = Vec::new();
+    for t in [4usize, 1, 4, 2, 4] {
+        kernels::set_num_threads(t);
+        hashes.push((t, run()));
+    }
+    kernels::set_num_threads(before);
+    for (t, h) in &hashes {
+        assert_eq!(
+            *h, hashes[0].1,
+            "pool resize to {t} threads changed output bits"
+        );
+    }
+}
+
+#[test]
+fn reused_graph_matches_fresh_graph_over_many_steps() {
+    // 100 training steps on one reset-reused tape must produce exactly the
+    // bytes of 100 steps on fresh tapes: pooled buffers carry no history.
+    use lightnas_tensor::Graph;
+    let spec = spec311();
+    let steps = 100;
+    let step = |g: &mut Graph, seed: u64| {
+        let x = Tensor::uniform(&[2, 3, 10, 10], -1.0, 1.0, seed);
+        let w = Tensor::uniform(&[4, 3, 3, 3], -0.5, 0.5, seed + 1);
+        let head = Tensor::uniform(&[4, 3], -0.5, 0.5, seed + 2);
+        let xv = g.input(x);
+        let wv = g.parameter(w);
+        let hv = g.parameter(head);
+        let y = g.conv2d(xv, wv, spec);
+        let pooled = g.global_avg_pool(y);
+        let logits = g.matmul(pooled, hv);
+        let loss = g.softmax_cross_entropy(logits, &[0, 1]);
+        g.backward(loss);
+        fnv(g.value(loss).as_slice())
+            ^ fnv(g.grad(wv).as_slice()).rotate_left(1)
+            ^ fnv(g.grad(hv).as_slice()).rotate_left(2)
+    };
+    let mut reused = Graph::new();
+    let reused_hashes: Vec<u64> = (0..steps)
+        .map(|s| {
+            reused.reset();
+            step(&mut reused, 400 + s as u64)
+        })
+        .collect();
+    let fresh_hashes: Vec<u64> = (0..steps)
+        .map(|s| step(&mut Graph::new(), 400 + s as u64))
+        .collect();
+    assert_eq!(reused_hashes, fresh_hashes);
+    // The reused tape actually recycles: far more pool hits than steps.
+    let stats = reused.pool_stats();
+    assert!(
+        stats.hits > steps as u64,
+        "expected heavy buffer reuse, got {} hits",
+        stats.hits
+    );
+}
+
+#[test]
+fn simd_microkernel_matches_portable_path_bitwise() {
+    // The AVX2 micro-tile keeps the scalar accumulation order, so forcing
+    // the portable path must not change a single bit. On machines without
+    // AVX2 both runs take the portable path and the test is vacuous.
+    let _guard = knob_lock().lock().unwrap();
+    let a = Tensor::uniform(&[96, 128], -1.0, 1.0, 501);
+    let b = Tensor::uniform(&[128, 80], -1.0, 1.0, 502);
+    let x = Tensor::uniform(&[2, 8, 14, 14], -1.0, 1.0, 503);
+    let w = Tensor::uniform(&[16, 8, 3, 3], -0.5, 0.5, 504);
+    let run = || {
+        fnv(a.matmul(&b).as_slice())
+            ^ fnv(conv2d_forward(&x, &w, spec311()).as_slice()).rotate_left(1)
+    };
+    let before = lightnas_tensor::simd_enabled();
+    lightnas_tensor::set_simd_enabled(true);
+    let with_simd = run();
+    lightnas_tensor::set_simd_enabled(false);
+    let portable = run();
+    lightnas_tensor::set_simd_enabled(before);
+    assert_eq!(
+        with_simd, portable,
+        "SIMD micro-kernel diverged from the portable path"
+    );
+}
+
+#[test]
 fn env_knob_parses_and_applies() {
     let _guard = knob_lock().lock().unwrap();
     let before = kernels::num_threads();
