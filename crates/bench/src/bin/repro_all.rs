@@ -40,6 +40,7 @@ const EXHIBITS: &[&str] = &[
     "runtime_sweep",
     "fault_sweep",
     "serve_overload",
+    "fleet_pareto",
 ];
 
 enum Status {

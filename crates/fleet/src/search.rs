@@ -1,0 +1,221 @@
+//! The "search once, deploy everywhere" driver: one λ-driven constrained
+//! search per (device, target) pair through the existing runtime, reduced
+//! to a per-device Pareto front.
+//!
+//! [`FleetSearch`] owns nothing new mechanically — every search runs as a
+//! [`SearchJob`] through [`run_sweep`]'s scheduler/supervisor/cache stack,
+//! with [`SweepOptions::device`] set so the JSONL telemetry attributes each
+//! sweep to its target device. What the fleet layer adds is the reduction:
+//! true (deterministic) target-device latency and oracle accuracy per
+//! derived architecture, and the non-dominated subset over
+//! `(true latency, top-1)` per device.
+
+use lightnas::pareto::pareto_indices;
+use lightnas::SearchConfig;
+use lightnas_eval::{AccuracyOracle, TrainingProtocol};
+use lightnas_hw::Xavier;
+use lightnas_predictor::Predictor;
+use lightnas_runtime::{run_sweep, SearchJob, SweepOptions, Telemetry};
+use lightnas_space::{Architecture, SearchSpace};
+
+use crate::DeviceSpec;
+
+/// One searched point of a device's trade-off curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPoint {
+    /// The latency constraint the search targeted (ms, device scale).
+    pub target_ms: f64,
+    /// The search seed.
+    pub seed: u64,
+    /// The derived architecture.
+    pub architecture: Architecture,
+    /// What the driving predictor claimed for the derived architecture.
+    pub predicted_ms: f64,
+    /// Deterministic roofline latency on the target device.
+    pub true_ms: f64,
+    /// Oracle top-1 under the full training protocol.
+    pub top1: f64,
+}
+
+/// A device's searched points plus its Pareto-front indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceFront {
+    /// The device the sweep targeted.
+    pub device: String,
+    /// All searched points, job order (targets-major, then seeds).
+    pub points: Vec<FleetPoint>,
+    /// Indices into `points` of the non-dominated `(true_ms, top1)` subset,
+    /// sorted by latency.
+    pub front: Vec<usize>,
+}
+
+impl DeviceFront {
+    /// The non-dominated points, cheapest first.
+    pub fn pareto_points(&self) -> impl Iterator<Item = &FleetPoint> {
+        self.front.iter().map(|&i| &self.points[i])
+    }
+}
+
+/// Runs per-device constrained-search sweeps over shared space/oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSearch<'a> {
+    space: &'a SearchSpace,
+    oracle: &'a AccuracyOracle,
+    config: SearchConfig,
+    workers: usize,
+}
+
+impl<'a> FleetSearch<'a> {
+    /// A new driver; `workers` is the scheduler pool per sweep (0/1 =
+    /// serial — results are byte-identical at any worker count).
+    pub fn new(
+        space: &'a SearchSpace,
+        oracle: &'a AccuracyOracle,
+        config: SearchConfig,
+        workers: usize,
+    ) -> Self {
+        Self {
+            space,
+            oracle,
+            config,
+            workers,
+        }
+    }
+
+    /// Sweeps `targets × seeds` on one device, driven by `predictor`
+    /// (per-device-trained or proxy-transferred — anything that predicts in
+    /// the device's latency scale), and reduces to the device's front.
+    /// Telemetry lines, when a sink is given, carry the device's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job fails (searches are deterministic and unbudgeted
+    /// here, so a failure is a bug, not an operational condition).
+    pub fn search_device<P: Predictor + Sync>(
+        &self,
+        spec: &DeviceSpec,
+        predictor: &P,
+        targets: &[f64],
+        seeds: &[u64],
+        telemetry: Option<&Telemetry>,
+    ) -> DeviceFront {
+        let jobs = SearchJob::grid(targets, seeds, self.config);
+        let opts = SweepOptions {
+            workers: self.workers,
+            device: Some(spec.name.clone()),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep(self.oracle, predictor, &jobs, &opts, telemetry);
+        let device = spec.device();
+        let points: Vec<FleetPoint> = report
+            .statuses
+            .iter()
+            .map(|s| {
+                let r = s
+                    .completed()
+                    .unwrap_or_else(|| panic!("fleet job failed on {}: {s:?}", spec.name));
+                let architecture = r.outcome.architecture.clone();
+                FleetPoint {
+                    target_ms: r.job.target,
+                    seed: r.job.seed,
+                    predicted_ms: predictor.predict(&architecture),
+                    true_ms: device.true_latency_ms(&architecture, self.space),
+                    top1: self
+                        .oracle
+                        .top1(&architecture, TrainingProtocol::full(), r.job.seed),
+                    architecture,
+                }
+            })
+            .collect();
+        let coords: Vec<(f64, f64)> = points.iter().map(|p| (p.true_ms, p.top1)).collect();
+        DeviceFront {
+            device: spec.name.clone(),
+            points,
+            front: pareto_indices(&coords),
+        }
+    }
+}
+
+/// Evenly spaced latency targets for one device, derived from the
+/// quantiles of its *deterministic* latency distribution over `samples`
+/// random architectures: `n` targets at the 20th…80th percentiles.
+///
+/// Fleet devices differ in latency scale by an order of magnitude, so
+/// absolute targets cannot be shared; quantile targets put every device's
+/// sweep in the meat of its own trade-off curve. Deterministic in
+/// `(device config, space, samples, seed)` — measurement noise is not
+/// involved.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `samples < n`.
+pub fn quantile_targets(
+    device: &Xavier,
+    space: &SearchSpace,
+    n: usize,
+    samples: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(n > 0, "need at least one target");
+    assert!(samples >= n, "need at least as many samples as targets");
+    let mut lat: Vec<f64> = (0..samples)
+        .map(|i| {
+            let arch = Architecture::random(space, seed.wrapping_add(i as u64));
+            device.true_latency_ms(&arch, space)
+        })
+        .collect();
+    lat.sort_by(f64::total_cmp);
+    (0..n)
+        .map(|i| {
+            let q = if n == 1 {
+                0.5
+            } else {
+                0.2 + 0.6 * i as f64 / (n - 1) as f64
+            };
+            let pos = q * (samples - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            lat[lo] * (1.0 - frac) + lat[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceFleet;
+
+    #[test]
+    fn quantile_targets_are_increasing_and_in_range() {
+        let fleet = DeviceFleet::standard();
+        let space = SearchSpace::standard();
+        for spec in fleet.devices() {
+            let device = spec.device();
+            let targets = quantile_targets(&device, &space, 5, 64, 0);
+            assert_eq!(targets.len(), 5);
+            for w in targets.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "{}: targets must increase: {targets:?}",
+                    spec.name
+                );
+            }
+            assert!(
+                targets[0] > device.config().runtime_overhead_ms,
+                "{}: target below overhead floor",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_targets_are_deterministic() {
+        let fleet = DeviceFleet::standard();
+        let space = SearchSpace::standard();
+        let device = fleet.proxy().device();
+        let a = quantile_targets(&device, &space, 3, 32, 7);
+        let b = quantile_targets(&device, &space, 3, 32, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,289 @@
+//! The device registry: parameterized roofline specs for a fleet of
+//! embedded (and one server-class) targets.
+//!
+//! A [`DeviceSpec`] is a named [`XavierConfig`] — the roofline calibration
+//! that `lightnas-hw` already interprets (peak compute, memory bandwidth,
+//! launch/runtime overheads, cache-reuse and stall cross-layer terms, noise
+//! and power envelopes) — so every device in the fleet reuses the single
+//! simulator implementation. [`DeviceFleet::standard`] registers the five
+//! classes the fleet exhibit sweeps; the Xavier-MAXN entry is calibrated
+//! identically to [`Xavier::maxn`] and serves as the *proxy* device whose
+//! predictor is transferred to the rest (see [`crate::transfer`]).
+
+use lightnas_hw::{device_seed_salt, Xavier, XavierConfig};
+
+/// Coarse hardware class of a fleet device (display / grouping only; the
+/// numbers live in the [`XavierConfig`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// Mobile SoC: modest compute and bandwidth, thermally noisy.
+    Phone,
+    /// Edge accelerator: systolic compute over a small on-chip SRAM, tiny
+    /// overheads, very quiet measurements.
+    EdgeTpu,
+    /// Entry-level embedded GPU (Jetson-Nano-class).
+    EmbeddedGpu,
+    /// The paper's Jetson AGX Xavier (MAXN) — the fleet's proxy device.
+    Xavier,
+    /// Datacenter inference GPU (T4-class): the fastest device in the
+    /// fleet, though still compute-bound enough at batch 8 to rank
+    /// architectures.
+    Server,
+}
+
+/// One named device of the fleet: a roofline calibration plus the identity
+/// under which it measures ([`Xavier::named`], so its noise streams are
+/// decorrelated from every other device via [`device_seed_salt`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Registry name (stable: telemetry attribution and seed salting key
+    /// on it).
+    pub name: String,
+    /// Coarse class, for display.
+    pub class: DeviceClass,
+    /// The roofline calibration the simulator interprets.
+    pub config: XavierConfig,
+}
+
+impl DeviceSpec {
+    /// A new spec.
+    pub fn new(name: impl Into<String>, class: DeviceClass, config: XavierConfig) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            config,
+        }
+    }
+
+    /// Instantiates the simulated device (named, so measurement noise is
+    /// salted per device).
+    pub fn device(&self) -> Xavier {
+        Xavier::named(self.name.clone(), self.config)
+    }
+
+    /// The salt this device mixes into every measurement seed.
+    pub fn seed_salt(&self) -> u64 {
+        device_seed_salt(&self.name)
+    }
+}
+
+/// The registry of fleet devices, with one designated *proxy* — the device
+/// whose (expensive, 10k-sample) predictor the transfer path adapts to
+/// every other target.
+#[derive(Debug, Clone)]
+pub struct DeviceFleet {
+    devices: Vec<DeviceSpec>,
+    proxy: usize,
+}
+
+impl DeviceFleet {
+    /// Builds a fleet from explicit specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices` is empty, `proxy` is out of range, or two
+    /// devices share a name.
+    pub fn new(devices: Vec<DeviceSpec>, proxy: usize) -> Self {
+        assert!(!devices.is_empty(), "fleet must have at least one device");
+        assert!(proxy < devices.len(), "proxy index out of range");
+        for (i, a) in devices.iter().enumerate() {
+            for b in &devices[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate device name {:?}", a.name);
+            }
+        }
+        Self { devices, proxy }
+    }
+
+    /// The standard five-device fleet of the `fleet_pareto` exhibit:
+    ///
+    /// | name          | class        | character                                  |
+    /// |---------------|--------------|--------------------------------------------|
+    /// | `phone-a76`   | phone        | low compute/bandwidth, thermally noisy     |
+    /// | `edge-tpu`    | edge TPU     | big on-chip SRAM, tiny overheads, quiet    |
+    /// | `jetson-nano` | embedded GPU | [`XavierConfig::nano_class`]               |
+    /// | `xavier-maxn` | Xavier       | [`XavierConfig::maxn`] — the proxy         |
+    /// | `server-gpu`  | server       | T4-class inference card, fleet's fastest   |
+    ///
+    /// All entries keep the paper's batch of 8 so latencies are comparable
+    /// across the fleet.
+    pub fn standard() -> Self {
+        let phone = XavierConfig {
+            peak_tmadds: 0.35,
+            mem_bandwidth_gbs: 31.8,
+            bandwidth_efficiency: 0.60,
+            kernel_launch_ms: 0.025,
+            runtime_overhead_ms: 5.5,
+            l2_cache_bytes: 2 * 1024 * 1024,
+            cache_reuse_discount: 0.30,
+            transition_stall_ms: 0.09,
+            noise_std_ms: 0.12,
+            compute_power_w: 6.0,
+            memory_power_w: 3.5,
+            static_power_w: 1.2,
+            energy_noise_frac: 0.05,
+            ..XavierConfig::maxn()
+        };
+        let edge_tpu = XavierConfig {
+            peak_tmadds: 1.6,
+            mem_bandwidth_gbs: 64.0,
+            bandwidth_efficiency: 0.95,
+            kernel_launch_ms: 0.004,
+            runtime_overhead_ms: 1.8,
+            l2_cache_bytes: 8 * 1024 * 1024,
+            cache_reuse_discount: 0.75,
+            transition_stall_ms: 0.015,
+            // The accelerator itself is deterministic, but latency is
+            // measured through the host interface, whose jitter dominates.
+            noise_std_ms: 0.08,
+            compute_power_w: 2.0,
+            memory_power_w: 1.2,
+            static_power_w: 0.4,
+            energy_noise_frac: 0.01,
+            ..XavierConfig::maxn()
+        };
+        // T4-class inference card: the fleet's fastest device, but kept in
+        // a regime where the search space still spans a real latency range
+        // (a 30+ TMADD/s part at batch 8 is pure launch overhead — every
+        // architecture collapses to the same latency and constrained search
+        // degenerates to ties).
+        let server = XavierConfig {
+            peak_tmadds: 4.0,
+            mem_bandwidth_gbs: 320.0,
+            bandwidth_efficiency: 0.85,
+            kernel_launch_ms: 0.008,
+            runtime_overhead_ms: 3.0,
+            l2_cache_bytes: 6 * 1024 * 1024,
+            cache_reuse_discount: 0.45,
+            transition_stall_ms: 0.025,
+            noise_std_ms: 0.02,
+            compute_power_w: 70.0,
+            memory_power_w: 40.0,
+            static_power_w: 20.0,
+            energy_noise_frac: 0.01,
+            ..XavierConfig::maxn()
+        };
+        Self::new(
+            vec![
+                DeviceSpec::new("phone-a76", DeviceClass::Phone, phone),
+                DeviceSpec::new("edge-tpu", DeviceClass::EdgeTpu, edge_tpu),
+                DeviceSpec::new(
+                    "jetson-nano",
+                    DeviceClass::EmbeddedGpu,
+                    XavierConfig::nano_class(),
+                ),
+                DeviceSpec::new("xavier-maxn", DeviceClass::Xavier, XavierConfig::maxn()),
+                DeviceSpec::new("server-gpu", DeviceClass::Server, server),
+            ],
+            3,
+        )
+    }
+
+    /// Every device, registry order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// The proxy device (whose predictor gets transferred).
+    pub fn proxy(&self) -> &DeviceSpec {
+        &self.devices[self.proxy]
+    }
+
+    /// The non-proxy devices, registry order.
+    pub fn targets(&self) -> impl Iterator<Item = &DeviceSpec> {
+        let proxy = self.proxy;
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| *i != proxy)
+            .map(|(_, d)| d)
+    }
+
+    /// Looks a device up by name.
+    pub fn get(&self, name: &str) -> Option<&DeviceSpec> {
+        self.devices.iter().find(|d| d.name == name)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when no devices are registered (never for [`standard`](Self::standard)).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightnas_space::{mobilenet_v2, SearchSpace};
+
+    #[test]
+    fn standard_fleet_has_five_distinct_devices() {
+        let fleet = DeviceFleet::standard();
+        assert_eq!(fleet.len(), 5);
+        let mut salts: Vec<u64> = fleet.devices().iter().map(DeviceSpec::seed_salt).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 5, "seed salts must be pairwise distinct");
+        assert_eq!(fleet.targets().count(), 4);
+    }
+
+    #[test]
+    fn proxy_is_the_calibrated_xavier_maxn() {
+        let fleet = DeviceFleet::standard();
+        assert_eq!(fleet.proxy().name, "xavier-maxn");
+        assert_eq!(fleet.proxy().config, XavierConfig::maxn());
+        // Same deterministic roofline as the anonymous paper device — only
+        // the noise salt differs.
+        let space = SearchSpace::standard();
+        let m = mobilenet_v2();
+        assert_eq!(
+            fleet.proxy().device().true_latency_ms(&m, &space),
+            Xavier::maxn().true_latency_ms(&m, &space)
+        );
+    }
+
+    #[test]
+    fn fleet_latencies_order_by_hardware_class() {
+        // Deterministic rooflines must separate the classes on a reference
+        // network: server < xavier < {nano, phone}, and every device stays
+        // in a sane embedded range.
+        let fleet = DeviceFleet::standard();
+        let space = SearchSpace::standard();
+        let m = mobilenet_v2();
+        let ms = |name: &str| {
+            fleet
+                .get(name)
+                .unwrap()
+                .device()
+                .true_latency_ms(&m, &space)
+        };
+        let (phone, nano, xavier, server) = (
+            ms("phone-a76"),
+            ms("jetson-nano"),
+            ms("xavier-maxn"),
+            ms("server-gpu"),
+        );
+        assert!(server < xavier, "server {server:.1} vs xavier {xavier:.1}");
+        assert!(xavier < nano, "xavier {xavier:.1} vs nano {nano:.1}");
+        assert!(xavier < phone, "xavier {xavier:.1} vs phone {phone:.1}");
+        for d in fleet.devices() {
+            let l = d.device().true_latency_ms(&m, &space);
+            assert!(l > 1.0 && l < 400.0, "{}: {l:.1} ms out of range", d.name);
+        }
+    }
+
+    #[test]
+    fn lookup_and_duplicate_rejection() {
+        let fleet = DeviceFleet::standard();
+        assert!(fleet.get("edge-tpu").is_some());
+        assert!(fleet.get("missing").is_none());
+        let dup = vec![
+            DeviceSpec::new("a", DeviceClass::Phone, XavierConfig::maxn()),
+            DeviceSpec::new("a", DeviceClass::Server, XavierConfig::maxn()),
+        ];
+        assert!(std::panic::catch_unwind(|| DeviceFleet::new(dup, 0)).is_err());
+    }
+}

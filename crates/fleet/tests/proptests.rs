@@ -1,0 +1,94 @@
+//! Property-based invariants of the monotone transfer map (proptest).
+//!
+//! The transfer path's whole value rests on one promise: recalibrating a
+//! proxy predictor to a target device's scale must never scramble the
+//! proxy's ranking. Hammered here with arbitrary (including adversarial,
+//! anti-monotone) training pairs:
+//!
+//! * Kendall τ between training inputs and mapped outputs is exactly 1.0 —
+//!   the map is strictly increasing on its own training points;
+//! * on *held-out* inputs (any reals, including far outside the fitted
+//!   range), `x1 < x2` implies `apply(x1) < apply(x2)`;
+//! * fitting is permutation-invariant: the map is a function of the pair
+//!   *set*, not the order the samples arrived in.
+
+use proptest::prelude::*;
+
+use lightnas_fleet::{kendall_tau, MonotoneMap};
+
+/// Builds `n` training pairs with distinct inputs (index spread + jitter)
+/// and arbitrary — possibly rank-breaking — outputs.
+fn make_pairs(jitters: &[f64], ys: &[f64], n: usize) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| (i as f64 * 2.0 + jitters[i], ys[i]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn training_pairs_keep_kendall_tau_of_exactly_one(
+        jitters in proptest::collection::vec(0.0f64..1.0, 40),
+        ys in proptest::collection::vec(-50.0f64..50.0, 40),
+        n in 2usize..=40,
+    ) {
+        let pairs = make_pairs(&jitters, &ys, n);
+        let map = MonotoneMap::fit(&pairs);
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let mapped: Vec<f64> = xs.iter().map(|&x| map.apply(x)).collect();
+        let tau = kendall_tau(&xs, &mapped);
+        prop_assert!(
+            (tau - 1.0).abs() < 1e-12,
+            "map must preserve the training ranking exactly, got τ = {}", tau
+        );
+    }
+
+    #[test]
+    fn held_out_inputs_never_decrease(
+        jitters in proptest::collection::vec(0.0f64..1.0, 40),
+        ys in proptest::collection::vec(-50.0f64..50.0, 40),
+        n in 2usize..=40,
+        probes in proptest::collection::vec(-100.0f64..200.0, 24),
+    ) {
+        let map = MonotoneMap::fit(&make_pairs(&jitters, &ys, n));
+        let mut sorted = probes;
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        for w in sorted.windows(2) {
+            let (lo, hi) = (map.apply(w[0]), map.apply(w[1]));
+            prop_assert!(
+                lo < hi,
+                "apply({}) = {} must be below apply({}) = {}",
+                w[0], lo, w[1], hi
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_permutation_invariant(
+        jitters in proptest::collection::vec(0.0f64..1.0, 40),
+        ys in proptest::collection::vec(-50.0f64..50.0, 40),
+        n in 2usize..=40,
+        rot in 0usize..40,
+    ) {
+        let pairs = make_pairs(&jitters, &ys, n);
+        let mut rotated = pairs.clone();
+        let k = rot % rotated.len();
+        rotated.rotate_left(k);
+        prop_assert_eq!(MonotoneMap::fit(&pairs), MonotoneMap::fit(&rotated));
+    }
+
+    #[test]
+    fn slope_is_positive_everywhere(
+        jitters in proptest::collection::vec(0.0f64..1.0, 40),
+        ys in proptest::collection::vec(-50.0f64..50.0, 40),
+        n in 2usize..=40,
+        probes in proptest::collection::vec(-100.0f64..200.0, 12),
+    ) {
+        let map = MonotoneMap::fit(&make_pairs(&jitters, &ys, n));
+        for &x in &probes {
+            prop_assert!(map.slope_at(x) > 0.0, "slope at {} must be positive", x);
+        }
+    }
+}

@@ -104,12 +104,34 @@ pub struct Measurement {
     pub energy_mj: f64,
 }
 
+/// FNV-1a over a device name: the per-device seed salt mixed into every
+/// noisy measurement so two devices profiled with the *same* seed draw
+/// **different** noise streams (real boards do not share thermal jitter).
+///
+/// Deterministic and dependency-free. Anonymous devices ([`Xavier::new`])
+/// bypass the hash and use salt 0 directly, which keeps historical
+/// `Xavier::new`/`Xavier::maxn` streams byte-identical.
+pub fn device_seed_salt(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The simulated device.
 ///
 /// See the [crate-level documentation](crate) for the modelling rationale.
+/// A device can carry a *name* ([`Xavier::named`]); the name is hashed into
+/// a seed salt that decorrelates measurement noise across devices in a
+/// fleet. Anonymous devices ([`Xavier::new`], [`Xavier::maxn`]) keep salt 0
+/// so their noise streams are byte-identical to every earlier release.
 #[derive(Debug, Clone)]
 pub struct Xavier {
     config: XavierConfig,
+    name: String,
+    seed_salt: u64,
 }
 
 /// Achievable fraction of peak compute per kernel kind.
@@ -125,9 +147,27 @@ fn compute_efficiency(kind: KernelKind) -> f64 {
 }
 
 impl Xavier {
-    /// A device with the given calibration.
+    /// An anonymous device with the given calibration (seed salt 0: noise
+    /// streams match every release before device fleets existed).
     pub fn new(config: XavierConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            name: String::new(),
+            seed_salt: 0,
+        }
+    }
+
+    /// A *named* device: the name is hashed ([`device_seed_salt`]) into the
+    /// measurement-noise seeding, so fleet devices profiled with the same
+    /// seed still draw independent noise streams.
+    pub fn named(name: impl Into<String>, config: XavierConfig) -> Self {
+        let name = name.into();
+        let seed_salt = device_seed_salt(&name);
+        Self {
+            config,
+            name,
+            seed_salt,
+        }
     }
 
     /// The calibrated MAXN device (paper setting).
@@ -138,6 +178,16 @@ impl Xavier {
     /// The active configuration.
     pub fn config(&self) -> &XavierConfig {
         &self.config
+    }
+
+    /// The device name (empty for anonymous devices).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The salt mixed into every measurement seed (0 for anonymous devices).
+    pub fn seed_salt(&self) -> u64 {
+        self.seed_salt
     }
 
     /// Time of one kernel in ms: roofline max of compute and memory, plus
@@ -284,13 +334,13 @@ impl Xavier {
 
     /// One noisy latency measurement (what an on-device timing run returns).
     pub fn measure_latency_ms(&self, arch: &Architecture, space: &SearchSpace, seed: u64) -> f64 {
-        let mut noise = GaussianNoise::new(seed ^ 0x1a7e_0c11);
+        let mut noise = GaussianNoise::new(self.seed_salt ^ seed ^ 0x1a7e_0c11);
         (self.true_latency_ms(arch, space) + noise.sample(0.0, self.config.noise_std_ms)).max(0.0)
     }
 
     /// One noisy energy measurement; thermal noise is multiplicative.
     pub fn measure_energy_mj(&self, arch: &Architecture, space: &SearchSpace, seed: u64) -> f64 {
-        let mut noise = GaussianNoise::new(seed ^ 0xe4e2_97fd);
+        let mut noise = GaussianNoise::new(self.seed_salt ^ seed ^ 0xe4e2_97fd);
         let e = self.true_energy_mj(arch, space);
         (e * (1.0 + noise.sample(0.0, self.config.energy_noise_frac))).max(0.0)
     }
@@ -329,7 +379,7 @@ impl Xavier {
         space: &SearchSpace,
         seed: u64,
     ) -> f64 {
-        let mut noise = GaussianNoise::new(seed ^ 0x3e3_0f11);
+        let mut noise = GaussianNoise::new(self.seed_salt ^ seed ^ 0x3e3_0f11);
         (self.peak_memory_mib(arch, space) + noise.sample(0.0, 0.05)).max(0.0)
     }
 
@@ -494,6 +544,62 @@ mod tests {
             "gap {gap:.2} ms should exceed the {:.2} ms runtime overhead",
             dev.config().runtime_overhead_ms
         );
+    }
+
+    #[test]
+    fn named_devices_decorrelate_noise_at_the_same_seed() {
+        // Regression: fleet devices once shared identically-seeded noise
+        // streams, so "independent" measurements were perfectly correlated.
+        let space = SearchSpace::standard();
+        let m = mobilenet_v2();
+        let a = Xavier::named("device-a", XavierConfig::maxn());
+        let b = Xavier::named("device-b", XavierConfig::maxn());
+        assert_eq!(a.true_latency_ms(&m, &space), b.true_latency_ms(&m, &space));
+        for seed in 0..8 {
+            let la = a.measure_latency_ms(&m, &space, seed);
+            let lb = b.measure_latency_ms(&m, &space, seed);
+            assert_ne!(
+                la, lb,
+                "seed {seed}: same-config devices must not share a noise stream"
+            );
+            assert_ne!(
+                a.measure_energy_mj(&m, &space, seed),
+                b.measure_energy_mj(&m, &space, seed)
+            );
+            assert_ne!(
+                a.measure_peak_memory_mib(&m, &space, seed),
+                b.measure_peak_memory_mib(&m, &space, seed)
+            );
+        }
+        // Same name, same config => same stream (the salt is a pure hash).
+        let a2 = Xavier::named("device-a", XavierConfig::maxn());
+        assert_eq!(
+            a.measure_latency_ms(&m, &space, 3),
+            a2.measure_latency_ms(&m, &space, 3)
+        );
+    }
+
+    #[test]
+    fn anonymous_devices_keep_the_historical_noise_stream() {
+        // Byte-compat: Xavier::new/maxn (salt 0) must keep producing exactly
+        // the stream the golden checkpoints and exhibits were pinned on.
+        let space = SearchSpace::standard();
+        let m = mobilenet_v2();
+        let dev = Xavier::maxn();
+        assert_eq!(dev.seed_salt(), 0);
+        assert_eq!(dev.name(), "");
+        let mut noise = GaussianNoise::new(7 ^ 0x1a7e_0c11);
+        let expected = (dev.true_latency_ms(&m, &space)
+            + noise.sample(0.0, dev.config().noise_std_ms))
+        .max(0.0);
+        assert_eq!(dev.measure_latency_ms(&m, &space, 7), expected);
+    }
+
+    #[test]
+    fn device_seed_salt_is_stable_and_distinguishes_names() {
+        assert_eq!(device_seed_salt(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(device_seed_salt("jetson-nano"), device_seed_salt("phone"));
+        assert_eq!(device_seed_salt("phone"), device_seed_salt("phone"));
     }
 
     #[test]

@@ -40,6 +40,6 @@ mod device;
 mod kernels;
 mod noise;
 
-pub use device::{Measurement, Xavier, XavierConfig};
+pub use device::{device_seed_salt, Measurement, Xavier, XavierConfig};
 pub use kernels::{kernels_for_layer, KernelDesc, KernelKind};
 pub use noise::GaussianNoise;

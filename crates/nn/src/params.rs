@@ -34,7 +34,7 @@ impl ParamId {
 /// assert_eq!(store.get(id).shape().dims(), &[2, 2]);
 /// assert_eq!(store.len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Tensor>,

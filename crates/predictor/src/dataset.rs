@@ -214,6 +214,20 @@ impl MetricDataset {
         Ok(())
     }
 
+    /// The first `n` rows as a new dataset (all rows when `n >= len`).
+    /// Rows are i.i.d. by construction, so a prefix is an unbiased
+    /// subsample — the canonical way to cut a ≤100-row transfer budget out
+    /// of a device's corpus.
+    pub fn take(&self, n: usize) -> Self {
+        let n = n.min(self.len());
+        Self {
+            metric: self.metric,
+            encodings: self.encodings[..n].to_vec(),
+            targets: self.targets[..n].to_vec(),
+            archs: self.archs[..n].to_vec(),
+        }
+    }
+
     /// Splits into `(train, valid)` keeping the first `fraction` of rows for
     /// training (rows are i.i.d. by construction, so a prefix split is an
     /// unbiased 80/20 protocol).
@@ -301,6 +315,16 @@ mod tests {
     #[test]
     fn target_std_is_positive_for_random_archs() {
         assert!(small().target_std() > 0.1);
+    }
+
+    #[test]
+    fn take_is_a_prefix_and_saturates() {
+        let d = small();
+        let t = d.take(10);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.targets(), &d.targets()[..10]);
+        assert_eq!(t.archs()[3], d.archs()[3]);
+        assert_eq!(d.take(10_000).len(), d.len());
     }
 
     #[test]

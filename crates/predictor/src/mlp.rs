@@ -60,13 +60,58 @@ impl Default for TrainConfig {
 /// Targets are standardized internally (zero mean, unit variance over the
 /// training fold); predictions are returned in the original unit. The
 /// trained network is frozen: prediction and input-gradient queries do not
-/// mutate it.
-#[derive(Debug)]
+/// mutate it — and it is `Clone`, so cross-device transfer can fork a proxy
+/// predictor and [`fine_tune`](Self::fine_tune) the copy.
+#[derive(Debug, Clone)]
 pub struct MlpPredictor {
     store: ParamStore,
     mlp: Mlp,
     mean: f64,
     std: f64,
+}
+
+/// Runs the standard Adam/mini-batch loop over `train` against standardized
+/// targets, mutating `store` in place (shared by [`MlpPredictor::train`] and
+/// [`MlpPredictor::fine_tune`]).
+fn fit(
+    store: &mut ParamStore,
+    mlp: &Mlp,
+    train: &MetricDataset,
+    config: &TrainConfig,
+    mean: f64,
+    std: f64,
+) {
+    let n = train.len();
+    let mut opt = Adam::new(config.lr, 1e-5);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // One tape for the whole run: `reset` between steps keeps node and
+    // buffer capacity, so steady-state steps allocate nothing.
+    let mut g = Graph::new();
+    let mut bind = Bindings::new();
+    for _ in 0..config.epochs {
+        // Fisher-Yates shuffle per epoch.
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(config.batch_size) {
+            let b = chunk.len();
+            let mut x = Vec::with_capacity(b * INPUT_WIDTH);
+            let mut y = Vec::with_capacity(b);
+            for &i in chunk {
+                x.extend_from_slice(&train.encodings()[i]);
+                y.push(((train.targets()[i] - mean) / std) as f32);
+            }
+            g.reset();
+            bind.clear();
+            let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
+            let pred = mlp.forward(&mut g, &mut bind, store, xv);
+            let loss = g.mse_loss(pred, Tensor::from_vec(y, &[b, 1]));
+            g.backward(loss);
+            opt.step(store, &g, &bind);
+        }
+    }
 }
 
 impl MlpPredictor {
@@ -86,37 +131,35 @@ impl MlpPredictor {
         );
         let mean = train.target_mean();
         let std = train.target_std().max(1e-6);
-        let n = train.len();
-        let mut opt = Adam::new(config.lr, 1e-5);
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
-        let mut order: Vec<usize> = (0..n).collect();
-        // One tape for the whole run: `reset` between steps keeps node and
-        // buffer capacity, so steady-state steps allocate nothing.
-        let mut g = Graph::new();
-        let mut bind = Bindings::new();
-        for _ in 0..config.epochs {
-            // Fisher-Yates shuffle per epoch.
-            for i in (1..n).rev() {
-                let j = rng.random_range(0..=i);
-                order.swap(i, j);
-            }
-            for chunk in order.chunks(config.batch_size) {
-                let b = chunk.len();
-                let mut x = Vec::with_capacity(b * INPUT_WIDTH);
-                let mut y = Vec::with_capacity(b);
-                for &i in chunk {
-                    x.extend_from_slice(&train.encodings()[i]);
-                    y.push(((train.targets()[i] - mean) / std) as f32);
-                }
-                g.reset();
-                bind.clear();
-                let xv = g.input(Tensor::from_vec(x, &[b, INPUT_WIDTH]));
-                let pred = mlp.forward(&mut g, &mut bind, &store, xv);
-                let loss = g.mse_loss(pred, Tensor::from_vec(y, &[b, 1]));
-                g.backward(loss);
-                opt.step(&mut store, &g, &bind);
-            }
+        fit(&mut store, &mlp, train, config, mean, std);
+        Self {
+            store,
+            mlp,
+            mean,
+            std,
         }
+    }
+
+    /// Continues training **from this predictor's weights** on a (typically
+    /// small) dataset from another device — the few-shot transfer step of
+    /// cross-device latency estimation.
+    ///
+    /// The returned predictor re-standardizes against `train`'s own
+    /// mean/std (devices differ in scale far more than in shape), keeps the
+    /// proxy's learned feature structure as the initialization, and runs the
+    /// same deterministic Adam loop as [`train`](Self::train). `self` is
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fine_tune(&self, train: &MetricDataset, config: &TrainConfig) -> Self {
+        assert!(!train.is_empty(), "cannot fine-tune on an empty dataset");
+        let mut store = self.store.clone();
+        let mlp = self.mlp.clone();
+        let mean = train.target_mean();
+        let std = train.target_std().max(1e-6);
+        fit(&mut store, &mlp, train, config, mean, std);
         Self {
             store,
             mlp,
@@ -323,6 +366,59 @@ mod tests {
         let space = SearchSpace::standard();
         let arch = Architecture::random(&space, 3);
         assert_eq!(p.predict(&arch), p.predict_encoding(&arch.encode()));
+    }
+
+    #[test]
+    fn fine_tune_adapts_to_a_shifted_metric_scale() {
+        // Simulate a second device as an affine re-scale of the first: a
+        // few-shot fine-tune from the proxy weights must track the new
+        // scale far better than the untouched proxy does.
+        let (proxy, train, valid) = train_small();
+        let rescale = |d: &MetricDataset| {
+            MetricDataset::from_rows(
+                d.metric(),
+                d.archs().to_vec(),
+                d.targets().iter().map(|t| 3.5 * t + 40.0).collect(),
+            )
+        };
+        let shifted_valid = rescale(&valid);
+        let few_shot = rescale(&train).take(100);
+        let arch = Architecture::random(&SearchSpace::standard(), 1);
+        let before = proxy.predict(&arch);
+        let tuned = proxy.fine_tune(
+            &few_shot,
+            &TrainConfig {
+                epochs: 60,
+                batch_size: 32,
+                lr: 1e-3,
+                seed: 0,
+            },
+        );
+        let proxy_rmse = proxy.rmse(&shifted_valid);
+        let tuned_rmse = tuned.rmse(&shifted_valid);
+        assert!(
+            tuned_rmse < proxy_rmse / 5.0,
+            "fine-tuned RMSE {tuned_rmse:.3} should be far below the raw proxy's {proxy_rmse:.3}"
+        );
+        // The source predictor is frozen: fine-tuning forked a copy.
+        assert_eq!(proxy.predict(&arch).to_bits(), before.to_bits());
+        assert_ne!(tuned.predict(&arch).to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn fine_tune_is_deterministic() {
+        let (proxy, train, _) = train_small();
+        let few = train.take(64);
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 1e-3,
+            seed: 4,
+        };
+        let a = proxy.fine_tune(&few, &cfg);
+        let b = proxy.fine_tune(&few, &cfg);
+        let arch = Architecture::random(&SearchSpace::standard(), 7);
+        assert_eq!(a.predict(&arch).to_bits(), b.predict(&arch).to_bits());
     }
 
     #[test]

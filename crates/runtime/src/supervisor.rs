@@ -345,6 +345,11 @@ impl<P: Predictor> JobContext<'_, P> {
     fn emit(&self, event: &str, fields: &[(&str, Field)]) {
         if let Some(t) = self.telemetry {
             let mut all = vec![("job", Field::U(self.index as u64))];
+            // Attribute every job-lifecycle line to its target device in
+            // fleet sweeps; defaulted (None) sweeps stay byte-identical.
+            if let Some(device) = &self.opts.device {
+                all.push(("device", Field::S(device.clone())));
+            }
             all.extend_from_slice(fields);
             t.emit(event, &all);
         }

@@ -114,6 +114,12 @@ pub struct SweepOptions {
     /// part of the job identity: the kernels are bit-identical at every
     /// thread count, so this only changes throughput. Default: 0.
     pub kernel_threads: usize,
+    /// Device name stamped on every telemetry line of this sweep (fleet
+    /// runs attribute their `results/runs/` JSONL per target device).
+    /// `None` (the default) omits the field entirely, so single-device
+    /// telemetry stays byte-identical to earlier releases. Purely
+    /// observational: never part of the job identity or checkpoint format.
+    pub device: Option<String>,
 }
 
 impl Default for SweepOptions {
@@ -128,6 +134,7 @@ impl Default for SweepOptions {
             retry_backoff: Duration::from_millis(25),
             divergence: DivergencePolicy::default(),
             kernel_threads: 0,
+            device: None,
         }
     }
 }
@@ -299,21 +306,22 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
         None => true,
     };
     if let Some(t) = telemetry {
-        t.emit(
-            events::RUN_START,
-            &[
-                ("jobs", Field::U(jobs.len() as u64)),
-                ("workers", Field::U(scheduler.workers() as u64)),
-                (
-                    "epoch_budget",
-                    opts.epoch_budget
-                        .map_or(Field::B(false), |n| Field::U(n as u64)),
-                ),
-                ("max_retries", Field::U(opts.max_retries as u64)),
-                ("kernel_threads", Field::U(opts.kernel_threads as u64)),
-                ("planned_faults", Field::U(faults.faults().len() as u64)),
-            ],
-        );
+        let mut fields = vec![
+            ("jobs", Field::U(jobs.len() as u64)),
+            ("workers", Field::U(scheduler.workers() as u64)),
+            (
+                "epoch_budget",
+                opts.epoch_budget
+                    .map_or(Field::B(false), |n| Field::U(n as u64)),
+            ),
+            ("max_retries", Field::U(opts.max_retries as u64)),
+            ("kernel_threads", Field::U(opts.kernel_threads as u64)),
+            ("planned_faults", Field::U(faults.faults().len() as u64)),
+        ];
+        if let Some(device) = &opts.device {
+            fields.push(("device", Field::S(device.clone())));
+        }
+        t.emit(events::RUN_START, &fields);
     }
 
     let statuses: Vec<JobStatus> = scheduler
@@ -359,23 +367,24 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
     if let Some(t) = telemetry {
         let done = statuses.iter().filter(|s| s.completed().is_some()).count();
         let failed = statuses.iter().filter(|s| s.failed().is_some()).count();
-        t.emit(
-            events::RUN_END,
-            &[
-                ("completed", Field::U(done as u64)),
-                (
-                    "interrupted",
-                    Field::U((statuses.len() - done - failed) as u64),
-                ),
-                ("failed", Field::U(failed as u64)),
-                ("faults_fired", Field::U(faults.fired() as u64)),
-                ("wall_ms", Field::F(wall.as_secs_f64() * 1e3)),
-                ("cache_hits", Field::U(cache.hits)),
-                ("cache_misses", Field::U(cache.misses)),
-                ("cache_hit_rate", Field::F(cache.hit_rate())),
-                ("telemetry_dropped", Field::U(t.dropped_events())),
-            ],
-        );
+        let mut fields = vec![
+            ("completed", Field::U(done as u64)),
+            (
+                "interrupted",
+                Field::U((statuses.len() - done - failed) as u64),
+            ),
+            ("failed", Field::U(failed as u64)),
+            ("faults_fired", Field::U(faults.fired() as u64)),
+            ("wall_ms", Field::F(wall.as_secs_f64() * 1e3)),
+            ("cache_hits", Field::U(cache.hits)),
+            ("cache_misses", Field::U(cache.misses)),
+            ("cache_hit_rate", Field::F(cache.hit_rate())),
+            ("telemetry_dropped", Field::U(t.dropped_events())),
+        ];
+        if let Some(device) = &opts.device {
+            fields.push(("device", Field::S(device.clone())));
+        }
+        t.emit(events::RUN_END, &fields);
     }
     SweepReport {
         statuses,

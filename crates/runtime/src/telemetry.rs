@@ -26,6 +26,13 @@ use std::sync::{Mutex, PoisonError};
 /// come first; the serving layer (`lightnas-serve`) shares this catalogue
 /// for its admission/breaker events so one file stays the schema's single
 /// source of truth (see DESIGN.md for per-event fields).
+///
+/// Multi-device attribution: when a sweep sets
+/// [`SweepOptions::device`](crate::SweepOptions), every run- and
+/// job-lifecycle line (`run_start`/`run_end`, `job_*`, `epoch`,
+/// `checkpoint*`) additionally carries a `"device"` string field naming the
+/// target device. The field is omitted — not emitted as null — when unset,
+/// so single-device telemetry is byte-identical to earlier releases.
 pub mod events {
     /// Sweep begins: job count, worker count, kernel threads.
     pub const RUN_START: &str = "run_start";

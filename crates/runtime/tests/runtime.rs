@@ -312,6 +312,82 @@ fn telemetry_narrates_a_sweep_as_valid_jsonl() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The optional `device` tag must appear on every run- and job-lifecycle
+/// line when set, and be purely additive: stripping it from a tagged run's
+/// telemetry must reproduce the untagged run's lines exactly (compared as a
+/// sorted multiset with wall-clock fields masked, since worker interleaving
+/// and timings are not deterministic across runs).
+#[test]
+fn device_tag_is_present_when_set_and_purely_additive() {
+    let f = fixture();
+    let jobs = SearchJob::grid(&[20.0], &[0, 1], tiny_config());
+    let run = |device: Option<&str>, dir_name: &str| {
+        let dir = test_dir(dir_name);
+        let telemetry = Telemetry::create(&dir, "dev").expect("sink");
+        let opts = SweepOptions {
+            device: device.map(str::to_string),
+            ..SweepOptions::with_workers(2)
+        };
+        let report = run_sweep(&f.oracle, &f.predictor, &jobs, &opts, Some(&telemetry));
+        assert!(report.all_completed());
+        let text = std::fs::read_to_string(telemetry.path()).expect("jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        text
+    };
+    // Masks the wall-clock-dependent fields so two runs compare equal.
+    fn mask_timing(line: &str) -> String {
+        let mut out = String::with_capacity(line.len());
+        for part in line.split(',') {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            match part.split_once(':') {
+                Some((key, _)) if key.contains("wall_ms") => {
+                    out.push_str(key);
+                    out.push_str(":#");
+                    if part.ends_with('}') {
+                        out.push('}');
+                    }
+                }
+                _ => out.push_str(part),
+            }
+        }
+        out
+    }
+    let plain = run(None, "device-tag-none");
+    let tagged = run(Some("edge-tpu"), "device-tag-some");
+    assert!(
+        !plain.contains("\"device\""),
+        "defaulted sweep must not emit a device field"
+    );
+    for line in tagged.lines() {
+        assert!(
+            line.contains("\"device\":\"edge-tpu\""),
+            "untagged line in device sweep: {line}"
+        );
+    }
+    let normalize = |text: &str, strip_device: bool| -> Vec<String> {
+        let mut lines: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let l = if strip_device {
+                    l.replace(",\"device\":\"edge-tpu\"", "")
+                } else {
+                    l.to_string()
+                };
+                mask_timing(&l)
+            })
+            .collect();
+        lines.sort();
+        lines
+    };
+    assert_eq!(
+        normalize(&tagged, true),
+        normalize(&plain, false),
+        "device tag must be additive: stripping it must restore the untagged lines"
+    );
+}
+
 /// Serving-style coalescing against the sweep predictor: a batch with
 /// repeated architectures must hit the shared cache for every repeat, go
 /// downstream once per distinct key, and stay bit-identical to the scalar

@@ -21,6 +21,9 @@
 //! * [`serve`] — the overload-safe predictor serving layer: admission
 //!   control, circuit breaking onto the LUT fallback, batch coalescing,
 //!   graceful drain, deterministic chaos testing.
+//! * [`fleet`] — the device-fleet layer: a registry of named roofline
+//!   calibrations, proxy→target predictor transfer (few-shot fine-tune +
+//!   isotonic monotone recalibration), and per-device Pareto search.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 
 pub use lightnas as search;
 pub use lightnas_eval as eval;
+pub use lightnas_fleet as fleet;
 pub use lightnas_hw as hw;
 pub use lightnas_nn as nn;
 pub use lightnas_predictor as predictor;
@@ -54,6 +58,10 @@ pub mod prelude {
         ProxylessSearch, RandomSearch, SearchConfig, SearchOutcome, SearchTrace,
     };
     pub use lightnas_eval::{AccuracyOracle, SsdLite, TrainingProtocol};
+    pub use lightnas_fleet::{
+        transfer_predictor, DeviceFleet, DeviceSpec, FleetSearch, MonotoneMap, TransferOptions,
+        TransferredPredictor,
+    };
     pub use lightnas_hw::{Xavier, XavierConfig};
     pub use lightnas_predictor::{
         CachedPredictor, LutPredictor, Metric, MetricDataset, MlpPredictor, Predictor, TrainConfig,
