@@ -41,6 +41,7 @@ const EXHIBITS: &[&str] = &[
     "fault_sweep",
     "serve_overload",
     "fleet_pareto",
+    "drift_soak",
 ];
 
 enum Status {

@@ -37,9 +37,13 @@
 //! ```
 
 mod device;
+mod drift;
 mod kernels;
 mod noise;
 
 pub use device::{device_seed_salt, Measurement, Xavier, XavierConfig};
+pub use drift::{
+    measurement_spread_ms, sample_noise_seed, DriftBurst, DriftSample, DriftSchedule, DriftStream,
+};
 pub use kernels::{kernels_for_layer, KernelDesc, KernelKind};
 pub use noise::GaussianNoise;

@@ -150,6 +150,22 @@ impl MetricDataset {
         }
     }
 
+    /// Builds a dataset from raw (encoding, target) rows, decoding each
+    /// encoding back to its [`Architecture`]. The online-adaptation path
+    /// lives in encoding space (that is what flows through the serving
+    /// layer), so this is how a live sample window becomes a fine-tuning
+    /// dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row counts disagree or an encoding is not a valid
+    /// one-hot architecture encoding.
+    pub fn from_encoding_rows(metric: Metric, encodings: &[Vec<f32>], targets: &[f64]) -> Self {
+        assert_eq!(encodings.len(), targets.len(), "row count mismatch");
+        let archs = encodings.iter().map(|e| Architecture::decode(e)).collect();
+        Self::from_rows(metric, archs, targets.to_vec())
+    }
+
     /// The metric this dataset measures.
     pub fn metric(&self) -> Metric {
         self.metric
@@ -325,6 +341,16 @@ mod tests {
         assert_eq!(t.targets(), &d.targets()[..10]);
         assert_eq!(t.archs()[3], d.archs()[3]);
         assert_eq!(d.take(10_000).len(), d.len());
+    }
+
+    #[test]
+    fn encoding_rows_round_trip_through_decode() {
+        let d = small();
+        let rebuilt =
+            MetricDataset::from_encoding_rows(Metric::LatencyMs, d.encodings(), d.targets());
+        assert_eq!(rebuilt.encodings(), d.encodings());
+        assert_eq!(rebuilt.targets(), d.targets());
+        assert_eq!(rebuilt.archs(), d.archs());
     }
 
     #[test]

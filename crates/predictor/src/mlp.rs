@@ -168,6 +168,37 @@ impl MlpPredictor {
         }
     }
 
+    /// Continues training from this predictor's weights **keeping its
+    /// output standardization** — the online-adaptation entry point.
+    ///
+    /// [`fine_tune`](Self::fine_tune) re-standardizes against the new fold,
+    /// which is right for cross-*device* transfer (scales genuinely differ)
+    /// but wrong for a small drift window from the *same* device: a few
+    /// dozen rows mis-estimate mean/std badly, and re-anchoring to them
+    /// makes successive shadow generations wander even on a stationary
+    /// stream. Keeping the incumbent's (mean, std) turns drift adaptation
+    /// into pure weight refinement — the linear output head absorbs any
+    /// genuine scale shift — and keeps every generation's predictions
+    /// directly comparable in the monitor's residual statistics.
+    ///
+    /// `self` is untouched; the returned predictor is the shadow candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fine_tune_incremental(&self, train: &MetricDataset, config: &TrainConfig) -> Self {
+        assert!(!train.is_empty(), "cannot fine-tune on an empty dataset");
+        let mut store = self.store.clone();
+        let mlp = self.mlp.clone();
+        fit(&mut store, &mlp, train, config, self.mean, self.std);
+        Self {
+            store,
+            mlp,
+            mean: self.mean,
+            std: self.std,
+        }
+    }
+
     /// Predicts the metric for a flattened encoding.
     ///
     /// # Panics
@@ -419,6 +450,48 @@ mod tests {
         let b = proxy.fine_tune(&few, &cfg);
         let arch = Architecture::random(&SearchSpace::standard(), 7);
         assert_eq!(a.predict(&arch).to_bits(), b.predict(&arch).to_bits());
+    }
+
+    #[test]
+    fn incremental_fine_tune_tracks_drift_and_keeps_the_scale_anchor() {
+        // A +30% multiplicative drift on the same device: the incremental
+        // path must adapt on a small window while keeping the incumbent's
+        // standardization (so residual statistics stay comparable).
+        let (incumbent, train, valid) = train_small();
+        let drift = |d: &MetricDataset| {
+            MetricDataset::from_rows(
+                d.metric(),
+                d.archs().to_vec(),
+                d.targets().iter().map(|t| 1.3 * t).collect(),
+            )
+        };
+        let window = drift(&train).take(128);
+        let drifted_valid = drift(&valid);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 32,
+            lr: 1e-3,
+            seed: 2,
+        };
+        let shadow = incumbent.fine_tune_incremental(&window, &cfg);
+        let stale_rmse = incumbent.rmse(&drifted_valid);
+        let shadow_rmse = shadow.rmse(&drifted_valid);
+        assert!(
+            shadow_rmse < stale_rmse / 3.0,
+            "shadow RMSE {shadow_rmse:.3} should be far below the stale {stale_rmse:.3}"
+        );
+        // Determinism + frozen source.
+        let again = incumbent.fine_tune_incremental(&window, &cfg);
+        let arch = Architecture::random(&SearchSpace::standard(), 13);
+        assert_eq!(
+            shadow.predict(&arch).to_bits(),
+            again.predict(&arch).to_bits()
+        );
+        assert_eq!(
+            incumbent.rmse(&valid).to_bits(),
+            train_small().0.rmse(&valid).to_bits(),
+            "incremental fine-tune must not mutate the incumbent"
+        );
     }
 
     #[test]

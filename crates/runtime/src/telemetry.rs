@@ -73,6 +73,22 @@ pub mod events {
     pub const SERVE_BATCH: &str = "serve_batch";
     /// Graceful drain finished: served/rejected/in-flight accounting.
     pub const SERVE_DRAINED: &str = "serve_drained";
+
+    // --- online adaptation (lightnas-serve::adapt) ---
+
+    /// The drift monitor flagged the serving model as stale (windowed
+    /// RMSE/rank-correlation vs live observations breached a bar).
+    pub const ADAPT_STALENESS: &str = "adapt_staleness";
+    /// Shadow retraining started on the recent sample window.
+    pub const ADAPT_RETRAIN: &str = "adapt_retrain";
+    /// A shadow candidate finished paired live-traffic validation
+    /// (`passed` says whether it beat the incumbent by the margin).
+    pub const ADAPT_VALIDATED: &str = "adapt_validated";
+    /// A validated shadow was promoted to serve (new `generation`).
+    pub const ADAPT_PROMOTED: &str = "adapt_promoted";
+    /// A promoted generation regressed on probation and was rolled back
+    /// (the breaker trips alongside this event).
+    pub const ADAPT_ROLLBACK: &str = "adapt_rollback";
 }
 
 /// A telemetry field value.

@@ -216,6 +216,24 @@ impl CircuitBreaker {
         }
     }
 
+    /// Force-opens the breaker with an audited `reason`, regardless of the
+    /// failure streak — the rollback path: when a freshly promoted model
+    /// regresses, the adaptation layer reinstates the previous generation
+    /// *and* trips the breaker so traffic rides the LUT fallback for one
+    /// cool-down while the restored model warms back up. No-op when already
+    /// Open (the existing cool-down keeps its clock).
+    pub fn trip(&self, now: Duration, reason: &'static str) {
+        let mut inner = self.lock();
+        self.settle(&mut inner, now);
+        if inner.state != BreakerState::Open {
+            Self::transition(&mut inner, now, BreakerState::Open, reason);
+            inner.opened_at = now;
+            inner.trial_in_flight = false;
+            inner.trial_successes = 0;
+            inner.consecutive_failures = 0;
+        }
+    }
+
     /// Drains the audited transitions accumulated since the last call,
     /// oldest first.
     pub fn take_transitions(&self) -> Vec<Transition> {
@@ -284,6 +302,21 @@ mod tests {
         assert_eq!(b.state(open_for), BreakerState::Open);
         assert!(!b.try_acquire(open_for + open_for - ms(1)), "new cool-down");
         assert!(b.try_acquire(open_for + open_for), "re-probes again");
+    }
+
+    #[test]
+    fn forced_trip_is_audited_and_cools_down_normally() {
+        let cfg = BreakerConfig::default();
+        let open_for = cfg.open_for;
+        let b = CircuitBreaker::new(cfg);
+        b.trip(ms(3), "rolled_back");
+        assert_eq!(b.state(ms(3)), BreakerState::Open);
+        assert!(!b.try_acquire(ms(3) + open_for - ms(1)));
+        // Re-tripping while Open keeps the original cool-down clock.
+        b.trip(ms(5), "rolled_back");
+        assert!(b.try_acquire(ms(3) + open_for), "original cool-down held");
+        let reasons: Vec<&str> = b.take_transitions().iter().map(|t| t.reason).collect();
+        assert_eq!(reasons, ["rolled_back", "probing"]);
     }
 
     #[test]

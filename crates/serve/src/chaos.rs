@@ -45,11 +45,57 @@ pub struct ServeFault {
     pub kind: ServeFaultKind,
 }
 
+/// One way the *adaptation loop* is attacked on a scheduled sample tick.
+///
+/// These extend the call-indexed [`ServeFaultKind`]s with the failure modes
+/// the drift/promote/rollback machinery exists to survive. They are keyed by
+/// **sample index** (the adaptation loop's virtual-clock tick), not primary
+/// call index, because the loop observes one live sample per tick regardless
+/// of how many predictor calls that tick costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdaptFaultKind {
+    /// The device's latency surface steps by `scale` from this tick on
+    /// (thermal throttle, power-mode flip) — the drift the monitor must
+    /// detect.
+    DriftBurst {
+        /// Multiplicative latency factor (e.g. 1.35).
+        scale: f64,
+    },
+    /// The *serving* model silently goes stale: its answers gain a constant
+    /// `bias_ms` for `samples` ticks (weight corruption, bad cache entry) —
+    /// staleness with no device drift at all.
+    StalePredictor {
+        /// Additive bias on every served prediction, ms.
+        bias_ms: f64,
+        /// How many sample ticks the corruption lasts.
+        samples: u64,
+    },
+    /// The next promotion deploys a corrupted copy of the validated shadow
+    /// (its predictions gain `bias_ms`) — the bad-deploy failure the
+    /// rollback path exists for. The *validated* candidate was fine; the
+    /// copy that reaches the serving slot is not.
+    BadDeploy {
+        /// Additive bias on the deployed generation's predictions, ms.
+        bias_ms: f64,
+    },
+}
+
+/// An adaptation fault bound to one sample tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptFault {
+    /// 0-based sample index (adaptation tick) this fires on.
+    pub at_sample: u64,
+    /// What happens.
+    pub kind: AdaptFaultKind,
+}
+
 /// A reproducible, one-shot schedule of serving faults.
 #[derive(Debug, Default)]
 pub struct ChaosPlan {
     faults: Vec<ServeFault>,
     fired: Vec<AtomicBool>,
+    adapt_faults: Vec<AdaptFault>,
+    adapt_fired: Vec<AtomicBool>,
 }
 
 impl ChaosPlan {
@@ -63,7 +109,33 @@ impl ChaosPlan {
         faults.sort_by_key(|f| f.call);
         faults.dedup_by_key(|f| f.call);
         let fired = faults.iter().map(|_| AtomicBool::new(false)).collect();
-        Self { faults, fired }
+        Self {
+            faults,
+            fired,
+            adapt_faults: Vec::new(),
+            adapt_fired: Vec::new(),
+        }
+    }
+
+    /// Adds tick-scheduled adaptation faults to the plan.
+    ///
+    /// Unlike call-indexed faults (dedup'd — one per call), several
+    /// adaptation faults may share a tick, and they fire in **insertion
+    /// order** within it: the sort below is stable and keys on the tick
+    /// only. (The first cut of this schedule sorted by `(tick, kind
+    /// discriminant)`, so a same-tick `DriftBurst` + `BadDeploy` pair fired
+    /// in kind order on one platform and insertion order after a refactor —
+    /// the byte-identity soak caught it; the regression test now pins
+    /// insertion order.)
+    pub fn with_adapt_faults(mut self, faults: Vec<AdaptFault>) -> Self {
+        self.adapt_faults = faults;
+        self.adapt_faults.sort_by_key(|f| f.at_sample);
+        self.adapt_fired = self
+            .adapt_faults
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        self
     }
 
     /// A seeded plan over roughly `calls` primary calls, covering all three
@@ -126,6 +198,41 @@ impl ChaosPlan {
             .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
             .ok()
             .map(|_| self.faults[idx].kind)
+    }
+
+    /// The scheduled adaptation faults (tick order; same-tick faults in
+    /// insertion order).
+    pub fn adapt_faults(&self) -> &[AdaptFault] {
+        &self.adapt_faults
+    }
+
+    /// How many adaptation faults have fired so far.
+    pub fn adapt_fired(&self) -> usize {
+        self.adapt_fired
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Claims every adaptation fault scheduled for `sample`, each at most
+    /// once, **in insertion order** — the contract the one-shot/virtual-
+    /// clock regression test pins (a tick is one instant on a virtual
+    /// clock, so only insertion order can break ties deterministically).
+    pub fn take_adapt(&self, sample: u64) -> Vec<AdaptFaultKind> {
+        // Walk to the first fault at this tick (binary_search may land
+        // anywhere inside an equal run), then claim the run left to right.
+        let start = self.adapt_faults.partition_point(|f| f.at_sample < sample);
+        self.adapt_faults[start..]
+            .iter()
+            .take_while(|f| f.at_sample == sample)
+            .enumerate()
+            .filter_map(|(k, f)| {
+                self.adapt_fired[start + k]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .ok()
+                    .map(|_| f.kind)
+            })
+            .collect()
     }
 }
 
@@ -206,6 +313,60 @@ mod tests {
         assert!(has(|k| matches!(k, ServeFaultKind::Nan)));
         assert!(has(|k| matches!(k, ServeFaultKind::Panic)));
         assert!(has(|k| matches!(k, ServeFaultKind::Slow { .. })));
+    }
+
+    #[test]
+    fn same_tick_adapt_faults_fire_in_insertion_order_exactly_once() {
+        // Regression: one-shot faults scheduled at the *same* virtual-clock
+        // tick must fire in insertion order (a tick is a single instant on
+        // a VirtualClock, so nothing else can order them deterministically).
+        // Insertion order here is deliberately NOT kind order or magnitude
+        // order.
+        let plan = ChaosPlan::none().with_adapt_faults(vec![
+            AdaptFault {
+                at_sample: 7,
+                kind: AdaptFaultKind::StalePredictor {
+                    bias_ms: 4.0,
+                    samples: 10,
+                },
+            },
+            AdaptFault {
+                at_sample: 3,
+                kind: AdaptFaultKind::DriftBurst { scale: 1.5 },
+            },
+            AdaptFault {
+                at_sample: 7,
+                kind: AdaptFaultKind::DriftBurst { scale: 1.2 },
+            },
+            AdaptFault {
+                at_sample: 7,
+                kind: AdaptFaultKind::BadDeploy { bias_ms: 9.0 },
+            },
+        ]);
+        assert!(plan.take_adapt(0).is_empty());
+        assert_eq!(
+            plan.take_adapt(3),
+            vec![AdaptFaultKind::DriftBurst { scale: 1.5 }]
+        );
+        assert_eq!(
+            plan.take_adapt(7),
+            vec![
+                AdaptFaultKind::StalePredictor {
+                    bias_ms: 4.0,
+                    samples: 10,
+                },
+                AdaptFaultKind::DriftBurst { scale: 1.2 },
+                AdaptFaultKind::BadDeploy { bias_ms: 9.0 },
+            ],
+            "same-tick faults must fire in insertion order"
+        );
+        assert!(
+            plan.take_adapt(7).is_empty(),
+            "one-shot: a tick never re-fires"
+        );
+        assert_eq!(plan.adapt_fired(), 4);
+        // Call-indexed faults are untouched by the adaptation schedule.
+        assert!(plan.faults().is_empty());
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! is the process answering at all — and *readiness* — should new traffic
 //! be sent here. [`HealthSnapshot`] answers both from the service's own
 //! counters, with the breaker state riding along so "up but degraded to
-//! the LUT" is visible instead of masquerading as healthy.
+//! the LUT" is visible instead of masquerading as healthy. Services with
+//! the adaptation layer wired additionally report which model generation
+//! is serving and how stale it is.
+
+use std::time::Duration;
 
 use crate::breaker::BreakerState;
 
@@ -36,6 +40,17 @@ pub struct HealthSnapshot {
     pub deadline_expired: u64,
     /// Coalesced batches processed.
     pub batches: u64,
+    /// Deployment generation of the serving model (0 = the initially
+    /// deployed model; bumps on every promotion *and* rollback). Stays 0
+    /// when no adaptation layer is wired.
+    pub model_generation: u64,
+    /// Live samples ingested since the last model swap — the sample-count
+    /// face of staleness. Stays 0 when no adaptation layer is wired.
+    pub staleness_samples: u64,
+    /// Service-clock time since the last model swap — the wall-clock face
+    /// of staleness (virtual under a `VirtualClock`). Stays zero when no
+    /// adaptation layer is wired.
+    pub staleness_age: Duration,
 }
 
 impl HealthSnapshot {
@@ -55,5 +70,121 @@ impl HealthSnapshot {
                 + self.deadline_expired
                 + self.rejected_overloaded
                 + self.rejected_draining
+    }
+
+    /// Renders the snapshot as one flat JSON object (the `/healthz` wire
+    /// form). The adaptation fields (`model_generation`,
+    /// `staleness_samples`, `staleness_age_us`) are **omitted while at
+    /// their defaults** — a service without the adaptation layer serializes
+    /// byte-identically to releases that predate those fields, which the
+    /// snapshot-shape test pins.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"ready\":{},\"draining\":{},\"queue_depth\":{},\"breaker\":\"{}\",\
+             \"submitted\":{},\"served\":{},\"degraded\":{},\"rejected_overloaded\":{},\
+             \"rejected_draining\":{},\"deadline_expired\":{},\"batches\":{}",
+            self.ready,
+            self.draining,
+            self.queue_depth,
+            self.breaker,
+            self.submitted,
+            self.served,
+            self.degraded,
+            self.rejected_overloaded,
+            self.rejected_draining,
+            self.deadline_expired,
+            self.batches,
+        );
+        if self.model_generation != 0
+            || self.staleness_samples != 0
+            || self.staleness_age != Duration::ZERO
+        {
+            let _ = write!(
+                out,
+                ",\"model_generation\":{},\"staleness_samples\":{},\"staleness_age_us\":{}",
+                self.model_generation,
+                self.staleness_samples,
+                self.staleness_age.as_micros().min(u128::from(u64::MAX)),
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> HealthSnapshot {
+        HealthSnapshot {
+            ready: true,
+            draining: false,
+            queue_depth: 2,
+            breaker: BreakerState::Closed,
+            submitted: 10,
+            served: 7,
+            degraded: 1,
+            rejected_overloaded: 2,
+            rejected_draining: 0,
+            deadline_expired: 1,
+            batches: 3,
+            model_generation: 0,
+            staleness_samples: 0,
+            staleness_age: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn non_adaptive_snapshot_serializes_to_the_legacy_shape() {
+        // Pinned bytes: the exact wire form before the adaptation fields
+        // existed. A service that never wires an adaptation layer must not
+        // change shape.
+        assert_eq!(
+            base().to_json(),
+            "{\"ready\":true,\"draining\":false,\"queue_depth\":2,\"breaker\":\"closed\",\
+             \"submitted\":10,\"served\":7,\"degraded\":1,\"rejected_overloaded\":2,\
+             \"rejected_draining\":0,\"deadline_expired\":1,\"batches\":3}"
+        );
+    }
+
+    #[test]
+    fn adaptive_snapshot_appends_the_staleness_fields() {
+        let snap = HealthSnapshot {
+            model_generation: 2,
+            staleness_samples: 17,
+            staleness_age: Duration::from_millis(250),
+            ..base()
+        };
+        let json = snap.to_json();
+        assert!(
+            json.ends_with(
+                ",\"model_generation\":2,\"staleness_samples\":17,\"staleness_age_us\":250000}"
+            ),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn staleness_alone_is_enough_to_surface_the_fields() {
+        // Generation 0 but samples flowing: still an adaptive service.
+        let snap = HealthSnapshot {
+            staleness_samples: 5,
+            ..base()
+        };
+        assert!(snap.to_json().contains("\"model_generation\":0"));
+    }
+
+    #[test]
+    fn accounting_invariant_matches_the_drain_report() {
+        assert!(base().fully_accounted());
+        let short = HealthSnapshot {
+            served: 6,
+            ..base()
+        };
+        assert!(!short.fully_accounted());
     }
 }

@@ -20,7 +20,15 @@
 //!   chaos soak asserts byte-identical telemetry across same-seed runs.
 //! * [`ChaosPlan`] / [`ChaosPredictor`] — seeded, one-shot fault schedules
 //!   (NaN bursts, panics, slow responses) in the same idiom as the
-//!   runtime's `FaultPlan`.
+//!   runtime's `FaultPlan`; [`AdaptFault`]s additionally script drift
+//!   bursts, stale predictors, and bad deploys against the adaptation
+//!   layer.
+//! * [`AdaptationController`] / [`ModelSlot`] / [`DriftMonitor`] — the
+//!   drift-safe adaptation layer: live samples stream in, staleness is
+//!   detected from windowed residuals (RMSE ratio + Spearman rank
+//!   correlation), a shadow is fine-tuned and validated on paired live
+//!   traffic, and promotion/rollback is audited ([`AdaptEvent`]) with the
+//!   breaker as the rollback blast door (see DESIGN.md §13).
 //!
 //! # Example
 //!
@@ -43,6 +51,7 @@
 //! # let _ = id;
 //! ```
 
+mod adapt;
 mod breaker;
 mod chaos;
 mod clock;
@@ -51,8 +60,14 @@ mod health;
 mod queue;
 mod service;
 
+pub use adapt::{
+    audit_is_well_formed, spearman, AdaptConfig, AdaptEvent, AdaptStatus, AdaptationController,
+    DriftMonitor, ModelSlot, ShadowTrainer, StalenessReport,
+};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
-pub use chaos::{ChaosPlan, ChaosPredictor, ServeFault, ServeFaultKind};
+pub use chaos::{
+    AdaptFault, AdaptFaultKind, ChaosPlan, ChaosPredictor, ServeFault, ServeFaultKind,
+};
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::ServeError;
 pub use health::HealthSnapshot;

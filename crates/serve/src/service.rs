@@ -35,6 +35,7 @@ use std::time::Duration;
 use lightnas_predictor::{BatchPredictor, DegradeCause, FallbackPredictor, Predictor};
 use lightnas_runtime::{events, Field, Telemetry};
 
+use crate::adapt::AdaptStatus;
 use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::clock::Clock;
 use crate::error::ServeError;
@@ -190,6 +191,7 @@ pub struct PredictorService<'a, P: Predictor, F: Predictor> {
     queue: AdmissionQueue<Ticket>,
     breaker: CircuitBreaker,
     telemetry: Option<&'a Telemetry>,
+    adapt: Option<&'a AdaptStatus>,
     next_id: AtomicU64,
     responses: Mutex<Vec<Served>>,
     counters: Counters,
@@ -211,6 +213,7 @@ impl<'a, P: BatchPredictor, F: Predictor> PredictorService<'a, P, F> {
             breaker: CircuitBreaker::new(config.breaker.clone()),
             config,
             telemetry: None,
+            adapt: None,
             next_id: AtomicU64::new(0),
             responses: Mutex::new(Vec::new()),
             counters: Counters::default(),
@@ -223,6 +226,23 @@ impl<'a, P: BatchPredictor, F: Predictor> PredictorService<'a, P, F> {
     pub fn with_telemetry(mut self, telemetry: &'a Telemetry) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Surfaces the adaptation layer's generation/staleness counters in
+    /// [`health`](Self::health) — share the [`AdaptStatus`] instance with
+    /// the `AdaptationController` driving the model slot. Without this,
+    /// the snapshot's adaptation fields stay at their (serialization-
+    /// invisible) defaults.
+    pub fn with_adapt_status(mut self, status: &'a AdaptStatus) -> Self {
+        self.adapt = Some(status);
+        self
+    }
+
+    /// The service's circuit breaker — exposed so the adaptation layer can
+    /// force a cool-down (`CircuitBreaker::trip`) when it rolls a
+    /// promotion back.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
     }
 
     fn emit(&self, event: &str, fields: &[(&str, Field)]) {
@@ -480,11 +500,23 @@ impl<'a, P: BatchPredictor, F: Predictor> PredictorService<'a, P, F> {
     /// Point-in-time health/readiness.
     pub fn health(&self) -> HealthSnapshot {
         let draining = self.queue.is_draining();
+        let now = self.clock.now();
+        let (model_generation, staleness_samples, staleness_age) = match self.adapt {
+            Some(s) => (
+                s.generation(),
+                s.samples_since_promotion(),
+                now.saturating_sub(s.promoted_at()),
+            ),
+            None => (0, 0, Duration::ZERO),
+        };
         HealthSnapshot {
             ready: !draining,
             draining,
             queue_depth: self.queue.depth(),
-            breaker: self.breaker.state(self.clock.now()),
+            breaker: self.breaker.state(now),
+            model_generation,
+            staleness_samples,
+            staleness_age,
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             served: self.counters.served.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),

@@ -1,0 +1,191 @@
+//! Property-based invariants of the adaptation layer (proptest).
+//!
+//! Three contract clauses the drift soak leans on, hammered over arbitrary
+//! signal scales, noise shapes, drift rates, and fault placements:
+//!
+//! * a stationary stream — honest model, bounded noise — **never** flags
+//!   staleness;
+//! * a monotone multiplicative drift ramp **always** flags, within a
+//!   window-scaled sample budget;
+//! * the promote/rollback state machine never serves an unvalidated
+//!   shadow: the deployment generation moves only through audited
+//!   promotions (each behind a passing verdict) and rollbacks, no matter
+//!   where chaos bias or a bad deploy lands.
+
+use proptest::prelude::*;
+
+use lightnas_predictor::{BatchPredictor, Predictor};
+use lightnas_serve::{
+    audit_is_well_formed, AdaptConfig, AdaptEvent, AdaptationController, DriftMonitor, ModelSlot,
+    VirtualClock,
+};
+
+/// Deterministic per-index value in [1, 2) — the "architecture" signal.
+fn lane(i: u64) -> f64 {
+    1.0 + (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / 16_777_216.0
+}
+
+/// Smooth bounded noise with a stable RMS — adversarial amplitudes are
+/// allowed, adversarial *windows* (quiet calibration, loud afterwards) are
+/// not what "stationary" means.
+fn noise(i: u64, amplitude: f64, phase: f64) -> f64 {
+    amplitude * (0.7 * i as f64 + phase).sin()
+}
+
+fn config() -> AdaptConfig {
+    AdaptConfig {
+        window: 32,
+        min_samples: 16,
+        ..AdaptConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Stationary stream, honest model, noise up to 5% of signal: the
+    /// detector must stay quiet forever (well, for 600 samples).
+    #[test]
+    fn stationary_stream_never_flags(
+        scale in 5.0f64..40.0,
+        noise_frac in 0.0f64..0.05,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let cfg = config();
+        let mut monitor = DriftMonitor::new(cfg.window);
+        for i in 0..600u64 {
+            let truth = scale * lane(i);
+            let observed = truth + noise(i, noise_frac * scale, phase);
+            monitor.push(truth, observed);
+            prop_assert!(
+                monitor.check(&cfg).is_none(),
+                "stationary stream flagged at sample {} (scale {scale}, frac {noise_frac})",
+                i
+            );
+        }
+    }
+
+    /// A monotone multiplicative ramp must flag within a window-scaled
+    /// budget — the detector is allowed latency, not blindness.
+    #[test]
+    fn monotone_ramp_always_flags_within_budget(
+        scale in 5.0f64..40.0,
+        ramp in 0.002f64..0.02,
+        noise_frac in 0.0f64..0.05,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let cfg = config();
+        let mut monitor = DriftMonitor::new(cfg.window);
+        let budget = 1000u64;
+        let mut flagged = None;
+        for i in 0..budget {
+            let truth = scale * lane(i);
+            let drifted = truth * (1.0 + ramp * i as f64);
+            let observed = drifted + noise(i, noise_frac * scale, phase);
+            monitor.push(truth, observed);
+            if monitor.check(&cfg).is_some() {
+                flagged = Some(i);
+                break;
+            }
+        }
+        prop_assert!(
+            flagged.is_some(),
+            "ramp {ramp}/sample never flagged within {budget} samples"
+        );
+    }
+}
+
+/// A linear fake model and a least-squares refit trainer — instant,
+/// deterministic, and good enough for the state machine to exercise every
+/// transition.
+#[derive(Debug, Clone)]
+struct LinearModel {
+    scale: f64,
+}
+impl Predictor for LinearModel {
+    fn predict_encoding(&self, e: &[f32]) -> f64 {
+        self.scale * f64::from(e[0])
+    }
+    fn gradient(&self, e: &[f32]) -> Vec<f32> {
+        vec![0.0; e.len()]
+    }
+}
+impl BatchPredictor for LinearModel {}
+
+fn refit(_m: &LinearModel, encs: &[Vec<f32>], obs: &[f64]) -> LinearModel {
+    let (mut num, mut den) = (0.0, 0.0);
+    for (e, o) in encs.iter().zip(obs) {
+        let x = f64::from(e[0]);
+        num += x * o;
+        den += x * x;
+    }
+    LinearModel { scale: num / den }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drive the full controller through arbitrary regime changes with a
+    /// stale-bias fault and a bad deploy landing at arbitrary points. At
+    /// every single sample: the audit trail stays well-formed (promotions
+    /// only behind passing verdicts) and the serving generation equals
+    /// exactly the audited deployments — an unvalidated shadow has no path
+    /// into the slot.
+    #[test]
+    fn generation_moves_only_through_audited_deployments(
+        seg_lens in proptest::collection::vec(20usize..60, 4),
+        seg_scales in proptest::collection::vec(5.0f64..30.0, 4),
+        bias_at in 0usize..150,
+        bias_ms in 1.0f64..30.0,
+        bias_n in 1u64..40,
+        bad_deploy_at in 0usize..150,
+        bad_bias in 20.0f64..80.0,
+    ) {
+        let regimes: Vec<(usize, f64)> =
+            seg_lens.iter().copied().zip(seg_scales.iter().copied()).collect();
+        let clock = VirtualClock::new();
+        let slot = ModelSlot::new(LinearModel { scale: regimes[0].1 });
+        let mut ctl = AdaptationController::new(
+            &slot,
+            &clock,
+            AdaptConfig {
+                window: 16,
+                min_samples: 8,
+                validation_pairs: 8,
+                probation: 8,
+                cooldown: 8,
+                ..AdaptConfig::default()
+            },
+            refit,
+        );
+        let mut i = 0u64;
+        for &(len, scale) in &regimes {
+            for _ in 0..len {
+                if i as usize == bias_at {
+                    slot.inject_bias(bias_ms, bias_n);
+                }
+                if i as usize == bad_deploy_at {
+                    ctl.arm_bad_deploy(bad_bias);
+                }
+                let e = vec![lane(i) as f32, 0.0];
+                ctl.ingest(&e, scale * lane(i));
+                let audit = ctl.audit();
+                prop_assert!(audit_is_well_formed(audit), "{audit:?}");
+                let promotions = audit
+                    .iter()
+                    .filter(|e| matches!(e, AdaptEvent::Promoted { .. }))
+                    .count() as u64;
+                let rollbacks = audit
+                    .iter()
+                    .filter(|e| matches!(e, AdaptEvent::RolledBack { .. }))
+                    .count() as u64;
+                prop_assert_eq!(
+                    slot.generation(),
+                    promotions + rollbacks,
+                    "generation moved outside the audited promote/rollback path"
+                );
+                i += 1;
+            }
+        }
+    }
+}
