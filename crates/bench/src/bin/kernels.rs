@@ -16,6 +16,13 @@
 //! Timing is machine-dependent; the JSON is evidence from the machine that
 //! produced it, not a golden file. The acceptance bar (≥ 3× on conv2d
 //! forward vs the naive kernel) is asserted here so regressions fail loudly.
+//!
+//! The opt-in **fast tier** (`LIGHTNAS_KERNEL_MODE=fast`) is measured
+//! alongside: each row also reports the fast-mode 1- and 4-thread times,
+//! the fast-vs-strict max relative error (against the exact per-element
+//! `Σ|terms|` scale), and how much of the documented tolerance bound that
+//! error consumes (`bound util`, asserted ≤ 1). Strict rows keep their
+//! bit-identity gate; fast rows are gated by `lightnas_tensor::tolerance`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -24,7 +31,8 @@ use std::time::Instant;
 use lightnas_bench::render_table;
 use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig};
 use lightnas_space::SearchSpace;
-use lightnas_tensor::{kernels, Conv2dSpec, Tensor};
+use lightnas_tensor::tolerance::ReductionBound;
+use lightnas_tensor::{kernels, set_kernel_mode, Conv2dSpec, KernelMode, Tensor};
 
 /// Median wall time of `f` over `reps` runs, in microseconds.
 fn time_us<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -54,11 +62,76 @@ struct Row {
     naive_us: f64,
     fast_us: f64,
     fast4_us: f64,
+    /// Fast-tier timings and error accounting (`LIGHTNAS_KERNEL_MODE=fast`).
+    tier: FastTier,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
         self.naive_us / self.fast_us
+    }
+}
+
+/// Fast-tier measurements for one row: wall times, the max relative error
+/// against the strict oracle (scaled by the exact per-element `Σ|terms|`),
+/// and the fraction of the documented tolerance bound that error consumes.
+struct FastTier {
+    t1_us: f64,
+    t4_us: f64,
+    max_rel_err: f64,
+    bound_util: f64,
+}
+
+impl FastTier {
+    fn parity(&self) -> f64 {
+        self.t1_us / self.t4_us
+    }
+}
+
+fn abs_tensor(t: &Tensor) -> Tensor {
+    Tensor::from_vec(
+        t.as_slice().iter().map(|v| v.abs()).collect(),
+        t.shape().dims(),
+    )
+}
+
+/// Max fast-vs-strict error relative to each element's `Σ|terms|` scale,
+/// plus the fraction of `bound` it consumes.
+fn tier_error(fast: &[f32], strict: &[f32], scale: &[f32], bound: ReductionBound) -> (f64, f64) {
+    let mut rel = 0.0f64;
+    let mut util = 0.0f64;
+    for ((&f, &s), &sc) in fast.iter().zip(strict).zip(scale) {
+        let diff = f64::from((f - s).abs());
+        rel = rel.max(diff / f64::from(sc.abs().max(1e-20)));
+        util = util.max(diff / f64::from(bound.allowance(sc)));
+    }
+    (rel, util)
+}
+
+/// Times the fast tier at 1 and 4 threads and checks its output against
+/// the strict `reference` under `bound`; call with strict mode active,
+/// leaves strict mode active.
+fn measure_tier(
+    reps: usize,
+    reference: &[f32],
+    scale: &[f32],
+    bound: ReductionBound,
+    mut run: impl FnMut() -> Tensor,
+) -> FastTier {
+    set_kernel_mode(KernelMode::Fast);
+    kernels::set_num_threads(1);
+    let out = run();
+    let (max_rel_err, bound_util) = tier_error(out.as_slice(), reference, scale, bound);
+    let t1_us = time_us(reps, &mut run);
+    kernels::set_num_threads(4);
+    let t4_us = time_us(reps, &mut run);
+    kernels::set_num_threads(1);
+    set_kernel_mode(KernelMode::Strict);
+    FastTier {
+        t1_us,
+        t4_us,
+        max_rel_err,
+        bound_util,
     }
 }
 
@@ -80,11 +153,21 @@ fn conv_row(name: &str, x: &Tensor, w: &Tensor, spec: Conv2dSpec, reps: usize) -
     kernels::set_num_threads(4);
     let fast4_us = time_us(reps, || lightnas_tensor::conv2d_forward(x, w, spec));
     kernels::set_num_threads(1);
+    let scale = lightnas_tensor::conv2d_forward(&abs_tensor(x), &abs_tensor(w), spec);
+    let cin = x.shape().dims()[1];
+    let tier = measure_tier(
+        reps,
+        reference.as_slice(),
+        scale.as_slice(),
+        ReductionBound::conv2d(cin, spec.kernel, spec.kernel),
+        || lightnas_tensor::conv2d_forward(x, w, spec),
+    );
     Row {
         name: name.to_string(),
         naive_us,
         fast_us,
         fast4_us,
+        tier,
     }
 }
 
@@ -144,11 +227,20 @@ fn main() -> ExitCode {
         kernels::set_num_threads(4);
         let fast4_us = time_us(reps, || a.matmul(&b));
         kernels::set_num_threads(1);
+        let scale = abs_tensor(&a).matmul(&abs_tensor(&b));
+        let tier = measure_tier(
+            reps,
+            reference.as_slice(),
+            scale.as_slice(),
+            ReductionBound::matmul(320),
+            || a.matmul(&b),
+        );
         rows.push(Row {
             name: "matmul 512x320x256".into(),
             naive_us,
             fast_us,
             fast4_us,
+            tier,
         });
     }
 
@@ -187,11 +279,33 @@ fn main() -> ExitCode {
         kernels::set_num_threads(4);
         let fast4_us = time_us(reps, || predictor.predict_batch(&encodings));
         kernels::set_num_threads(1);
+        // Σ|terms| is not observable through the frozen network, so the
+        // honest scale for end-to-end predictions is |prediction| + 1 and
+        // the bound is the summed layer depth (as the serve tier test pins).
+        let strict_preds: Vec<f32> = batched.iter().map(|&v| v as f32).collect();
+        let scale: Vec<f32> = strict_preds.iter().map(|p| p.abs() + 1.0).collect();
+        let tier = measure_tier(
+            reps,
+            &strict_preds,
+            &scale,
+            ReductionBound::matmul(154 + 128 + 64),
+            || {
+                Tensor::from_vec(
+                    predictor
+                        .predict_batch(&encodings)
+                        .iter()
+                        .map(|&v| v as f32)
+                        .collect(),
+                    &[encodings.len()],
+                )
+            },
+        );
         rows.push(Row {
             name: "mlp predict x256".into(),
             naive_us,
             fast_us,
             fast4_us,
+            tier,
         });
     }
 
@@ -199,10 +313,13 @@ fn main() -> ExitCode {
         &[
             "kernel",
             "naive (us)",
-            "fast 1t (us)",
-            "fast 4t (us)",
+            "strict 1t (us)",
+            "strict 4t (us)",
             "speedup 1t",
-            "speedup 4t",
+            "fastmode 1t (us)",
+            "fastmode 4t (us)",
+            "max rel err",
+            "bound util",
         ],
         &rows
             .iter()
@@ -213,12 +330,15 @@ fn main() -> ExitCode {
                     format!("{:.0}", r.fast_us),
                     format!("{:.0}", r.fast4_us),
                     format!("{:.1}x", r.speedup()),
-                    format!("{:.1}x", r.naive_us / r.fast4_us),
+                    format!("{:.0}", r.tier.t1_us),
+                    format!("{:.0}", r.tier.t4_us),
+                    format!("{:.1e}", r.tier.max_rel_err),
+                    format!("{:.2}", r.tier.bound_util),
                 ]
             })
             .collect::<Vec<_>>(),
     );
-    println!("Kernel throughput: blocked/parallel vs naive reference\n(bit-identity of every fast output verified before timing)\n");
+    println!("Kernel throughput: blocked/parallel vs naive reference, plus the opt-in fast tier\n(strict rows bit-identity-verified; fast rows tolerance-verified before timing)\n");
     println!("{table}");
 
     let conv_rows: Vec<&Row> = rows.iter().filter(|r| r.name.starts_with("conv")).collect();
@@ -236,24 +356,39 @@ fn main() -> ExitCode {
         .map(|r| r.fast_us / r.fast4_us)
         .fold(f64::INFINITY, f64::min);
     println!("minimum conv2d 4-thread/serial parity: {min_parity:.2} (bar: 0.95)");
+    let tier_max_util = rows
+        .iter()
+        .map(|r| r.tier.bound_util)
+        .fold(0.0f64, f64::max);
+    let tier_min_parity = rows
+        .iter()
+        .map(|r| r.tier.parity())
+        .fold(f64::INFINITY, f64::min);
+    println!("fast-tier max tolerance-bound utilization: {tier_max_util:.2} (bar: 1.0)");
+    println!("fast-tier min 4-thread/serial parity: {tier_min_parity:.2} (bar: 0.90)");
 
     let mut json = String::from("{\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"kernel\": \"{}\", \"naive_us\": {:.1}, \"fast_1t_us\": {:.1}, \"fast_4t_us\": {:.1}, \"speedup_1t\": {:.2}, \"speedup_4t\": {:.2}}}{}",
+            "    {{\"kernel\": \"{}\", \"naive_us\": {:.1}, \"fast_1t_us\": {:.1}, \"fast_4t_us\": {:.1}, \"speedup_1t\": {:.2}, \"speedup_4t\": {:.2}, \"fastmode_1t_us\": {:.1}, \"fastmode_4t_us\": {:.1}, \"fastmode_max_rel_err\": {:.3e}, \"fastmode_bound_util\": {:.3}, \"fastmode_parity_4t\": {:.3}}}{}",
             r.name,
             r.naive_us,
             r.fast_us,
             r.fast4_us,
             r.speedup(),
             r.naive_us / r.fast4_us,
+            r.tier.t1_us,
+            r.tier.t4_us,
+            r.tier.max_rel_err,
+            r.tier.bound_util,
+            r.tier.parity(),
             if i + 1 == rows.len() { "" } else { "," }
         );
     }
     let _ = write!(
         json,
-        "  ],\n  \"min_conv_forward_speedup_1t\": {min_conv:.2},\n  \"min_conv_parallel_parity\": {min_parity:.3},\n  \"bit_identity_verified\": true\n}}\n"
+        "  ],\n  \"min_conv_forward_speedup_1t\": {min_conv:.2},\n  \"min_conv_parallel_parity\": {min_parity:.3},\n  \"fastmode_max_bound_util\": {tier_max_util:.3},\n  \"fastmode_min_parity_4t\": {tier_min_parity:.3},\n  \"bit_identity_verified\": true\n}}\n"
     );
     if let Err(e) = std::fs::create_dir_all("results") {
         eprintln!("[kernels] cannot create results/: {e}");
@@ -280,6 +415,20 @@ fn main() -> ExitCode {
         eprintln!(
             "error: conv2d 4-thread parity {min_parity:.2} is below the 0.95 acceptance bar \
              (the persistent pool must make parallel dispatch at worst free)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if tier_max_util > 1.0 {
+        eprintln!(
+            "error: fast tier consumed {tier_max_util:.2}x of its documented tolerance bound \
+             (must stay within 1.0x — see lightnas_tensor::tolerance)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if tier_min_parity < 0.90 {
+        eprintln!(
+            "error: fast-tier 4-thread parity {tier_min_parity:.2} is below the 0.90 bar \
+             (per-thread partial sums must not cost real throughput)"
         );
         return ExitCode::FAILURE;
     }

@@ -36,6 +36,7 @@
 
 mod batch;
 mod cache;
+mod checkpoint;
 mod dataset;
 mod ensemble;
 mod fallback;
@@ -44,6 +45,7 @@ mod mlp;
 
 pub use batch::BatchPredictor;
 pub use cache::{architecture_key, encoding_key, CacheStats, CachedPredictor, Predictor};
+pub use checkpoint::{CheckpointError, WeightPrecision};
 pub use dataset::{Metric, MetricDataset};
 pub use ensemble::EnsemblePredictor;
 pub use fallback::{DegradeCause, FallbackPredictor};

@@ -64,10 +64,10 @@ impl Default for TrainConfig {
 /// predictor and [`fine_tune`](Self::fine_tune) the copy.
 #[derive(Debug, Clone)]
 pub struct MlpPredictor {
-    store: ParamStore,
-    mlp: Mlp,
-    mean: f64,
-    std: f64,
+    pub(crate) store: ParamStore,
+    pub(crate) mlp: Mlp,
+    pub(crate) mean: f64,
+    pub(crate) std: f64,
 }
 
 /// Runs the standard Adam/mini-batch loop over `train` against standardized

@@ -1,0 +1,150 @@
+//! Checkpoint round-trip contracts for the MLP predictor.
+//!
+//! * **f32 (strict tier)** — load(save(p)) is *the same predictor*: every
+//!   prediction bit-identical, and re-serializing reproduces the same bytes
+//!   (byte-compatibility, so strict checkpoints diff clean across runs).
+//! * **f16 (fast tier)** — the payload halves; predictions move by at most
+//!   the documented `2⁻⁸ · std` bound (each weight shifts ≤ 2⁻¹¹ relative,
+//!   and three ≤154-deep layers cannot amplify that past 2⁻⁸ on the
+//!   standardized scale). The quantized-in-memory predictor
+//!   ([`MlpPredictor::quantize_f16`]) matches the f16 checkpoint
+//!   bit-for-bit — serving can pre-commit to deployed-quantization results
+//!   without touching disk.
+
+use lightnas_hw::Xavier;
+use lightnas_predictor::{Metric, MetricDataset, MlpPredictor, TrainConfig, WeightPrecision};
+use lightnas_space::SearchSpace;
+
+fn trained() -> (MlpPredictor, MetricDataset) {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 600, 17);
+    let config = TrainConfig {
+        epochs: 20,
+        batch_size: 128,
+        lr: 2e-3,
+        seed: 3,
+    };
+    let predictor = MlpPredictor::train(&data, &config);
+    (predictor, data)
+}
+
+#[test]
+fn f32_round_trip_is_bit_exact_and_byte_stable() {
+    let (p, data) = trained();
+    let bytes = p.to_bytes(WeightPrecision::F32);
+    let loaded = MlpPredictor::from_bytes(&bytes).expect("f32 checkpoint must parse");
+    for (a, b) in p
+        .predict_batch(data.encodings())
+        .iter()
+        .zip(loaded.predict_batch(data.encodings()))
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "f32 round trip changed a prediction"
+        );
+    }
+    assert_eq!(
+        bytes,
+        loaded.to_bytes(WeightPrecision::F32),
+        "re-serializing an f32 checkpoint must reproduce its bytes"
+    );
+}
+
+#[test]
+fn f16_round_trip_stays_within_the_documented_bound() {
+    let (p, data) = trained();
+    let bytes16 = p.to_bytes(WeightPrecision::F16);
+    let loaded = MlpPredictor::from_bytes(&bytes16).expect("f16 checkpoint must parse");
+    // The documented contract: ≤ 2⁻⁸ of the target scale per prediction.
+    let bound = data.target_std().max(1e-6) * 2.0f64.powi(-8);
+    let want = p.predict_batch(data.encodings());
+    let got = loaded.predict_batch(data.encodings());
+    let mut worst = 0.0f64;
+    for (g, w) in got.iter().zip(&want) {
+        worst = worst.max((g - w).abs());
+    }
+    assert!(
+        worst <= bound,
+        "f16 round trip moved a prediction by {worst:.3e} ms (> bound {bound:.3e} ms)"
+    );
+    // The bound is tight enough to mean something: the quantization must
+    // actually perturb at least one prediction (weights are not f16-exact).
+    assert!(
+        got.iter()
+            .zip(&want)
+            .any(|(g, w)| g.to_bits() != w.to_bits()),
+        "f16 storage unexpectedly produced bit-identical predictions"
+    );
+}
+
+#[test]
+fn f16_payload_is_half_the_size() {
+    let (p, _) = trained();
+    let f32_len = p.to_bytes(WeightPrecision::F32).len();
+    let f16_len = p.to_bytes(WeightPrecision::F16).len();
+    // Identical headers and names; only the weight payload halves.
+    let header_overhead = 2 * f16_len as i64 - f32_len as i64;
+    assert!(
+        (0..1024).contains(&header_overhead),
+        "expected ~half-size f16 payload: f32 {f32_len} bytes, f16 {f16_len} bytes"
+    );
+}
+
+#[test]
+fn quantize_f16_matches_the_f16_checkpoint_bitwise() {
+    let (p, data) = trained();
+    let via_bytes = MlpPredictor::from_bytes(&p.to_bytes(WeightPrecision::F16)).unwrap();
+    let in_memory = p.quantize_f16();
+    for (a, b) in via_bytes
+        .predict_batch(data.encodings())
+        .iter()
+        .zip(in_memory.predict_batch(data.encodings()))
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "quantize_f16 diverged from an f16 checkpoint round trip"
+        );
+    }
+}
+
+#[test]
+fn save_and_load_through_a_file() {
+    let (p, data) = trained();
+    let dir = std::env::temp_dir().join(format!("lightnas-predictor-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("predictor.lnpc");
+    p.save(&path, WeightPrecision::F32).unwrap();
+    let loaded = MlpPredictor::load(&path).unwrap();
+    let enc = &data.encodings()[0];
+    assert_eq!(
+        p.predict_encoding(enc).to_bits(),
+        loaded.predict_encoding(enc).to_bits()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_checkpoints_are_rejected() {
+    let (p, _) = trained();
+    let good = p.to_bytes(WeightPrecision::F32);
+    assert!(MlpPredictor::from_bytes(&[]).is_err(), "empty must fail");
+    assert!(
+        MlpPredictor::from_bytes(&good[..good.len() - 1]).is_err(),
+        "truncation must fail"
+    );
+    let mut bad_magic = good.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(MlpPredictor::from_bytes(&bad_magic).is_err());
+    let mut trailing = good.clone();
+    trailing.push(0);
+    assert!(
+        MlpPredictor::from_bytes(&trailing).is_err(),
+        "trailing bytes must fail"
+    );
+    let mut bad_version = good;
+    bad_version[4] = 0xfe;
+    assert!(MlpPredictor::from_bytes(&bad_version).is_err());
+}

@@ -23,6 +23,10 @@
 //!   runtime's `FaultPlan`; [`AdaptFault`]s additionally script drift
 //!   bursts, stale predictors, and bad deploys against the adaptation
 //!   layer.
+//! * [`ServingTier`] — deploy-time choice of kernel tier and weight
+//!   precision: strict bit-reproducible serving (default), opt-in fast
+//!   kernels (`LIGHTNAS_KERNEL_MODE=fast`), or fast kernels over
+//!   f16-stored weights (`LIGHTNAS_SERVE_WEIGHTS=f16`).
 //! * [`AdaptationController`] / [`ModelSlot`] / [`DriftMonitor`] — the
 //!   drift-safe adaptation layer: live samples stream in, staleness is
 //!   detected from windowed residuals (RMSE ratio + Spearman rank
@@ -59,6 +63,7 @@ mod error;
 mod health;
 mod queue;
 mod service;
+mod tier;
 
 pub use adapt::{
     audit_is_well_formed, spearman, AdaptConfig, AdaptEvent, AdaptStatus, AdaptationController,
@@ -73,3 +78,4 @@ pub use error::ServeError;
 pub use health::HealthSnapshot;
 pub use queue::{AdmissionPolicy, AdmissionQueue, Priority};
 pub use service::{DrainReport, PredictorService, Request, Response, Served, ServiceConfig};
+pub use tier::{ServingTier, WEIGHTS_ENV};

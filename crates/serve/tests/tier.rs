@@ -1,0 +1,179 @@
+//! Serving-tier contracts end to end through the service: the strict tier
+//! is bit-identical to direct prediction, the fast tiers stay within the
+//! predictor-depth tolerance bound, and tier selection defaults to strict.
+//!
+//! Tests here flip the process-wide kernel mode, so they serialize through
+//! a mutex and always restore the strict default.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use lightnas_hw::Xavier;
+use lightnas_predictor::{
+    BatchPredictor, LutPredictor, Metric, MetricDataset, MlpPredictor, TrainConfig,
+};
+use lightnas_serve::{PredictorService, Request, ServiceConfig, ServingTier, VirtualClock};
+use lightnas_space::SearchSpace;
+use lightnas_tensor::{set_kernel_mode, tolerance::ReductionBound, KernelMode};
+
+fn knob_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Restores the strict default even when an assertion unwinds.
+struct StrictOnDrop;
+impl Drop for StrictOnDrop {
+    fn drop(&mut self) {
+        set_kernel_mode(KernelMode::Strict);
+    }
+}
+
+fn fixtures() -> (MlpPredictor, LutPredictor, Vec<Vec<f32>>) {
+    let space = SearchSpace::standard();
+    let device = Xavier::maxn();
+    let data = MetricDataset::sample(&device, &space, Metric::LatencyMs, 400, 29);
+    let mlp = MlpPredictor::train(
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            batch_size: 128,
+            lr: 2e-3,
+            seed: 5,
+        },
+    );
+    let lut = LutPredictor::build(&device, &space);
+    let encs = data.encodings()[..64].to_vec();
+    (mlp, lut, encs)
+}
+
+/// Serves every encoding through a fresh service under `tier` and returns
+/// the answers in submission order.
+fn serve_under(
+    tier: ServingTier,
+    trained: &MlpPredictor,
+    lut: &LutPredictor,
+    encs: &[Vec<f32>],
+) -> Vec<f64> {
+    let deployed = tier.prepare(trained);
+    tier.activate();
+    let clock = VirtualClock::new();
+    let service = PredictorService::new(&deployed, lut, &clock, ServiceConfig::default());
+    // Stay under the default admission watermark: submit in waves, pumping
+    // the queue empty between them.
+    let mut ids = Vec::with_capacity(encs.len());
+    for wave in encs.chunks(32) {
+        for e in wave {
+            ids.push(service.submit(Request::new(e.clone())).expect("admission"));
+        }
+        while service.pump() > 0 {}
+    }
+    let mut served = service.take_responses();
+    served.sort_by_key(|s| s.id);
+    set_kernel_mode(KernelMode::Strict);
+    assert_eq!(served.len(), ids.len(), "every request must be answered");
+    served
+        .into_iter()
+        .map(|s| {
+            let r = s.outcome.expect("no deadline set, must serve a value");
+            assert!(!r.degraded, "primary must answer, not the fallback");
+            r.value
+        })
+        .collect()
+}
+
+#[test]
+fn strict_tier_serves_bit_identical_to_direct_prediction() {
+    let _guard = knob_lock();
+    let _restore = StrictOnDrop;
+    let (mlp, lut, encs) = fixtures();
+    let direct = mlp.predict_encodings(&encs);
+    let served = serve_under(ServingTier::Strict, &mlp, &lut, &encs);
+    for (s, d) in served.iter().zip(&direct) {
+        assert_eq!(
+            s.to_bits(),
+            d.to_bits(),
+            "strict serving must be bit-identical to direct prediction"
+        );
+    }
+}
+
+#[test]
+fn fast_tier_serves_within_the_predictor_depth_bound() {
+    let _guard = knob_lock();
+    let _restore = StrictOnDrop;
+    let (mlp, lut, encs) = fixtures();
+    let strict: Vec<f32> = mlp
+        .predict_encodings(&encs)
+        .iter()
+        .map(|&v| v as f32)
+        .collect();
+    // The widest reduction in the 154→128→64→1 predictor is the input
+    // layer; its depth bounds every fast-kernel rearrangement. Predictions
+    // are destandardized, so the honest scale is |prediction| plus one
+    // target-std (the mean shift's magnitude floor).
+    let bound = ReductionBound::matmul(154 + 128 + 64);
+    for tier in [ServingTier::Fast, ServingTier::FastF16] {
+        let served: Vec<f32> = serve_under(tier, &mlp, &lut, &encs)
+            .iter()
+            .map(|&v| v as f32)
+            .collect();
+        let scale: Vec<f32> = strict.iter().map(|p| p.abs() + 1.0).collect();
+        if tier == ServingTier::Fast {
+            if let Err(v) = bound.check(&served, &strict, &scale) {
+                panic!("fast tier broke the tolerance bound: {v}");
+            }
+        } else {
+            // f16 weight storage adds the 2⁻¹¹-per-weight quantization on
+            // top of kernel reordering; the checkpoint tests pin 2⁻⁸ of
+            // the target scale, mirrored here against the same strict oracle.
+            for (i, (s, d)) in served.iter().zip(&strict).enumerate() {
+                assert!(
+                    (s - d).abs() <= 2.0f32.powi(-8) * scale[i],
+                    "f16 tier answer {i} drifted: {s} vs {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tier_prepare_only_quantizes_the_f16_tier() {
+    let _guard = knob_lock();
+    let _restore = StrictOnDrop;
+    let (mlp, _, encs) = fixtures();
+    let strict = ServingTier::Strict.prepare(&mlp);
+    let fast = ServingTier::Fast.prepare(&mlp);
+    let f16 = ServingTier::FastF16.prepare(&mlp);
+    let want = mlp.predict_encodings(&encs);
+    assert_eq!(strict.predict_encodings(&encs), want);
+    assert_eq!(fast.predict_encodings(&encs), want);
+    let quantized = f16.predict_encodings(&encs);
+    assert!(
+        quantized
+            .iter()
+            .zip(&want)
+            .any(|(a, b)| a.to_bits() != b.to_bits()),
+        "f16 preparation must actually quantize the weights"
+    );
+}
+
+#[test]
+fn tier_from_env_parses_the_two_knobs() {
+    let _guard = knob_lock();
+    let _restore = StrictOnDrop;
+    std::env::remove_var(lightnas_tensor::MODE_ENV);
+    std::env::remove_var(lightnas_serve::WEIGHTS_ENV);
+    assert_eq!(ServingTier::from_env(), ServingTier::Strict);
+    // f16 without fast kernels is not a tier: strict serving promises
+    // bit-identity with the searched checkpoint.
+    std::env::set_var(lightnas_serve::WEIGHTS_ENV, "f16");
+    assert_eq!(ServingTier::from_env(), ServingTier::Strict);
+    std::env::set_var(lightnas_tensor::MODE_ENV, "fast");
+    assert_eq!(ServingTier::from_env(), ServingTier::FastF16);
+    std::env::set_var(lightnas_serve::WEIGHTS_ENV, "f32");
+    assert_eq!(ServingTier::from_env(), ServingTier::Fast);
+    std::env::remove_var(lightnas_tensor::MODE_ENV);
+    std::env::remove_var(lightnas_serve::WEIGHTS_ENV);
+}

@@ -1,0 +1,293 @@
+//! IEEE-754 binary16 ⇄ binary32 conversion, dependency-free.
+//!
+//! Fast mode stores predictor weights in half precision (half the checkpoint
+//! bytes and half the memory traffic on weight loads) and widens them to
+//! `f32` on the fly before any arithmetic — no computation ever runs in
+//! half precision. The conversions here are exact IEEE-754 semantics:
+//! narrowing rounds to nearest-even (the same rounding `vcvtps2ph` performs),
+//! widening is exact for every finite binary16 value. On CPUs with F16C the
+//! bulk slice conversions dispatch to the hardware instructions; the scalar
+//! path is the oracle and produces identical bits.
+//!
+//! The round-trip error bound documented (and property-tested) here:
+//! for any normal-range `x`, `|widen(narrow(x)) − x| ≤ 2⁻¹¹ · |x|` — one
+//! half-ulp of the 11-bit significand. Values with magnitude above the
+//! binary16 range saturate to ±∞; magnitudes below ≈6.0e-8 flush toward
+//! zero through the subnormal range. Predictor weights live in ≈[-2, 2], so
+//! neither edge occurs in practice, but both are handled correctly.
+
+/// Narrows an `f32` to binary16 bits, rounding to nearest-even.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let abs = b & 0x7fff_ffff;
+    if abs >= 0x7f80_0000 {
+        // Inf stays inf; every NaN becomes a quiet NaN.
+        return if abs > 0x7f80_0000 {
+            sign | 0x7e00
+        } else {
+            sign | 0x7c00
+        };
+    }
+    if abs < 0x3880_0000 {
+        // Below 2⁻¹⁴: zero or binary16 subnormal.
+        if abs < 0x3300_0000 {
+            // Below 2⁻²⁵ everything rounds to zero (2⁻²⁵ itself ties to the
+            // even significand 0).
+            return sign;
+        }
+        let exp = abs >> 23;
+        let man = (abs & 0x007f_ffff) | 0x0080_0000;
+        // Value = man · 2^(exp−150); in units of 2⁻²⁴ that is
+        // `man >> (126 − exp)`, with exp ∈ [102, 112] here so the shift
+        // stays in [14, 24].
+        let shift = 126 - exp;
+        let val = man >> shift;
+        let rem = man & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round_up = rem > half || (rem == half && (val & 1) == 1);
+        return sign | (val + u32::from(round_up)) as u16;
+    }
+    // Normal range: add the rounding increment in f32 bit-space, then
+    // re-bias 127 → 15 and truncate the significand 23 → 10 bits.
+    let rounded = abs + 0x0000_0fff + ((abs >> 13) & 1);
+    if rounded >= 0x4780_0000 {
+        // Rounded past the binary16 max (65504): overflow to infinity.
+        return sign | 0x7c00;
+    }
+    sign | ((rounded - 0x3800_0000) >> 13) as u16
+}
+
+/// Widens binary16 bits to `f32` (exact for every finite input).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let man = u32::from(h & 0x03ff);
+    let bits = match exp {
+        0 => {
+            if man == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: value = man · 2⁻²⁴; normalize into f32.
+                let p = 31 - man.leading_zeros(); // top set bit, 0..=9
+                let e = 127 - 24 + p;
+                let m = (man << (23 - p)) & 0x007f_ffff;
+                sign | (e << 23) | m
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (man << 13), // inf / NaN (payload kept)
+        e => sign | ((u32::from(e) + 112) << 23) | (man << 13),
+    };
+    f32::from_bits(bits)
+}
+
+/// Narrows a slice; `dst` must match `src` in length. Uses F16C when the
+/// CPU has it (bit-identical to the scalar path).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn narrow_slice(src: &[f32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "narrow_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::f16c_available() {
+        // SAFETY: F16C availability was just established; lengths are equal.
+        unsafe { f16c::narrow(src, dst) };
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f32_to_f16_bits(s);
+    }
+}
+
+/// Widens a slice; `dst` must match `src` in length. Uses F16C when the
+/// CPU has it (bit-identical to the scalar path).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn widen_slice(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "widen_slice length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::f16c_available() {
+        // SAFETY: F16C availability was just established; lengths are equal.
+        unsafe { f16c::widen(src, dst) };
+        return;
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f16_bits_to_f32(s);
+    }
+}
+
+/// Round-trips a slice through binary16 in place — what loading an
+/// f16-stored checkpoint produces, without the bytes.
+pub fn round_trip_slice(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = f16_bits_to_f32(f32_to_f16_bits(*v));
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod f16c {
+    use std::arch::x86_64::{
+        __m128i, _mm256_cvtph_ps, _mm256_cvtps_ph, _mm256_loadu_ps, _mm256_storeu_ps,
+        _mm_loadu_si128, _mm_storeu_si128, _MM_FROUND_TO_NEAREST_INT,
+    };
+
+    /// # Safety
+    ///
+    /// F16C must be available; `src.len() == dst.len()`.
+    #[target_feature(enable = "f16c")]
+    pub unsafe fn narrow(src: &[f32], dst: &mut [u16]) {
+        unsafe {
+            let n = src.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let v = _mm256_loadu_ps(src.as_ptr().add(i));
+                let h = _mm256_cvtps_ph::<_MM_FROUND_TO_NEAREST_INT>(v);
+                _mm_storeu_si128(dst.as_mut_ptr().add(i) as *mut __m128i, h);
+                i += 8;
+            }
+            while i < n {
+                *dst.get_unchecked_mut(i) = super::f32_to_f16_bits(*src.get_unchecked(i));
+                i += 1;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// F16C must be available; `src.len() == dst.len()`.
+    #[target_feature(enable = "f16c")]
+    pub unsafe fn widen(src: &[u16], dst: &mut [f32]) {
+        unsafe {
+            let n = src.len();
+            let mut i = 0;
+            while i + 8 <= n {
+                let h = _mm_loadu_si128(src.as_ptr().add(i) as *const __m128i);
+                _mm256_storeu_ps(dst.as_mut_ptr().add(i), _mm256_cvtph_ps(h));
+                i += 8;
+            }
+            while i < n {
+                *dst.get_unchecked_mut(i) = super::f16_bits_to_f32(*src.get_unchecked(i));
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip_bitwise() {
+        for x in [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.099975586,
+            6.1035156e-5,
+        ] {
+            let rt = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert_eq!(rt.to_bits(), x.to_bits(), "{x} should be f16-exact");
+        }
+    }
+
+    #[test]
+    fn normal_range_error_is_within_half_ulp() {
+        // Deterministic sweep over the normal range, both signs.
+        let mut x = 6.2e-5f32;
+        while x < 6.0e4 {
+            for s in [x, -x] {
+                let rt = f16_bits_to_f32(f32_to_f16_bits(s));
+                assert!(
+                    (rt - s).abs() <= s.abs() * (1.0 / 2048.0),
+                    "round-trip of {s} landed at {rt}"
+                );
+            }
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn specials_are_preserved() {
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        assert_eq!(f32_to_f16_bits(1e9), 0x7c00, "overflow saturates to inf");
+        assert_eq!(f32_to_f16_bits(65520.0), 0x7c00, "first value past max");
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(65519.0)), 65504.0);
+        assert_eq!(f32_to_f16_bits(1e-30), 0, "tiny flushes to +0");
+        assert_eq!(f32_to_f16_bits(-1e-30), 0x8000, "tiny flushes to -0");
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly halfway between 1.0 and the next f16 value
+        // 1 + 2⁻¹⁰; nearest-even picks 1.0 (even significand).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(halfway)), 1.0);
+        // Just above the tie rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(
+            f16_bits_to_f32(f32_to_f16_bits(above)),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn subnormals_convert_exactly() {
+        // The smallest positive binary16 subnormal is 2⁻²⁴.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 1);
+        assert_eq!(f16_bits_to_f32(1), tiny);
+        // Largest subnormal: (2¹⁰ − 1) · 2⁻²⁴.
+        let big_sub = 1023.0 * 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(big_sub), 0x03ff);
+        assert_eq!(f16_bits_to_f32(0x03ff), big_sub);
+    }
+
+    #[test]
+    fn slice_paths_match_scalar_bitwise() {
+        // 1027 values covering normals, subnormals, specials and both signs;
+        // odd length exercises the SIMD tail.
+        let mut src = Vec::with_capacity(1027);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1024 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            src.push(f32::from_bits((seed >> 32) as u32));
+        }
+        src.extend_from_slice(&[f32::INFINITY, -0.0, 2.5e-7]);
+        let mut narrowed = vec![0u16; src.len()];
+        narrow_slice(&src, &mut narrowed);
+        for (i, (&x, &h)) in src.iter().zip(&narrowed).enumerate() {
+            let scalar = f32_to_f16_bits(x);
+            // NaNs may differ in payload between hardware and scalar; both
+            // must still *be* NaN encodings.
+            if x.is_nan() {
+                assert_eq!(h & 0x7c00, 0x7c00, "slot {i}: NaN lost");
+                assert_ne!(h & 0x03ff, 0, "slot {i}: NaN payload cleared");
+            } else {
+                assert_eq!(h, scalar, "slot {i}: narrow({x}) diverged");
+            }
+        }
+        let mut widened = vec![0f32; src.len()];
+        widen_slice(&narrowed, &mut widened);
+        for (i, (&h, &w)) in narrowed.iter().zip(&widened).enumerate() {
+            let scalar = f16_bits_to_f32(h);
+            assert_eq!(
+                w.to_bits(),
+                scalar.to_bits(),
+                "slot {i}: widen({h:#06x}) diverged"
+            );
+        }
+    }
+}

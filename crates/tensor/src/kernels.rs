@@ -284,7 +284,7 @@ const JR_SIMD: usize = 16;
 /// Below this many multiply-adds the packed path loses to the axpy loop.
 const PACK_MIN_FLOPS: usize = 1 << 12;
 /// Below this many multiply-adds threading costs more than it saves.
-const PAR_MIN_FLOPS: usize = 1 << 21;
+pub(crate) const PAR_MIN_FLOPS: usize = 1 << 21;
 
 /// `out = a · b` for row-major `a` (`[m, k]`) and `b` (`[k, n]`).
 ///
@@ -312,6 +312,9 @@ pub fn matmul_into(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut
     let use_simd = crate::simd::simd_enabled();
     if m < MR || flops < PACK_MIN_FLOPS {
         gemm_axpy(a, b, k, n, 0, use_simd, out);
+        return;
+    }
+    if crate::fastpath::matmul_fast(a, b, m, k, n, out) {
         return;
     }
     let threads = if flops < PAR_MIN_FLOPS {
@@ -362,6 +365,9 @@ pub fn matmul_nt_into(a: &[f32], b: &[f32], m: usize, d: usize, n: usize, out: &
         with_pool(|pool| pool.recycle(bt));
         return;
     }
+    if crate::fastpath::matmul_nt_fast(a, b, m, d, n, out) {
+        return;
+    }
     let use_simd = crate::simd::simd_enabled();
     let threads = if flops < PAR_MIN_FLOPS {
         1
@@ -405,6 +411,9 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], d: usize, m: usize, n: usize, out: &
         transpose_into(a, d, m, &mut at);
         matmul_into(&at, b, m, d, n, out);
         with_pool(|pool| pool.recycle(at));
+        return;
+    }
+    if crate::fastpath::matmul_tn_fast(a, b, d, m, n, out) {
         return;
     }
     let use_simd = crate::simd::simd_enabled();
@@ -460,7 +469,14 @@ pub fn matmul_tn_into(a: &[f32], b: &[f32], d: usize, m: usize, n: usize, out: &
 /// the full `width`, so the vector micro-tile can run on every panel: the
 /// padded lanes multiply against zeros into a scratch tile and are never
 /// stored, leaving the live lanes' accumulation chains untouched.
-fn pack_panels(b: &[f32], k: usize, n: usize, width: usize, pad: bool, packed: &mut Vec<f32>) {
+pub(crate) fn pack_panels(
+    b: &[f32],
+    k: usize,
+    n: usize,
+    width: usize,
+    pad: bool,
+    packed: &mut Vec<f32>,
+) {
     let mut j0 = 0;
     while j0 < n {
         let w = width.min(n - j0);
@@ -478,7 +494,14 @@ fn pack_panels(b: &[f32], k: usize, n: usize, width: usize, pad: bool, packed: &
 /// row-major `[n, k]` and is packed as if it were the `[k, n]` B operand.
 /// Fuses the transpose into the packing pass so `a · bᵀ` products never
 /// materialize `bᵀ`.
-fn pack_panels_t(src: &[f32], k: usize, n: usize, width: usize, pad: bool, packed: &mut Vec<f32>) {
+pub(crate) fn pack_panels_t(
+    src: &[f32],
+    k: usize,
+    n: usize,
+    width: usize,
+    pad: bool,
+    packed: &mut Vec<f32>,
+) {
     let mut j0 = 0;
     while j0 < n {
         let w = width.min(n - j0);
@@ -637,6 +660,7 @@ fn gemm_axpy(
     use_simd: bool,
     out: &mut [f32],
 ) {
+    let fast = crate::mode::fast_active();
     let rows = out.len() / n;
     for r in 0..rows {
         let arow = &a[(first_row + r) * k..(first_row + r + 1) * k];
@@ -650,6 +674,9 @@ fn gemm_axpy(
                 continue;
             }
             let brow = &b[p * n..(p + 1) * n];
+            if fast && crate::simd::axpy_row_fma(orow, brow, av) {
+                continue;
+            }
             if !crate::simd::axpy_row(use_simd, orow, brow, av) {
                 for (o, &bv) in orow.iter_mut().zip(brow) {
                     *o += av * bv;
@@ -697,7 +724,8 @@ pub fn adam_update(w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32], h: &A
     assert_eq!(w.len(), g.len(), "adam slices must match");
     assert_eq!(w.len(), m.len(), "adam slices must match");
     assert_eq!(w.len(), v.len(), "adam slices must match");
-    let done = crate::simd::adam_rows(crate::simd::simd_enabled(), w, g, m, v, h);
+    let fast_done = crate::mode::fast_active() && crate::simd::adam_rows_fma(w, g, m, v, h);
+    let done = fast_done || crate::simd::adam_rows(crate::simd::simd_enabled(), w, g, m, v, h);
     let start = if done { w.len() - w.len() % 8 } else { 0 };
     let (c1, c2) = (1.0 - h.beta1, 1.0 - h.beta2);
     for i in start..w.len() {
@@ -743,20 +771,25 @@ pub fn matmul_ref(a: &Tensor, b: &Tensor) -> Tensor {
 
 /// Transposes row-major `src` (`[m, n]`) into `dst` (`[n, m]`).
 ///
-/// Blocked over 32×32 tiles so both the reads and the strided writes stay
-/// within a few cache lines per tile — the backward pass of every `matmul`
-/// transposes both operands, so this is warm-loop code. A pure permutation:
-/// no arithmetic, so blocking cannot change bits.
+/// With SIMD on, 8×8 in-register micro-transposes (~5× over the blocked
+/// scalar loop on the backward-pass shapes); otherwise blocked over 32×32
+/// tiles with the *writes* contiguous — the strided side must be the reads,
+/// because a power-of-two write stride (e.g. `m = 512`, 2 KiB apart)
+/// aliases a handful of L1 sets and thrashes. A pure permutation either
+/// way: no arithmetic, so neither layout nor vectorization can change bits.
 pub(crate) fn transpose_into(src: &[f32], m: usize, n: usize, dst: &mut [f32]) {
     assert_eq!(src.len(), m * n);
     assert_eq!(dst.len(), m * n);
+    if crate::simd::transpose(crate::simd::simd_enabled(), src, m, n, dst) {
+        return;
+    }
     const TB: usize = 32;
     for i0 in (0..m).step_by(TB) {
         let i1 = (i0 + TB).min(m);
         for j0 in (0..n).step_by(TB) {
             let j1 = (j0 + TB).min(n);
-            for i in i0..i1 {
-                for j in j0..j1 {
+            for j in j0..j1 {
+                for i in i0..i1 {
                     dst[j * m + i] = src[i * n + j];
                 }
             }
@@ -967,5 +1000,28 @@ mod tests {
         transpose_into(t.as_slice(), 5, 3, &mut once);
         transpose_into(&once, 3, 5, &mut twice);
         assert_eq!(t.as_slice(), &twice[..]);
+    }
+
+    #[test]
+    fn simd_transpose_matches_the_scalar_permutation() {
+        // Shapes straddling the 8×8 micro-transpose edges, including the
+        // power-of-two write stride the scalar blocking is tuned around.
+        for (m, n) in [(8, 8), (9, 7), (16, 24), (13, 130), (512, 154), (33, 1)] {
+            let t = Tensor::uniform(&[m, n], -2.0, 2.0, (m * 131 + n) as u64);
+            let mut want = vec![0.0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    want[j * m + i] = t.as_slice()[i * n + j];
+                }
+            }
+            let mut got = vec![0.0f32; m * n];
+            transpose_into(t.as_slice(), m, n, &mut got);
+            assert!(
+                want.iter()
+                    .zip(&got)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "transpose {m}x{n} diverged from the naive permutation"
+            );
+        }
     }
 }

@@ -24,6 +24,16 @@
 //! finite-difference tests in `tests/gradcheck.rs`; kernel equivalence by
 //! bit-exact differential property tests in `tests/proptests.rs`.
 //!
+//! That bit-exact contract is the **strict** tier and the default. An
+//! opt-in **fast** tier (`LIGHTNAS_KERNEL_MODE=fast`, see [`KernelMode`])
+//! trades bit-identity for throughput — FMA-contracted AVX2/AVX-512
+//! micro-kernels, per-thread partial-sum reductions, per-shape tile
+//! autotuning — and is verified against the strict oracle by the
+//! differential tolerance comparators in [`tolerance`]
+//! (`tests/tolerance.rs`) instead of fingerprints. Half-precision weight
+//! *storage* (conversions in [`f16`]) rides the same tier: arithmetic stays
+//! `f32` everywhere.
+//!
 //! # Example
 //!
 //! ```
@@ -39,20 +49,26 @@
 //! ```
 
 mod autograd;
+mod fastpath;
 mod im2col;
+mod mode;
 mod shape;
 mod simd;
 mod tensor;
 mod workers;
 
+pub mod f16;
 pub mod init;
 pub mod kernels;
+pub mod tolerance;
 
 pub use autograd::{Graph, Var};
+pub use fastpath::{fast_tile_override, set_fast_tile_override, FastTile};
 pub use im2col::{col2im, conv2d_backward_fast, conv2d_forward_fast, im2col};
 pub use kernels::{
     matmul_ref, set_num_threads, set_simd_enabled, simd_enabled, PoolStats, TensorPool,
 };
+pub use mode::{init_mode_from_env, kernel_mode, set_kernel_mode, KernelMode, MODE_ENV};
 pub use shape::Shape;
 pub use tensor::{
     conv2d_backward, conv2d_backward_ref, conv2d_forward, conv2d_forward_ref, dwconv2d_backward,

@@ -613,6 +613,7 @@ pub(crate) fn dwconv2d_forward_into(
         crate::kernels::num_threads()
     };
     let use_simd = spec.stride == 1 && crate::simd::simd_enabled();
+    let fast = crate::mode::fast_active();
     // One chunk per (batch, channel) output plane.
     crate::kernels::par_chunks(out, ho * wo, threads, |plane, o| {
         let (b, ch) = (plane / c, plane % c);
@@ -641,7 +642,9 @@ pub(crate) fn dwconv2d_forward_into(
                         }
                         let wgt = k[(ch * kh + ky) * kw + kx];
                         let xs = &x[xrow + lo + kx - pad..xrow + hi + kx - pad];
-                        if !crate::simd::axpy_row(true, &mut orow[lo..hi], xs, wgt) {
+                        let done = (fast && crate::simd::axpy_row_fma(&mut orow[lo..hi], xs, wgt))
+                            || crate::simd::axpy_row(true, &mut orow[lo..hi], xs, wgt);
+                        if !done {
                             for (oo, &xv) in orow[lo..hi].iter_mut().zip(xs) {
                                 *oo += wgt * xv;
                             }
@@ -731,6 +734,7 @@ pub(crate) fn dwconv2d_backward_into(
         crate::kernels::num_threads()
     };
     let use_simd = spec.stride == 1 && crate::simd::simd_enabled();
+    let fast = crate::mode::fast_active();
     crate::kernels::par_chunks(gx, h * w, threads, |plane, gxp| {
         let (b, ch) = (plane / c, plane % c);
         if use_simd {
@@ -761,7 +765,9 @@ pub(crate) fn dwconv2d_backward_into(
                         let wgt = k[(ch * kh + ky) * kw + kx];
                         let gs = &go[grow + lo..grow + hi];
                         let dst = &mut gxp[xrow + lo + kx - pad..xrow + hi + kx - pad];
-                        if !crate::simd::axpy_row(true, dst, gs, wgt) {
+                        let done = (fast && crate::simd::axpy_row_fma(dst, gs, wgt))
+                            || crate::simd::axpy_row(true, dst, gs, wgt);
+                        if !done {
                             for (d, &gv) in dst.iter_mut().zip(gs) {
                                 *d += wgt * gv;
                             }

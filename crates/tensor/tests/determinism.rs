@@ -289,6 +289,59 @@ fn env_knob_parses_and_applies() {
 }
 
 #[test]
+fn default_kernel_mode_is_strict() {
+    // The two-tier contract: fast mode is *opt-in*. A process that never
+    // touches the mode knob (this test binary doesn't) must run strict and
+    // keep reproducing the pre-rewrite fingerprints above — that is the
+    // "fast tier compiled in but disabled" regression guard.
+    assert_eq!(
+        lightnas_tensor::kernel_mode(),
+        lightnas_tensor::KernelMode::Strict,
+        "fast mode must never be the default"
+    );
+}
+
+#[test]
+fn mode_env_knob_parses_and_applies() {
+    let _guard = knob_lock().lock().unwrap();
+    use lightnas_tensor::{init_mode_from_env, kernel_mode, set_kernel_mode, KernelMode, MODE_ENV};
+    let before = kernel_mode();
+    std::env::set_var(MODE_ENV, "fast");
+    assert_eq!(init_mode_from_env(), KernelMode::Fast);
+    std::env::set_var(MODE_ENV, "strict");
+    assert_eq!(init_mode_from_env(), KernelMode::Strict);
+    std::env::set_var(MODE_ENV, "not-a-mode");
+    assert_eq!(
+        init_mode_from_env(),
+        KernelMode::Strict,
+        "junk must be ignored"
+    );
+    std::env::remove_var(MODE_ENV);
+    set_kernel_mode(before);
+}
+
+#[test]
+fn strict_bits_survive_a_fast_mode_excursion() {
+    // Flipping to fast and back must leave no residue in the strict tier:
+    // same fingerprint before, during-strict, and after. (The fast tile
+    // autotune cache is fast-tier-only state and must not leak.)
+    let _guard = knob_lock().lock().unwrap();
+    use lightnas_tensor::{set_kernel_mode, KernelMode};
+    let a = Tensor::uniform(&[37, 53], -1.0, 1.0, 101);
+    let b = Tensor::uniform(&[53, 29], -1.0, 1.0, 102);
+    let strict_before = fnv(a.matmul(&b).as_slice());
+    assert_eq!(strict_before, 0xc0cf_2e2b_448b_1ec1);
+    set_kernel_mode(KernelMode::Fast);
+    let _ = a.matmul(&b); // populate fast-tier state
+    set_kernel_mode(KernelMode::Strict);
+    assert_eq!(
+        fnv(a.matmul(&b).as_slice()),
+        strict_before,
+        "a fast-mode excursion must not perturb strict bits"
+    );
+}
+
+#[test]
 fn matmul_empty_operands_are_well_formed() {
     // Regression: empty dimensions must produce well-formed empty / zero
     // tensors through the public API, not a panic deep in the kernel.

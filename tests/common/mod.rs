@@ -5,6 +5,9 @@ use std::sync::OnceLock;
 
 use lightnas_repro::prelude::*;
 
+// Each integration-test binary compiles this module independently and uses
+// a different subset of the fields.
+#[allow(dead_code)]
 pub struct Stack {
     pub space: SearchSpace,
     pub device: Xavier,
