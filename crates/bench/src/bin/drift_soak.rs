@@ -405,7 +405,8 @@ fn eval_promoted_vs_oracle(
         stream.schedule().clone(),
         ORACLE_SEED,
         0,
-    );
+    )
+    .expect("index 0 is always in range");
     let mut encs = Vec::with_capacity(oracle_n);
     let mut obs = Vec::with_capacity(oracle_n);
     for _ in 0..oracle_n {

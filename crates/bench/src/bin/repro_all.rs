@@ -42,6 +42,7 @@ const EXHIBITS: &[&str] = &[
     "serve_overload",
     "fleet_pareto",
     "drift_soak",
+    "fleet_drift_soak",
 ];
 
 enum Status {

@@ -17,6 +17,10 @@
 //! * [`FleetSearch`] — one λ-driven constrained search per (device,
 //!   target) pair through the runtime's scheduler/supervisor machinery,
 //!   reduced to a per-device Pareto front over (true latency, top-1).
+//! * [`FleetAdaptation`] — fleet-wide drift survival: one deferred
+//!   adaptation loop per device over a shared bounded retrain pool, with
+//!   correlated-drift warm starts through the transfer path and a typed
+//!   cross-device audit ([`FleetAdaptEvent`]).
 //!
 //! The `fleet_pareto` exhibit (`lightnas-bench`) narrates the whole story
 //! and asserts its acceptance bars: transfer RMSE ≤ 1.5× the
@@ -24,10 +28,15 @@
 //! architectures whose true-latency ranking agrees (ρ ≥ 0.9) between the
 //! transferred and the per-device-trained search.
 
+mod adapt;
 mod search;
 mod spec;
 mod transfer;
 
+pub use adapt::{
+    fleet_audit_is_well_formed, ColdTrainer, FleetAdaptEvent, FleetAdaptOptions, FleetAdaptation,
+    WarmTrainer,
+};
 pub use search::{quantile_targets, DeviceFront, FleetPoint, FleetSearch};
 pub use spec::{DeviceClass, DeviceFleet, DeviceSpec};
 pub use transfer::{

@@ -18,7 +18,7 @@
 //! PR 5 fast training step makes this cheap) and the monotone map then
 //! recalibrates the fine-tuned predictor's residual scale.
 
-use lightnas_predictor::{MetricDataset, MlpPredictor, Predictor, TrainConfig};
+use lightnas_predictor::{BatchPredictor, MetricDataset, MlpPredictor, Predictor, TrainConfig};
 
 /// Minimum separation enforced between consecutive fitted values, as a
 /// fraction of the fitted range: keeps the map *strictly* increasing so it
@@ -41,6 +41,14 @@ pub struct MonotoneMap {
 }
 
 impl MonotoneMap {
+    /// The identity map (`y = x`): wraps a predictor in a
+    /// [`TransferredPredictor`] without recalibrating it — how the proxy
+    /// device itself enters a fleet of transferred predictors with one
+    /// uniform model type.
+    pub fn identity() -> Self {
+        Self::fit(&[(0.0, 0.0), (1.0, 1.0)])
+    }
+
     /// Fits the map on `(proxy prediction, target measurement)` pairs.
     ///
     /// Duplicate inputs are pooled (weighted mean target) before the PAV
@@ -221,6 +229,8 @@ impl<P: Predictor> Predictor for TransferredPredictor<P> {
             .collect()
     }
 }
+
+impl<P: Predictor> BatchPredictor for TransferredPredictor<P> {}
 
 /// Adapts `proxy` to the device that produced `target_samples`: takes the
 /// first [`TransferOptions::budget`] rows, optionally fine-tunes the proxy

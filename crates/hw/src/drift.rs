@@ -36,6 +36,42 @@ fn mix(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The largest index a stream may be resumed at.
+///
+/// Indices live in the lower half of the `u64` range so the per-sample
+/// increment can never wrap: a checkpoint key at `u64::MAX` would make the
+/// *next* `next_sample` overflow, and an overflow here is always a corrupt
+/// checkpoint, never a 9-quintillion-sample soak.
+pub const MAX_RESUME_INDEX: u64 = u64::MAX >> 1;
+
+/// Why a [`DriftStream`] could not be resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStreamError {
+    /// The requested resume index exceeds [`MAX_RESUME_INDEX`] — a corrupt
+    /// or wrapped checkpoint key, refused instead of panicking mid-soak.
+    IndexOutOfRange {
+        /// The index that was asked for.
+        index: u64,
+        /// The largest acceptable index ([`MAX_RESUME_INDEX`]).
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for DriftStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::IndexOutOfRange { index, max } => {
+                write!(
+                    f,
+                    "drift stream resume index {index} out of range (max {max})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftStreamError {}
+
 /// One step change in the device's latency scale.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriftBurst {
@@ -150,27 +186,41 @@ impl<'a> DriftStream<'a> {
         schedule: DriftSchedule,
         seed: u64,
     ) -> Self {
-        Self::resume_at(device, space, schedule, seed, 0)
+        Self::resume_at(device, space, schedule, seed, 0).expect("index 0 is always in range")
     }
 
     /// A stream resumed at `index`: sample `index` and everything after it
     /// are byte-identical to a fresh stream advanced `index` times. O(1) —
     /// per-sample RNG is derived from the index, so there is no state to
     /// replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriftStreamError::IndexOutOfRange`] when `index` exceeds
+    /// [`MAX_RESUME_INDEX`]. A checkpoint key in the upper half of the
+    /// `u64` range can only come from corruption or wrap-around, and the
+    /// typed refusal keeps a bad checkpoint from turning into an index
+    /// overflow panic deep inside a running soak.
     pub fn resume_at(
         device: &'a Xavier,
         space: &'a SearchSpace,
         schedule: DriftSchedule,
         seed: u64,
         index: u64,
-    ) -> Self {
-        Self {
+    ) -> Result<Self, DriftStreamError> {
+        if index > MAX_RESUME_INDEX {
+            return Err(DriftStreamError::IndexOutOfRange {
+                index,
+                max: MAX_RESUME_INDEX,
+            });
+        }
+        Ok(Self {
             device,
             space,
             schedule,
             seed,
             index,
-        }
+        })
     }
 
     /// The next stream index to be produced (the checkpoint key).
@@ -304,7 +354,8 @@ mod tests {
         let mut fresh = DriftStream::new(&dev, &space, sched.clone(), 11);
         let reference: Vec<DriftSample> = (0..12u64).map(|i| fresh.next_sample(ms(i))).collect();
         // Resume at 5: samples 5.. must match the fresh stream exactly.
-        let mut resumed = DriftStream::resume_at(&dev, &space, sched, 11, 5);
+        let mut resumed =
+            DriftStream::resume_at(&dev, &space, sched, 11, 5).expect("in-range resume");
         assert_eq!(resumed.index(), 5);
         for i in 5..12u64 {
             assert_eq!(
@@ -346,8 +397,37 @@ mod tests {
             DriftSchedule::stationary().with_burst(ms(4), 1.25),
             5,
             1,
-        );
+        )
+        .expect("in-range resume");
         assert_eq!(preloaded.next_sample(ms(6)), live_after);
+    }
+
+    #[test]
+    fn out_of_range_resume_is_a_typed_error_not_a_panic() {
+        // Regression: a corrupt/wrapped checkpoint key used to be accepted
+        // silently and blow up later inside next_sample's index increment.
+        let (dev, space) = setup();
+        let ok = DriftStream::resume_at(
+            &dev,
+            &space,
+            DriftSchedule::stationary(),
+            7,
+            MAX_RESUME_INDEX,
+        );
+        assert!(ok.is_ok(), "the boundary index itself is valid");
+        for bad in [MAX_RESUME_INDEX + 1, u64::MAX] {
+            let err = DriftStream::resume_at(&dev, &space, DriftSchedule::stationary(), 7, bad)
+                .expect_err("upper-half index must be refused");
+            assert_eq!(
+                err,
+                DriftStreamError::IndexOutOfRange {
+                    index: bad,
+                    max: MAX_RESUME_INDEX,
+                }
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("out of range"), "{msg}");
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ mod noise;
 pub use device::{device_seed_salt, Measurement, Xavier, XavierConfig};
 pub use drift::{
     measurement_spread_ms, sample_noise_seed, DriftBurst, DriftSample, DriftSchedule, DriftStream,
+    DriftStreamError, MAX_RESUME_INDEX,
 };
 pub use kernels::{kernels_for_layer, KernelDesc, KernelKind};
 pub use noise::GaussianNoise;

@@ -89,6 +89,19 @@ pub mod events {
     /// A promoted generation regressed on probation and was rolled back
     /// (the breaker trips alongside this event).
     pub const ADAPT_ROLLBACK: &str = "adapt_rollback";
+
+    // --- fleet adaptation (lightnas-fleet::adapt) ---
+
+    /// A drift flag on one device armed a transfer warm start on a
+    /// correlated device (`source`/`target` fleet indices).
+    pub const FLEET_WARM_START: &str = "fleet_warm_start";
+    /// A device's retrain joined the shared pool queue.
+    pub const FLEET_RETRAIN_QUEUED: &str = "fleet_retrain_queued";
+    /// The pool admitted a queued retrain (`waited_ticks` in queue).
+    pub const FLEET_RETRAIN_ADMITTED: &str = "fleet_retrain_admitted";
+    /// The pool admitted nothing this tick despite a non-empty queue
+    /// (budget exhausted or starved by chaos).
+    pub const FLEET_POOL_STARVED: &str = "fleet_pool_starved";
 }
 
 /// A telemetry field value.

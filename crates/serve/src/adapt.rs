@@ -74,6 +74,12 @@ fn us(d: Duration) -> u64 {
 /// must survive so the next flag still fires.
 const REANCHOR_SLACK: f64 = 1.25;
 
+/// Default retention cap on the in-memory audit trail. Generous for any
+/// bounded soak, small enough that a week-long deployment flagging every
+/// cool-down cannot grow memory without bound; see
+/// [`AdaptationController::with_audit_cap`].
+pub const DEFAULT_AUDIT_CAP: usize = 4096;
+
 /// Spearman rank correlation between two equal-length samples, with
 /// average ranks for ties (Pearson correlation of the rank vectors).
 ///
@@ -539,15 +545,63 @@ pub enum AdaptEvent {
     },
 }
 
+/// The state-machine summary of audit events dropped at the retention cap —
+/// the drop-accounting side of the bounded audit trail, in the same spirit
+/// as the telemetry layer's dropped-events counter.
+///
+/// Truncating an audit trail can orphan the retained suffix: a `Promoted`
+/// whose passing `ShadowValidated` fell off the front looks unvalidated, a
+/// `RolledBack` whose `Promoted` was dropped looks spurious. The carry holds
+/// exactly the checker state at the cut, so
+/// [`audit_is_well_formed_with`] can verify the suffix as if the prefix were
+/// still there.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditCarry {
+    /// Events dropped at the cap so far.
+    pub dropped: u64,
+    /// Promotions among the dropped events.
+    pub promotions: u64,
+    /// Rollbacks among the dropped events.
+    pub rollbacks: u64,
+    /// Whether the last dropped verdict passed with no promotion yet — the
+    /// checker state a retained `Promoted` at the cut boundary leans on.
+    pub passed_verdict_pending: bool,
+}
+
+impl AuditCarry {
+    /// Folds one event about to be dropped into the carry, advancing the
+    /// checker state exactly as [`audit_is_well_formed_with`] would have.
+    fn absorb(&mut self, event: &AdaptEvent) {
+        match event {
+            AdaptEvent::StalenessDetected { .. } | AdaptEvent::RetrainStarted { .. } => {}
+            AdaptEvent::ShadowValidated { passed, .. } => self.passed_verdict_pending = *passed,
+            AdaptEvent::Promoted { .. } => {
+                self.passed_verdict_pending = false;
+                self.promotions += 1;
+            }
+            AdaptEvent::RolledBack { .. } => self.rollbacks += 1,
+        }
+        self.dropped += 1;
+    }
+}
+
 /// Checks the audit-trail safety invariant: a promotion may only follow a
 /// *passing* validation verdict (with no other verdict in between), and a
 /// rollback may only follow a promotion that has not already been rolled
 /// back. This is the machine-checkable form of "an unvalidated shadow is
 /// never served".
 pub fn audit_is_well_formed(audit: &[AdaptEvent]) -> bool {
-    let mut passed_verdict_pending = false;
-    let mut promotions = 0usize;
-    let mut rollbacks = 0usize;
+    audit_is_well_formed_with(&AuditCarry::default(), audit)
+}
+
+/// [`audit_is_well_formed`] for a capped trail: `carry` seeds the checker
+/// with the state of the events dropped at the retention cap
+/// ([`AdaptationController::audit_carry`]), so well-formedness keeps holding
+/// across the cap boundary instead of failing on an orphaned suffix.
+pub fn audit_is_well_formed_with(carry: &AuditCarry, audit: &[AdaptEvent]) -> bool {
+    let mut passed_verdict_pending = carry.passed_verdict_pending;
+    let mut promotions = carry.promotions;
+    let mut rollbacks = carry.rollbacks;
     for event in audit {
         match event {
             AdaptEvent::StalenessDetected { .. } | AdaptEvent::RetrainStarted { .. } => {}
@@ -573,6 +627,17 @@ pub fn audit_is_well_formed(audit: &[AdaptEvent]) -> bool {
 #[derive(Debug)]
 enum Phase<P> {
     Monitoring,
+    /// Deferred mode only: a retrain was flagged (or requested) but the
+    /// shadow is trained *outside* the controller — by a shared fleet pool —
+    /// and handed back through
+    /// [`AdaptationController::install_shadow`]. Pairs keep accumulating
+    /// while the controller waits, so a queued retrain trains on a fresher
+    /// window than the flag-time one.
+    AwaitingRetrain {
+        /// Windowed RMSE when the retrain was flagged/requested — the same
+        /// re-anchoring yardstick the inline path records.
+        flag_windowed: f64,
+    },
     Validating {
         shadow: P,
         incumbent_sq: f64,
@@ -594,6 +659,7 @@ enum Phase<P> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PhaseKind {
     Monitoring,
+    AwaitingRetrain,
     Validating,
     Probation,
 }
@@ -602,6 +668,7 @@ impl<P> Phase<P> {
     fn kind(&self) -> PhaseKind {
         match self {
             Phase::Monitoring => PhaseKind::Monitoring,
+            Phase::AwaitingRetrain { .. } => PhaseKind::AwaitingRetrain,
             Phase::Validating { .. } => PhaseKind::Validating,
             Phase::Probation { .. } => PhaseKind::Probation,
         }
@@ -610,6 +677,7 @@ impl<P> Phase<P> {
     fn name(&self) -> &'static str {
         match self.kind() {
             PhaseKind::Monitoring => "monitoring",
+            PhaseKind::AwaitingRetrain => "awaiting_retrain",
             PhaseKind::Validating => "validating",
             PhaseKind::Probation => "probation",
         }
@@ -641,9 +709,14 @@ pub struct AdaptationController<'a, P: BatchPredictor> {
     recent: VecDeque<(Vec<f32>, f64)>,
     phase: Phase<P>,
     audit: Vec<AdaptEvent>,
+    audit_cap: usize,
+    carry: AuditCarry,
     samples: u64,
     cooldown_until: u64,
     pending_bad_deploy: Option<f64>,
+    /// Deferred mode: staleness flags park in [`Phase::AwaitingRetrain`]
+    /// instead of training inline — a fleet pool owns the retraining.
+    deferred: bool,
 }
 
 impl<P: BatchPredictor> std::fmt::Debug for AdaptationController<'_, P> {
@@ -678,10 +751,33 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
             recent: VecDeque::new(),
             phase: Phase::Monitoring,
             audit: Vec::new(),
+            audit_cap: DEFAULT_AUDIT_CAP,
+            carry: AuditCarry::default(),
             samples: 0,
             cooldown_until: 0,
             pending_bad_deploy: None,
+            deferred: false,
         }
+    }
+
+    /// A controller whose retraining is *deferred*: a staleness flag parks
+    /// the controller in the `awaiting_retrain` phase instead of training
+    /// inline, and an external worker (canonically a shared fleet retrain
+    /// pool) fits the shadow from [`retrain_window`](Self::retrain_window)
+    /// and hands it back through [`install_shadow`](Self::install_shadow).
+    /// Validation, promotion, probation, and rollback are unchanged — a
+    /// shadow still never serves before its verdict, per device.
+    pub fn deferred(slot: &'a ModelSlot<P>, clock: &'a dyn Clock, config: AdaptConfig) -> Self {
+        let mut ctl = Self::new(
+            slot,
+            clock,
+            config,
+            |_m: &P, _e: &[Vec<f32>], _o: &[f64]| {
+                unreachable!("a deferred controller never trains inline")
+            },
+        );
+        ctl.deferred = true;
+        ctl
     }
 
     /// Trips `breaker` (`"rolled_back"`) whenever a promotion is rolled
@@ -717,6 +813,16 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         self
     }
 
+    /// Caps the in-memory audit trail at `cap` events (default
+    /// [`DEFAULT_AUDIT_CAP`], clamped to at least 4). When the cap is hit,
+    /// the oldest half is dropped in one amortized chunk and folded into
+    /// the [`AuditCarry`], so [`audit_is_well_formed_with`] keeps holding
+    /// on the retained suffix.
+    pub fn with_audit_cap(mut self, cap: usize) -> Self {
+        self.audit_cap = cap.max(4);
+        self
+    }
+
     /// The chaos `BadDeploy` hook: the *next* promotion deploys with
     /// `bias_ms` added to every served prediction (the validated candidate
     /// itself is untouched). Probation is expected to catch it.
@@ -724,9 +830,34 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         self.pending_bad_deploy = Some(bias_ms);
     }
 
-    /// The audit trail so far, in event order.
+    /// The retained audit trail, in event order. Under the retention cap
+    /// this is a *suffix* of the full history; pair it with
+    /// [`audit_carry`](Self::audit_carry) and [`audit_is_well_formed_with`]
+    /// once events have been dropped.
     pub fn audit(&self) -> &[AdaptEvent] {
         &self.audit
+    }
+
+    /// The drop-accounting summary of audit events evicted at the cap.
+    pub fn audit_carry(&self) -> AuditCarry {
+        self.carry
+    }
+
+    /// Audit events dropped at the retention cap so far.
+    pub fn audit_dropped(&self) -> u64 {
+        self.carry.dropped
+    }
+
+    fn push_audit(&mut self, event: AdaptEvent) {
+        if self.audit.len() >= self.audit_cap {
+            // Drop the oldest half in one chunk (amortized O(1) per push),
+            // folding each evicted event into the carry so the retained
+            // suffix still checks out against the full-history invariant.
+            for dropped in self.audit.drain(..self.audit_cap / 2) {
+                self.carry.absorb(&dropped);
+            }
+        }
+        self.audit.push(event);
     }
 
     /// Total samples ingested.
@@ -769,6 +900,10 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         }
         match self.phase.kind() {
             PhaseKind::Monitoring => self.step_monitoring(),
+            // Parked for an external retrain pool: the window keeps rolling
+            // (fresher data at install time) but no phase transition happens
+            // until install_shadow hands the trained candidate back.
+            PhaseKind::AwaitingRetrain => {}
             PhaseKind::Validating => self.step_validating(encoding, predicted, observed_ms),
             PhaseKind::Probation => self.step_probation(predicted, observed_ms),
         }
@@ -782,7 +917,7 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         let Some(report) = self.monitor.check(&self.config) else {
             return;
         };
-        self.audit.push(AdaptEvent::StalenessDetected {
+        self.push_audit(AdaptEvent::StalenessDetected {
             at_sample: self.samples,
             rmse_ratio: report.rmse_ratio,
             spearman: report.spearman,
@@ -798,8 +933,17 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
                 ("spearman", Field::F(report.spearman)),
             ],
         );
+        if self.deferred {
+            // Hand off to the external pool: no RetrainStarted yet — that is
+            // audited when the pool actually admits the job and the trained
+            // shadow is installed.
+            self.phase = Phase::AwaitingRetrain {
+                flag_windowed: report.windowed_rmse,
+            };
+            return;
+        }
         let (encs, obs): (Vec<Vec<f32>>, Vec<f64>) = self.recent.iter().cloned().unzip();
-        self.audit.push(AdaptEvent::RetrainStarted {
+        self.push_audit(AdaptEvent::RetrainStarted {
             at_sample: self.samples,
             window: encs.len(),
         });
@@ -818,6 +962,98 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
             shadow_sq: 0.0,
             pairs: 0,
             flag_windowed: report.windowed_rmse,
+        };
+    }
+
+    /// `true` when a deferred controller has flagged and is parked waiting
+    /// for an external pool to hand a trained shadow back via
+    /// [`install_shadow`](Self::install_shadow).
+    pub fn awaiting_retrain(&self) -> bool {
+        matches!(self.phase, Phase::AwaitingRetrain { .. })
+    }
+
+    /// Current windowed-RMSE / baseline ratio, once the window holds
+    /// `min_samples` pairs and a baseline has been calibrated. `None`
+    /// before that — callers must treat absence as "no evidence".
+    pub fn staleness_ratio(&self) -> Option<f64> {
+        if self.monitor.len() < self.config.min_samples.max(2) {
+            return None;
+        }
+        let baseline = self.monitor.baseline()?;
+        let windowed = self.monitor.windowed_rmse();
+        // Same zero-baseline semantics as the staleness check: perfect
+        // residuals at calibration only signal drift once error appears.
+        Some(if baseline > 0.0 {
+            windowed / baseline
+        } else if windowed == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        })
+    }
+
+    /// Warm-start early trigger: parks a *deferred* controller in
+    /// `AwaitingRetrain` without waiting for its own staleness flag, on
+    /// external evidence (a correlated device flagged). Honors the
+    /// cool-down and requires an armed window (`min_samples` pairs with a
+    /// calibrated baseline) so the retrain has data to learn from. Returns
+    /// `true` when the controller actually parked.
+    ///
+    /// No `StalenessDetected` event is audited — the device's own monitor
+    /// never flagged; the fleet layer records the cross-device trigger in
+    /// its own audit instead.
+    pub fn request_retrain(&mut self) -> bool {
+        if !self.deferred
+            || !matches!(self.phase, Phase::Monitoring)
+            || self.samples < self.cooldown_until
+            || self.staleness_ratio().is_none()
+        {
+            return false;
+        }
+        self.phase = Phase::AwaitingRetrain {
+            flag_windowed: self.monitor.windowed_rmse(),
+        };
+        true
+    }
+
+    /// Snapshot of the rolling retrain window (encodings, observations),
+    /// freshest data included — taken by the pool at admission time, which
+    /// may be ticks after the flag.
+    pub fn retrain_window(&self) -> (Vec<Vec<f32>>, Vec<f64>) {
+        self.recent.iter().cloned().unzip()
+    }
+
+    /// Hands an externally trained shadow to a parked deferred controller:
+    /// audits `RetrainStarted` (the pool-admission analogue of the inline
+    /// retrain) and enters validation. The shadow predicts in parallel from
+    /// the next sample on and never serves before its verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the controller is in `AwaitingRetrain` (i.e.
+    /// [`awaiting_retrain`](Self::awaiting_retrain) is `true`).
+    pub fn install_shadow(&mut self, shadow: P) {
+        let Phase::AwaitingRetrain { flag_windowed } = &self.phase else {
+            panic!("install_shadow on a controller that is not awaiting a retrain");
+        };
+        let flag_windowed = *flag_windowed;
+        self.push_audit(AdaptEvent::RetrainStarted {
+            at_sample: self.samples,
+            window: self.recent.len(),
+        });
+        self.emit(
+            events::ADAPT_RETRAIN,
+            &[
+                ("sample", Field::U(self.samples)),
+                ("window", Field::U(self.recent.len() as u64)),
+            ],
+        );
+        self.phase = Phase::Validating {
+            shadow,
+            incumbent_sq: 0.0,
+            shadow_sq: 0.0,
+            pairs: 0,
+            flag_windowed,
         };
     }
 
@@ -846,7 +1082,7 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         let incumbent_rmse = (*incumbent_sq / n).sqrt();
         let shadow_rmse = (*shadow_sq / n).sqrt();
         let passed = shadow_rmse <= self.config.promote_margin * incumbent_rmse;
-        self.audit.push(AdaptEvent::ShadowValidated {
+        self.push_audit(AdaptEvent::ShadowValidated {
             at_sample: self.samples,
             shadow_rmse,
             incumbent_rmse,
@@ -887,7 +1123,7 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         if let Some(s) = self.status {
             s.note_swap(generation, self.clock.now());
         }
-        self.audit.push(AdaptEvent::Promoted {
+        self.push_audit(AdaptEvent::Promoted {
             at_sample: self.samples,
             generation,
         });
@@ -958,7 +1194,7 @@ impl<'a, P: BatchPredictor> AdaptationController<'a, P> {
         if let Some(b) = self.breaker {
             b.trip(self.clock.now(), "rolled_back");
         }
-        self.audit.push(AdaptEvent::RolledBack {
+        self.push_audit(AdaptEvent::RolledBack {
             at_sample: self.samples,
             demoted,
             generation,
@@ -1298,5 +1534,139 @@ mod tests {
                 validated_rmse: 0.5,
             },
         ]));
+    }
+
+    #[test]
+    fn audit_stays_well_formed_across_the_retention_cap() {
+        let clock = VirtualClock::new();
+        let slot = ModelSlot::new(LinearModel { scale: 10.0 });
+        // Tiny cap so a long alternating-drift soak crosses the boundary
+        // many times; every fourth sample re-checks the suffix invariant.
+        let mut ctl =
+            AdaptationController::new(&slot, &clock, quick_config(), refit).with_audit_cap(8);
+        let mut scale = 10.0;
+        for i in 0..4000u64 {
+            // Flip the regime every 100 samples so the controller keeps
+            // flagging, retraining, and promoting — a busy audit trail.
+            if i % 100 == 0 {
+                scale = if scale == 10.0 { 16.0 } else { 10.0 };
+            }
+            let e = enc(i);
+            ctl.ingest(&e, scale * f64::from(e[0]));
+            if i % 4 == 0 {
+                assert!(ctl.audit().len() <= 8, "cap respected at sample {i}");
+                assert!(
+                    audit_is_well_formed_with(&ctl.audit_carry(), ctl.audit()),
+                    "suffix invariant broke at sample {i}: carry {:?}, audit {:?}",
+                    ctl.audit_carry(),
+                    ctl.audit()
+                );
+            }
+        }
+        assert!(ctl.audit_dropped() > 0, "soak must actually cross the cap");
+        assert!(slot.generation() > 2, "soak must actually promote");
+        // Every deployment (promotion or rollback) bumps the generation, so
+        // carry + suffix together still account for all of them.
+        let carry = ctl.audit_carry();
+        let suffix_swaps = ctl
+            .audit()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    AdaptEvent::Promoted { .. } | AdaptEvent::RolledBack { .. }
+                )
+            })
+            .count() as u64;
+        assert_eq!(
+            carry.promotions + carry.rollbacks + suffix_swaps,
+            slot.generation(),
+            "carry + suffix still account for every deployment"
+        );
+    }
+
+    #[test]
+    fn deferred_controller_parks_and_installs_through_the_pool_path() {
+        let clock = VirtualClock::new();
+        let slot = ModelSlot::new(LinearModel { scale: 10.0 });
+        let mut ctl = AdaptationController::deferred(&slot, &clock, quick_config());
+        // Stationary warm-up calibrates the baseline.
+        for i in 0..40u64 {
+            let e = enc(i);
+            ctl.ingest(&e, 10.0 * f64::from(e[0]));
+        }
+        assert!(!ctl.awaiting_retrain());
+        // Drift: the deferred controller must park instead of training.
+        let mut i = 40u64;
+        while !ctl.awaiting_retrain() && i < 400 {
+            let e = enc(i);
+            ctl.ingest(&e, 16.0 * f64::from(e[0]));
+            i += 1;
+        }
+        assert!(
+            ctl.awaiting_retrain(),
+            "drift must park a deferred controller"
+        );
+        assert_eq!(ctl.phase(), "awaiting_retrain");
+        assert_eq!(slot.generation(), 0, "nothing trained, nothing served");
+        // The window keeps rolling while parked.
+        let before = ctl.retrain_window().0.len();
+        for _ in 0..4 {
+            let e = enc(i);
+            ctl.ingest(&e, 16.0 * f64::from(e[0]));
+            i += 1;
+        }
+        assert!(ctl.retrain_window().0.len() >= before.min(quick_config().window));
+        // The pool trains outside and hands the shadow back; the first
+        // window straddles the regime change, so adaptation may need more
+        // than one park → install → promote cycle, exactly like inline.
+        let (encs, obs) = ctl.retrain_window();
+        let shadow = slot.with_current(|m| refit(m, &encs, &obs));
+        ctl.install_shadow(shadow);
+        assert_eq!(ctl.phase(), "validating");
+        while i < 800 {
+            let e = enc(i);
+            ctl.ingest(&e, 16.0 * f64::from(e[0]));
+            i += 1;
+            if ctl.awaiting_retrain() {
+                let (encs, obs) = ctl.retrain_window();
+                let shadow = slot.with_current(|m| refit(m, &encs, &obs));
+                ctl.install_shadow(shadow);
+            }
+        }
+        assert!(slot.generation() >= 1, "deferred shadow promotes normally");
+        assert!(audit_is_well_formed(ctl.audit()), "{:?}", ctl.audit());
+        assert!(
+            (slot.with_current(|m| m.scale) - 16.0).abs() < 0.2,
+            "pool-trained shadow converged, got {}",
+            slot.with_current(|m| m.scale)
+        );
+    }
+
+    #[test]
+    fn request_retrain_needs_evidence_and_an_idle_deferred_controller() {
+        let clock = VirtualClock::new();
+        let slot = ModelSlot::new(LinearModel { scale: 10.0 });
+        let mut inline = AdaptationController::new(&slot, &clock, quick_config(), refit);
+        for i in 0..40u64 {
+            let e = enc(i);
+            inline.ingest(&e, 10.0 * f64::from(e[0]));
+        }
+        assert!(!inline.request_retrain(), "inline controllers never park");
+
+        let slot2 = ModelSlot::new(LinearModel { scale: 10.0 });
+        let mut ctl = AdaptationController::deferred(&slot2, &clock, quick_config());
+        assert!(
+            !ctl.request_retrain(),
+            "no window, no baseline — no evidence to park on"
+        );
+        for i in 0..40u64 {
+            let e = enc(i);
+            ctl.ingest(&e, 10.0 * f64::from(e[0]));
+        }
+        assert!(ctl.staleness_ratio().is_some());
+        assert!(ctl.request_retrain(), "armed window parks on request");
+        assert!(ctl.awaiting_retrain());
+        assert!(!ctl.request_retrain(), "already parked");
     }
 }

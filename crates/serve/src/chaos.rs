@@ -89,6 +89,51 @@ pub struct AdaptFault {
     pub kind: AdaptFaultKind,
 }
 
+/// One way an entire *fleet* is attacked on a scheduled tick.
+///
+/// Fleet faults address devices by their index in the fleet registry
+/// (e.g. [`DeviceFleet::standard`] order), not by name — the chaos schedule
+/// must stay valid even when a device is renamed.
+///
+/// [`DeviceFleet::standard`]: https://docs.rs/lightnas-fleet
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FleetFaultKind {
+    /// A correlated drift event: every device whose index bit is set in
+    /// `device_mask` steps its latency surface by `scale` from this tick on
+    /// (a heat wave hitting the whole rack, a fleet-wide DVFS policy push).
+    CorrelatedDriftBurst {
+        /// Bit `i` set ⇒ fleet device `i` drifts.
+        device_mask: u64,
+        /// Multiplicative latency factor applied to each masked device.
+        scale: f64,
+    },
+    /// The shared retrain pool is starved (workers seized by a competing
+    /// tenant): zero retrain admissions for `ticks` ticks. Flagged devices
+    /// queue and must neither deadlock nor serve an unvalidated shadow.
+    PoolStarvation {
+        /// How many ticks the pool admits nothing.
+        ticks: u64,
+    },
+    /// Device `device`'s *next* promotion deploys corrupted (predictions
+    /// gain `bias_ms`) — scheduled to land while another device is mid-
+    /// promotion, proving per-device rollback independence.
+    BadDeploy {
+        /// Fleet index of the sabotaged device.
+        device: u32,
+        /// Additive bias on the deployed generation's predictions, ms.
+        bias_ms: f64,
+    },
+}
+
+/// A fleet fault bound to one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFault {
+    /// 0-based fleet tick this fires on.
+    pub at_sample: u64,
+    /// What happens.
+    pub kind: FleetFaultKind,
+}
+
 /// A reproducible, one-shot schedule of serving faults.
 #[derive(Debug, Default)]
 pub struct ChaosPlan {
@@ -96,6 +141,8 @@ pub struct ChaosPlan {
     fired: Vec<AtomicBool>,
     adapt_faults: Vec<AdaptFault>,
     adapt_fired: Vec<AtomicBool>,
+    fleet_faults: Vec<FleetFault>,
+    fleet_fired: Vec<AtomicBool>,
 }
 
 impl ChaosPlan {
@@ -112,8 +159,7 @@ impl ChaosPlan {
         Self {
             faults,
             fired,
-            adapt_faults: Vec::new(),
-            adapt_fired: Vec::new(),
+            ..Self::default()
         }
     }
 
@@ -132,6 +178,21 @@ impl ChaosPlan {
         self.adapt_faults.sort_by_key(|f| f.at_sample);
         self.adapt_fired = self
             .adapt_faults
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect();
+        self
+    }
+
+    /// Adds tick-scheduled fleet faults to the plan. Same ordering contract
+    /// as [`with_adapt_faults`](Self::with_adapt_faults): the sort is stable
+    /// and keys on the tick only, so same-tick faults fire in insertion
+    /// order.
+    pub fn with_fleet_faults(mut self, faults: Vec<FleetFault>) -> Self {
+        self.fleet_faults = faults;
+        self.fleet_faults.sort_by_key(|f| f.at_sample);
+        self.fleet_fired = self
+            .fleet_faults
             .iter()
             .map(|_| AtomicBool::new(false))
             .collect();
@@ -228,6 +289,38 @@ impl ChaosPlan {
             .enumerate()
             .filter_map(|(k, f)| {
                 self.adapt_fired[start + k]
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .ok()
+                    .map(|_| f.kind)
+            })
+            .collect()
+    }
+
+    /// The scheduled fleet faults (tick order; same-tick faults in
+    /// insertion order).
+    pub fn fleet_faults(&self) -> &[FleetFault] {
+        &self.fleet_faults
+    }
+
+    /// How many fleet faults have fired so far.
+    pub fn fleet_fired(&self) -> usize {
+        self.fleet_fired
+            .iter()
+            .filter(|f| f.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Claims every fleet fault scheduled for `sample`, each at most once,
+    /// in insertion order — the same one-shot/virtual-clock contract as
+    /// [`take_adapt`](Self::take_adapt).
+    pub fn take_fleet(&self, sample: u64) -> Vec<FleetFaultKind> {
+        let start = self.fleet_faults.partition_point(|f| f.at_sample < sample);
+        self.fleet_faults[start..]
+            .iter()
+            .take_while(|f| f.at_sample == sample)
+            .enumerate()
+            .filter_map(|(k, f)| {
+                self.fleet_fired[start + k]
                     .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
                     .ok()
                     .map(|_| f.kind)
@@ -367,6 +460,54 @@ mod tests {
         assert_eq!(plan.adapt_fired(), 4);
         // Call-indexed faults are untouched by the adaptation schedule.
         assert!(plan.faults().is_empty());
+    }
+
+    #[test]
+    fn fleet_faults_are_one_shot_and_insertion_ordered_like_adapt_faults() {
+        let plan = ChaosPlan::none().with_fleet_faults(vec![
+            FleetFault {
+                at_sample: 96,
+                kind: FleetFaultKind::BadDeploy {
+                    device: 4,
+                    bias_ms: 9.0,
+                },
+            },
+            FleetFault {
+                at_sample: 96,
+                kind: FleetFaultKind::CorrelatedDriftBurst {
+                    device_mask: 0b01001,
+                    scale: 1.35,
+                },
+            },
+            FleetFault {
+                at_sample: 40,
+                kind: FleetFaultKind::PoolStarvation { ticks: 32 },
+            },
+        ]);
+        assert!(plan.take_fleet(0).is_empty());
+        assert_eq!(
+            plan.take_fleet(40),
+            vec![FleetFaultKind::PoolStarvation { ticks: 32 }]
+        );
+        assert_eq!(
+            plan.take_fleet(96),
+            vec![
+                FleetFaultKind::BadDeploy {
+                    device: 4,
+                    bias_ms: 9.0,
+                },
+                FleetFaultKind::CorrelatedDriftBurst {
+                    device_mask: 0b01001,
+                    scale: 1.35,
+                },
+            ],
+            "same-tick fleet faults fire in insertion order"
+        );
+        assert!(plan.take_fleet(96).is_empty(), "one-shot per tick");
+        assert_eq!(plan.fleet_fired(), 3);
+        // The per-device and per-call schedules are untouched.
+        assert!(plan.faults().is_empty());
+        assert!(plan.adapt_faults().is_empty());
     }
 
     #[test]

@@ -66,16 +66,18 @@ mod service;
 mod tier;
 
 pub use adapt::{
-    audit_is_well_formed, spearman, AdaptConfig, AdaptEvent, AdaptStatus, AdaptationController,
-    DriftMonitor, ModelSlot, ShadowTrainer, StalenessReport,
+    audit_is_well_formed, audit_is_well_formed_with, spearman, AdaptConfig, AdaptEvent,
+    AdaptStatus, AdaptationController, AuditCarry, DriftMonitor, ModelSlot, ShadowTrainer,
+    StalenessReport, DEFAULT_AUDIT_CAP,
 };
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 pub use chaos::{
-    AdaptFault, AdaptFaultKind, ChaosPlan, ChaosPredictor, ServeFault, ServeFaultKind,
+    AdaptFault, AdaptFaultKind, ChaosPlan, ChaosPredictor, FleetFault, FleetFaultKind, ServeFault,
+    ServeFaultKind,
 };
 pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::ServeError;
-pub use health::HealthSnapshot;
+pub use health::{DeviceGeneration, HealthSnapshot};
 pub use queue::{AdmissionPolicy, AdmissionQueue, Priority};
 pub use service::{DrainReport, PredictorService, Request, Response, Served, ServiceConfig};
 pub use tier::{ServingTier, WEIGHTS_ENV};

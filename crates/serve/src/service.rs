@@ -517,6 +517,9 @@ impl<'a, P: BatchPredictor, F: Predictor> PredictorService<'a, P, F> {
             model_generation,
             staleness_samples,
             staleness_age,
+            // Single-device service: the fleet rollup is always empty here
+            // (FleetAdaptation aggregates its own snapshots).
+            fleet: Vec::new(),
             submitted: self.counters.submitted.load(Ordering::Relaxed),
             served: self.counters.served.load(Ordering::Relaxed),
             degraded: self.counters.degraded.load(Ordering::Relaxed),
