@@ -422,6 +422,9 @@ fn run_soak(
         staleness_samples: 0,
         staleness_age: Duration::ZERO,
         fleet: fa.device_generations(),
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_shards: Vec::new(),
     };
     SoakResult {
         generations: slots.iter().map(ModelSlot::generation).collect(),

@@ -43,6 +43,7 @@ const EXHIBITS: &[&str] = &[
     "fleet_pareto",
     "drift_soak",
     "fleet_drift_soak",
+    "scale_bench",
 ];
 
 enum Status {

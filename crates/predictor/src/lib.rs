@@ -44,7 +44,10 @@ mod lut;
 mod mlp;
 
 pub use batch::BatchPredictor;
-pub use cache::{architecture_key, encoding_key, CacheStats, CachedPredictor, Predictor};
+pub use cache::{
+    architecture_key, encoding_key, CacheSnapshot, CacheStats, CachedPredictor, Predictor,
+    ShardOccupancy, DEFAULT_CACHE_SHARDS,
+};
 pub use checkpoint::{CheckpointError, WeightPrecision};
 pub use dataset::{Metric, MetricDataset};
 pub use ensemble::EnsemblePredictor;

@@ -73,10 +73,11 @@ mod telemetry;
 pub use checkpoint::{Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 pub use fault::{apply_corruption, splitmix64, CorruptionMode, Fault, FaultKind, FaultPlan};
 pub use lightnas::DivergencePolicy;
-pub use lightnas_predictor::{CacheStats, CachedPredictor};
+pub use lightnas_predictor::{CacheSnapshot, CacheStats, CachedPredictor, ShardOccupancy};
 pub use scheduler::{panic_message, JobPanic, JobScheduler};
 pub use supervisor::CheckpointStore;
 pub use sweep::{
-    run_sweep, run_sweep_with_faults, JobResult, JobStatus, SearchJob, SweepOptions, SweepReport,
+    run_sweep, run_sweep_shared, run_sweep_with_faults, JobResult, JobStatus, SearchJob,
+    SweepOptions, SweepReport,
 };
 pub use telemetry::{events, Field, Telemetry};

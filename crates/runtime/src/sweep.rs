@@ -292,12 +292,39 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
     telemetry: Option<&Telemetry>,
     faults: &FaultPlan,
 ) -> SweepReport {
+    let cached = CachedPredictor::new(predictor);
+    run_sweep_shared(oracle, &cached, jobs, opts, telemetry, faults)
+}
+
+/// [`run_sweep_with_faults`] over a caller-owned [`CachedPredictor`]: the
+/// cache outlives the sweep, so successive (or concurrent) sweeps sharing
+/// one predictor compound their hit rates instead of re-warming from cold.
+/// This is the execution path of `lightnas-serve`'s multi-tenant
+/// [`SearchService`](../lightnas_serve), where every tenant's sweeps share
+/// one sharded cache.
+///
+/// Sharing never changes a result — memoized values are the predictor's own
+/// deterministic outputs, and single-flight waiters receive exactly the
+/// leader's answer — so [`SweepReport::statuses`] stays byte-identical to a
+/// cold-cache or uncached run of the same jobs. The reported
+/// [`SweepReport::cache`] counters are **this sweep's traffic only** (the
+/// delta over the cache's counters at entry), preserving the
+/// [`run_sweep`] meaning even though the cache is shared; traffic on other
+/// threads during the sweep is attributed to whichever report observes it.
+pub fn run_sweep_shared<P: Predictor + Sync>(
+    oracle: &AccuracyOracle,
+    cached: &CachedPredictor<'_, P>,
+    jobs: &[SearchJob],
+    opts: &SweepOptions,
+    telemetry: Option<&Telemetry>,
+    faults: &FaultPlan,
+) -> SweepReport {
     let started = Instant::now();
     if opts.kernel_threads > 0 {
         lightnas_tensor::set_num_threads(opts.kernel_threads);
     }
     let scheduler = JobScheduler::new(opts.workers);
-    let cached = CachedPredictor::new(predictor);
+    let cache_before = cached.stats();
     // A signed counter so concurrent over-draining (several workers passing
     // zero at once) saturates harmlessly instead of wrapping.
     let budget = opts.epoch_budget.map(|n| AtomicI64::new(n as i64));
@@ -328,7 +355,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
         .run_catching(jobs.len(), |index| {
             let ctx = JobContext {
                 oracle,
-                cached: &cached,
+                cached,
                 index,
                 job: jobs[index],
                 opts,
@@ -362,7 +389,7 @@ pub fn run_sweep_with_faults<P: Predictor + Sync>(
         })
         .collect();
 
-    let cache = cached.stats();
+    let cache = cached.stats().since(cache_before);
     let wall = started.elapsed();
     if let Some(t) = telemetry {
         let done = statuses.iter().filter(|s| s.completed().is_some()).count();

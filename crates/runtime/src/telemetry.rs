@@ -102,6 +102,22 @@ pub mod events {
     /// The pool admitted nothing this tick despite a non-empty queue
     /// (budget exhausted or starved by chaos).
     pub const FLEET_POOL_STARVED: &str = "fleet_pool_starved";
+
+    // --- multi-tenant search service (lightnas-serve::search) ---
+
+    /// A tenant's sweep was admitted into the service queue
+    /// (`tenant`/`sweep`/`jobs`/`queued_jobs`).
+    pub const SEARCH_SWEEP_ADMITTED: &str = "search_sweep_admitted";
+    /// A tenant's sweep was turned away, typed: a per-tenant quota breach
+    /// (`reason:"quota"`) or the shared admission watermark
+    /// (`reason:"overloaded"`).
+    pub const SEARCH_SWEEP_REJECTED: &str = "search_sweep_rejected";
+    /// A tenant's sweep finished executing: per-sweep completed/failed
+    /// counts and the shared-cache traffic it contributed to.
+    pub const SEARCH_SWEEP_DONE: &str = "search_sweep_done";
+    /// Shared sharded-cache counters at a service checkpoint: merged
+    /// hits/misses/hit-rate plus shard count and total occupancy.
+    pub const SEARCH_CACHE_STATS: &str = "search_cache_stats";
 }
 
 /// A telemetry field value.

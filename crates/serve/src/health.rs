@@ -67,6 +67,17 @@ pub struct HealthSnapshot {
     /// a fleet. **Empty for single-device services** — and omitted from the
     /// wire form when empty, so existing snapshots stay byte-identical.
     pub fleet: Vec<DeviceGeneration>,
+    /// Shared predictor-cache hits, merged over shards. Stays 0 (and
+    /// serialization-invisible together with the other cache fields) for
+    /// services without a predictor cache.
+    pub cache_hits: u64,
+    /// Shared predictor-cache misses, merged over shards.
+    pub cache_misses: u64,
+    /// Per-shard occupancy (cached values per shard, in shard order) of
+    /// the shared predictor cache. **Empty for cacheless services** — and
+    /// omitted from the wire form when empty alongside zero counters, so
+    /// pre-cache snapshots stay byte-identical.
+    pub cache_shards: Vec<u64>,
 }
 
 impl HealthSnapshot {
@@ -140,6 +151,27 @@ impl HealthSnapshot {
             }
             out.push(']');
         }
+        if self.cache_hits != 0 || self.cache_misses != 0 || !self.cache_shards.is_empty() {
+            let total = self.cache_hits + self.cache_misses;
+            let rate = if total == 0 {
+                0.0
+            } else {
+                self.cache_hits as f64 / total as f64
+            };
+            let _ = write!(
+                out,
+                ",\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{}",
+                self.cache_hits, self.cache_misses, rate,
+            );
+            out.push_str(",\"cache_shards\":[");
+            for (i, occupancy) in self.cache_shards.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{occupancy}");
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
@@ -166,6 +198,9 @@ mod tests {
             staleness_samples: 0,
             staleness_age: Duration::ZERO,
             fleet: Vec::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_shards: Vec::new(),
         }
     }
 
@@ -241,6 +276,36 @@ mod tests {
             ),
             "{}",
             snap.to_json()
+        );
+    }
+
+    #[test]
+    fn cache_block_is_serialization_invisible_until_populated() {
+        // Cacheless service: byte-identical to the pre-cache wire form.
+        assert!(!base().to_json().contains("cache"));
+        let snap = HealthSnapshot {
+            cache_hits: 90,
+            cache_misses: 10,
+            cache_shards: vec![3, 0, 4, 3],
+            ..base()
+        };
+        assert!(
+            snap.to_json().ends_with(
+                ",\"cache_hits\":90,\"cache_misses\":10,\"cache_hit_rate\":0.9,\
+                 \"cache_shards\":[3,0,4,3]}"
+            ),
+            "{}",
+            snap.to_json()
+        );
+        // Counters without per-shard detail (or vice versa) still surface.
+        let sparse = HealthSnapshot {
+            cache_misses: 1,
+            ..base()
+        };
+        assert!(
+            sparse.to_json().contains("\"cache_hit_rate\":0"),
+            "{}",
+            sparse.to_json()
         );
     }
 

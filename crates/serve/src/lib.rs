@@ -11,6 +11,13 @@
 //!   watermarks ([`AdmissionPolicy`]), deadline awareness, batch
 //!   coalescing onto the predictor's one-GEMM batched path, and graceful
 //!   drain. Every refusal is a typed [`ServeError`].
+//! * [`SearchService`] — the multi-tenant *search* front door: whole
+//!   [`SearchJob`](lightnas_runtime::SearchJob) sweeps from named tenants,
+//!   per-tenant [`TenantQuota`]s layered on the same admission watermarks
+//!   (typed, audited [`SearchServeError`] refusals), executed on the
+//!   runtime scheduler over one shared **sharded** predictor cache — every
+//!   tenant's results byte-identical to a private serial run (DESIGN.md
+//!   §16).
 //! * [`CircuitBreaker`] — Closed → Open → HalfOpen guarding of the
 //!   primary; while open, requests are answered from the LUT fallback via
 //!   [`FallbackPredictor::degrade_encoding`](lightnas_predictor::FallbackPredictor::degrade_encoding),
@@ -62,6 +69,7 @@ mod clock;
 mod error;
 mod health;
 mod queue;
+mod search;
 mod service;
 mod tier;
 
@@ -79,5 +87,9 @@ pub use clock::{Clock, SystemClock, VirtualClock};
 pub use error::ServeError;
 pub use health::{DeviceGeneration, HealthSnapshot};
 pub use queue::{AdmissionPolicy, AdmissionQueue, Priority};
+pub use search::{
+    search_audit_is_well_formed, SearchEvent, SearchServeError, SearchService, SearchServiceConfig,
+    SweepTicket, TenantQuota, TenantSweepReport,
+};
 pub use service::{DrainReport, PredictorService, Request, Response, Served, ServiceConfig};
 pub use tier::{ServingTier, WEIGHTS_ENV};

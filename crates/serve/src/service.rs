@@ -527,6 +527,11 @@ impl<'a, P: BatchPredictor, F: Predictor> PredictorService<'a, P, F> {
             rejected_draining: self.counters.rejected_draining.load(Ordering::Relaxed),
             deadline_expired: self.counters.deadline_expired.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
+            // The query service answers through the breaker-guarded model
+            // slot, not a predictor cache; the cache block stays invisible.
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_shards: Vec::new(),
         }
     }
 
